@@ -1,0 +1,70 @@
+// Command roulette-bench regenerates the tables and figures of the paper's
+// evaluation (§6). Each -fig value maps to one experiment; see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Usage:
+//
+//	roulette-bench -fig 11a            # throughput vs batch size
+//	roulette-bench -fig all -quick     # every figure, reduced sweeps
+//	roulette-bench -fig 13 -scale 0.5  # policy quality at a larger scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching all")
+	scale := flag.Float64("scale", 0.25, "TPC-DS scale factor (facts scale linearly)")
+	seed := flag.Int64("seed", 1, "workload and data seed")
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout}
+
+	figures := map[string]func() error{
+		"11a":      func() error { _, err := cfg.Fig11a(); return err },
+		"11b":      func() error { _, err := cfg.Fig11b(); return err },
+		"11c":      func() error { _, err := cfg.Fig11c(); return err },
+		"11d":      func() error { _, err := cfg.Fig11d(); return err },
+		"12":       func() error { _, err := cfg.Fig12(); return err },
+		"13":       func() error { _, err := cfg.Fig13(); return err },
+		"14":       func() error { _, err := cfg.Fig14(); return err },
+		"16":       func() error { _, err := cfg.Fig16(); return err },
+		"17":       func() error { _, err := cfg.Fig17(); return err },
+		"18":       func() error { _, err := cfg.Fig18(); return err },
+		"19":       func() error { _, err := cfg.Fig19(); return err },
+		"20":       func() error { _, err := cfg.Fig20(); return err },
+		"swo":      func() error { _, err := cfg.SWO(); return err },
+		"stress":   func() error { _, err := cfg.Stress(); return err },
+		"batching": func() error { _, err := cfg.Batching(); return err },
+	}
+	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching"}
+
+	run := func(name string) {
+		f, ok := figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; valid: %v all\n", name, order)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(fig %s done in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *fig == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}

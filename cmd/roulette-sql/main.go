@@ -1,0 +1,183 @@
+// Command roulette-sql is a small SQL shell over the RouLette engine: it
+// loads CSV files as tables (dictionary-encoding non-integer columns) and
+// executes semicolon-separated SQL statements as shared batches.
+//
+// Usage:
+//
+//	roulette-sql -t orders=orders.csv -t customers=customers.csv [query.sql]
+//
+// With a file argument the statements are read from it; otherwise the shell
+// reads statements from stdin (terminate each batch with a line containing
+// only "go", or EOF). All statements of a batch execute together, sharing
+// scans, filters and joins.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	roulette "github.com/roulette-db/roulette"
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// tableFlags collects repeated -t name=path flags.
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(s string) error {
+	*t = append(*t, s)
+	return nil
+}
+
+func main() {
+	var tables tableFlags
+	flag.Var(&tables, "t", "table to load: name=file.csv (repeatable; first row is the header)")
+	workers := flag.Int("workers", 1, "RouLette workers")
+	flag.Parse()
+
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "roulette-sql: at least one -t name=file.csv is required")
+		os.Exit(2)
+	}
+
+	schema := catalog.NewSchema()
+	db := storage.NewDatabase(schema)
+	dicts := map[string]*storage.Dict{}
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "roulette-sql: bad -t %q (want name=file.csv)\n", spec)
+			os.Exit(2)
+		}
+		if err := loadTable(schema, db, dicts, name, path); err != nil {
+			fmt.Fprintln(os.Stderr, "roulette-sql:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s (%d rows)\n", name, db.MustTable(name).NumRows())
+	}
+	e := roulette.NewEngineOn(db)
+
+	runBatch := func(src string) {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			return
+		}
+		res, err := e.ExecuteSQL(src, &roulette.Options{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		for _, q := range res.Queries {
+			if len(q.Groups) <= 1 {
+				fmt.Printf("%s: %d\n", q.Tag, q.Value())
+				continue
+			}
+			fmt.Printf("%s:\n", q.Tag)
+			for _, g := range q.Groups {
+				fmt.Printf("  %d\t%d\n", g.Key, g.Value)
+			}
+		}
+		fmt.Printf("(%d queries in %v, %d episodes)\n", len(res.Queries), res.Elapsed, res.Episodes)
+	}
+
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roulette-sql:", err)
+			os.Exit(1)
+		}
+		runBatch(string(data))
+		return
+	}
+
+	fmt.Println(`enter SQL statements; run the batch with a line containing only "go"`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "go" {
+			runBatch(buf.String())
+			buf.Reset()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+	runBatch(buf.String())
+}
+
+// loadTable reads a CSV with a header row; columns whose first data value
+// does not parse as an integer are dictionary-encoded.
+func loadTable(schema *catalog.Schema, db *storage.Database, dicts map[string]*storage.Dict, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Read the header to build the relation, then reload with LoadCSV.
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("reading header of %s: %w", path, err)
+	}
+	cols := strings.Split(strings.TrimSpace(header), ",")
+	for i := range cols {
+		cols[i] = strings.TrimSpace(cols[i])
+	}
+	rel := catalog.NewRelation(name, cols...)
+	schema.AddRelation(rel)
+
+	// Give every column a dictionary; integer values bypass it via a probe
+	// pass — simplest robust behaviour: try integer first, fall back to the
+	// dictionary per column by sniffing the first record.
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	sniff := bufio.NewScanner(f)
+	sniff.Scan() // header
+	colDicts := map[string]*storage.Dict{}
+	if sniff.Scan() {
+		fields := strings.Split(sniff.Text(), ",")
+		for i, v := range fields {
+			if i >= len(cols) {
+				break
+			}
+			v = strings.TrimSpace(v)
+			if !looksInteger(v) {
+				d := storage.NewDict()
+				colDicts[cols[i]] = d
+				dicts[name+"."+cols[i]] = d
+			}
+		}
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	t, err := storage.LoadCSV(rel, f, storage.CSVOptions{Header: true, Dicts: colDicts})
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", path, err)
+	}
+	db.Put(t)
+	return nil
+}
+
+func looksInteger(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '-' && i == 0 && len(s) > 1 {
+			continue
+		}
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package roulette_test
+
+import (
+	"fmt"
+
+	roulette "github.com/roulette-db/roulette"
+)
+
+// Example demonstrates the minimal embedded flow: create tables, build a
+// batch of overlapping queries, execute them together.
+func Example() {
+	e := roulette.NewEngine()
+	e.MustCreateTable("orders",
+		roulette.Col("customer_id", 0, 1, 0, 2, 1, 0),
+		roulette.Col("amount", 10, 20, 30, 40, 50, 60),
+	)
+	e.MustCreateTable("customers",
+		roulette.Col("id", 0, 1, 2),
+		roulette.Col("region", 7, 8, 7),
+	)
+
+	batch := []*roulette.Query{
+		roulette.NewQuery("big-orders").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			Ge("orders", "amount", 30).
+			CountStar(),
+		roulette.NewQuery("revenue-by-region").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			Sum("orders", "amount").GroupBy("customers", "region").OrderByKey(),
+	}
+	res, err := e.ExecuteBatch(batch, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("big orders:", res.Queries[0].Value())
+	for _, g := range res.Queries[1].Groups {
+		fmt.Printf("region %d: %d\n", g.Key, g.Value)
+	}
+	// Output:
+	// big orders: 4
+	// region 7: 140
+	// region 8: 70
+}
+
+// ExampleEngine_ExecuteSQL runs the same workload through the SQL front end.
+func ExampleEngine_ExecuteSQL() {
+	e := roulette.NewEngine()
+	e.MustCreateTable("t", roulette.Col("x", 1, 2, 3, 4, 5))
+
+	res, err := e.ExecuteSQL(`
+		SELECT COUNT(*) FROM t WHERE x BETWEEN 2 AND 4;
+		SELECT SUM(x) FROM t WHERE x > 1;
+	`, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Queries[0].Value(), res.Queries[1].Value())
+	// Output: 3 14
+}
+
+// ExampleQuery_Avg shows the aggregate builders.
+func ExampleQuery_Avg() {
+	e := roulette.NewEngine()
+	e.MustCreateTable("m", roulette.Col("v", 2, 4, 6, 8))
+	res, err := e.ExecuteBatch([]*roulette.Query{
+		roulette.NewQuery("avg").From("m").Avg("m", "v"),
+		roulette.NewQuery("minmax").From("m").Max("m", "v"),
+	}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Queries[0].Value(), res.Queries[1].Value())
+	// Output: 5 8
+}

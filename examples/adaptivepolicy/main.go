@@ -1,0 +1,81 @@
+// Adaptive policy: watch Q-learning converge. The example runs a chain-
+// schema workload (the paper's Fig. 15/16 setting) with convergence
+// tracking: the measured episode cost falls while the policy's estimate of
+// the minimum achievable cost rises until the two meet — the policy has
+// learned the plan space. It also reports the learned/greedy intermediate-
+// tuple ratio; on correlation-free chains greedy is near-optimal (the
+// paper's Fig. 16i), whereas on correlated data (JOB, Fig. 13) the learned
+// policy produces several times fewer tuples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	roulette "github.com/roulette-db/roulette"
+	"github.com/roulette-db/roulette/internal/chains"
+)
+
+func main() {
+	// Chain schema (Fig. 15): store_sales with 4 chains of depth 2 — half
+	// contracting (selective), half expanding joins.
+	w, err := chains.Build(4, 9, 500, 40000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inner := w.Queries(32, 8)
+
+	e := roulette.NewEngineOn(w.DB)
+	queries := make([]*roulette.Query, len(inner))
+	for i, q := range inner {
+		pub := roulette.NewQuery(q.Tag)
+		for _, r := range q.Rels {
+			pub.From(r.Table)
+		}
+		for _, j := range q.Joins {
+			pub.Join(j.LeftAlias, j.LeftCol, j.RightAlias, j.RightCol)
+		}
+		for _, f := range q.Filters {
+			pub.Between(f.Alias, f.Col, f.Lo, f.Hi)
+		}
+		queries[i] = pub.CountStar()
+	}
+
+	run := func(pol roulette.PolicyKind, track bool) *roulette.BatchResult {
+		res, err := e.ExecuteBatch(queries, &roulette.Options{
+			Policy: pol, DiscardRows: true, TrackConvergence: track, VectorSize: 64, Seed: 9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	learned := run(roulette.PolicyLearned, true)
+	greedy := run(roulette.PolicyGreedy, false)
+
+	fmt.Println("episode-cost trace (bucketed): measured falls, estimate rises, they meet at convergence")
+	n := len(learned.Convergence)
+	bucket := n / 12
+	if bucket < 1 {
+		bucket = 1
+	}
+	for i := 0; i < n; i += bucket {
+		end := i + bucket
+		if end > n {
+			end = n
+		}
+		var m, est float64
+		for _, p := range learned.Convergence[i:end] {
+			m += p.Measured
+			est += p.Estimated
+		}
+		k := float64(end - i)
+		fmt.Printf("  episodes %5d..%-5d  measured %12.0f   estimated-min %12.0f\n", i, end-1, m/k, est/k)
+	}
+
+	fmt.Printf("\nintermediate join tuples: learned %d vs greedy %d (ratio %.2f;\n",
+		learned.JoinTuples, greedy.JoinTuples, float64(learned.JoinTuples)/float64(greedy.JoinTuples))
+	fmt.Println("greedy is near-optimal on correlation-free chains — Fig. 16i; the learned")
+	fmt.Println("policy wins decisively on correlated workloads — Fig. 13 / JOB)")
+}

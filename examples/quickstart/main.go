@@ -1,0 +1,81 @@
+// Quickstart: embed RouLette, create two tables, and run a three-query
+// batch that shares the fact-dimension join across all three queries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	roulette "github.com/roulette-db/roulette"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// orders(customer_id, amount, status) — 100k rows.
+	const nOrders, nCustomers = 100_000, 5_000
+	custID := make([]int64, nOrders)
+	amount := make([]int64, nOrders)
+	status := make([]int64, nOrders)
+	for i := range custID {
+		custID[i] = int64(rng.Intn(nCustomers))
+		amount[i] = int64(rng.Intn(500))
+		status[i] = int64(rng.Intn(4)) // 0=new 1=paid 2=shipped 3=returned
+	}
+
+	// customers(id, region) — 5k rows.
+	id := make([]int64, nCustomers)
+	region := make([]int64, nCustomers)
+	for i := range id {
+		id[i] = int64(i)
+		region[i] = int64(rng.Intn(8))
+	}
+
+	e := roulette.NewEngine()
+	e.MustCreateTable("orders",
+		roulette.ColSlice("customer_id", custID),
+		roulette.ColSlice("amount", amount),
+		roulette.ColSlice("status", status),
+	)
+	e.MustCreateTable("customers",
+		roulette.ColSlice("id", id),
+		roulette.ColSlice("region", region),
+	)
+
+	// Three analysts ask overlapping questions at once. RouLette executes
+	// them as one batch: the orders ⋈ customers join is probed once per
+	// tuple for all three queries together.
+	queries := []*roulette.Query{
+		roulette.NewQuery("paid-orders").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			Eq("orders", "status", 1).
+			CountStar(),
+		roulette.NewQuery("revenue-by-region").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			Between("orders", "status", 1, 2).
+			Sum("orders", "amount").GroupBy("customers", "region").OrderByKey(),
+		roulette.NewQuery("big-returns").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			Eq("orders", "status", 3).
+			Ge("orders", "amount", 400).
+			CountStar(),
+	}
+
+	res, err := e.ExecuteBatch(queries, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("executed %d queries in %v (%d episodes, %.0f q/s)\n\n",
+		len(res.Queries), res.Elapsed, res.Episodes, res.Throughput())
+	fmt.Printf("paid orders:         %d\n", res.Queries[0].Value())
+	fmt.Println("revenue by region:")
+	for _, g := range res.Queries[1].Groups {
+		fmt.Printf("  region %d: %d\n", g.Key, g.Value)
+	}
+	fmt.Printf("big returned orders: %d\n", res.Queries[2].Value())
+}

@@ -1,0 +1,3 @@
+module github.com/roulette-db/roulette
+
+go 1.22

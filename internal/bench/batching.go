@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/tpcds"
+	"github.com/roulette-db/roulette/internal/workload"
+)
+
+// BatchingResult compares workload-agnostic FIFO batching against
+// workload-aware clustering (§6.1's suggested future optimization).
+type BatchingResult struct {
+	FIFOSimilarity      float64
+	ClusteredSimilarity float64
+	FIFOElapsed         time.Duration
+	ClusteredElapsed    time.Duration
+	Queries             int
+	Speedup             float64
+}
+
+// Batching runs a diverse (snowstorm-all) query stream through RouLette
+// twice: once in FIFO batches and once in similarity-clustered batches of
+// the same size. Clustering raises intra-batch homogeneity, which the
+// Fig. 11d sensitivity analysis showed is what sharing thrives on.
+func (c *Config) Batching() (*BatchingResult, error) {
+	db := tpcds.Generate(c.Scale, c.Seed)
+	p := workload.DefaultParams()
+	p.Kind = tpcds.SnowstormAll
+	p.Joins = 4
+	p.Seed = c.Seed
+	n, batch := 512, 64
+	if c.Quick {
+		n, batch = 96, 24
+	}
+	qs := workload.NewGenerator(p).Generate(n)
+
+	run := func(batches [][]*query.Query) (time.Duration, error) {
+		var total time.Duration
+		for _, b := range batches {
+			// Copy queries: compilation assigns batch-local IDs.
+			cp := make([]*query.Query, len(b))
+			for i, q := range b {
+				c := *q
+				cp[i] = &c
+			}
+			r, err := runSystem(SysRouLette, db, cp, 0, c.Seed)
+			if err != nil {
+				return 0, err
+			}
+			total += r.Elapsed
+		}
+		return total, nil
+	}
+
+	fifo := workload.FIFOBatches(qs, batch)
+	clustered := workload.ClusterBatches(qs, batch)
+
+	res := &BatchingResult{
+		Queries:             n,
+		FIFOSimilarity:      workload.MeanPairwiseSimilarity(fifo),
+		ClusteredSimilarity: workload.MeanPairwiseSimilarity(clustered),
+	}
+	var err error
+	if res.FIFOElapsed, err = run(fifo); err != nil {
+		return nil, err
+	}
+	if res.ClusteredElapsed, err = run(clustered); err != nil {
+		return nil, err
+	}
+	if res.ClusteredElapsed > 0 {
+		res.Speedup = res.FIFOElapsed.Seconds() / res.ClusteredElapsed.Seconds()
+	}
+	c.printf("=== Workload-aware batching (snowstorm-all, %d queries, batches of %d) ===\n", n, batch)
+	c.printf("FIFO:      similarity %.3f  %8.3fs\n", res.FIFOSimilarity, res.FIFOElapsed.Seconds())
+	c.printf("Clustered: similarity %.3f  %8.3fs  speedup %.2fx\n",
+		res.ClusteredSimilarity, res.ClusteredElapsed.Seconds(), res.Speedup)
+	return res, nil
+}

@@ -1,0 +1,199 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAdd(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	for _, id := range []int{0, 1, 63, 64, 65, 127, 129} {
+		s.Add(id)
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false after Add", id)
+		}
+	}
+	if s.Count() != 7 {
+		t.Errorf("Count = %d, want 7", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) after Remove")
+	}
+	if s.Count() != 6 {
+		t.Errorf("Count after Remove = %d, want 6", s.Count())
+	}
+}
+
+func TestNewFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		s := NewFull(n)
+		if s.Count() != n {
+			t.Errorf("NewFull(%d).Count() = %d", n, s.Count())
+		}
+		if n > 0 && !s.Contains(n-1) {
+			t.Errorf("NewFull(%d) missing last bit", n)
+		}
+		if s.Contains(n) {
+			t.Errorf("NewFull(%d) contains bit %d", n, n)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIDs(200, 1, 5, 100, 150)
+	b := FromIDs(200, 5, 100, 199)
+
+	and := And(a, b)
+	if got := and.IDs(); len(got) != 2 || got[0] != 5 || got[1] != 100 {
+		t.Errorf("And = %v, want [5 100]", got)
+	}
+	diff := AndNot(a, b)
+	if got := diff.IDs(); len(got) != 2 || got[0] != 1 || got[1] != 150 {
+		t.Errorf("AndNot = %v, want [1 150]", got)
+	}
+	if !Intersects(a, b) {
+		t.Error("Intersects(a,b) = false")
+	}
+	if Intersects(a, FromIDs(200, 2, 3)) {
+		t.Error("Intersects with disjoint = true")
+	}
+
+	u := a.Clone()
+	u.OrWith(b)
+	if u.Count() != 5 {
+		t.Errorf("union count = %d, want 5", u.Count())
+	}
+	if !and.IsSubset(a) || !and.IsSubset(b) {
+		t.Error("intersection not subset of operands")
+	}
+	if a.IsSubset(b) {
+		t.Error("a.IsSubset(b) should be false")
+	}
+}
+
+func TestEqualPaddingInsensitive(t *testing.T) {
+	a := FromIDs(64, 3)
+	b := FromIDs(256, 3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("Equal should ignore trailing zero words")
+	}
+	if a.Key() != b.Key() {
+		t.Error("Key should ignore trailing zero words")
+	}
+	b.Add(200)
+	if a.Equal(b) {
+		t.Error("Equal after diverging")
+	}
+	if a.Key() == b.Key() {
+		t.Error("Key collision for different sets")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	ids := []int{0, 7, 63, 64, 128, 500}
+	s := FromIDs(512, ids...)
+	var got []int
+	s.ForEach(func(id int) { got = append(got, id) })
+	if len(got) != len(ids) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Errorf("ForEach[%d] = %d, want %d", i, got[i], ids[i])
+		}
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	src := FromIDs(128, 1, 70)
+	dst := Set(nil)
+	dst = src.CopyInto(dst)
+	if !dst.Equal(src) {
+		t.Error("CopyInto lost bits")
+	}
+	dst.Add(2)
+	if src.Contains(2) {
+		t.Error("CopyInto aliases source")
+	}
+	// Reuse path: shrink and refill.
+	small := FromIDs(64, 9)
+	dst = small.CopyInto(dst)
+	if !dst.Equal(small) {
+		t.Errorf("CopyInto reuse: got %v, want %v", dst, small)
+	}
+}
+
+// randomSet draws a set of capacity n with each bit set with probability p.
+func randomSet(r *rand.Rand, n int, p float64) Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// (a − b) ∪ (a ∩ b) == a, and the two parts are disjoint.
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(300)
+		a := randomSet(r, n, 0.4)
+		b := randomSet(r, n, 0.4)
+		diff := AndNot(a, b)
+		inter := And(a, b)
+		if Intersects(diff, inter) {
+			return false
+		}
+		u := diff.Clone()
+		u.OrWith(inter)
+		return u.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(300)
+		a := randomSet(rr, n, 0.3)
+		b := randomSet(rr, n, 0.3)
+		// |a| = |a−b| + |a∩b|
+		return a.Count() == AndNot(a, b).Count()+And(a, b).Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(300)
+		a := randomSet(rr, n, 0.3)
+		b := randomSet(rr, n, 0.3)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAndWith(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	a := randomSet(r, 1024, 0.5)
+	c := randomSet(r, 1024, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.AndWith(c)
+	}
+}

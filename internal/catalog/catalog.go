@@ -1,0 +1,110 @@
+// Package catalog describes schemas: relations, their columns, and the
+// foreign-key topology that workload generators use to draw join subgraphs.
+package catalog
+
+import "fmt"
+
+// Column is a named attribute of a relation. All attributes are 64-bit
+// integers; string-typed source data is dictionary-encoded by generators
+// before it reaches storage (late materialization keeps the engine integer-
+// only, as in the paper's columnar prototype).
+type Column struct {
+	Name string
+}
+
+// Relation is a named table schema.
+type Relation struct {
+	Name    string
+	Columns []Column
+
+	colIdx map[string]int
+}
+
+// NewRelation builds a Relation from column names.
+func NewRelation(name string, cols ...string) *Relation {
+	r := &Relation{Name: name, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		r.Columns = append(r.Columns, Column{Name: c})
+		r.colIdx[c] = i
+	}
+	return r
+}
+
+// ColIndex returns the position of column name, or -1 if absent.
+func (r *Relation) ColIndex(name string) int {
+	if i, ok := r.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasColumn reports whether the relation has the named column.
+func (r *Relation) HasColumn(name string) bool { return r.ColIndex(name) >= 0 }
+
+// FKEdge declares that child.childCol references parent.parentCol. Workload
+// generators walk these edges to form join subgraphs (snowflake chains etc.).
+type FKEdge struct {
+	Child     string
+	ChildCol  string
+	Parent    string
+	ParentCol string
+}
+
+// Schema is a set of relations plus their foreign-key topology.
+type Schema struct {
+	Relations []*Relation
+	Edges     []FKEdge
+
+	relIdx map[string]int
+}
+
+// NewSchema builds a schema over the given relations.
+func NewSchema(rels ...*Relation) *Schema {
+	s := &Schema{relIdx: make(map[string]int, len(rels))}
+	for _, r := range rels {
+		s.AddRelation(r)
+	}
+	return s
+}
+
+// AddRelation registers r; it panics on duplicate names.
+func (s *Schema) AddRelation(r *Relation) {
+	if _, dup := s.relIdx[r.Name]; dup {
+		panic(fmt.Sprintf("catalog: duplicate relation %q", r.Name))
+	}
+	s.relIdx[r.Name] = len(s.Relations)
+	s.Relations = append(s.Relations, r)
+}
+
+// AddFK registers a foreign-key edge; it panics if a referenced relation or
+// column does not exist.
+func (s *Schema) AddFK(child, childCol, parent, parentCol string) {
+	c := s.Relation(child)
+	p := s.Relation(parent)
+	if c == nil || p == nil {
+		panic(fmt.Sprintf("catalog: FK %s.%s -> %s.%s references unknown relation", child, childCol, parent, parentCol))
+	}
+	if !c.HasColumn(childCol) || !p.HasColumn(parentCol) {
+		panic(fmt.Sprintf("catalog: FK %s.%s -> %s.%s references unknown column", child, childCol, parent, parentCol))
+	}
+	s.Edges = append(s.Edges, FKEdge{Child: child, ChildCol: childCol, Parent: parent, ParentCol: parentCol})
+}
+
+// Relation returns the named relation, or nil.
+func (s *Schema) Relation(name string) *Relation {
+	if i, ok := s.relIdx[name]; ok {
+		return s.Relations[i]
+	}
+	return nil
+}
+
+// EdgesOf returns every FK edge that touches relation name.
+func (s *Schema) EdgesOf(name string) []FKEdge {
+	var out []FKEdge
+	for _, e := range s.Edges {
+		if e.Child == name || e.Parent == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package catalog
+
+import "testing"
+
+func TestRelationColumns(t *testing.T) {
+	r := NewRelation("t", "a", "b", "c")
+	if r.ColIndex("b") != 1 {
+		t.Errorf("ColIndex(b) = %d", r.ColIndex("b"))
+	}
+	if r.ColIndex("z") != -1 {
+		t.Errorf("ColIndex(z) = %d", r.ColIndex("z"))
+	}
+	if !r.HasColumn("c") || r.HasColumn("z") {
+		t.Error("HasColumn wrong")
+	}
+	if len(r.Columns) != 3 || r.Columns[2].Name != "c" {
+		t.Errorf("Columns = %+v", r.Columns)
+	}
+}
+
+func TestSchemaRelations(t *testing.T) {
+	a := NewRelation("a", "k")
+	b := NewRelation("b", "k", "fk")
+	s := NewSchema(a, b)
+	if s.Relation("a") != a || s.Relation("b") != b {
+		t.Error("Relation lookup broken")
+	}
+	if s.Relation("c") != nil {
+		t.Error("phantom relation")
+	}
+	c := NewRelation("c", "x")
+	s.AddRelation(c)
+	if s.Relation("c") != c {
+		t.Error("AddRelation lookup broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate relation should panic")
+		}
+	}()
+	s.AddRelation(NewRelation("a", "k"))
+}
+
+func TestSchemaFKs(t *testing.T) {
+	a := NewRelation("a", "k")
+	b := NewRelation("b", "k", "fk")
+	s := NewSchema(a, b)
+	s.AddFK("b", "fk", "a", "k")
+	if len(s.Edges) != 1 {
+		t.Fatalf("edges = %d", len(s.Edges))
+	}
+	if got := s.EdgesOf("a"); len(got) != 1 || got[0].Child != "b" {
+		t.Errorf("EdgesOf(a) = %+v", got)
+	}
+	if got := s.EdgesOf("zzz"); len(got) != 0 {
+		t.Errorf("EdgesOf(zzz) = %+v", got)
+	}
+
+	for _, bad := range []func(){
+		func() { s.AddFK("zzz", "fk", "a", "k") },
+		func() { s.AddFK("b", "nope", "a", "k") },
+		func() { s.AddFK("b", "fk", "a", "nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad FK should panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

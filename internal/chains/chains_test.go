@@ -1,0 +1,83 @@
+package chains
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+func TestBuildShapes(t *testing.T) {
+	w, err := Build(4, 9, 500, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Depth != 2 {
+		t.Fatalf("depth = %d, want 2", w.Depth)
+	}
+	// Low-rate chains smaller than base; high-rate larger.
+	for c := 0; c < 4; c++ {
+		n := w.DB.MustTable(chainRel(c, 1)).NumRows()
+		if w.LowRate[c] && n >= 500 {
+			t.Errorf("chain %d low-rate size %d >= base", c, n)
+		}
+		if !w.LowRate[c] && n <= 500 {
+			t.Errorf("chain %d high-rate size %d <= base", c, n)
+		}
+	}
+	if w.DB.MustTable("store_sales").NumRows() != 2000 {
+		t.Error("fact size wrong")
+	}
+}
+
+func TestBuildRejectsBadShape(t *testing.T) {
+	if _, err := Build(4, 10, 100, 100, 1); err == nil {
+		t.Error("R-1 not divisible by C accepted")
+	}
+}
+
+func TestQueriesSpanHalfTheGraph(t *testing.T) {
+	w, err := Build(8, 17, 300, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := w.Queries(64, 3)
+	if _, err := query.Compile(qs); err != nil {
+		t.Fatalf("chain batch does not compile: %v", err)
+	}
+	for _, q := range qs {
+		// Half the chains at depth 2 plus fact: 4*2+1 = 9 relations.
+		if len(q.Rels) != 9 {
+			t.Fatalf("%s: %d relations, want 9", q.Tag, len(q.Rels))
+		}
+		nLow, nHigh := 0, 0
+		seen := map[string]bool{}
+		for _, r := range q.Rels[1:] {
+			seen[r.Table] = true
+		}
+		for c := 0; c < w.Chains; c++ {
+			if seen[chainRel(c, 1)] {
+				if w.LowRate[c] {
+					nLow++
+				} else {
+					nHigh++
+				}
+				// Full depth required.
+				if !seen[chainRel(c, 2)] {
+					t.Fatalf("%s: chain %d not at full depth", q.Tag, c)
+				}
+			}
+		}
+		if nLow != 2 || nHigh != 2 {
+			t.Errorf("%s: low/high chains = %d/%d, want 2/2", q.Tag, nLow, nHigh)
+		}
+	}
+}
+
+func TestFigure15Shapes(t *testing.T) {
+	// All (C, R) pairs of Fig. 16 must build.
+	for _, cfg := range [][2]int{{4, 9}, {4, 17}, {4, 33}, {8, 9}, {8, 17}, {8, 33}, {16, 17}, {16, 33}} {
+		if _, err := Build(cfg[0], cfg[1], 100, 200, 1); err != nil {
+			t.Errorf("Build(%d,%d): %v", cfg[0], cfg[1], err)
+		}
+	}
+}

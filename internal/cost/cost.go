@@ -1,0 +1,68 @@
+// Package cost implements RouLette's linear operator cost model
+// c(n_in, n_out) = κ·n_in + λ·n_out (§4.3 "Proportionality") and the
+// regression-based tuner used to fit κ and λ to measured operator times.
+package cost
+
+// Class identifies an operator class with its own (κ, λ) pair.
+type Class int
+
+// Operator classes tuned in the paper.
+const (
+	Selection Class = iota // grouped filters and semi-join prune filters
+	RoutingSelection
+	Join // STeM probes
+	numClasses
+)
+
+// Model holds per-class κ/λ constants. The zero value is unusable; use
+// Default or Tune.
+type Model struct {
+	Kappa  [numClasses]float64
+	Lambda [numClasses]float64
+}
+
+// Default returns the paper's tuned constants (§4.3): selections 9.32/4.62,
+// routing selections 3.60/0.92, joins 38.57/43.29 (nanoseconds per tuple).
+func Default() *Model {
+	m := &Model{}
+	m.Kappa[Selection], m.Lambda[Selection] = 9.32, 4.62
+	m.Kappa[RoutingSelection], m.Lambda[RoutingSelection] = 3.60, 0.92
+	m.Kappa[Join], m.Lambda[Join] = 38.57, 43.29
+	return m
+}
+
+// Cost estimates the time of one operator invocation from its input and
+// output cardinalities.
+func (m *Model) Cost(c Class, nIn, nOut float64) float64 {
+	return m.Kappa[c]*nIn + m.Lambda[c]*nOut
+}
+
+// Sample is one measured operator execution used for tuning.
+type Sample struct {
+	NIn, NOut float64
+	Nanos     float64
+}
+
+// Tune fits κ and λ for one class with ordinary least squares over the
+// two-variable linear model nanos ≈ κ·n_in + λ·n_out (no intercept, as in
+// the paper). It is a no-op when the samples are degenerate (singular
+// normal matrix).
+func (m *Model) Tune(c Class, samples []Sample) {
+	// Normal equations for y = κ·a + λ·b:
+	//   [Σaa Σab][κ]   [Σay]
+	//   [Σab Σbb][λ] = [Σby]
+	var saa, sab, sbb, say, sby float64
+	for _, s := range samples {
+		saa += s.NIn * s.NIn
+		sab += s.NIn * s.NOut
+		sbb += s.NOut * s.NOut
+		say += s.NIn * s.Nanos
+		sby += s.NOut * s.Nanos
+	}
+	det := saa*sbb - sab*sab
+	if det == 0 {
+		return
+	}
+	m.Kappa[c] = (say*sbb - sby*sab) / det
+	m.Lambda[c] = (sby*saa - say*sab) / det
+}

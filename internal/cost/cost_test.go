@@ -1,0 +1,68 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	m := Default()
+	cases := []struct {
+		c      Class
+		ka, la float64
+	}{
+		{Selection, 9.32, 4.62},
+		{RoutingSelection, 3.60, 0.92},
+		{Join, 38.57, 43.29},
+	}
+	for _, c := range cases {
+		if m.Kappa[c.c] != c.ka || m.Lambda[c.c] != c.la {
+			t.Errorf("class %d: got %v/%v, want %v/%v", c.c, m.Kappa[c.c], m.Lambda[c.c], c.ka, c.la)
+		}
+	}
+	if got := m.Cost(Join, 10, 5); math.Abs(got-(38.57*10+43.29*5)) > 1e-9 {
+		t.Errorf("Cost = %v", got)
+	}
+}
+
+func TestCostLinearInInput(t *testing.T) {
+	m := Default()
+	// Proportionality (§4.3): doubling both sizes doubles the cost.
+	c1 := m.Cost(Selection, 100, 40)
+	c2 := m.Cost(Selection, 200, 80)
+	if math.Abs(c2-2*c1) > 1e-9 {
+		t.Errorf("cost not proportional: %v vs %v", c1, c2)
+	}
+}
+
+func TestTuneRecoversKnownModel(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	trueK, trueL := 17.5, 3.25
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		in := float64(1 + r.Intn(2000))
+		out := in * r.Float64()
+		noise := r.NormFloat64() * 2
+		samples = append(samples, Sample{NIn: in, NOut: out, Nanos: trueK*in + trueL*out + noise})
+	}
+	m := Default()
+	m.Tune(Join, samples)
+	if math.Abs(m.Kappa[Join]-trueK) > 0.1 || math.Abs(m.Lambda[Join]-trueL) > 0.1 {
+		t.Errorf("Tune got κ=%v λ=%v, want %v/%v", m.Kappa[Join], m.Lambda[Join], trueK, trueL)
+	}
+}
+
+func TestTuneDegenerateIsNoop(t *testing.T) {
+	m := Default()
+	k, l := m.Kappa[Selection], m.Lambda[Selection]
+	m.Tune(Selection, nil)
+	if m.Kappa[Selection] != k || m.Lambda[Selection] != l {
+		t.Error("Tune with no samples changed the model")
+	}
+	// All-identical samples are singular too (a and b proportional).
+	m.Tune(Selection, []Sample{{10, 10, 5}, {20, 20, 10}})
+	if m.Kappa[Selection] != k || m.Lambda[Selection] != l {
+		t.Error("Tune with collinear samples changed the model")
+	}
+}

@@ -1,0 +1,453 @@
+// Package engine is RouLette's driver: it schedules compiled batches,
+// ingests vectors through circular scans in a pruning-aware order, maps
+// episodes onto a worker pool sharing STeMs, supports runtime query
+// admission, and reports per-query results and execution statistics (§3).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// AdmitEvent schedules runtime query admission: the listed queries are
+// admitted once Inst has delivered AfterVectors vectors (dynamic workloads,
+// §6.2 "Dynamic Opportunities").
+type AdmitEvent struct {
+	AfterVectors int64
+	Inst         query.InstID
+	QIDs         []int
+}
+
+// Config parameterizes a session.
+type Config struct {
+	Exec    exec.Options
+	Workers int
+
+	// Policy drives planning; nil selects the learned policy with the
+	// paper's hyper-parameters.
+	Policy policy.Policy
+
+	Model *cost.Model
+
+	// AdmitAt staggers admission; when empty, every query is admitted at
+	// session start (batch mode).
+	AdmitAt []AdmitEvent
+
+	// TrackConvergence records per-episode measured and estimated costs
+	// (the Fig. 16 learning curves). Costly on large runs.
+	TrackConvergence bool
+
+	// Trace, when non-nil, receives one record per episode (observability;
+	// see internal/metrics).
+	Trace *metrics.Ring
+}
+
+// ConvergencePoint is one episode's measured cost and the policy's estimate
+// of the minimum achievable cost at the episode's start state.
+type ConvergencePoint struct {
+	Episode   int64
+	Measured  float64
+	Estimated float64
+}
+
+// Results summarizes a finished session run.
+type Results struct {
+	Counts      []int64 // per-query SPJ output tuples
+	Elapsed     time.Duration
+	Episodes    int64
+	JoinTuples  int64 // intermediate join tuples (the Fig. 13 metric)
+	Convergence []ConvergencePoint
+}
+
+// Throughput returns completed queries per second.
+func (r *Results) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Counts)) / r.Elapsed.Seconds()
+}
+
+// scanState tracks one instance's circular scan and the queries using it.
+type scanState struct {
+	scan      *storage.CircularScan
+	rank      int
+	active    bitset.Set // queries currently scanning
+	remaining []int      // per query: tuples still to deliver (admitted only)
+	doneQ     bitset.Set // queries that completed this scan
+	delivered int64      // vectors delivered
+	inserted  int64      // episodes that completed STeM insertion
+}
+
+func (s *scanState) done() bool { return s.active.Empty() }
+
+// Session executes one compiled batch.
+type Session struct {
+	b   *query.Batch
+	cfg Config
+	ctx *exec.Context
+	pol policy.Policy
+
+	mu       sync.Mutex
+	scans    []*scanState
+	admitted bitset.Set
+	pending  []AdmitEvent
+	rrCursor int
+	episode  int64
+	conv     []ConvergencePoint
+}
+
+// NewSession compiles the execution context and scan plan for batch b.
+func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, error) {
+	ctx, err := exec.NewContext(b, db, cfg.Exec, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = qlearn.New(qlearn.DefaultConfig())
+	}
+	s := &Session{
+		b: b, cfg: cfg, ctx: ctx, pol: pol,
+		admitted: bitset.New(b.N),
+		pending:  append([]AdmitEvent(nil), cfg.AdmitAt...),
+	}
+
+	ranks := RankScans(b, ctx)
+	s.scans = make([]*scanState, len(b.Insts))
+	for i := range b.Insts {
+		s.scans[i] = &scanState{
+			scan:      storage.NewCircularScan(ctx.Tables[i].NumRows(), ctx.Opt.VectorSize),
+			rank:      ranks[i],
+			active:    bitset.New(b.N),
+			remaining: make([]int, b.N),
+			doneQ:     bitset.New(b.N),
+		}
+	}
+
+	// Batch mode: admit everything not covered by an AdmitEvent now.
+	deferred := bitset.New(b.N)
+	for _, ev := range s.pending {
+		for _, qid := range ev.QIDs {
+			deferred.Add(qid)
+		}
+	}
+	for qid := 0; qid < b.N; qid++ {
+		if !deferred.Contains(qid) {
+			s.admitLocked(qid)
+		}
+	}
+	return s, nil
+}
+
+// Context exposes the session's execution context (sources, stats).
+func (s *Session) Context() *exec.Context { return s.ctx }
+
+// Policy returns the planning policy in use.
+func (s *Session) Policy() policy.Policy { return s.pol }
+
+// admitLocked activates query qid on all its instances' scans.
+func (s *Session) admitLocked(qid int) {
+	if s.admitted.Contains(qid) {
+		return
+	}
+	s.admitted.Add(qid)
+	for _, inst := range s.b.QueryInsts(qid) {
+		st := s.scans[inst]
+		st.active.Add(qid)
+		st.remaining[qid] = st.scan.Rows()
+		if st.scan.Rows() == 0 {
+			st.active.Remove(qid)
+			st.doneQ.Add(qid)
+		}
+	}
+}
+
+// Admit activates queries at runtime (online scheduling).
+func (s *Session) Admit(qids ...int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, qid := range qids {
+		s.admitLocked(qid)
+	}
+}
+
+// nextEpisode picks the next vector to process: among incomplete scans of
+// the lowest rank, round-robin. It returns ok=false when every admitted
+// query's scans are complete and no admissions are pending.
+func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.fireAdmissionsLocked()
+
+	// Lowest rank with an incomplete scan.
+	best := -1
+	for i, st := range s.scans {
+		if st.done() {
+			continue
+		}
+		if best == -1 || st.rank < s.scans[best].rank {
+			best = i
+		}
+	}
+	if best == -1 {
+		if len(s.pending) > 0 {
+			// Admissions outstanding but their trigger instance is idle:
+			// fire them unconditionally to avoid deadlock.
+			for _, ev := range s.pending {
+				for _, qid := range ev.QIDs {
+					s.admitLocked(qid)
+				}
+			}
+			s.pending = nil
+			return s.nextEpisodeLockedRetry()
+		}
+		return exec.EpisodeInput{}, false
+	}
+
+	// Round-robin among the scans sharing that rank.
+	rank := s.scans[best].rank
+	n := len(s.scans)
+	for off := 0; off < n; off++ {
+		i := (s.rrCursor + off) % n
+		st := s.scans[i]
+		if !st.done() && st.rank == rank {
+			s.rrCursor = i + 1
+			return s.takeVectorLocked(query.InstID(i)), true
+		}
+	}
+	return s.takeVectorLocked(query.InstID(best)), true
+}
+
+// nextEpisodeLockedRetry re-runs the selection after forced admissions.
+func (s *Session) nextEpisodeLockedRetry() (exec.EpisodeInput, bool) {
+	best := -1
+	for i, st := range s.scans {
+		if st.done() {
+			continue
+		}
+		if best == -1 || st.rank < s.scans[best].rank {
+			best = i
+		}
+	}
+	if best == -1 {
+		return exec.EpisodeInput{}, false
+	}
+	return s.takeVectorLocked(query.InstID(best)), true
+}
+
+func (s *Session) fireAdmissionsLocked() {
+	kept := s.pending[:0]
+	for _, ev := range s.pending {
+		if s.scans[ev.Inst].delivered >= ev.AfterVectors {
+			for _, qid := range ev.QIDs {
+				s.admitLocked(qid)
+			}
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	s.pending = kept
+}
+
+// takeVectorLocked pulls one vector from inst's circular scan, annotates it
+// with the active query set, and updates completion accounting.
+func (s *Session) takeVectorLocked(inst query.InstID) exec.EpisodeInput {
+	st := s.scans[inst]
+	start, n := st.scan.Next()
+	vids := make([]int32, n)
+	for i := range vids {
+		vids[i] = int32(start + i)
+	}
+	active := st.active.Clone()
+	st.delivered++
+
+	// Completion: every active query sees each vector exactly once per
+	// revolution (admission is vector-aligned).
+	var finished []int
+	st.active.ForEach(func(qid int) {
+		st.remaining[qid] -= n
+		if st.remaining[qid] <= 0 {
+			finished = append(finished, qid)
+		}
+	})
+	for _, qid := range finished {
+		st.active.Remove(qid)
+		st.doneQ.Add(qid)
+	}
+
+	slot := stem.Slot(s.episode)
+	s.episode++
+	return exec.EpisodeInput{
+		Inst:   inst,
+		VIDs:   vids,
+		Active: active,
+		Slot:   slot,
+		SelOps: s.ctx.SelOpsFor(inst, s.prunableLocked),
+	}
+}
+
+// prunableLocked returns the queries eligible for pruning over edgeID
+// against other's STeM: queries containing the edge whose scan of other is
+// complete, provided every delivered vector of other has been inserted.
+func (s *Session) prunableLocked(edgeID int, other query.InstID) bitset.Set {
+	st := s.scans[other]
+	if !st.done() || st.inserted < st.delivered {
+		return nil
+	}
+	return bitset.And(st.doneQ, s.b.Edges[edgeID].Queries)
+}
+
+// costEstimator is the optional interface learned policies expose for the
+// convergence experiment.
+type costEstimator interface {
+	EstimatedBestCost(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, cands []int) float64
+}
+
+// Run executes the session to completion and returns per-query results.
+func (s *Session) Run() (*Results, error) {
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := exec.NewWorker(s.ctx, s.pol)
+			for {
+				in, ok := s.nextEpisode()
+				if !ok {
+					return
+				}
+				// The estimate is read before the episode runs (the policy's
+				// current belief about the best join-phase plan, per input
+				// tuple) and scaled afterwards by the actual join input size,
+				// so the two Fig. 16 series are directly comparable.
+				var estPerTuple float64
+				if s.cfg.TrackConvergence {
+					if ce, ok := s.pol.(costEstimator); ok {
+						cands := s.b.Candidates(nil, 1<<in.Inst, in.Active)
+						estPerTuple = ce.EstimatedBestCost(policy.JoinPhase, 0, 1<<in.Inst, in.Active, cands)
+					}
+				}
+				epStart := time.Now()
+				rep := w.RunEpisode(in)
+				if s.cfg.Trace != nil {
+					s.cfg.Trace.Add(metrics.EpisodeRecord{
+						Episode:   int64(in.Slot),
+						Inst:      int(in.Inst),
+						Input:     len(in.VIDs),
+						JoinInput: rep.JoinInput,
+						Cost:      rep.MeasuredCost,
+						Duration:  time.Since(epStart),
+					})
+				}
+				s.mu.Lock()
+				s.scans[in.Inst].inserted++
+				if s.cfg.TrackConvergence {
+					s.conv = append(s.conv, ConvergencePoint{
+						Episode:   int64(in.Slot),
+						Measured:  rep.MeasuredJoinCost,
+						Estimated: estPerTuple * float64(rep.JoinInput),
+					})
+				}
+				s.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Results{
+		Counts:      make([]int64, s.b.N),
+		Elapsed:     time.Since(start),
+		Episodes:    s.ctx.Stats.Episodes.Load(),
+		JoinTuples:  s.ctx.Stats.JoinOut.Load(),
+		Convergence: s.conv,
+	}
+	for qid := range res.Counts {
+		res.Counts[qid] = s.ctx.Sources[qid].Count()
+	}
+	if !s.admitted.Equal(bitset.NewFull(s.b.N)) {
+		return res, fmt.Errorf("engine: run finished with unadmitted queries")
+	}
+	return res, nil
+}
+
+// RankScans orders circular-scan initiation for pruning (§5.2): relations
+// smaller than all their joinable unranked neighbors rank first (dimension
+// tables of star/snowflake schemas), postponing large pruning-target
+// relations. Ties break by size so progress is guaranteed.
+func RankScans(b *query.Batch, ctx *exec.Context) []int {
+	n := len(b.Insts)
+	ranks := make([]int, n)
+	ranked := make([]bool, n)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = ctx.Tables[i].NumRows()
+	}
+	neighbors := make([][]query.InstID, n)
+	for _, e := range b.Edges {
+		neighbors[e.A] = append(neighbors[e.A], e.B)
+		neighbors[e.B] = append(neighbors[e.B], e.A)
+	}
+	for rank, left := 1, n; left > 0; rank++ {
+		var marked []int
+		for i := 0; i < n; i++ {
+			if ranked[i] {
+				continue
+			}
+			smaller := true
+			for _, nb := range neighbors[i] {
+				if !ranked[nb] && rows[nb] <= rows[i] && int(nb) != i {
+					if rows[nb] < rows[i] || int(nb) < i {
+						smaller = false
+						break
+					}
+				}
+			}
+			if smaller {
+				marked = append(marked, i)
+			}
+		}
+		if len(marked) == 0 {
+			// Fallback: mark the globally smallest unranked instance.
+			best := -1
+			for i := 0; i < n; i++ {
+				if !ranked[i] && (best == -1 || rows[i] < rows[best]) {
+					best = i
+				}
+			}
+			marked = []int{best}
+		}
+		for _, i := range marked {
+			ranks[i] = rank
+			ranked[i] = true
+			left--
+		}
+	}
+	return ranks
+}
+
+// NewPlanOnlySession is a convenience for experiments that measure plan
+// quality (intermediate tuples) rather than wall-clock throughput: rows are
+// not collected and convergence is not tracked.
+func NewPlanOnlySession(b *query.Batch, db *storage.Database, pol policy.Policy, workers int) (*Session, error) {
+	opt := exec.DefaultOptions()
+	opt.CollectRows = false
+	return NewSession(b, db, Config{Exec: opt, Workers: workers, Policy: pol})
+}

@@ -1,0 +1,375 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// starDB builds a small star schema: fact(fk1, fk2, v) with dims d1(k, a),
+// d2(k, a). Keys are drawn so joins have controlled fan-out.
+func starDB(rng *rand.Rand, factRows, dimRows int) *storage.Database {
+	fact := catalog.NewRelation("fact", "fk1", "fk2", "v")
+	d1 := catalog.NewRelation("d1", "k", "a")
+	d2 := catalog.NewRelation("d2", "k", "a")
+	sch := catalog.NewSchema(fact, d1, d2)
+	sch.AddFK("fact", "fk1", "d1", "k")
+	sch.AddFK("fact", "fk2", "d2", "k")
+	db := storage.NewDatabase(sch)
+
+	ft := storage.NewTable(fact, factRows)
+	for i := 0; i < factRows; i++ {
+		ft.Col("fk1")[i] = int64(rng.Intn(dimRows))
+		ft.Col("fk2")[i] = int64(rng.Intn(dimRows))
+		ft.Col("v")[i] = int64(rng.Intn(100))
+	}
+	db.Put(ft)
+	for _, name := range []string{"d1", "d2"} {
+		dt := storage.NewTable(sch.Relation(name), dimRows)
+		for i := 0; i < dimRows; i++ {
+			dt.Col("k")[i] = int64(i)
+			dt.Col("a")[i] = int64(rng.Intn(100))
+		}
+		db.Put(dt)
+	}
+	return db
+}
+
+func starQueries(rng *rand.Rand, n int) []*query.Query {
+	var qs []*query.Query
+	for i := 0; i < n; i++ {
+		q := &query.Query{
+			Rels: []query.RelRef{{Table: "fact"}, {Table: "d1"}},
+			Joins: []query.Join{
+				{LeftAlias: "fact", LeftCol: "fk1", RightAlias: "d1", RightCol: "k"},
+			},
+		}
+		if rng.Intn(2) == 0 {
+			q.Rels = append(q.Rels, query.RelRef{Table: "d2"})
+			q.Joins = append(q.Joins, query.Join{LeftAlias: "fact", LeftCol: "fk2", RightAlias: "d2", RightCol: "k"})
+		}
+		// Random filters.
+		if rng.Intn(2) == 0 {
+			lo := int64(rng.Intn(80))
+			q.Filters = append(q.Filters, query.Filter{Alias: "fact", Col: "v", Lo: lo, Hi: lo + int64(rng.Intn(40))})
+		}
+		if rng.Intn(2) == 0 {
+			lo := int64(rng.Intn(80))
+			q.Filters = append(q.Filters, query.Filter{Alias: "d1", Col: "a", Lo: lo, Hi: lo + int64(rng.Intn(60))})
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+func runAndCheck(t *testing.T, db *storage.Database, qs []*query.Query, cfg Config) *Results {
+	t.Helper()
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(b, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qid, q := range qs {
+		want := oracleCount(db, q)
+		if res.Counts[qid] != want {
+			t.Errorf("query %d: count = %d, oracle = %d", qid, res.Counts[qid], want)
+		}
+	}
+	return res
+}
+
+func TestEngineMatchesOracleLearnedPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := starDB(rng, 300, 40)
+	qs := starQueries(rng, 12)
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 64
+	runAndCheck(t, db, qs, Config{Exec: opt})
+}
+
+func TestEngineMatchesOracleAllPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := starDB(rng, 200, 30)
+	qs := starQueries(rng, 8)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := map[string]func() policy.Policy{
+		"learned": func() policy.Policy { return qlearn.New(qlearn.DefaultConfig()) },
+		"greedy":  func() policy.Policy { return policy.NewGreedy(b, 64) },
+		"random":  func() policy.Policy { return policy.NewRandom(3) },
+	}
+	for name, mk := range pols {
+		t.Run(name, func(t *testing.T) {
+			opt := exec.DefaultOptions()
+			opt.VectorSize = 53 // odd size exercises partial vectors
+			runAndCheck(t, db, qs, Config{Exec: opt, Policy: mk()})
+		})
+	}
+}
+
+func TestEngineOptimizationTogglesPreserveResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	db := starDB(rng, 150, 25)
+	qs := starQueries(rng, 6)
+	base := exec.DefaultOptions()
+	base.VectorSize = 32
+	variants := map[string]func(*exec.Options){
+		"noPruning":        func(o *exec.Options) { o.Pruning = false },
+		"naiveFilters":     func(o *exec.Options) { o.GroupedFilters = false },
+		"naiveRouter":      func(o *exec.Options) { o.LocalityRouter = false },
+		"noProjections":    func(o *exec.Options) { o.AdaptiveProjections = false },
+		"allOptimizations": func(o *exec.Options) {},
+		"allOff": func(o *exec.Options) {
+			o.Pruning, o.GroupedFilters, o.LocalityRouter, o.AdaptiveProjections = false, false, false, false
+		},
+	}
+	for name, mod := range variants {
+		t.Run(name, func(t *testing.T) {
+			opt := base
+			mod(&opt)
+			runAndCheck(t, db, qs, Config{Exec: opt})
+		})
+	}
+}
+
+func TestEngineMultiWorkerMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	db := starDB(rng, 400, 40)
+	qs := starQueries(rng, 10)
+	for _, workers := range []int{2, 4} {
+		opt := exec.DefaultOptions()
+		opt.VectorSize = 64
+		runAndCheck(t, db, qs, Config{Exec: opt, Workers: workers})
+	}
+}
+
+func TestEngineDynamicAdmission(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db := starDB(rng, 300, 30)
+	qs := starQueries(rng, 6)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the fact instance to trigger admissions on.
+	factInst, _ := b.InstOfAlias(0, "fact")
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	cfg := Config{
+		Exec: opt,
+		AdmitAt: []AdmitEvent{
+			{AfterVectors: 3, Inst: factInst, QIDs: []int{3}},
+			{AfterVectors: 6, Inst: factInst, QIDs: []int{4, 5}},
+		},
+	}
+	s, err := NewSession(b, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qid, q := range qs {
+		want := oracleCount(db, q)
+		if res.Counts[qid] != want {
+			t.Errorf("query %d (admitted late): count = %d, oracle = %d", qid, res.Counts[qid], want)
+		}
+	}
+}
+
+func TestRankScansPutsDimensionsFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := starDB(rng, 500, 20)
+	qs := starQueries(rng, 4)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := exec.NewContext(b, db, exec.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := RankScans(b, ctx)
+	factInst, _ := b.InstOfAlias(0, "fact")
+	d1Inst, _ := b.InstOfAlias(0, "d1")
+	if ranks[d1Inst] >= ranks[factInst] {
+		t.Errorf("dimension rank %d should precede fact rank %d", ranks[d1Inst], ranks[factInst])
+	}
+}
+
+func TestConvergenceTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	db := starDB(rng, 200, 20)
+	qs := starQueries(rng, 4)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	opt.CollectRows = false
+	s, err := NewSession(b, db, Config{Exec: opt, TrackConvergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Convergence) == 0 {
+		t.Fatal("no convergence points recorded")
+	}
+	if int64(len(res.Convergence)) != res.Episodes {
+		t.Errorf("convergence points = %d, episodes = %d", len(res.Convergence), res.Episodes)
+	}
+}
+
+func TestThroughputNonZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db := starDB(rng, 100, 10)
+	qs := starQueries(rng, 3)
+	res := runAndCheck(t, db, qs, Config{Exec: exec.DefaultOptions()})
+	if res.Throughput() <= 0 {
+		t.Error("throughput should be positive")
+	}
+	if res.Episodes == 0 {
+		t.Error("no episodes ran")
+	}
+}
+
+// TestLargeBatchOver512Queries exercises multi-word query sets beyond the
+// executor's stack-array fast path (regression: qw > 8 panicked in probe).
+func TestLargeBatchOver512Queries(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	db := starDB(rng, 600, 40)
+	qs := starQueries(rng, 600)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exec.DefaultOptions()
+	opt.CollectRows = false
+	s, err := NewSession(b, db, Config{Exec: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a sample against the oracle (full check would be slow).
+	for qid := 0; qid < len(qs); qid += 97 {
+		if want := oracleCount(db, qs[qid]); res.Counts[qid] != want {
+			t.Errorf("query %d: %d, oracle %d", qid, res.Counts[qid], want)
+		}
+	}
+}
+
+func TestEpisodeTracing(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	db := starDB(rng, 200, 20)
+	qs := starQueries(rng, 4)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	opt.CollectRows = false
+	ring := metrics.NewRing(64)
+	s, err := NewSession(b, db, Config{Exec: opt, Trace: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() == 0 {
+		t.Fatal("no episodes traced")
+	}
+	want := int(res.Episodes)
+	if want > 64 {
+		want = 64
+	}
+	if ring.Len() != want {
+		t.Errorf("traced %d, want %d", ring.Len(), want)
+	}
+	for _, rec := range ring.Snapshot() {
+		if rec.Input <= 0 || rec.Duration <= 0 {
+			t.Errorf("malformed record %+v", rec)
+		}
+	}
+}
+
+func TestDirectAdmitAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	db := starDB(rng, 200, 20)
+	qs := starQueries(rng, 4)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	factInst, _ := b.InstOfAlias(0, "fact")
+	// Defer queries 2 and 3 behind an admission event that never fires on
+	// its own; admit them through the public API before running.
+	s, err := NewSession(b, db, Config{Exec: opt, AdmitAt: []AdmitEvent{
+		{AfterVectors: 1 << 40, Inst: factInst, QIDs: []int{2, 3}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Admit(2, 3)
+	s.Admit(2) // idempotent
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qid, q := range qs {
+		if want := oracleCount(db, q); res.Counts[qid] != want {
+			t.Errorf("query %d: %d, oracle %d", qid, res.Counts[qid], want)
+		}
+	}
+}
+
+func TestRankScansEqualSizesProgress(t *testing.T) {
+	// All relations equal-sized: the heuristic's tie-breaks must still
+	// produce a total ranking (no infinite loop, every rank assigned).
+	rng := rand.New(rand.NewSource(53))
+	db := starDB(rng, 30, 30) // fact and dims all ~30 rows
+	qs := starQueries(rng, 3)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := exec.NewContext(b, db, exec.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := RankScans(b, ctx)
+	for i, r := range ranks {
+		if r < 1 {
+			t.Errorf("instance %d unranked", i)
+		}
+	}
+	runAndCheck(t, db, qs, Config{Exec: exec.DefaultOptions()})
+}

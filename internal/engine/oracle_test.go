@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// oracleCount evaluates one SPJ query by brute force: enumerate the cross
+// product of its relations restricted by filters and join predicates. Used
+// as ground truth in correctness tests; exponential, so only for tiny data.
+func oracleCount(db *storage.Database, q *query.Query) int64 {
+	tables := make([]*storage.Table, len(q.Rels))
+	alias := make(map[string]int, len(q.Rels))
+	for i, r := range q.Rels {
+		tables[i] = db.MustTable(r.Table)
+		a := r.Alias
+		if a == "" {
+			a = r.Table
+		}
+		alias[a] = i
+	}
+
+	// Pre-filter each relation's row set.
+	rows := make([][]int, len(q.Rels))
+	for i, t := range tables {
+		for r := 0; r < t.NumRows(); r++ {
+			ok := true
+			for _, f := range q.Filters {
+				a := f.Alias
+				if alias[a] != i {
+					continue
+				}
+				v := t.Col(f.Col)[r]
+				if v < f.Lo || v > f.Hi {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rows[i] = append(rows[i], r)
+			}
+		}
+	}
+
+	var count int64
+	pick := make([]int, len(q.Rels))
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(q.Rels) {
+			for _, j := range q.Joins {
+				li, ri := alias[j.LeftAlias], alias[j.RightAlias]
+				lv := tables[li].Col(j.LeftCol)[pick[li]]
+				rv := tables[ri].Col(j.RightCol)[pick[ri]]
+				if lv != rv {
+					return
+				}
+			}
+			count++
+			return
+		}
+		for _, r := range rows[depth] {
+			pick[depth] = r
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+	return count
+}

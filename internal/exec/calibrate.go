@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+)
+
+// CalibrateModel fits the cost model's κ/λ constants to this machine by
+// micro-benchmarking the three operator classes on synthetic data and
+// applying least squares, exactly as §4.3 tunes the paper's constants
+// ("we measure execution time in nanoseconds for various input and output
+// sizes and apply linear regression"). The returned model replaces the
+// paper's Xeon-tuned defaults when plugged into engine.Config.Model.
+func CalibrateModel(seed int64) *cost.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := cost.Default()
+
+	m.Tune(cost.Selection, calibrateSelection(rng))
+	m.Tune(cost.Join, calibrateJoin(rng))
+	m.Tune(cost.RoutingSelection, calibrateRouting(rng))
+	return m
+}
+
+// sizes spans two orders of magnitude of vector sizes.
+var calibrationSizes = []int{256, 512, 1024, 2048, 4096}
+
+// calibrateSelection times grouped-filter application at varying
+// selectivities.
+func calibrateSelection(rng *rand.Rand) []cost.Sample {
+	const nQueries = 16
+	col := make([]int64, 8192)
+	for i := range col {
+		col[i] = int64(rng.Intn(1000))
+	}
+	var samples []cost.Sample
+	for _, sel := range []int64{100, 400, 800} {
+		sc := &query.SelCol{Inst: 0, Col: "c", Queries: bitset.NewFull(nQueries)}
+		for qid := 0; qid < nQueries; qid++ {
+			sc.Preds = append(sc.Preds, query.Pred{QID: qid, Lo: 0, Hi: sel})
+		}
+		f := NewGroupedFilter(nQueries, sc, col)
+		for _, n := range calibrationSizes {
+			vids := make([]int32, n)
+			for i := range vids {
+				vids[i] = int32(rng.Intn(len(col)))
+			}
+			qsets := make([]uint64, n)
+			reps := 32768 / n
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				for i := range qsets {
+					qsets[i] = (1 << nQueries) - 1
+				}
+				f.Apply(true, vids, qsets, 1)
+			}
+			elapsed := float64(time.Since(start).Nanoseconds()) / float64(reps)
+			out := 0
+			for _, w := range qsets {
+				if w != 0 {
+					out++
+				}
+			}
+			samples = append(samples, cost.Sample{NIn: float64(n), NOut: float64(out), Nanos: elapsed})
+		}
+	}
+	return samples
+}
+
+// calibrateJoin times STeM probes with varying match fan-outs.
+func calibrateJoin(rng *rand.Rand) []cost.Sample {
+	versions := stem.NewVersions()
+	var samples []cost.Sample
+	for _, fanout := range []int{1, 2, 4} {
+		const keys = 1024
+		s := stem.New(versions, []string{"k"}, 16, keys*fanout)
+		qs := bitset.NewFull(16)
+		for k := 0; k < keys; k++ {
+			for d := 0; d < fanout; d++ {
+				s.Insert(int32(k*fanout+d), []int64{int64(k)}, qs, 0)
+			}
+		}
+		versions.Publish(0)
+		ts := versions.Now()
+
+		for _, n := range calibrationSizes {
+			probeKeys := make([]int64, n)
+			for i := range probeKeys {
+				probeKeys[i] = int64(rng.Intn(keys))
+			}
+			var dst []stem.Match
+			reps := 16384 / n
+			if reps == 0 {
+				reps = 1
+			}
+			out := 0
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				out = 0
+				for _, k := range probeKeys {
+					dst = s.Probe(dst[:0], "k", k, ts)
+					out += len(dst)
+				}
+			}
+			elapsed := float64(time.Since(start).Nanoseconds()) / float64(reps)
+			samples = append(samples, cost.Sample{NIn: float64(n), NOut: float64(out), Nanos: elapsed})
+		}
+	}
+	return samples
+}
+
+// calibrateRouting times routing selections (mask and compact).
+func calibrateRouting(rng *rand.Rand) []cost.Sample {
+	var samples []cost.Sample
+	for _, keepPct := range []int{25, 50, 90} {
+		for _, n := range calibrationSizes {
+			baseVids := make([]int32, n)
+			baseQ := make([]uint64, n)
+			for i := range baseVids {
+				baseVids[i] = int32(i)
+				if rng.Intn(100) < keepPct {
+					baseQ[i] = 3
+				}
+			}
+			vids := make([]int32, n)
+			qsets := make([]uint64, n)
+			reps := 32768 / n
+			out := 0
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				copy(vids, baseVids)
+				copy(qsets, baseQ)
+				v, _ := compact(vids, qsets, 1)
+				out = len(v)
+			}
+			elapsed := float64(time.Since(start).Nanoseconds()) / float64(reps)
+			samples = append(samples, cost.Sample{NIn: float64(n), NOut: float64(out), Nanos: elapsed})
+		}
+	}
+	return samples
+}

@@ -1,0 +1,282 @@
+// Package exec implements RouLette's adaptive multi-query executor (§5):
+// vectorized episode execution over shared operators — range-based grouped
+// filters, symmetric-join prune filters, STeM probes, routing selections
+// and locality-conscious routers — plus the execution log that feeds the
+// learned policy.
+package exec
+
+import (
+	"fmt"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/plan"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// Options toggles the executor's §5.2 optimizations; the ablation
+// experiments (Figs. 17–18) flip them individually.
+type Options struct {
+	VectorSize          int  // tuples per episode vector (paper: 1024)
+	GroupedFilters      bool // range-table predicate evaluation vs naive per-predicate loops
+	LocalityRouter      bool // two-pass batched multicast vs per-tuple appends
+	Pruning             bool // symmetric join pruning via semi-join filters
+	AdaptiveProjections bool // shed vID columns not needed downstream
+	CollectRows         bool // retain routed tuples in sources (off = count only)
+}
+
+// DefaultOptions enables every optimization with the paper's vector size.
+func DefaultOptions() Options {
+	return Options{
+		VectorSize:          1024,
+		GroupedFilters:      true,
+		LocalityRouter:      true,
+		Pruning:             true,
+		AdaptiveProjections: true,
+		CollectRows:         true,
+	}
+}
+
+// PruneOp is a symmetric-join prune filter: tuples of Inst keep a query's
+// bit only if they have a join partner in Other's (fully ingested) STeM
+// over EdgeID (§5.2, Fig. 10).
+type PruneOp struct {
+	ID       int // selection-op ID (offset past the grouped filters)
+	Bit      int // stable bit within Inst's selection-op list
+	Inst     query.InstID
+	EdgeID   int
+	Other    query.InstID
+	LocalCol string // join column on Inst
+	OtherCol string // indexed join column on Other
+}
+
+// Context is the session-level execution state shared by all workers: the
+// compiled batch, per-instance tables and STeMs, grouped filters, prune
+// operators, per-query sources, and counters.
+type Context struct {
+	B     *query.Batch
+	DB    *storage.Database
+	Model *cost.Model
+	Opt   Options
+
+	Versions *stem.Versions
+	Stems    []*stem.STeM     // per instance
+	Tables   []*storage.Table // per instance
+
+	Filters  []*GroupedFilter // per SelCol ID
+	PruneOps []PruneOp        // IDs are len(Filters)+i
+
+	// selBits[inst] maps every potential selection op on inst to its stable
+	// bit; filterBit/pruneBit give per-op positions.
+	filterBits []int // per SelCol ID
+	pruneBits  []int // per prune index
+
+	// edge column slices, resolved once.
+	edgeACol [][]int64
+	edgeBCol [][]int64
+
+	// residual column slices, parallel to B.Residuals.
+	resACol [][]int64
+	resBCol [][]int64
+
+	// stemKeyCols[inst] lists the join columns indexed by inst's STeM, and
+	// stemKeySlices the corresponding column data.
+	stemKeyCols   [][]string
+	stemKeySlices [][][]int64
+
+	Sources []*Source // per query
+
+	ReqInsts plan.RequiredInsts
+
+	Stats Stats
+}
+
+// NewContext compiles the execution context for a batch over db.
+func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.Model) (*Context, error) {
+	if model == nil {
+		model = cost.Default()
+	}
+	if opt.VectorSize <= 0 {
+		opt.VectorSize = 1024
+	}
+	c := &Context{B: b, DB: db, Model: model, Opt: opt, Versions: stem.NewVersions()}
+
+	c.Tables = make([]*storage.Table, len(b.Insts))
+	for i, in := range b.Insts {
+		t := db.Table(in.Table)
+		if t == nil {
+			return nil, fmt.Errorf("exec: no table %q", in.Table)
+		}
+		c.Tables[i] = t
+	}
+
+	// Resolve edge key columns and per-instance STeM key columns.
+	c.edgeACol = make([][]int64, len(b.Edges))
+	c.edgeBCol = make([][]int64, len(b.Edges))
+	c.stemKeyCols = make([][]string, len(b.Insts))
+	keySeen := make([]map[string]bool, len(b.Insts))
+	for i := range keySeen {
+		keySeen[i] = make(map[string]bool)
+	}
+	addKey := func(inst query.InstID, col string) {
+		if !keySeen[inst][col] {
+			keySeen[inst][col] = true
+			c.stemKeyCols[inst] = append(c.stemKeyCols[inst], col)
+		}
+	}
+	for i := range b.Edges {
+		e := &b.Edges[i]
+		ta, tb := c.Tables[e.A], c.Tables[e.B]
+		if !ta.Rel.HasColumn(e.ACol) || !tb.Rel.HasColumn(e.BCol) {
+			return nil, fmt.Errorf("exec: join column missing on edge %d (%s.%s = %s.%s)",
+				e.ID, b.Insts[e.A].Table, e.ACol, b.Insts[e.B].Table, e.BCol)
+		}
+		c.edgeACol[i] = ta.Col(e.ACol)
+		c.edgeBCol[i] = tb.Col(e.BCol)
+		addKey(e.A, e.ACol)
+		addKey(e.B, e.BCol)
+	}
+
+	for _, r := range b.Residuals {
+		ta, tb := c.Tables[r.A], c.Tables[r.B]
+		if !ta.Rel.HasColumn(r.ACol) || !tb.Rel.HasColumn(r.BCol) {
+			return nil, fmt.Errorf("exec: residual join column missing (%s.%s = %s.%s)",
+				b.Insts[r.A].Table, r.ACol, b.Insts[r.B].Table, r.BCol)
+		}
+		c.resACol = append(c.resACol, ta.Col(r.ACol))
+		c.resBCol = append(c.resBCol, tb.Col(r.BCol))
+	}
+
+	c.Stems = make([]*stem.STeM, len(b.Insts))
+	c.stemKeySlices = make([][][]int64, len(b.Insts))
+	for i := range b.Insts {
+		c.Stems[i] = stem.New(c.Versions, c.stemKeyCols[i], b.N, c.Tables[i].NumRows())
+		for _, col := range c.stemKeyCols[i] {
+			c.stemKeySlices[i] = append(c.stemKeySlices[i], c.Tables[i].Col(col))
+		}
+	}
+
+	// Grouped filters, one per SelCol, plus per-instance bit assignment.
+	bitsUsed := make([]int, len(b.Insts))
+	c.Filters = make([]*GroupedFilter, len(b.SelCols))
+	c.filterBits = make([]int, len(b.SelCols))
+	for i := range b.SelCols {
+		sc := &b.SelCols[i]
+		if !c.Tables[sc.Inst].Rel.HasColumn(sc.Col) {
+			return nil, fmt.Errorf("exec: filter column %s missing on %s", sc.Col, b.Insts[sc.Inst].Table)
+		}
+		c.Filters[i] = NewGroupedFilter(b.N, sc, c.Tables[sc.Inst].Col(sc.Col))
+		c.filterBits[i] = bitsUsed[sc.Inst]
+		bitsUsed[sc.Inst]++
+	}
+
+	// Prune operators: one per (instance, incident edge), targeting the
+	// opposite endpoint's STeM.
+	if opt.Pruning {
+		for i := range b.Edges {
+			e := &b.Edges[i]
+			for _, side := range [2]struct {
+				inst, other        query.InstID
+				localCol, otherCol string
+			}{
+				{e.A, e.B, e.ACol, e.BCol},
+				{e.B, e.A, e.BCol, e.ACol},
+			} {
+				id := len(b.SelCols) + len(c.PruneOps)
+				c.PruneOps = append(c.PruneOps, PruneOp{
+					ID: id, Bit: bitsUsed[side.inst], Inst: side.inst, EdgeID: e.ID,
+					Other: side.other, LocalCol: side.localCol, OtherCol: side.otherCol,
+				})
+				c.pruneBits = append(c.pruneBits, bitsUsed[side.inst])
+				bitsUsed[side.inst]++
+			}
+		}
+	}
+	for inst, n := range bitsUsed {
+		if n > 64 {
+			return nil, fmt.Errorf("exec: instance %s has %d selection ops (max 64)", b.Insts[inst].Table, n)
+		}
+	}
+
+	// Per-query sources with their required vID columns.
+	c.Sources = make([]*Source, b.N)
+	for qid := range c.Sources {
+		insts, err := requiredInsts(b, qid)
+		if err != nil {
+			return nil, err
+		}
+		c.Sources[qid] = NewSource(insts, opt.CollectRows)
+	}
+	c.ReqInsts = func(qid int) uint64 {
+		var m uint64
+		for _, in := range c.Sources[qid].Insts {
+			m |= 1 << in
+		}
+		return m
+	}
+	return c, nil
+}
+
+// requiredInsts derives which instances' vIDs a query's host consumer needs.
+func requiredInsts(b *query.Batch, qid int) ([]query.InstID, error) {
+	q := b.Queries[qid]
+	need := map[query.InstID]bool{}
+	add := func(alias string) error {
+		if alias == "" {
+			return nil
+		}
+		inst, ok := b.InstOfAlias(qid, alias)
+		if !ok {
+			return fmt.Errorf("exec: query %d aggregate references unknown alias %q", qid, alias)
+		}
+		need[inst] = true
+		return nil
+	}
+	if q.Agg.Kind.NeedsColumn() {
+		if err := add(q.Agg.Alias); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(q.Agg.GroupByAlias); err != nil {
+		return nil, err
+	}
+	var out []query.InstID
+	for _, inst := range b.QueryInsts(qid) {
+		if need[inst] {
+			out = append(out, inst)
+		}
+	}
+	return out, nil
+}
+
+// SelOpsFor assembles the currently available selection-phase operators on
+// inst: every grouped filter, plus — when pruning is enabled — each prune
+// op whose eligible query set (queries that have fully scanned the opposite
+// relation) is non-empty. prunable(edgeID, other) returns that eligible set
+// or nil.
+func (c *Context) SelOpsFor(inst query.InstID, prunable func(edgeID int, other query.InstID) bitset.Set) []plan.SelOpInfo {
+	var ops []plan.SelOpInfo
+	for _, si := range c.B.SelColsOf(inst) {
+		ops = append(ops, plan.SelOpInfo{ID: si, Bit: c.filterBits[si], Queries: c.B.SelCols[si].Queries})
+	}
+	if c.Opt.Pruning && prunable != nil {
+		for i := range c.PruneOps {
+			p := &c.PruneOps[i]
+			if p.Inst != inst {
+				continue
+			}
+			elig := prunable(p.EdgeID, p.Other)
+			if elig == nil || elig.Empty() {
+				continue
+			}
+			ops = append(ops, plan.SelOpInfo{ID: p.ID, Bit: p.Bit, Queries: elig})
+		}
+	}
+	return ops
+}
+
+// NumSelOps returns the size of the selection-operator ID space (grouped
+// filters plus prune ops), for policies that track per-op statistics.
+func (c *Context) NumSelOps() int { return len(c.B.SelCols) + len(c.PruneOps) }

@@ -1,0 +1,585 @@
+package exec
+
+import (
+	"github.com/roulette-db/roulette/internal/cost"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/plan"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+)
+
+// EpisodeInput is the work item for one episode: one ingested vector, the
+// query set actively scanning its relation, the version slot assigned to
+// the episode, and the currently available selection operators.
+type EpisodeInput struct {
+	Inst   query.InstID
+	VIDs   []int32
+	Active bitset.Set
+	Slot   stem.Slot
+	SelOps []plan.SelOpInfo
+}
+
+// jvec is a join-phase intermediate vector in the Data-Query model: one vID
+// column per present lineage instance plus a per-tuple query-set slab.
+type jvec struct {
+	insts []query.InstID
+	vids  [][]int32
+	qsets []uint64 // n × qw words
+	n     int
+}
+
+func (v *jvec) instIdx(inst query.InstID) int {
+	for i, in := range v.insts {
+		if in == inst {
+			return i
+		}
+	}
+	return -1
+}
+
+// Worker executes episodes against a shared Context. Each worker owns its
+// scratch buffers; workers synchronize only through STeMs, sources, the
+// policy, and the stats counters.
+type Worker struct {
+	C   *Context
+	Pol policy.Policy
+
+	qw      int
+	log     []policy.LogEntry
+	matches []stem.Match
+	scratch bitset.Set
+}
+
+// NewWorker creates a worker bound to ctx using pol for planning.
+func NewWorker(ctx *Context, pol policy.Policy) *Worker {
+	return &Worker{C: ctx, Pol: pol, qw: bitset.WordsFor(ctx.B.N), scratch: bitset.New(ctx.B.N)}
+}
+
+// EpisodeReport summarizes one episode for convergence tracking.
+type EpisodeReport struct {
+	// MeasuredCost is the episode's cost-model total over the execution log.
+	MeasuredCost float64
+	// MeasuredJoinCost restricts the total to the join phase — the series
+	// the Fig. 16 learning curves plot against the policy's join-phase
+	// estimate.
+	MeasuredJoinCost float64
+	// JoinInput is the number of tuples entering the join phase.
+	JoinInput int
+}
+
+// RunEpisode processes one episode: selection phase, STeM insert, join
+// phase, routing, and the policy update from the episode's execution log.
+func (w *Worker) RunEpisode(in EpisodeInput) EpisodeReport {
+	c := w.C
+	w.log = w.log[:0]
+	c.Stats.Episodes.Add(1)
+
+	// ---- Selection phase -------------------------------------------------
+	t0 := time.Now()
+	vids := append([]int32(nil), in.VIDs...)
+	qsets := make([]uint64, len(vids)*w.qw)
+	for i := range vids {
+		base := i * w.qw
+		for wd := 0; wd < w.qw; wd++ {
+			var word uint64
+			if wd < len(in.Active) {
+				word = in.Active[wd]
+			}
+			qsets[base+wd] = word
+		}
+	}
+	c.Stats.SelIn.Add(int64(len(vids)))
+
+	steps := plan.BuildSel(w.Pol, in.Inst, in.Active, in.SelOps)
+	for _, st := range steps {
+		nIn := len(vids)
+		if nIn == 0 {
+			break
+		}
+		if st.Op.ID < len(c.Filters) {
+			c.Filters[st.Op.ID].Apply(c.Opt.GroupedFilters, vids, qsets, w.qw)
+		} else {
+			w.applyPrune(&c.PruneOps[st.Op.ID-len(c.Filters)], st.Op.Queries, vids, qsets)
+		}
+		vids, qsets = compact(vids, qsets, w.qw)
+		w.log = append(w.log, policy.LogEntry{
+			Phase: policy.SelPhase, Inst: in.Inst,
+			Lineage: st.Applied, Q: in.Active, Op: st.Op.ID,
+			NIn: nIn, NOut: len(vids), NDiv: -1,
+			MainLineage: st.NextApplied, QMain: in.Active, MainCands: st.NextCands,
+		})
+	}
+	c.Stats.FilterNs.Add(time.Since(t0).Nanoseconds())
+	c.Stats.SelOut.Add(int64(len(vids)))
+
+	// ---- STeM insert (make the join symmetric) ---------------------------
+	t0 = time.Now()
+	keys := make([]int64, len(c.stemKeyCols[in.Inst]))
+	for i, vid := range vids {
+		for k, colData := range c.stemKeySlices[in.Inst] {
+			keys[k] = colData[vid]
+		}
+		base := i * w.qw
+		c.Stems[in.Inst].Insert(vid, keys, bitset.Set(qsets[base:base+w.qw]), in.Slot)
+	}
+	ts := c.Versions.Publish(in.Slot)
+	c.Stats.BuildNs.Add(time.Since(t0).Nanoseconds())
+
+	joinInput := len(vids)
+	if joinInput > 0 {
+		// ---- Join phase ---------------------------------------------------
+		root := plan.BuildJoin(c.B, w.Pol, in.Inst, in.Active, c.ReqInsts)
+		v := &jvec{insts: []query.InstID{in.Inst}, vids: [][]int32{vids}, qsets: qsets, n: joinInput}
+		w.execChildren(root, v, ts)
+	}
+
+	rep := EpisodeReport{JoinInput: joinInput}
+	rep.MeasuredCost, rep.MeasuredJoinCost = w.measuredCost()
+	w.Pol.Observe(w.log)
+	return rep
+}
+
+// measuredCost totals the episode's log through the cost model: join-phase
+// probes (plus routing selections on divergence) and selection operators.
+// It returns the full total and the join-phase-only total.
+func (w *Worker) measuredCost() (total, join float64) {
+	m := w.C.Model
+	for i := range w.log {
+		e := &w.log[i]
+		switch e.Phase {
+		case policy.JoinPhase:
+			c := m.Cost(cost.Join, float64(e.NIn), float64(e.NOut))
+			if e.NDiv >= 0 {
+				c += m.Cost(cost.RoutingSelection, float64(e.NIn), float64(e.NDiv))
+			}
+			total += c
+			join += c
+		case policy.SelPhase:
+			total += m.Cost(cost.Selection, float64(e.NIn), float64(e.NOut))
+		}
+	}
+	return total, join
+}
+
+// applyPrune intersects each tuple's query set with the union of matching
+// query sets in the opposite STeM, restricted to the eligible queries
+// (symmetric join pruning, §5.2).
+func (w *Worker) applyPrune(p *PruneOp, elig bitset.Set, vids []int32, qsets []uint64) {
+	c := w.C
+	other := c.Stems[p.Other]
+	local := c.Tables[p.Inst].Col(p.LocalCol)
+	notMask := bitset.NewFull(c.B.N)
+	notMask.AndNotWith(elig)
+	allowed := w.scratch
+	for i, vid := range vids {
+		for j := range allowed {
+			allowed[j] = 0
+		}
+		other.SemiJoinQueries(allowed, p.OtherCol, local[vid])
+		base := i * w.qw
+		for wd := 0; wd < w.qw; wd++ {
+			var m uint64
+			if wd < len(allowed) {
+				m = allowed[wd]
+			}
+			if wd < len(notMask) {
+				m |= notMask[wd]
+			}
+			qsets[base+wd] &= m
+		}
+	}
+}
+
+// compact drops tuples with empty query sets, in place.
+func compact(vids []int32, qsets []uint64, qw int) ([]int32, []uint64) {
+	out := 0
+	if qw == 1 {
+		for i := range vids {
+			if qsets[i] != 0 {
+				vids[out] = vids[i]
+				qsets[out] = qsets[i]
+				out++
+			}
+		}
+		return vids[:out], qsets[:out]
+	}
+	for i := range vids {
+		base := i * qw
+		empty := true
+		for wd := 0; wd < qw; wd++ {
+			if qsets[base+wd] != 0 {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			if out != i {
+				vids[out] = vids[i]
+				copy(qsets[out*qw:out*qw+qw], qsets[base:base+qw])
+			}
+			out++
+		}
+	}
+	return vids[:out], qsets[:out*qw]
+}
+
+// execChildren runs node's children over its output vector v: probe
+// sub-plans before divergence sub-plans, bounding pending vectors (§3).
+func (w *Worker) execChildren(n *plan.Node, v *jvec, ts int64) {
+	for _, ch := range n.Children {
+		switch ch.Kind {
+		case plan.Router:
+			w.route(ch, v)
+		case plan.RouteSel:
+			// Executed through the sibling probe's Div pointer.
+		case plan.Probe:
+			out, logIdx := w.probe(ch, v, ts)
+			w.execChildren(ch, out, ts)
+			if ch.Div != nil {
+				divOut := w.routeSel(ch.Div, v)
+				w.log[logIdx].NDiv = divOut.n
+				w.execChildren(ch.Div, divOut, ts)
+			}
+		}
+	}
+}
+
+// probe executes one STeM probe node, producing the expanded vector and the
+// index of its log entry (whose NDiv the caller may patch).
+func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
+	c := w.C
+	t0 := time.Now()
+	e := &c.B.Edges[nd.EdgeID]
+	var src query.InstID
+	var srcData []int64
+	var targetCol string
+	if nd.Target == e.A {
+		src, srcData, targetCol = e.B, c.edgeBCol[e.ID], e.ACol
+	} else {
+		src, srcData, targetCol = e.A, c.edgeACol[e.ID], e.BCol
+	}
+	srcIdx := v.instIdx(src)
+
+	// Residual predicates completed by this probe: cycle-closing joins whose
+	// second endpoint is the probed instance. Each clears its query's bit
+	// from output tuples whose endpoint values differ.
+	type appliedResidual struct {
+		qid        int
+		otherIdx   int
+		otherData  []int64
+		targetData []int64
+	}
+	var residuals []appliedResidual
+	for ri := range c.B.Residuals {
+		r := &c.B.Residuals[ri]
+		var other query.InstID
+		var otherData, targetData []int64
+		switch {
+		case r.A == nd.Target && nd.Lineage&(1<<r.B) != 0:
+			other, otherData, targetData = r.B, c.resBCol[ri], c.resACol[ri]
+		case r.B == nd.Target && nd.Lineage&(1<<r.A) != 0:
+			other, otherData, targetData = r.A, c.resACol[ri], c.resBCol[ri]
+		default:
+			continue
+		}
+		if !nd.Q.Contains(r.QID) {
+			continue
+		}
+		if oi := v.instIdx(other); oi >= 0 {
+			residuals = append(residuals, appliedResidual{r.QID, oi, otherData, targetData})
+		}
+	}
+
+	// Output columns: what the children need (adaptive projections), or the
+	// full lineage when the optimization is off.
+	var outKeep uint64
+	if c.Opt.AdaptiveProjections {
+		for _, ch := range nd.Children {
+			outKeep |= ch.Keep
+		}
+	} else {
+		outKeep = nd.MainLineage
+	}
+	out := &jvec{}
+	var copyIdx []int
+	for i, inst := range v.insts {
+		if outKeep&(1<<inst) != 0 {
+			out.insts = append(out.insts, inst)
+			out.vids = append(out.vids, nil)
+			copyIdx = append(copyIdx, i)
+		}
+	}
+	targetPos := -1
+	if outKeep&(1<<nd.Target) != 0 {
+		targetPos = len(out.insts)
+		out.insts = append(out.insts, nd.Target)
+		out.vids = append(out.vids, nil)
+	}
+
+	qmask := nd.Q
+	stemT := c.Stems[nd.Target]
+	emit := func(i int, vid int32) {
+		for oi, vi := range copyIdx {
+			out.vids[oi] = append(out.vids[oi], v.vids[vi][i])
+		}
+		if targetPos >= 0 {
+			out.vids[targetPos] = append(out.vids[targetPos], vid)
+		}
+		out.n++
+	}
+	if w.qw == 1 {
+		// Fast path: batches of up to 64 queries use single-word query
+		// sets; the generic word loops dominate the probe otherwise.
+		var mask uint64
+		if len(qmask) > 0 {
+			mask = qmask[0]
+		}
+		srcVids := v.vids[srcIdx]
+		for i := 0; i < v.n; i++ {
+			tqw := v.qsets[i] & mask
+			if tqw == 0 {
+				continue
+			}
+			key := srcData[srcVids[i]]
+			w.matches = stemT.Probe(w.matches[:0], targetCol, key, ts)
+			for _, m := range w.matches {
+				var mw uint64
+				if len(m.QSet) > 0 {
+					mw = m.QSet[0]
+				}
+				oqw := tqw & mw
+				if oqw == 0 {
+					continue
+				}
+				for _, rr := range residuals {
+					bit := uint64(1) << uint(rr.qid)
+					if oqw&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
+						oqw &^= bit
+					}
+				}
+				if oqw == 0 {
+					continue
+				}
+				out.qsets = append(out.qsets, oqw)
+				emit(i, m.VID)
+			}
+		}
+	} else {
+		tq := make(bitset.Set, w.qw)
+		for i := 0; i < v.n; i++ {
+			base := i * w.qw
+			empty := true
+			for wd := 0; wd < w.qw; wd++ {
+				var m uint64
+				if wd < len(qmask) {
+					m = qmask[wd]
+				}
+				tq[wd] = v.qsets[base+wd] & m
+				if tq[wd] != 0 {
+					empty = false
+				}
+			}
+			if empty {
+				continue
+			}
+			key := srcData[v.vids[srcIdx][i]]
+			w.matches = stemT.Probe(w.matches[:0], targetCol, key, ts)
+			for _, m := range w.matches {
+				outEmpty := true
+				oq := make([]uint64, w.qw)
+				for wd := 0; wd < w.qw; wd++ {
+					var mw uint64
+					if wd < len(m.QSet) {
+						mw = m.QSet[wd]
+					}
+					oq[wd] = tq[wd] & mw
+					if oq[wd] != 0 {
+						outEmpty = false
+					}
+				}
+				if outEmpty {
+					continue
+				}
+				if len(residuals) > 0 {
+					for _, rr := range residuals {
+						wd, bit := rr.qid/64, uint64(1)<<(rr.qid%64)
+						if oq[wd]&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
+							oq[wd] &^= bit
+						}
+					}
+					outEmpty = true
+					for wd := 0; wd < w.qw; wd++ {
+						if oq[wd] != 0 {
+							outEmpty = false
+							break
+						}
+					}
+					if outEmpty {
+						continue
+					}
+				}
+				out.qsets = append(out.qsets, oq...)
+				emit(i, m.VID)
+			}
+		}
+	}
+	c.Stats.JoinOut.Add(int64(out.n))
+	c.Stats.ProbeNs.Add(time.Since(t0).Nanoseconds())
+
+	var divQ bitset.Set
+	if nd.Div != nil {
+		divQ = nd.Div.Q
+	}
+	w.log = append(w.log, policy.LogEntry{
+		Phase:   policy.JoinPhase,
+		Lineage: nd.Lineage, Q: nd.StateQ, Op: nd.EdgeID,
+		NIn: v.n, NOut: out.n, NDiv: -1,
+		MainLineage: nd.MainLineage, QMain: nd.Q, MainCands: nd.MainCands,
+		DivQ: divQ, DivCands: nd.DivCands,
+	})
+	return out, len(w.log) - 1
+}
+
+// routeSel executes a routing selection: tuples keep only nd.Q's bits and
+// empty tuples are dropped; vID columns are projected to nd.Keep.
+func (w *Worker) routeSel(nd *plan.Node, v *jvec) *jvec {
+	t0 := time.Now()
+	keep := nd.Keep
+	if !w.C.Opt.AdaptiveProjections {
+		keep = nd.Lineage
+	}
+	out := &jvec{}
+	var copyIdx []int
+	for i, inst := range v.insts {
+		if keep&(1<<inst) != 0 {
+			out.insts = append(out.insts, inst)
+			out.vids = append(out.vids, nil)
+			copyIdx = append(copyIdx, i)
+		}
+	}
+	qmask := nd.Q
+	if w.qw == 1 {
+		var mask uint64
+		if len(qmask) > 0 {
+			mask = qmask[0]
+		}
+		for i := 0; i < v.n; i++ {
+			qw := v.qsets[i] & mask
+			if qw == 0 {
+				continue
+			}
+			for oi, vi := range copyIdx {
+				out.vids[oi] = append(out.vids[oi], v.vids[vi][i])
+			}
+			out.qsets = append(out.qsets, qw)
+			out.n++
+		}
+	} else {
+		for i := 0; i < v.n; i++ {
+			base := i * w.qw
+			empty := true
+			q := make([]uint64, w.qw)
+			for wd := 0; wd < w.qw; wd++ {
+				var m uint64
+				if wd < len(qmask) {
+					m = qmask[wd]
+				}
+				q[wd] = v.qsets[base+wd] & m
+				if q[wd] != 0 {
+					empty = false
+				}
+			}
+			if empty {
+				continue
+			}
+			for oi, vi := range copyIdx {
+				out.vids[oi] = append(out.vids[oi], v.vids[vi][i])
+			}
+			out.qsets = append(out.qsets, q...)
+			out.n++
+		}
+	}
+	w.C.Stats.ProbeNs.Add(time.Since(t0).Nanoseconds())
+	return out
+}
+
+// route multicasts v's tuples to the RouLette sources of the queries in
+// nd.Q. The locality-conscious router (§5.1) accumulates per-query rows in
+// worker-local buffers and appends them in one batch per query; the naive
+// router locks the source for every tuple.
+func (w *Worker) route(nd *plan.Node, v *jvec) {
+	c := w.C
+	t0 := time.Now()
+	qids := bitset.And(nd.Q, unionQ(v, w.qw)).IDs()
+	if c.Opt.LocalityRouter {
+		for _, qid := range qids {
+			src := c.Sources[qid]
+			var flat []int32
+			rows := 0
+			colIdx := sourceCols(src, v)
+			for i := 0; i < v.n; i++ {
+				if !tupleHas(v, w.qw, i, qid) {
+					continue
+				}
+				for _, ci := range colIdx {
+					flat = append(flat, v.vids[ci][i])
+				}
+				rows++
+			}
+			src.Append(flat, rows)
+			c.Stats.Routed.Add(int64(rows))
+		}
+	} else {
+		row := make([]int32, 8)
+		for _, qid := range qids {
+			src := c.Sources[qid]
+			colIdx := sourceCols(src, v)
+			for i := 0; i < v.n; i++ {
+				if !tupleHas(v, w.qw, i, qid) {
+					continue
+				}
+				row = row[:0]
+				for _, ci := range colIdx {
+					row = append(row, v.vids[ci][i])
+				}
+				src.Append(row, 1)
+				c.Stats.Routed.Add(1)
+			}
+		}
+	}
+	c.Stats.RouteNs.Add(time.Since(t0).Nanoseconds())
+}
+
+// sourceCols maps a source's required instances to v's column indices.
+func sourceCols(src *Source, v *jvec) []int {
+	idx := make([]int, len(src.Insts))
+	for i, inst := range src.Insts {
+		idx[i] = v.instIdx(inst)
+	}
+	return idx
+}
+
+// tupleHas reports whether tuple i's query set contains qid.
+func tupleHas(v *jvec, qw, i, qid int) bool {
+	wd := qid / 64
+	if wd >= qw {
+		return false
+	}
+	return v.qsets[i*qw+wd]&(1<<(qid%64)) != 0
+}
+
+// unionQ unions all tuples' query sets (router fast path: skip queries with
+// no tuples at all).
+func unionQ(v *jvec, qw int) bitset.Set {
+	u := bitset.New(qw * 64)
+	for i := 0; i < v.n; i++ {
+		base := i * qw
+		for wd := 0; wd < qw; wd++ {
+			u[wd] |= v.qsets[base+wd]
+		}
+	}
+	return u
+}

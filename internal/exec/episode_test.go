@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// twoTableDB: r(k, v) and s(k, v) with deterministic contents.
+//
+//	r: k = i%4,  v = i        (12 rows)
+//	s: k = i,    v = 10*i     (4 rows)
+func twoTableDB() *storage.Database {
+	r := catalog.NewRelation("r", "k", "v")
+	sRel := catalog.NewRelation("s", "k", "v")
+	sch := catalog.NewSchema(r, sRel)
+	db := storage.NewDatabase(sch)
+	rt := storage.NewTable(r, 12)
+	for i := 0; i < 12; i++ {
+		rt.Col("k")[i] = int64(i % 4)
+		rt.Col("v")[i] = int64(i)
+	}
+	db.Put(rt)
+	st := storage.NewTable(sRel, 4)
+	for i := 0; i < 4; i++ {
+		st.Col("k")[i] = int64(i)
+		st.Col("v")[i] = int64(10 * i)
+	}
+	db.Put(st)
+	return db
+}
+
+// joinBatch compiles n identical r⋈s count queries with per-query filters.
+func joinBatch(t *testing.T, n int, withFilter bool) *query.Batch {
+	t.Helper()
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		q := &query.Query{
+			Rels:  []query.RelRef{{Table: "r"}, {Table: "s"}},
+			Joins: []query.Join{{LeftAlias: "r", LeftCol: "k", RightAlias: "s", RightCol: "k"}},
+		}
+		if withFilter {
+			q.Filters = []query.Filter{{Alias: "r", Col: "v", Lo: 0, Hi: int64(5 + i)}}
+		}
+		qs[i] = q
+	}
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// ingest runs one episode per relation covering all rows.
+func ingest(t *testing.T, ctx *Context, w *Worker, b *query.Batch) {
+	t.Helper()
+	active := bitset.NewFull(b.N)
+	for inst := range b.Insts {
+		rows := ctx.Tables[inst].NumRows()
+		vids := make([]int32, rows)
+		for i := range vids {
+			vids[i] = int32(i)
+		}
+		w.RunEpisode(EpisodeInput{
+			Inst:   query.InstID(inst),
+			VIDs:   vids,
+			Active: active,
+			Slot:   stem.Slot(inst),
+			SelOps: ctx.SelOpsFor(query.InstID(inst), nil),
+		})
+	}
+}
+
+func TestRunEpisodeEndToEnd(t *testing.T) {
+	db := twoTableDB()
+	for _, opts := range []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"defaults", func(*Options) {}},
+		{"naiveRouter", func(o *Options) { o.LocalityRouter = false }},
+		{"naiveFilters", func(o *Options) { o.GroupedFilters = false }},
+		{"noProjection", func(o *Options) { o.AdaptiveProjections = false }},
+	} {
+		t.Run(opts.name, func(t *testing.T) {
+			b := joinBatch(t, 2, true)
+			o := DefaultOptions()
+			o.CollectRows = false
+			opts.mod(&o)
+			ctx, err := NewContext(b, db, o, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := NewWorker(ctx, policy.NewRandom(1))
+			ingest(t, ctx, w, b)
+
+			// Query 0 keeps r.v in [0,5] (6 rows), each joining one s row;
+			// query 1 keeps [0,6] (7 rows).
+			if got := ctx.Sources[0].Count(); got != 6 {
+				t.Errorf("q0 count = %d, want 6", got)
+			}
+			if got := ctx.Sources[1].Count(); got != 7 {
+				t.Errorf("q1 count = %d, want 7", got)
+			}
+			if ctx.Stats.Episodes.Load() != 2 {
+				t.Errorf("episodes = %d", ctx.Stats.Episodes.Load())
+			}
+			if ctx.Stats.JoinOut.Load() == 0 {
+				t.Error("no join tuples recorded")
+			}
+		})
+	}
+}
+
+func TestRunEpisodeMultiWordQuerySets(t *testing.T) {
+	// 70 queries forces two-word query sets (the generic slow path).
+	db := twoTableDB()
+	b := joinBatch(t, 70, false)
+	o := DefaultOptions()
+	o.CollectRows = false
+	ctx, err := NewContext(b, db, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(ctx, policy.NewRandom(2))
+	ingest(t, ctx, w, b)
+	for qid := 0; qid < b.N; qid++ {
+		if got := ctx.Sources[qid].Count(); got != 12 {
+			t.Fatalf("query %d count = %d, want 12 (every r row joins once)", qid, got)
+		}
+	}
+}
+
+func TestEpisodeReportCosts(t *testing.T) {
+	db := twoTableDB()
+	b := joinBatch(t, 1, true)
+	o := DefaultOptions()
+	o.CollectRows = false
+	ctx, err := NewContext(b, db, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(ctx, policy.NewRandom(3))
+	active := bitset.NewFull(1)
+	rep := w.RunEpisode(EpisodeInput{
+		Inst: 0, VIDs: []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+		Active: active, Slot: 0, SelOps: ctx.SelOpsFor(0, nil),
+	})
+	if rep.JoinInput != 6 { // filter keeps v in [0,5]
+		t.Errorf("JoinInput = %d, want 6", rep.JoinInput)
+	}
+	if rep.MeasuredCost <= 0 || rep.MeasuredJoinCost <= 0 {
+		t.Errorf("costs = %v / %v", rep.MeasuredCost, rep.MeasuredJoinCost)
+	}
+	if rep.MeasuredJoinCost > rep.MeasuredCost {
+		t.Error("join cost exceeds total")
+	}
+}
+
+func TestPruneFilterDropsUnjoinable(t *testing.T) {
+	// Ingest s first and mark it prunable; r rows with k=3 must be dropped
+	// when s only contains keys 0..2.
+	r := catalog.NewRelation("r", "k")
+	sRel := catalog.NewRelation("s", "k")
+	sch := catalog.NewSchema(r, sRel)
+	db := storage.NewDatabase(sch)
+	rt := storage.NewTable(r, 8)
+	for i := 0; i < 8; i++ {
+		rt.Col("k")[i] = int64(i % 4)
+	}
+	db.Put(rt)
+	st := storage.NewTable(sRel, 3)
+	for i := 0; i < 3; i++ {
+		st.Col("k")[i] = int64(i)
+	}
+	db.Put(st)
+
+	q := &query.Query{
+		Rels:  []query.RelRef{{Table: "r"}, {Table: "s"}},
+		Joins: []query.Join{{LeftAlias: "r", LeftCol: "k", RightAlias: "s", RightCol: "k"}},
+	}
+	b, err := query.Compile([]*query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.CollectRows = false
+	ctx, err := NewContext(b, db, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(ctx, policy.NewRandom(4))
+	active := bitset.NewFull(1)
+
+	sInst, _ := b.InstOfAlias(0, "s")
+	rInst, _ := b.InstOfAlias(0, "r")
+	w.RunEpisode(EpisodeInput{
+		Inst: sInst, VIDs: []int32{0, 1, 2}, Active: active, Slot: 0,
+		SelOps: ctx.SelOpsFor(sInst, nil),
+	})
+	// r's episode with s prunable: tuples with k=3 pruned before insert.
+	elig := bitset.NewFull(1)
+	rep := w.RunEpisode(EpisodeInput{
+		Inst: rInst, VIDs: []int32{0, 1, 2, 3, 4, 5, 6, 7}, Active: active, Slot: 1,
+		SelOps: ctx.SelOpsFor(rInst, func(int, query.InstID) bitset.Set { return elig }),
+	})
+	if rep.JoinInput != 6 { // 8 rows minus the two k=3 rows
+		t.Errorf("pruned join input = %d, want 6", rep.JoinInput)
+	}
+	if got := ctx.Sources[0].Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if ctx.Stems[rInst].Len() != 6 {
+		t.Errorf("STeM entries = %d, want 6 (pruning reduces materialization)", ctx.Stems[rInst].Len())
+	}
+}
+
+func TestCollectedRowsCarryRequiredColumns(t *testing.T) {
+	db := twoTableDB()
+	q := &query.Query{
+		Rels:  []query.RelRef{{Table: "r"}, {Table: "s"}},
+		Joins: []query.Join{{LeftAlias: "r", LeftCol: "k", RightAlias: "s", RightCol: "k"}},
+		Agg:   query.Agg{Kind: query.AggSum, Alias: "s", Col: "v"},
+	}
+	b, err := query.Compile([]*query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	ctx, err := NewContext(b, db, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(ctx, policy.NewRandom(5))
+	ingest(t, ctx, w, b)
+
+	rows, width := ctx.Sources[0].Rows()
+	if width != 1 {
+		t.Fatalf("row width = %d, want 1 (only s's vID is required)", width)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	sv := db.MustTable("s").Col("v")
+	var sum int64
+	for _, vid := range rows {
+		sum += sv[vid]
+	}
+	// Each s key appears 3 times in r: sum = 3*(0+10+20+30).
+	if sum != 180 {
+		t.Errorf("sum over routed rows = %d, want 180", sum)
+	}
+}

@@ -1,0 +1,274 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// filterFixture builds a grouped filter over a column of values 0..999 with
+// random per-query ranges.
+func filterFixture(rng *rand.Rand, nQueries, nPreds int) (*query.SelCol, []int64) {
+	col := make([]int64, 500)
+	for i := range col {
+		col[i] = int64(rng.Intn(1000))
+	}
+	sc := &query.SelCol{Inst: 0, Col: "c", Queries: bitset.New(nQueries)}
+	for p := 0; p < nPreds; p++ {
+		qid := rng.Intn(nQueries)
+		lo := int64(rng.Intn(900))
+		hi := lo + int64(rng.Intn(200))
+		sc.Preds = append(sc.Preds, query.Pred{QID: qid, Lo: lo, Hi: hi})
+		sc.Queries.Add(qid)
+	}
+	return sc, col
+}
+
+func TestGroupedFilterEquivalentToNaive(t *testing.T) {
+	// Property: the range-table path and the per-predicate path compute the
+	// same masks for every value (the grouped-filter optimization must be
+	// semantics-preserving).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nQ := 1 + rng.Intn(100)
+		sc, col := filterFixture(rng, nQ, 1+rng.Intn(20))
+		gf := NewGroupedFilter(nQ, sc, col)
+		scratch := bitset.New(nQ)
+		for _, v := range []int64{-5, 0, 1, 500, 999, 1100, col[0], col[10]} {
+			a := gf.maskFor(v)
+			b := gf.naiveMask(v, scratch)
+			if !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedFilterSemantics(t *testing.T) {
+	// Three queries: q0 wants [10,20], q1 wants [15,30], q2 no predicate.
+	sc := &query.SelCol{
+		Inst: 0, Col: "c",
+		Preds:   []query.Pred{{QID: 0, Lo: 10, Hi: 20}, {QID: 1, Lo: 15, Hi: 30}},
+		Queries: bitset.FromIDs(3, 0, 1),
+	}
+	col := []int64{5, 12, 17, 25, 40}
+	gf := NewGroupedFilter(3, sc, col)
+
+	cases := []struct {
+		v    int64
+		want []int
+	}{
+		{5, []int{2}},        // no predicate satisfied; q2 passes through
+		{12, []int{0, 2}},    // only q0
+		{17, []int{0, 1, 2}}, // both
+		{25, []int{1, 2}},    // only q1
+		{40, []int{2}},
+	}
+	for _, c := range cases {
+		m := gf.maskFor(c.v)
+		got := m.IDs()
+		if len(got) != len(c.want) {
+			t.Errorf("maskFor(%d) = %v, want %v", c.v, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("maskFor(%d) = %v, want %v", c.v, got, c.want)
+			}
+		}
+	}
+}
+
+func TestGroupedFilterApplyCompact(t *testing.T) {
+	sc := &query.SelCol{
+		Inst: 0, Col: "c",
+		Preds:   []query.Pred{{QID: 0, Lo: 0, Hi: 9}},
+		Queries: bitset.FromIDs(1, 0),
+	}
+	col := []int64{5, 50, 7}
+	gf := NewGroupedFilter(1, sc, col)
+	vids := []int32{0, 1, 2}
+	qsets := []uint64{1, 1, 1}
+	gf.Apply(true, vids, qsets, 1)
+	vids, qsets = compact(vids, qsets, 1)
+	if len(vids) != 2 || vids[0] != 0 || vids[1] != 2 {
+		t.Errorf("surviving vids = %v, want [0 2]", vids)
+	}
+	if len(qsets) != 2 {
+		t.Errorf("qsets len = %d", len(qsets))
+	}
+}
+
+func TestCompactMultiWord(t *testing.T) {
+	// 3 tuples over 2-word query sets; middle one empty.
+	vids := []int32{10, 11, 12}
+	qsets := []uint64{1, 0 /**/, 0, 0 /**/, 0, 1 << 5}
+	vids, qsets = compact(vids, qsets, 2)
+	if len(vids) != 2 || vids[0] != 10 || vids[1] != 12 {
+		t.Fatalf("vids = %v", vids)
+	}
+	if qsets[0] != 1 || qsets[3] != 1<<5 {
+		t.Fatalf("qsets = %v", qsets)
+	}
+}
+
+func TestSourceCountOnly(t *testing.T) {
+	s := NewSource(nil, true) // no required insts: count-only regardless
+	s.Append(nil, 5)
+	s.Append(nil, 3)
+	if s.Count() != 8 {
+		t.Errorf("count = %d", s.Count())
+	}
+	rows, w := s.Rows()
+	if len(rows) != 0 || w != 0 {
+		t.Errorf("count-only source stored rows")
+	}
+}
+
+func TestSourceCollectRows(t *testing.T) {
+	s := NewSource([]query.InstID{0, 2}, true)
+	s.Append([]int32{1, 2, 3, 4}, 2)
+	rows, w := s.Rows()
+	if w != 2 || len(rows) != 4 || rows[2] != 3 {
+		t.Errorf("rows = %v width %d", rows, w)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Error("Reset did not clear count")
+	}
+}
+
+func TestStatsBreakdown(t *testing.T) {
+	var st Stats
+	st.FilterNs.Store(10)
+	st.BuildNs.Store(20)
+	st.ProbeNs.Store(50)
+	st.RouteNs.Store(20)
+	f, b, p, r := st.Breakdown()
+	if f != 0.1 || b != 0.2 || p != 0.5 || r != 0.2 {
+		t.Errorf("breakdown = %v %v %v %v", f, b, p, r)
+	}
+	var empty Stats
+	if f, _, _, _ := empty.Breakdown(); f != 0 {
+		t.Error("empty breakdown should be zeros")
+	}
+}
+
+func TestNewContextValidation(t *testing.T) {
+	rel := catalog.NewRelation("r", "a")
+	sch := catalog.NewSchema(rel)
+	db := storage.NewDatabase(sch)
+	db.Put(storage.NewTable(rel, 10))
+
+	// Unknown table.
+	q := &query.Query{Rels: []query.RelRef{{Table: "missing"}}}
+	b, err := query.Compile([]*query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewContext(b, db, DefaultOptions(), nil); err == nil {
+		t.Error("missing table accepted")
+	}
+
+	// Unknown join column.
+	q2 := &query.Query{
+		Rels:  []query.RelRef{{Table: "r", Alias: "x"}, {Table: "r", Alias: "y"}},
+		Joins: []query.Join{{LeftAlias: "x", LeftCol: "nope", RightAlias: "y", RightCol: "a"}},
+	}
+	b2, err := query.Compile([]*query.Query{q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewContext(b2, db, DefaultOptions(), nil); err == nil {
+		t.Error("missing join column accepted")
+	}
+
+	// Unknown filter column.
+	q3 := &query.Query{
+		Rels:    []query.RelRef{{Table: "r"}},
+		Filters: []query.Filter{{Alias: "r", Col: "nope", Lo: 0, Hi: 1}},
+	}
+	b3, err := query.Compile([]*query.Query{q3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewContext(b3, db, DefaultOptions(), nil); err == nil {
+		t.Error("missing filter column accepted")
+	}
+}
+
+func TestSelOpsForIncludesEligiblePruneOps(t *testing.T) {
+	rel := catalog.NewRelation("r", "k")
+	rel2 := catalog.NewRelation("s", "k")
+	sch := catalog.NewSchema(rel, rel2)
+	db := storage.NewDatabase(sch)
+	db.Put(storage.NewTable(rel, 8))
+	db.Put(storage.NewTable(rel2, 8))
+	q := &query.Query{
+		Rels:  []query.RelRef{{Table: "r"}, {Table: "s"}},
+		Joins: []query.Join{{LeftAlias: "r", LeftCol: "k", RightAlias: "s", RightCol: "k"}},
+	}
+	b, err := query.Compile([]*query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(b, db, DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rInst, _ := b.InstOfAlias(0, "r")
+
+	// No prunable set: only grouped filters (none here).
+	ops := ctx.SelOpsFor(rInst, func(int, query.InstID) bitset.Set { return nil })
+	if len(ops) != 0 {
+		t.Errorf("ops = %v, want none", ops)
+	}
+	// s fully scanned for the query: prune op appears.
+	elig := bitset.FromIDs(1, 0)
+	ops = ctx.SelOpsFor(rInst, func(e int, other query.InstID) bitset.Set { return elig })
+	if len(ops) != 1 {
+		t.Fatalf("ops = %v, want one prune op", ops)
+	}
+	if ops[0].ID < len(b.SelCols) {
+		t.Error("prune op ID overlaps grouped filter space")
+	}
+}
+
+func TestCalibrateModelProducesSaneConstants(t *testing.T) {
+	m := CalibrateModel(1)
+	for _, c := range []struct {
+		class cost.Class
+		name  string
+	}{
+		{cost.Selection, "selection"},
+		{cost.Join, "join"},
+		{cost.RoutingSelection, "routing"},
+	} {
+		k, l := m.Kappa[c.class], m.Lambda[c.class]
+		// Costs must be positive per input tuple overall: a vector of n in
+		// and n out must cost a positive number of nanoseconds.
+		if k+l <= 0 {
+			t.Errorf("%s: κ=%v λ=%v (non-positive per-tuple cost)", c.name, k, l)
+		}
+		if k > 10000 || l > 10000 {
+			t.Errorf("%s: implausible constants κ=%v λ=%v", c.name, k, l)
+		}
+	}
+	// Joins must be costlier per tuple than routing selections (the paper's
+	// constants preserve this ordering; selection pushdown depends on it).
+	if m.Kappa[cost.Join]+m.Lambda[cost.Join] <= m.Kappa[cost.RoutingSelection]+m.Lambda[cost.RoutingSelection] {
+		t.Errorf("join per-tuple cost (%v/%v) not above routing (%v/%v)",
+			m.Kappa[cost.Join], m.Lambda[cost.Join],
+			m.Kappa[cost.RoutingSelection], m.Lambda[cost.RoutingSelection])
+	}
+}

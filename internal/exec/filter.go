@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"sort"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// GroupedFilter is a shared selection operator evaluating every query's
+// predicates on one (instance, column) at once (§5.1). The optimized path
+// precomputes a range lookup table — one query-set mask per value segment —
+// so evaluation is a binary search, logarithmic in the query count. Queries
+// without a predicate on the column are unaffected: each stored mask
+// already includes their bits.
+type GroupedFilter struct {
+	Inst query.InstID
+	Col  string
+
+	col []int64 // the column data
+
+	// Range table: value v falls in segment i when bounds[i] <= v <
+	// bounds[i+1]; the matching mask is masks[i]. Values outside every
+	// bound take outMask (no predicate satisfied).
+	bounds  []int64
+	masks   []bitset.Set
+	outMask bitset.Set
+
+	// Naive path inputs.
+	preds   []query.Pred
+	queries bitset.Set
+	n       int
+}
+
+// NewGroupedFilter precomputes the range table for one grouped filter.
+// Predicate bounds are clamped to the column's observed value range so that
+// open-ended comparisons (MinInt64/MaxInt64 bounds) cannot overflow the
+// boundary arithmetic.
+func NewGroupedFilter(nQueries int, sc *query.SelCol, col []int64) *GroupedFilter {
+	f := &GroupedFilter{
+		Inst: sc.Inst, Col: sc.Col, col: col,
+		queries: sc.Queries, n: nQueries,
+	}
+	var colMin, colMax int64
+	if len(col) > 0 {
+		colMin, colMax = col[0], col[0]
+		for _, v := range col {
+			if v < colMin {
+				colMin = v
+			}
+			if v > colMax {
+				colMax = v
+			}
+		}
+	}
+	f.preds = make([]query.Pred, 0, len(sc.Preds))
+	for _, p := range sc.Preds {
+		if p.Lo < colMin {
+			p.Lo = colMin
+		}
+		if p.Hi > colMax {
+			p.Hi = colMax
+		}
+		// Predicates empty after clamping match no row; they contribute no
+		// boundary and their query bit never appears in a mask.
+		f.preds = append(f.preds, p)
+	}
+
+	// outMask: bits of queries with no predicate here stay set.
+	f.outMask = bitset.NewFull(nQueries)
+	f.outMask.AndNotWith(sc.Queries)
+
+	// Boundary points: each predicate [lo, hi] contributes lo and hi+1.
+	set := map[int64]struct{}{}
+	for _, p := range f.preds {
+		if p.Lo > p.Hi {
+			continue
+		}
+		set[p.Lo] = struct{}{}
+		set[p.Hi+1] = struct{}{}
+	}
+	f.bounds = make([]int64, 0, len(set))
+	for v := range set {
+		f.bounds = append(f.bounds, v)
+	}
+	sort.Slice(f.bounds, func(i, j int) bool { return f.bounds[i] < f.bounds[j] })
+
+	if len(f.bounds) > 0 {
+		f.masks = make([]bitset.Set, len(f.bounds)-1)
+		for i := range f.masks {
+			m := f.outMask.Clone()
+			lo, hi := f.bounds[i], f.bounds[i+1]-1
+			for _, p := range f.preds {
+				if p.Lo <= lo && hi <= p.Hi {
+					m.Add(p.QID)
+				}
+			}
+			f.masks[i] = m
+		}
+	}
+	return f
+}
+
+// maskFor returns the query-set mask for value v via the range table.
+func (f *GroupedFilter) maskFor(v int64) bitset.Set {
+	// Rightmost segment start <= v.
+	i := sort.Search(len(f.bounds), func(i int) bool { return f.bounds[i] > v }) - 1
+	if i < 0 || i >= len(f.masks) {
+		return f.outMask
+	}
+	return f.masks[i]
+}
+
+// naiveMask computes the mask by scanning every predicate (the unoptimized
+// baseline toggled off by Options.GroupedFilters; Fig. 18's ablation).
+func (f *GroupedFilter) naiveMask(v int64, scratch bitset.Set) bitset.Set {
+	scratch = f.outMask.CopyInto(scratch)
+	for _, p := range f.preds {
+		if p.Lo <= v && v <= p.Hi {
+			scratch.Add(p.QID)
+		}
+	}
+	return scratch
+}
+
+// Apply filters the query-set words of a tuple vector in place: for each
+// tuple, its query set is intersected with the mask of its column value.
+// qsets is the flat n×qw word slab; vids addresses the column. It returns
+// the number of tuples left with a non-empty query set (tuples themselves
+// are compacted by the caller).
+func (f *GroupedFilter) Apply(grouped bool, vids []int32, qsets []uint64, qw int) {
+	if grouped {
+		if qw == 1 {
+			// Fast path for single-word query sets.
+			for i, vid := range vids {
+				m := f.maskFor(f.col[vid])
+				var mw uint64
+				if len(m) > 0 {
+					mw = m[0]
+				}
+				qsets[i] &= mw
+			}
+			return
+		}
+		for i, vid := range vids {
+			m := f.maskFor(f.col[vid])
+			base := i * qw
+			for w := 0; w < qw; w++ {
+				var mw uint64
+				if w < len(m) {
+					mw = m[w]
+				}
+				qsets[base+w] &= mw
+			}
+		}
+		return
+	}
+	scratch := bitset.New(f.n)
+	for i, vid := range vids {
+		m := f.naiveMask(f.col[vid], scratch)
+		scratch = m
+		base := i * qw
+		for w := 0; w < qw; w++ {
+			var mw uint64
+			if w < len(m) {
+				mw = m[w]
+			}
+			qsets[base+w] &= mw
+		}
+	}
+}

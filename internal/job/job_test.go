@@ -1,0 +1,145 @@
+package job
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+func TestGenerateSchema(t *testing.T) {
+	db := Generate(1)
+	for name, n := range sizes {
+		tab := db.Table(name)
+		if tab == nil {
+			t.Fatalf("missing table %s", name)
+		}
+		if tab.NumRows() != n {
+			t.Errorf("%s rows = %d, want %d", name, tab.NumRows(), n)
+		}
+	}
+	// FK domains.
+	title := db.MustTable("title")
+	for _, link := range linkTables {
+		col := db.MustTable(link).Col("movie_id")
+		for _, v := range col {
+			if v < 0 || v >= int64(title.NumRows()) {
+				t.Fatalf("%s.movie_id out of domain: %d", link, v)
+			}
+		}
+	}
+}
+
+func TestSkewAndCorrelation(t *testing.T) {
+	db := Generate(2)
+	// Zipf skew: the most popular movie must appear far more often than the
+	// uniform expectation in cast_info.
+	ci := db.MustTable("cast_info").Col("movie_id")
+	counts := map[int64]int{}
+	for _, v := range ci {
+		counts[v]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := len(ci) / sizes["title"]
+	if max < uniform*10 {
+		t.Errorf("movie_id skew too weak: max %d vs uniform %d", max, uniform)
+	}
+
+	// Join-crossing correlation: recent movies use only the low third of
+	// the person domain.
+	year := db.MustTable("title").Col("production_year")
+	person := db.MustTable("cast_info").Col("person_id")
+	movies := db.MustTable("cast_info").Col("movie_id")
+	for i := range person {
+		if year[movies[i]] >= 2000 && person[i] >= int64(sizes["name"]/3) {
+			t.Fatalf("correlation violated: recent movie %d has person %d", movies[i], person[i])
+		}
+	}
+}
+
+func TestQueriesCompileAndSpanJoinRange(t *testing.T) {
+	qs := Queries(NumQueries, 3)
+	if len(qs) != 113 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	if _, err := query.Compile(qs); err != nil {
+		t.Fatalf("JOB batch does not compile: %v", err)
+	}
+	min, max := 99, 0
+	for _, q := range qs {
+		j := len(q.Joins)
+		if j < min {
+			min = j
+		}
+		if j > max {
+			max = j
+		}
+		// Cycle-closing joins (residuals) don't add relations, so rels can
+		// be at most joins+1 and no less than 3.
+		if len(q.Rels) > j+1 || len(q.Rels) < 3 {
+			t.Errorf("%s: %d rels for %d joins", q.Tag, len(q.Rels), j)
+		}
+		if len(q.Filters) == 0 {
+			t.Errorf("%s: no filters", q.Tag)
+		}
+	}
+	if min != 3 {
+		t.Errorf("min joins = %d, want 3", min)
+	}
+	if max < 12 {
+		t.Errorf("max joins = %d, want deep queries (>=12)", max)
+	}
+}
+
+func TestQueriesUseAliasesForRepeatedLinkTables(t *testing.T) {
+	qs := Queries(NumQueries, 5)
+	found := false
+	for _, q := range qs {
+		seen := map[string]int{}
+		for _, r := range q.Rels {
+			seen[r.Table]++
+		}
+		for _, c := range seen {
+			if c > 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no query repeats a link table; deep JOB queries need aliases")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(9)
+	b := Generate(9)
+	ca := a.MustTable("movie_info").Col("info_val")
+	cb := b.MustTable("movie_info").Col("info_val")
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("db generation not deterministic")
+		}
+	}
+	q1 := Queries(20, 4)
+	q2 := Queries(20, 4)
+	for i := range q1 {
+		if len(q1[i].Joins) != len(q2[i].Joins) || len(q1[i].Filters) != len(q2[i].Filters) {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+}
+
+func TestQueriesIncludeCycles(t *testing.T) {
+	qs := Queries(NumQueries, 3)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Residuals) == 0 {
+		t.Error("no cyclic queries generated in 113 draws; real JOB contains cycles")
+	}
+}

@@ -1,0 +1,203 @@
+// Package metrics provides the lightweight observability primitives the
+// engine and harness use: exponentially weighted moving averages, log-scale
+// histograms for cardinalities and latencies, and a fixed-capacity episode
+// trace ring for post-mortem inspection of adaptive behaviour.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average. The zero value is
+// unusable; use NewEWMA. Safe for concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	v     float64
+	n     int64
+}
+
+// NewEWMA creates an average with smoothing factor alpha in (0, 1]; higher
+// alpha weighs recent samples more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds one sample in.
+func (e *EWMA) Add(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.v = x
+	} else {
+		e.v = e.alpha*x + (1-e.alpha)*e.v
+	}
+	e.n++
+}
+
+// Value returns the current average and the sample count.
+func (e *EWMA) Value() (float64, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.v, e.n
+}
+
+// Histogram counts non-negative int64 samples in power-of-two buckets:
+// bucket i holds values in [2^(i-1), 2^i), bucket 0 holds zero. Safe for
+// concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [65]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Add records one sample; negative samples count into bucket 0.
+func (h *Histogram) Add(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i]++
+	h.count++
+	if v > 0 {
+		h.sum += v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the sample mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (bucket resolution).
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max
+}
+
+// String renders a compact ASCII bar chart of the non-empty buckets.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	var maxC int64
+	for _, c := range h.buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = 1 << uint(i-1)
+		}
+		bar := int(40 * c / maxC)
+		fmt.Fprintf(&b, "%12d+ %-40s %d\n", lo, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// EpisodeRecord is one traced episode.
+type EpisodeRecord struct {
+	Episode   int64
+	Inst      int
+	Input     int
+	JoinInput int
+	Cost      float64
+	Duration  time.Duration
+}
+
+// Ring is a fixed-capacity trace of the most recent episodes. Safe for
+// concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []EpisodeRecord
+	next int
+	full bool
+}
+
+// NewRing creates a ring holding the last n episodes.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Ring{buf: make([]EpisodeRecord, n)}
+}
+
+// Add appends one record, evicting the oldest when full.
+func (r *Ring) Add(rec EpisodeRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// Snapshot returns the traced episodes oldest-first.
+func (r *Ring) Snapshot() []EpisodeRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]EpisodeRecord(nil), r.buf[:r.next]...)
+	}
+	out := make([]EpisodeRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns the number of records currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if v, n := e.Value(); v != 0 || n != 0 {
+		t.Error("fresh EWMA not zero")
+	}
+	e.Add(10)
+	if v, _ := e.Value(); v != 10 {
+		t.Errorf("first sample = %v", v)
+	}
+	e.Add(20)
+	if v, n := e.Value(); v != 15 || n != 2 {
+		t.Errorf("after two samples: %v, %d", v, n)
+	}
+	// Bad alpha falls back to a sane default.
+	if NewEWMA(-1) == nil {
+		t.Error("nil EWMA")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Mean() < 150 || h.Mean() > 170 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if q := h.Quantile(0.99); q < 1000 {
+		t.Errorf("p99 = %d", q)
+	}
+	if q := h.Quantile(0); q > 0 {
+		t.Errorf("p0 = %d", q)
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("String should render bars")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram stats")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Add(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 {
+		t.Error("fresh ring not empty")
+	}
+	for i := int64(1); i <= 5; i++ {
+		r.Add(EpisodeRecord{Episode: i, Duration: time.Duration(i)})
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Episode != 3 || snap[2].Episode != 5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	// Partial fill path.
+	r2 := NewRing(10)
+	r2.Add(EpisodeRecord{Episode: 42})
+	if s := r2.Snapshot(); len(s) != 1 || s[0].Episode != 42 {
+		t.Errorf("partial snapshot = %+v", s)
+	}
+	if NewRing(0).Len() != 0 {
+		t.Error("zero-capacity ring should default")
+	}
+}

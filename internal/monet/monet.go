@@ -1,0 +1,203 @@
+// Package monet implements the MonetDB-style baseline of the evaluation:
+// operator-at-a-time execution with full-column materialization. Every
+// operator consumes and produces whole intermediate columns, so performance
+// tracks intermediate sizes — fast at low selectivity, penalized by
+// materialization at high selectivity (the behaviour Fig. 11b contrasts
+// against the vectorized DBMS-V).
+package monet
+
+import (
+	"sync"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/qat"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// Engine is an operator-at-a-time executor. Planning is shared with the
+// DBMS-V optimizer (selection pushdown, greedy join order).
+type Engine struct {
+	opt *qat.Engine
+}
+
+// New returns an engine over db.
+func New(db *storage.Database) *Engine {
+	return &Engine{opt: qat.New(db)}
+}
+
+// Run optimizes and executes one query, returning the SPJ result count.
+func (e *Engine) Run(q *query.Query) (int64, error) {
+	p, err := e.opt.Optimize(q)
+	if err != nil {
+		return 0, err
+	}
+	return execute(p), nil
+}
+
+// execute runs the plan one whole operator at a time.
+func execute(p *qat.Plan) int64 {
+	n := len(p.Order)
+
+	// Operator 1..k: full-column selections producing materialized row-ID
+	// columns per relation.
+	selected := make([][]int32, n)
+	for i := range p.Order {
+		selected[i] = selectAll(&p.Order[i])
+	}
+	if n == 1 {
+		return int64(len(selected[0]))
+	}
+
+	// Hash builds, one whole relation at a time.
+	hts := make([]map[int64][]int32, n)
+	for i := 1; i < n; i++ {
+		st := &p.Order[i]
+		keyCol := st.Table.Col(st.JoinCol)
+		ht := make(map[int64][]int32, len(selected[i]))
+		for _, r := range selected[i] {
+			ht[keyCol[r]] = append(ht[keyCol[r]], r)
+		}
+		hts[i] = ht
+	}
+
+	// Joins: materialize the whole intermediate result at every step.
+	cur := [][]int32{selected[0]}
+	for step := 1; step < n; step++ {
+		st := &p.Order[step]
+		keyCol := p.Order[st.ProbeRel].Table.Col(st.ProbeCol)
+		probeFrom := cur[st.ProbeRel]
+		ht := hts[step]
+		next := make([][]int32, step+1)
+		for i := range cur[0] {
+			key := keyCol[probeFrom[i]]
+			for _, m := range ht[key] {
+				for c := 0; c < step; c++ {
+					next[c] = append(next[c], cur[c][i])
+				}
+				next[step] = append(next[step], m)
+			}
+		}
+		cur = applyResiduals(p, step, next)
+		if len(cur[0]) == 0 {
+			return 0
+		}
+	}
+	return int64(len(cur[0]))
+}
+
+// applyResiduals filters the step's materialized output with cycle-closing
+// join predicates (whole-column, operator-at-a-time style).
+func applyResiduals(p *qat.Plan, step int, rows [][]int32) [][]int32 {
+	checks := p.Order[step].Residuals
+	if len(checks) == 0 || len(rows[0]) == 0 {
+		return rows
+	}
+	out := 0
+	for i := range rows[0] {
+		keep := true
+		for _, rc := range checks {
+			a := p.Order[rc.RelA].Table.Col(rc.ColA)[rows[rc.RelA][i]]
+			b := p.Order[rc.RelB].Table.Col(rc.ColB)[rows[rc.RelB][i]]
+			if a != b {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			for c := range rows {
+				rows[c][out] = rows[c][i]
+			}
+			out++
+		}
+	}
+	for c := range rows {
+		rows[c] = rows[c][:out]
+	}
+	return rows
+}
+
+// selectAll materializes the filtered row IDs of one relation.
+func selectAll(st *qat.Step) []int32 {
+	rows := st.Table.NumRows()
+	out := make([]int32, 0, rows)
+	if len(st.Filters) == 0 {
+		for r := 0; r < rows; r++ {
+			out = append(out, int32(r))
+		}
+		return out
+	}
+	// Column-at-a-time: evaluate each filter over the whole candidate list.
+	for r := 0; r < rows; r++ {
+		out = append(out, int32(r))
+	}
+	for _, f := range st.Filters {
+		col := st.Table.Col(f.Col)
+		kept := out[:0]
+		for _, r := range out {
+			v := col[r]
+			if v >= f.Lo && v <= f.Hi {
+				kept = append(kept, r)
+			}
+		}
+		out = kept
+	}
+	return out
+}
+
+// RunSerial executes queries one after the other.
+func (e *Engine) RunSerial(qs []*query.Query) ([]int64, time.Duration, error) {
+	counts := make([]int64, len(qs))
+	start := time.Now()
+	for i, q := range qs {
+		c, err := e.Run(q)
+		if err != nil {
+			return nil, 0, err
+		}
+		counts[i] = c
+	}
+	return counts, time.Since(start), nil
+}
+
+// RunConcurrent mirrors qat.RunConcurrent for interference experiments.
+func (e *Engine) RunConcurrent(qs []*query.Query, clients int) ([]int64, time.Duration, error) {
+	if clients <= 1 {
+		return e.RunSerial(qs)
+	}
+	counts := make([]int64, len(qs))
+	var next int
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(qs) {
+					return
+				}
+				cnt, err := e.Run(qs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				counts[i] = cnt
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return counts, time.Since(start), nil
+}

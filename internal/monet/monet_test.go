@@ -1,0 +1,158 @@
+package monet
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/qat"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+func tinyDB(rng *rand.Rand, factRows, dimRows int) *storage.Database {
+	fact := catalog.NewRelation("fact", "fk1", "fk2", "v")
+	d1 := catalog.NewRelation("d1", "k", "a")
+	d2 := catalog.NewRelation("d2", "k", "a")
+	sch := catalog.NewSchema(fact, d1, d2)
+	db := storage.NewDatabase(sch)
+	ft := storage.NewTable(fact, factRows)
+	for i := 0; i < factRows; i++ {
+		ft.Col("fk1")[i] = int64(rng.Intn(dimRows))
+		ft.Col("fk2")[i] = int64(rng.Intn(dimRows))
+		ft.Col("v")[i] = int64(rng.Intn(100))
+	}
+	db.Put(ft)
+	for _, nm := range []string{"d1", "d2"} {
+		dt := storage.NewTable(sch.Relation(nm), dimRows)
+		for i := 0; i < dimRows; i++ {
+			dt.Col("k")[i] = int64(i)
+			dt.Col("a")[i] = int64(rng.Intn(100))
+		}
+		db.Put(dt)
+	}
+	return db
+}
+
+func randomQuery(rng *rand.Rand) *query.Query {
+	q := &query.Query{
+		Rels:  []query.RelRef{{Table: "fact"}, {Table: "d1"}},
+		Joins: []query.Join{{LeftAlias: "fact", LeftCol: "fk1", RightAlias: "d1", RightCol: "k"}},
+	}
+	if rng.Intn(2) == 0 {
+		q.Rels = append(q.Rels, query.RelRef{Table: "d2"})
+		q.Joins = append(q.Joins, query.Join{LeftAlias: "fact", LeftCol: "fk2", RightAlias: "d2", RightCol: "k"})
+	}
+	if rng.Intn(2) == 0 {
+		lo := int64(rng.Intn(70))
+		q.Filters = append(q.Filters, query.Filter{Alias: "d1", Col: "a", Lo: lo, Hi: lo + 30})
+	}
+	return q
+}
+
+// TestMonetAgreesWithQat: the two baselines implement the same semantics
+// with different execution models; counts must match exactly.
+func TestMonetAgreesWithQat(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := tinyDB(rng, 120, 15)
+	me := New(db)
+	qe := qat.New(db)
+	for i := 0; i < 30; i++ {
+		q := randomQuery(rng)
+		a, err := me.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := qe.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("query %d: monet = %d, qat = %d", i, a, b)
+		}
+	}
+}
+
+func TestMonetSingleRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	db := tinyDB(rng, 40, 8)
+	q := &query.Query{
+		Rels:    []query.RelRef{{Table: "d1"}},
+		Filters: []query.Filter{{Alias: "d1", Col: "a", Lo: 0, Hi: 200}},
+	}
+	got, err := New(db).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Errorf("got %d, want 8", got)
+	}
+}
+
+func TestMonetSerialAndConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := tinyDB(rng, 60, 10)
+	e := New(db)
+	var qs []*query.Query
+	for i := 0; i < 8; i++ {
+		qs = append(qs, randomQuery(rng))
+	}
+	serial, d1, err := e.RunSerial(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 {
+		t.Error("non-positive serial duration")
+	}
+	conc, _, err := e.RunConcurrent(qs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != conc[i] {
+			t.Errorf("query %d: %d != %d", i, serial[i], conc[i])
+		}
+	}
+}
+
+func TestMonetEmptyIntermediateShortCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	db := tinyDB(rng, 30, 5)
+	// Impossible filter on d1 empties the build side.
+	q := &query.Query{
+		Rels:    []query.RelRef{{Table: "fact"}, {Table: "d1"}},
+		Joins:   []query.Join{{LeftAlias: "fact", LeftCol: "fk1", RightAlias: "d1", RightCol: "k"}},
+		Filters: []query.Filter{{Alias: "d1", Col: "a", Lo: 1000, Hi: 2000}},
+	}
+	got, err := New(db).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+}
+
+func TestMonetCyclicResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	db := tinyDB(rng, 40, 8)
+	q := &query.Query{
+		Rels: []query.RelRef{{Table: "fact"}, {Table: "d1"}, {Table: "d2"}},
+		Joins: []query.Join{
+			{LeftAlias: "fact", LeftCol: "fk1", RightAlias: "d1", RightCol: "k"},
+			{LeftAlias: "fact", LeftCol: "fk2", RightAlias: "d2", RightCol: "k"},
+			{LeftAlias: "d1", LeftCol: "a", RightAlias: "d2", RightCol: "a"},
+		},
+	}
+	a, err := New(db).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qat.New(db).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("monet %d != qat %d on cyclic query", a, b)
+	}
+}

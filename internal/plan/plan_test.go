@@ -1,0 +1,265 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// fig1Batch is the paper's Figure 1/2 workload.
+func fig1Batch(t testing.TB) *query.Batch {
+	q0 := &query.Query{
+		Tag:  "q0",
+		Rels: []query.RelRef{{Table: "R"}, {Table: "S"}, {Table: "T"}, {Table: "U"}},
+		Joins: []query.Join{
+			{LeftAlias: "R", LeftCol: "a", RightAlias: "S", RightCol: "a"},
+			{LeftAlias: "R", LeftCol: "b", RightAlias: "T", RightCol: "b"},
+			{LeftAlias: "S", LeftCol: "c", RightAlias: "U", RightCol: "c"},
+		},
+	}
+	q1 := &query.Query{
+		Tag:  "q1",
+		Rels: []query.RelRef{{Table: "R"}, {Table: "S"}, {Table: "U"}, {Table: "V"}},
+		Joins: []query.Join{
+			{LeftAlias: "R", LeftCol: "a", RightAlias: "S", RightCol: "a"},
+			{LeftAlias: "S", LeftCol: "c", RightAlias: "U", RightCol: "c"},
+			{LeftAlias: "S", LeftCol: "d", RightAlias: "V", RightCol: "d"},
+		},
+	}
+	b, err := query.Compile([]*query.Query{q0, q1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func allInsts(qid int) uint64 { return ^uint64(0) }
+
+func TestBuildJoinRoutesEveryQueryExactlyOnce(t *testing.T) {
+	b := fig1Batch(t)
+	rInst, _ := b.InstOfAlias(0, "R")
+	for seed := int64(0); seed < 50; seed++ {
+		pol := policy.NewRandom(seed)
+		root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+		counts := CountRouters(root, b.N)
+		for qid, c := range counts {
+			if c != 1 {
+				t.Fatalf("seed %d: query %d routed %d times\n", seed, qid, c)
+			}
+		}
+	}
+}
+
+func TestBuildJoinSharesCommonPrefix(t *testing.T) {
+	// With a deterministic policy that prefers the shared R-S edge first,
+	// the plan's first probe must serve both queries.
+	b := fig1Batch(t)
+	rInst, _ := b.InstOfAlias(0, "R")
+	pol := preferShared{b}
+	root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+	if len(root.Children) == 0 {
+		t.Fatal("empty plan")
+	}
+	first := root.Children[0]
+	if first.Kind != Probe {
+		t.Fatalf("first child kind = %v", first.Kind)
+	}
+	if first.Q.Count() != 2 {
+		t.Errorf("first probe serves %d queries, want 2 (shared R⋈S)", first.Q.Count())
+	}
+	if first.Div != nil {
+		t.Error("shared probe should not diverge")
+	}
+}
+
+// preferShared picks the candidate edge with the largest query overlap.
+type preferShared struct{ b *query.Batch }
+
+func (p preferShared) ChooseJoin(_ query.InstID, _ uint64, q bitset.Set, cands []int) int {
+	best, bestN := 0, -1
+	for i, c := range cands {
+		n := bitset.And(q, p.b.Edges[c].Queries).Count()
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+func (p preferShared) ChooseSel(_ query.InstID, _ uint64, _ bitset.Set, cands []int) int {
+	return 0
+}
+func (p preferShared) Observe([]policy.LogEntry) {}
+
+func TestDivergenceContext(t *testing.T) {
+	b := fig1Batch(t)
+	rInst, _ := b.InstOfAlias(0, "R")
+	pol := preferShared{b}
+	root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+
+	// Walk the tree; every diverging probe must carry consistent context.
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Kind == Probe {
+			if n.StateQ == nil || len(n.Cands) == 0 {
+				t.Fatalf("probe without decision context: %+v", n)
+			}
+			wantMain := bitset.And(n.StateQ, b.Edges[n.EdgeID].Queries)
+			if !wantMain.Equal(n.Q) {
+				t.Errorf("probe Q = %v, want %v", n.Q, wantMain)
+			}
+			if n.Div != nil {
+				wantDiv := bitset.AndNot(n.StateQ, b.Edges[n.EdgeID].Queries)
+				if !wantDiv.Equal(n.Div.Q) {
+					t.Errorf("div Q = %v, want %v", n.Div.Q, wantDiv)
+				}
+				if n.DivCands == nil && !wantDiv.Empty() {
+					// DivCands may legitimately be empty (terminal) but the
+					// build always assigns the returned slice; nil means the
+					// state was terminal, which is fine.
+					_ = n
+				}
+			}
+			if n.MainLineage != n.Lineage|1<<n.Target {
+				t.Errorf("MainLineage inconsistent")
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+func TestAdaptiveProjectionKeepsOnlyNeededColumns(t *testing.T) {
+	b := fig1Batch(t)
+	rInst, _ := b.InstOfAlias(0, "R")
+	// Queries need no columns at all (COUNT(*)): routers keep nothing, and
+	// probe inputs only keep the key-source instance.
+	pol := preferShared{b}
+	root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), func(int) uint64 { return 0 })
+
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Kind == Router && n.Keep != 0 {
+			t.Errorf("COUNT(*) router keeps %b", n.Keep)
+		}
+		if n.Kind == Probe {
+			e := &b.Edges[n.EdgeID]
+			src := e.A
+			if n.Target == e.A {
+				src = e.B
+			}
+			if n.Keep&(1<<src) == 0 {
+				t.Errorf("probe input dropped its key column (inst %d)", src)
+			}
+			if n.Keep&^n.Lineage != 0 {
+				t.Errorf("keep mask outside lineage")
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+
+	// With full requirements every router keeps its whole lineage.
+	root = BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+	var check func(n *Node)
+	check = func(n *Node) {
+		if n.Kind == Router && n.Keep != n.Lineage {
+			t.Errorf("full-requirement router keep = %b, lineage %b", n.Keep, n.Lineage)
+		}
+		for _, c := range n.Children {
+			check(c)
+		}
+	}
+	check(root)
+}
+
+func TestQuickRandomWorkloadsRouteOnce(t *testing.T) {
+	// Property: on random tree-shaped multi-query workloads, Algorithm 1
+	// with a random policy routes every query exactly once and the plan is
+	// finite (paper's induction proof, checked empirically).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tables := []string{"A", "B", "C", "D", "E", "F"}
+		nq := 1 + rng.Intn(6)
+		var qs []*query.Query
+		for i := 0; i < nq; i++ {
+			n := 2 + rng.Intn(4)
+			perm := rng.Perm(len(tables))[:n]
+			q := &query.Query{}
+			for _, p := range perm {
+				q.Rels = append(q.Rels, query.RelRef{Table: tables[p]})
+			}
+			// Random spanning tree: join each relation to a random earlier one.
+			for j := 1; j < n; j++ {
+				k := rng.Intn(j)
+				q.Joins = append(q.Joins, query.Join{
+					LeftAlias: tables[perm[k]], LeftCol: "k",
+					RightAlias: tables[perm[j]], RightCol: "k",
+				})
+			}
+			qs = append(qs, q)
+		}
+		b, err := query.Compile(qs)
+		if err != nil {
+			return false
+		}
+		// Start from the first query's first relation; active set = queries
+		// containing that instance.
+		src := b.QueryInsts(0)[0]
+		active := b.Insts[src].Queries.Clone()
+		root := BuildJoin(b, policy.NewRandom(seed), src, active, allInsts)
+		for qid, c := range CountRouters(root, b.N) {
+			want := 0
+			if active.Contains(qid) {
+				want = 1
+			}
+			if c != want {
+				return false
+			}
+		}
+		return Size(root) <= 3*len(b.Edges)*b.N+b.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildSelOrdersAllRelevantOps(t *testing.T) {
+	q := bitset.NewFull(4)
+	ops := []SelOpInfo{
+		{ID: 0, Bit: 0, Queries: bitset.FromIDs(4, 0)},
+		{ID: 1, Bit: 1, Queries: bitset.FromIDs(4, 1, 2)},
+		{ID: 7, Bit: 2, Queries: bitset.FromIDs(4, 3)},
+	}
+	steps := BuildSel(policy.NewRandom(3), 0, q, ops)
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(steps))
+	}
+	seen := map[int]bool{}
+	var applied uint64
+	for i, s := range steps {
+		if seen[s.Op.ID] {
+			t.Fatalf("op %d planned twice", s.Op.ID)
+		}
+		seen[s.Op.ID] = true
+		if s.Applied != applied {
+			t.Errorf("step %d applied mask = %b, want %b", i, s.Applied, applied)
+		}
+		applied |= 1 << uint(s.Op.Bit)
+		if s.NextApplied != applied {
+			t.Errorf("step %d NextApplied = %b, want %b", i, s.NextApplied, applied)
+		}
+	}
+	// Ops whose queries are absent are skipped.
+	steps = BuildSel(policy.NewRandom(3), 0, bitset.FromIDs(4, 0), ops)
+	if len(steps) != 1 || steps[0].Op.ID != 0 {
+		t.Errorf("irrelevant ops not skipped: %+v", steps)
+	}
+}

@@ -1,0 +1,413 @@
+// Package qat implements DBMS-V, the vectorized query-at-a-time baseline of
+// the paper's evaluation (§6.1): classic optimize-then-execute processing
+// with selection pushdown, sampling-based cardinality estimation, greedy
+// join ordering, and left-deep vectorized hash-join pipelines.
+package qat
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// Engine is a query-at-a-time vectorized executor over a database.
+type Engine struct {
+	DB         *storage.Database
+	VectorSize int // tuples per pipeline vector (default 1024)
+	SampleSize int // rows sampled for selectivity estimation (default 1000)
+}
+
+// New returns an engine with default parameters.
+func New(db *storage.Database) *Engine {
+	return &Engine{DB: db, VectorSize: 1024, SampleSize: 1000}
+}
+
+// Step is one relation's role in a left-deep plan.
+type Step struct {
+	Alias    string
+	Table    *storage.Table
+	Filters  []query.Filter
+	EstRows  float64 // filtered cardinality estimate
+	JoinCol  string  // build-side key column (non-driver steps)
+	ProbeRel int     // index (into Order) of the relation providing the probe key
+	ProbeCol string
+	// Residuals are cycle-closing join predicates whose second endpoint is
+	// placed by this step; they filter the step's output.
+	Residuals []ResCheck
+}
+
+// ResCheck compares two placed relations' columns for equality.
+type ResCheck struct {
+	RelA int // position in Order
+	ColA string
+	RelB int
+	ColB string
+}
+
+// Plan is an optimized left-deep execution plan for one SPJ query.
+type Plan struct {
+	q *query.Query
+	// Order is the left-deep relation sequence; Order[0] is the pipeline
+	// driver (exported so the MonetDB-style engine and the online-sharing
+	// baselines can reuse the optimizer).
+	Order []Step
+}
+
+// Optimize plans q: push selections down, estimate filtered cardinalities
+// by sampling, pick the largest relation as the pipeline driver (fact-table
+// heuristic) and greedily attach the smallest adjacent relation next.
+func (e *Engine) Optimize(q *query.Query) (*Plan, error) {
+	n := len(q.Rels)
+	aliases := make([]string, n)
+	tables := make([]*storage.Table, n)
+	filters := make([][]query.Filter, n)
+	aliasIdx := make(map[string]int, n)
+	for i, r := range q.Rels {
+		a := r.Alias
+		if a == "" {
+			a = r.Table
+		}
+		aliases[i] = a
+		aliasIdx[a] = i
+		t := e.DB.Table(r.Table)
+		if t == nil {
+			return nil, fmt.Errorf("qat: no table %q", r.Table)
+		}
+		tables[i] = t
+	}
+	for _, f := range q.Filters {
+		i, ok := aliasIdx[f.Alias]
+		if !ok {
+			return nil, fmt.Errorf("qat: filter on unknown alias %q", f.Alias)
+		}
+		filters[i] = append(filters[i], f)
+	}
+
+	est := make([]float64, n)
+	for i := range est {
+		est[i] = float64(tables[i].NumRows()) * e.estimateSelectivity(tables[i], filters[i])
+	}
+
+	// Adjacency from join predicates; joins not used to attach a relation
+	// (cycle closers) become residual checks.
+	type adj struct {
+		other              int
+		localCol, otherCol string
+		join               int
+	}
+	adjacency := make([][]adj, n)
+	used := make([]bool, len(q.Joins))
+	joinIdx := make([][2]int, len(q.Joins))
+	for ji, j := range q.Joins {
+		li, lok := aliasIdx[j.LeftAlias]
+		ri, rok := aliasIdx[j.RightAlias]
+		if !lok || !rok {
+			return nil, fmt.Errorf("qat: join references unknown alias")
+		}
+		joinIdx[ji] = [2]int{li, ri}
+		adjacency[li] = append(adjacency[li], adj{ri, j.LeftCol, j.RightCol, ji})
+		adjacency[ri] = append(adjacency[ri], adj{li, j.RightCol, j.LeftCol, ji})
+	}
+
+	// Driver: the largest estimated relation (stream the fact, build dims).
+	driver := 0
+	for i := 1; i < n; i++ {
+		if est[i] > est[driver] {
+			driver = i
+		}
+	}
+
+	plan := &Plan{q: q}
+	placed := make([]bool, n)
+	orderIdx := make([]int, 0, n) // relation index per order position
+	placed[driver] = true
+	orderIdx = append(orderIdx, driver)
+	plan.Order = append(plan.Order, Step{
+		Alias: aliases[driver], Table: tables[driver], Filters: filters[driver], EstRows: est[driver],
+	})
+	for len(orderIdx) < n {
+		bestRel, bestFrom, bestJoin := -1, -1, -1
+		var bestCols [2]string
+		for pos, ri := range orderIdx {
+			for _, a := range adjacency[ri] {
+				if placed[a.other] {
+					continue
+				}
+				if bestRel == -1 || est[a.other] < est[bestRel] {
+					bestRel, bestFrom, bestJoin = a.other, pos, a.join
+					bestCols = [2]string{a.localCol, a.otherCol}
+				}
+			}
+		}
+		if bestRel == -1 {
+			return nil, fmt.Errorf("qat: disconnected join graph in query %q", q.Tag)
+		}
+		placed[bestRel] = true
+		used[bestJoin] = true
+		orderIdx = append(orderIdx, bestRel)
+		plan.Order = append(plan.Order, Step{
+			Alias: aliases[bestRel], Table: tables[bestRel], Filters: filters[bestRel],
+			EstRows: est[bestRel],
+			JoinCol: bestCols[1], ProbeRel: bestFrom, ProbeCol: bestCols[0],
+		})
+	}
+	// Attach cycle-closing joins as residual checks at the step where both
+	// endpoints are placed.
+	pos := make([]int, n)
+	for p, ri := range orderIdx {
+		pos[ri] = p
+	}
+	for ji, j := range q.Joins {
+		if used[ji] {
+			continue
+		}
+		li, ri := joinIdx[ji][0], joinIdx[ji][1]
+		pa, pb := pos[li], pos[ri]
+		step := pa
+		if pb > pa {
+			step = pb
+		}
+		plan.Order[step].Residuals = append(plan.Order[step].Residuals, ResCheck{
+			RelA: pos[li], ColA: j.LeftCol, RelB: pos[ri], ColB: j.RightCol,
+		})
+	}
+	return plan, nil
+}
+
+// estimateSelectivity samples the table to estimate the conjunctive filter
+// selectivity.
+func (e *Engine) estimateSelectivity(t *storage.Table, fs []query.Filter) float64 {
+	if len(fs) == 0 || t.NumRows() == 0 {
+		return 1
+	}
+	sample := e.SampleSize
+	if sample <= 0 {
+		sample = 1000
+	}
+	step := t.NumRows() / sample
+	if step == 0 {
+		step = 1
+	}
+	seen, pass := 0, 0
+	for r := 0; r < t.NumRows(); r += step {
+		seen++
+		ok := true
+		for _, f := range fs {
+			v := t.Col(f.Col)[r]
+			if v < f.Lo || v > f.Hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pass++
+		}
+	}
+	if seen == 0 {
+		return 1
+	}
+	// Clamp away from zero so join ordering stays sane on tiny samples.
+	sel := float64(pass) / float64(seen)
+	if sel < 1e-4 {
+		sel = 1e-4
+	}
+	return sel
+}
+
+// hashTable is a build-side hash join table: key -> row IDs.
+type hashTable map[int64][]int32
+
+// buildHash filters and hashes one build-side relation.
+func buildHash(rp *Step) hashTable {
+	ht := make(hashTable, rp.Table.NumRows())
+	keyCol := rp.Table.Col(rp.JoinCol)
+	n := rp.Table.NumRows()
+	for r := 0; r < n; r++ {
+		if !passes(rp, r) {
+			continue
+		}
+		k := keyCol[r]
+		ht[k] = append(ht[k], int32(r))
+	}
+	return ht
+}
+
+func passes(rp *Step, r int) bool {
+	for _, f := range rp.Filters {
+		v := rp.Table.Col(f.Col)[r]
+		if v < f.Lo || v > f.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute runs the plan to completion and returns the SPJ result count. The
+// pipeline streams the driver in vectors through the probe steps.
+func (e *Engine) Execute(p *Plan) int64 {
+	n := len(p.Order)
+	hts := make([]hashTable, n)
+	for i := 1; i < n; i++ {
+		hts[i] = buildHash(&p.Order[i])
+	}
+
+	vec := e.VectorSize
+	if vec <= 0 {
+		vec = 1024
+	}
+	driver := &p.Order[0]
+	rows := driver.Table.NumRows()
+
+	probeCols := make([][]int64, n)
+	for i := 1; i < n; i++ {
+		probeCols[i] = p.Order[p.Order[i].ProbeRel].Table.Col(p.Order[i].ProbeCol)
+	}
+
+	var count int64
+	driverVids := make([]int32, 0, vec)
+	for base := 0; base < rows; base += vec {
+		end := base + vec
+		if end > rows {
+			end = rows
+		}
+		driverVids = driverVids[:0]
+		for r := base; r < end; r++ {
+			if passes(driver, r) {
+				driverVids = append(driverVids, int32(r))
+			}
+		}
+		// cur holds partial matches: one vID column per placed relation.
+		cur := [][]int32{driverVids}
+		for step := 1; step < n && len(cur[0]) > 0; step++ {
+			rp := &p.Order[step]
+			next := make([][]int32, step+1)
+			probeFrom := cur[rp.ProbeRel]
+			keyCol := probeCols[step]
+			ht := hts[step]
+			for i := range cur[0] {
+				key := keyCol[probeFrom[i]]
+				for _, m := range ht[key] {
+					for c := 0; c < step; c++ {
+						next[c] = append(next[c], cur[c][i])
+					}
+					next[step] = append(next[step], m)
+				}
+			}
+			cur = applyResiduals(p, step, next)
+		}
+		if len(cur) == n {
+			count += int64(len(cur[0]))
+		}
+	}
+	return count
+}
+
+// applyResiduals filters a step's output rows with the step's cycle-closing
+// predicates.
+func applyResiduals(p *Plan, step int, rows [][]int32) [][]int32 {
+	checks := p.Order[step].Residuals
+	if len(checks) == 0 || len(rows[0]) == 0 {
+		return rows
+	}
+	out := 0
+	for i := range rows[0] {
+		keep := true
+		for _, rc := range checks {
+			a := p.Order[rc.RelA].Table.Col(rc.ColA)[rows[rc.RelA][i]]
+			b := p.Order[rc.RelB].Table.Col(rc.ColB)[rows[rc.RelB][i]]
+			if a != b {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			for c := range rows {
+				rows[c][out] = rows[c][i]
+			}
+			out++
+		}
+	}
+	for c := range rows {
+		rows[c] = rows[c][:out]
+	}
+	return rows
+}
+
+// Run optimizes and executes one query.
+func (e *Engine) Run(q *query.Query) (int64, error) {
+	p, err := e.Optimize(q)
+	if err != nil {
+		return 0, err
+	}
+	return e.Execute(p), nil
+}
+
+// RunSerial executes queries one after the other (the query-at-a-time
+// throughput measurement) and returns per-query counts plus total time.
+func (e *Engine) RunSerial(qs []*query.Query) ([]int64, time.Duration, error) {
+	counts := make([]int64, len(qs))
+	start := time.Now()
+	for i, q := range qs {
+		c, err := e.Run(q)
+		if err != nil {
+			return nil, 0, err
+		}
+		counts[i] = c
+	}
+	return counts, time.Since(start), nil
+}
+
+// RunConcurrent executes queries with the given number of concurrent
+// clients (Fig. 20's inter-query interference experiment).
+func (e *Engine) RunConcurrent(qs []*query.Query, clients int) ([]int64, time.Duration, error) {
+	if clients <= 1 {
+		return e.RunSerial(qs)
+	}
+	counts := make([]int64, len(qs))
+	errs := make([]error, clients)
+	var next int
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(qs) {
+					return
+				}
+				cnt, err := e.Run(qs[i])
+				if err != nil {
+					errs[client] = err
+					return
+				}
+				counts[i] = cnt
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return counts, time.Since(start), nil
+}
+
+// PlanOrder exposes the planned relation order (alias sequence) — used by
+// the Stitch&Share baseline to derive per-query shared-engine orders.
+func (p *Plan) PlanOrder() []string {
+	out := make([]string, len(p.Order))
+	for i := range p.Order {
+		out[i] = p.Order[i].Alias
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package qlearn implements RouLette's specialized Q-learning policy
+// (§4.2–4.3). The MDP over stacks of extended vectors is reduced — via the
+// independence and proportionality properties of cumulative rewards — to
+// singleton states (L, Q): Q-values are normalized per input tuple and the
+// update rule bootstraps separately through the sharing and divergence
+// branches (Algorithm 2).
+//
+// The Q-table is a sparse map keyed by concatenated (L, Q, op) bytes with
+// optimistic (zero) initialization; rewards are negative operator costs
+// from the linear cost model, so unexplored actions look maximally
+// attractive, driving early exploration.
+package qlearn
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// Config holds the Q-learning hyper-parameters. The defaults are the
+// paper's grid-searched values (§6): µ=0.21, ε=0.014, γ=1.
+type Config struct {
+	Mu      float64 // learning rate µ
+	Epsilon float64 // exploration probability ε
+	Gamma   float64 // discount rate γ (future costs weigh fully at 1)
+	Seed    int64
+	Model   *cost.Model // nil means cost.Default()
+}
+
+// DefaultConfig returns the paper's tuned hyper-parameters.
+func DefaultConfig() Config {
+	return Config{Mu: 0.21, Epsilon: 0.014, Gamma: 1, Seed: 1}
+}
+
+// Learned is the reinforcement-learning policy. It is safe for concurrent
+// use; decisions and updates share one mutex (policy updates are rare
+// critical sections relative to execution, §5.2).
+type Learned struct {
+	cfg   Config
+	model *cost.Model
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	table map[string]float64
+}
+
+// New creates a learned policy for a compiled batch.
+func New(cfg Config) *Learned {
+	m := cfg.Model
+	if m == nil {
+		m = cost.Default()
+	}
+	return &Learned{
+		cfg:   cfg,
+		model: m,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		table: make(map[string]float64),
+	}
+}
+
+// TableSize returns the number of explored (state, action) triplets.
+func (l *Learned) TableSize() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.table)
+}
+
+// key builds the unique (phase, L, Q, op) triplet key: the byte
+// concatenation the paper stores in its hash map. For the selection phase,
+// L is the applied-operator mask and the instance disambiguates.
+func key(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int) string {
+	buf := make([]byte, 0, 16+len(q)*8+4)
+	buf = append(buf, byte(phase), byte(inst))
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(lineage>>(8*i)))
+	}
+	buf = append(buf, byte(op), byte(op>>8), byte(op>>16), byte(op>>24))
+	return string(buf) + q.Key()
+}
+
+// qValue reads Q((L,Q),op); unexplored pairs are 0 (optimistic: costs are
+// negative).
+func (l *Learned) qValue(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int) float64 {
+	return l.table[key(phase, inst, lineage, q, op)]
+}
+
+// bestOf returns max_a Q((L,Q),a) over cands (0 for an empty candidate set:
+// a terminal state's future cost).
+func (l *Learned) bestOf(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, cands []int) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	best := l.qValue(phase, inst, lineage, q, cands[0])
+	for _, op := range cands[1:] {
+		if v := l.qValue(phase, inst, lineage, q, op); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// choose implements Algorithm 2's NEXT_OPERATOR: ε-random, else argmax Q.
+func (l *Learned) choose(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, cands []int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rng.Float64() < l.cfg.Epsilon {
+		return l.rng.Intn(len(cands))
+	}
+	best, bestV := 0, l.qValue(phase, inst, lineage, q, cands[0])
+	for i := 1; i < len(cands); i++ {
+		if v := l.qValue(phase, inst, lineage, q, cands[i]); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// ChooseJoin picks the next probe edge for virtual vector (lineage, q).
+func (l *Learned) ChooseJoin(_ query.InstID, lineage uint64, q bitset.Set, cands []int) int {
+	return l.choose(policy.JoinPhase, 0, lineage, q, cands)
+}
+
+// ChooseSel picks the next selection operator on inst.
+func (l *Learned) ChooseSel(inst query.InstID, applied uint64, q bitset.Set, cands []int) int {
+	return l.choose(policy.SelPhase, inst, applied, q, cands)
+}
+
+// Observe applies Algorithm 2's UPDATE rule for every log entry:
+//
+//	r  = (−κ_o·n_in − λ_o·n_out + γ·n_out·max_a Q(L∪{o}, Q∩Q_o, a)) / n_in
+//	r += (−κ_σ·n_in − λ_σ·n_div + γ·n_div·max_a Q(L, Q−Q_o, a)) / n_in   [divergence]
+//	Q(L,Q,o) ← (1−µ)·Q(L,Q,o) + µ·r
+//
+// Entries are processed in reverse execution order (leaves of the episode
+// plan first), so bootstrapped future costs propagate through the whole
+// plan within a single episode instead of one level per episode — critical
+// for convergence speed on deep plans.
+func (l *Learned) Observe(entries []policy.LogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := &entries[i]
+		if e.NIn == 0 {
+			continue
+		}
+		nIn := float64(e.NIn)
+		nOut := float64(e.NOut)
+
+		opClass := cost.Join
+		if e.Phase == policy.SelPhase {
+			opClass = cost.Selection
+		}
+
+		q := l.bestOf(e.Phase, e.Inst, e.MainLineage, e.QMain, e.MainCands)
+		r := (-l.model.Kappa[opClass]*nIn - l.model.Lambda[opClass]*nOut + l.cfg.Gamma*nOut*q) / nIn
+
+		if e.NDiv >= 0 {
+			nDiv := float64(e.NDiv)
+			q2 := l.bestOf(e.Phase, e.Inst, e.Lineage, e.DivQ, e.DivCands)
+			r += (-l.model.Kappa[cost.RoutingSelection]*nIn - l.model.Lambda[cost.RoutingSelection]*nDiv + l.cfg.Gamma*nDiv*q2) / nIn
+		}
+
+		k := key(e.Phase, e.Inst, e.Lineage, e.Q, e.Op)
+		l.table[k] = (1-l.cfg.Mu)*l.table[k] + l.cfg.Mu*r
+	}
+}
+
+// EstimatedBestCost returns −max_a Q((L,Q),a) over cands: the policy's
+// current estimate of the minimum cumulative cost per input tuple at
+// (L, Q). The learning-rate experiment (Fig. 16) plots this estimate
+// against measured episode cost.
+func (l *Learned) EstimatedBestCost(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, cands []int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return -l.bestOf(phase, inst, lineage, q, cands)
+}
+
+// BestJoin returns the purely greedy (ε = 0) choice among cands at join
+// state (lineage, q) — the converged plan extraction used when simulating
+// sharing-oblivious learned planning (Stitch&Share-Sim, §6.2).
+func (l *Learned) BestJoin(lineage uint64, q bitset.Set, cands []int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	best, bestV := 0, l.qValue(policy.JoinPhase, 0, lineage, q, cands[0])
+	for i := 1; i < len(cands); i++ {
+		if v := l.qValue(policy.JoinPhase, 0, lineage, q, cands[i]); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,448 @@
+// Package query models SPJ sub-queries and compiles batches of them into
+// the shared-operator form RouLette executes: batch-level relation
+// instances, normalized equi-join edges with per-edge query sets, and
+// grouped-filter columns with per-query predicate ranges.
+package query
+
+import (
+	"fmt"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+)
+
+// InstID identifies a relation instance within a compiled batch. Lineages
+// are uint64 bitmasks over InstIDs, so a batch holds at most 64 instances.
+type InstID uint8
+
+// MaxInstances bounds distinct relation instances per batch (lineages are
+// single-word bitmasks, as in the paper's bitset-keyed Q-table).
+const MaxInstances = 64
+
+// RelRef names a relation use inside one query. Alias defaults to Table
+// when empty; self-joins need distinct aliases.
+type RelRef struct {
+	Table string
+	Alias string
+}
+
+// Join is an equi-join predicate between two aliases of one query.
+type Join struct {
+	LeftAlias  string
+	LeftCol    string
+	RightAlias string
+	RightCol   string
+}
+
+// Filter restricts alias.Col to the inclusive range [Lo, Hi]. Equality and
+// one-sided comparisons are expressed as degenerate ranges.
+type Filter struct {
+	Alias string
+	Col   string
+	Lo    int64
+	Hi    int64
+}
+
+// AggKind selects the host-side aggregate applied to a query's SPJ output.
+type AggKind int
+
+// Host-side aggregate kinds.
+const (
+	AggCount AggKind = iota // COUNT(*)
+	AggSum                  // SUM(alias.col)
+	AggMin                  // MIN(alias.col)
+	AggMax                  // MAX(alias.col)
+	AggAvg                  // AVG(alias.col), integer division
+)
+
+// NeedsColumn reports whether the aggregate reads an input column.
+func (k AggKind) NeedsColumn() bool { return k != AggCount }
+
+// Agg describes the host-side consumer of a query's RouLette source.
+// GroupByAlias/GroupByCol, when set, group the aggregate; Sorted requests
+// ordered group output (RouLette does not preserve interesting orders, so
+// the host adds the sort, §3 "Query Optimizer").
+type Agg struct {
+	Kind         AggKind
+	Alias        string
+	Col          string
+	GroupByAlias string
+	GroupByCol   string
+	Sorted       bool
+}
+
+// Query is one SPJ sub-query delegated to RouLette.
+type Query struct {
+	ID      int // assigned at batch compile time
+	Tag     string
+	Rels    []RelRef
+	Joins   []Join
+	Filters []Filter
+	Agg     Agg
+}
+
+// aliasOf resolves an alias to its RelRef index, or -1.
+func (q *Query) aliasIdx(alias string) int {
+	for i, r := range q.Rels {
+		a := r.Alias
+		if a == "" {
+			a = r.Table
+		}
+		if a == alias {
+			return i
+		}
+	}
+	return -1
+}
+
+// Instance is a batch-level relation instance: the occ-th use of Table
+// within a single query. Queries using a table once all share instance
+// (Table, 0), which is what lets their scans and STeMs be shared.
+type Instance struct {
+	ID    InstID
+	Table string
+	Occ   int
+	// Queries contains every query that uses this instance.
+	Queries bitset.Set
+}
+
+// Edge is a normalized shared join operator: an equi-join between two
+// instances on a fixed column pair. Queries joining the same instance pair
+// on the same columns share the edge.
+type Edge struct {
+	ID   int
+	A    InstID
+	ACol string
+	B    InstID
+	BCol string
+	// Queries contains every query whose join list includes this edge.
+	Queries bitset.Set
+}
+
+// Other returns the endpoint opposite to inst, and ok=false if inst is not
+// an endpoint.
+func (e *Edge) Other(inst InstID) (InstID, bool) {
+	switch inst {
+	case e.A:
+		return e.B, true
+	case e.B:
+		return e.A, true
+	}
+	return 0, false
+}
+
+// Col returns the join column on the given endpoint.
+func (e *Edge) Col(inst InstID) string {
+	if inst == e.A {
+		return e.ACol
+	}
+	return e.BCol
+}
+
+// Pred is one query's predicate inside a grouped filter.
+type Pred struct {
+	QID int
+	Lo  int64
+	Hi  int64
+}
+
+// SelCol is a shared selection operator: a grouped filter evaluating every
+// query's predicates on one (instance, column) pair at once.
+type SelCol struct {
+	ID    int
+	Inst  InstID
+	Col   string
+	Preds []Pred
+	// Queries contains every query with at least one predicate on the column.
+	Queries bitset.Set
+}
+
+// Residual is a cycle-closing equi-join predicate of one query: its join
+// graph's spanning tree drives the shared plan, and the residual is applied
+// as a per-query filter at the probe that brings its second endpoint into
+// the lineage (the standard treatment of cyclic join graphs in n-ary
+// symmetric joins).
+type Residual struct {
+	QID  int
+	A    InstID
+	ACol string
+	B    InstID
+	BCol string
+}
+
+// Batch is a compiled set of queries sharing instances, edges and grouped
+// filters. It is the unit RouLette schedules and adapts over.
+type Batch struct {
+	Queries []*Query
+	N       int // number of queries; bitsets are sized for N
+
+	Insts     []Instance
+	Edges     []Edge
+	SelCols   []SelCol
+	Residuals []Residual
+
+	edgesOf   [][]int // instance -> edge IDs touching it
+	selColsOf [][]int // instance -> SelCol IDs on it
+	instIdx   map[instKey]InstID
+	queryInst [][]InstID // query -> instance per RelRef position
+}
+
+type instKey struct {
+	table string
+	occ   int
+}
+
+// Compile validates queries and builds the batch's shared-operator form.
+// Every query's join graph must be connected; a spanning tree of it drives
+// the shared plan and any cycle-closing joins become residual predicates.
+// Query IDs are assigned 0..len(qs)-1.
+func Compile(qs []*Query) (*Batch, error) {
+	b := &Batch{
+		Queries: qs,
+		N:       len(qs),
+		instIdx: make(map[instKey]InstID),
+	}
+	edgeIdx := make(map[edgeKey]int)
+	selIdx := make(map[selKey]int)
+	b.queryInst = make([][]InstID, len(qs))
+
+	for qi, q := range qs {
+		q.ID = qi
+		if len(q.Rels) == 0 {
+			return nil, fmt.Errorf("query %d (%s): no relations", qi, q.Tag)
+		}
+		// Map each RelRef to a batch instance: the k-th occurrence of a
+		// table within this query is instance (table, k).
+		occ := make(map[string]int)
+		insts := make([]InstID, len(q.Rels))
+		seen := make(map[string]bool)
+		for ri, r := range q.Rels {
+			alias := r.Alias
+			if alias == "" {
+				alias = r.Table
+			}
+			if seen[alias] {
+				return nil, fmt.Errorf("query %d (%s): duplicate alias %q", qi, q.Tag, alias)
+			}
+			seen[alias] = true
+			k := occ[r.Table]
+			occ[r.Table] = k + 1
+			insts[ri] = b.intern(instKey{r.Table, k})
+		}
+		b.queryInst[qi] = insts
+
+		if len(q.Joins) < len(q.Rels)-1 {
+			return nil, fmt.Errorf("query %d (%s): join graph disconnected (%d rels need at least %d joins, have %d)",
+				qi, q.Tag, len(q.Rels), len(q.Rels)-1, len(q.Joins))
+		}
+		// Union-find: joins that merge components become shared tree edges;
+		// cycle-closing joins become per-query residual predicates.
+		parent := make([]int, len(q.Rels))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		merges := 0
+		for _, j := range q.Joins {
+			li := q.aliasIdx(j.LeftAlias)
+			ri := q.aliasIdx(j.RightAlias)
+			if li < 0 || ri < 0 {
+				return nil, fmt.Errorf("query %d (%s): join references unknown alias %q or %q", qi, q.Tag, j.LeftAlias, j.RightAlias)
+			}
+			ia, ca, ib, cb := insts[li], j.LeftCol, insts[ri], j.RightCol
+			if ia > ib || (ia == ib && ca > cb) {
+				ia, ca, ib, cb = ib, cb, ia, ca
+			}
+			a, b2 := find(li), find(ri)
+			if a == b2 {
+				if ia == ib {
+					return nil, fmt.Errorf("query %d (%s): join of %s.%s with itself", qi, q.Tag, j.LeftAlias, j.LeftCol)
+				}
+				b.Residuals = append(b.Residuals, Residual{QID: qi, A: ia, ACol: ca, B: ib, BCol: cb})
+				continue
+			}
+			parent[a] = b2
+			merges++
+
+			k := edgeKey{ia, ca, ib, cb}
+			ei, ok := edgeIdx[k]
+			if !ok {
+				ei = len(b.Edges)
+				edgeIdx[k] = ei
+				b.Edges = append(b.Edges, Edge{ID: ei, A: ia, ACol: ca, B: ib, BCol: cb, Queries: bitset.New(len(qs))})
+			}
+			b.Edges[ei].Queries.Add(qi)
+		}
+		if merges != len(q.Rels)-1 {
+			return nil, fmt.Errorf("query %d (%s): join graph disconnected", qi, q.Tag)
+		}
+		for _, f := range q.Filters {
+			fi := q.aliasIdx(f.Alias)
+			if fi < 0 {
+				return nil, fmt.Errorf("query %d (%s): filter references unknown alias %q", qi, q.Tag, f.Alias)
+			}
+			if f.Lo > f.Hi {
+				return nil, fmt.Errorf("query %d (%s): filter on %s.%s has empty range [%d,%d]", qi, q.Tag, f.Alias, f.Col, f.Lo, f.Hi)
+			}
+			k := selKey{insts[fi], f.Col}
+			si, ok := selIdx[k]
+			if !ok {
+				si = len(b.SelCols)
+				selIdx[k] = si
+				b.SelCols = append(b.SelCols, SelCol{ID: si, Inst: insts[fi], Col: f.Col, Queries: bitset.New(len(qs))})
+			}
+			sc := &b.SelCols[si]
+			sc.Preds = append(sc.Preds, Pred{QID: qi, Lo: f.Lo, Hi: f.Hi})
+			sc.Queries.Add(qi)
+		}
+		for _, inst := range insts {
+			b.Insts[inst].Queries.Add(qi)
+		}
+	}
+
+	b.edgesOf = make([][]int, len(b.Insts))
+	for _, e := range b.Edges {
+		b.edgesOf[e.A] = append(b.edgesOf[e.A], e.ID)
+		b.edgesOf[e.B] = append(b.edgesOf[e.B], e.ID)
+	}
+	b.selColsOf = make([][]int, len(b.Insts))
+	for _, s := range b.SelCols {
+		b.selColsOf[s.Inst] = append(b.selColsOf[s.Inst], s.ID)
+	}
+	return b, nil
+}
+
+func (b *Batch) intern(k instKey) InstID {
+	if id, ok := b.instIdx[k]; ok {
+		return id
+	}
+	if len(b.Insts) >= MaxInstances {
+		panic(fmt.Sprintf("query: batch exceeds %d relation instances", MaxInstances))
+	}
+	id := InstID(len(b.Insts))
+	b.instIdx[k] = id
+	b.Insts = append(b.Insts, Instance{ID: id, Table: k.table, Occ: k.occ, Queries: bitset.New(b.N)})
+	return id
+}
+
+type edgeKey struct {
+	a    InstID
+	aCol string
+	b    InstID
+	bCol string
+}
+
+type selKey struct {
+	inst InstID
+	col  string
+}
+
+// EdgesOf returns the IDs of edges touching instance inst.
+func (b *Batch) EdgesOf(inst InstID) []int { return b.edgesOf[inst] }
+
+// SelColsOf returns the IDs of grouped filters on instance inst.
+func (b *Batch) SelColsOf(inst InstID) []int { return b.selColsOf[inst] }
+
+// QueryInsts returns the instance of each RelRef position of query qid.
+func (b *Batch) QueryInsts(qid int) []InstID { return b.queryInst[qid] }
+
+// InstOfAlias resolves a query's alias to its batch instance.
+func (b *Batch) InstOfAlias(qid int, alias string) (InstID, bool) {
+	q := b.Queries[qid]
+	i := q.aliasIdx(alias)
+	if i < 0 {
+		return 0, false
+	}
+	return b.queryInst[qid][i], true
+}
+
+// QueryLineage returns the lineage bitmask covering all of query qid's
+// instances.
+func (b *Batch) QueryLineage(qid int) uint64 {
+	var l uint64
+	for _, inst := range b.queryInst[qid] {
+		l |= 1 << inst
+	}
+	return l
+}
+
+// QueryEdges returns the IDs of the edges used by query qid.
+func (b *Batch) QueryEdges(qid int) []int {
+	var out []int
+	for _, e := range b.Edges {
+		if e.Queries.Contains(qid) {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Candidates appends to dst the candidate edges for virtual vector (L, Q):
+// edges with exactly one endpoint inside lineage L whose query set
+// intersects Q (Definition 5 of the paper). It returns the extended slice.
+func (b *Batch) Candidates(dst []int, lineage uint64, q bitset.Set) []int {
+	for i := range b.Edges {
+		e := &b.Edges[i]
+		aIn := lineage&(1<<e.A) != 0
+		bIn := lineage&(1<<e.B) != 0
+		if aIn == bIn {
+			continue
+		}
+		if bitset.Intersects(q, e.Queries) {
+			dst = append(dst, e.ID)
+		}
+	}
+	return dst
+}
+
+// FilterRange returns the effective [lo,hi] range of query qid's predicates
+// on (inst, col), combining multiple predicates by intersection, and
+// ok=false if the query has no predicate there.
+func (b *Batch) FilterRange(qid int, inst InstID, col string) (lo, hi int64, ok bool) {
+	for _, si := range b.selColsOf[inst] {
+		sc := &b.SelCols[si]
+		if sc.Col != col {
+			continue
+		}
+		for _, p := range sc.Preds {
+			if p.QID != qid {
+				continue
+			}
+			if !ok {
+				lo, hi, ok = p.Lo, p.Hi, true
+			} else {
+				if p.Lo > lo {
+					lo = p.Lo
+				}
+				if p.Hi < hi {
+					hi = p.Hi
+				}
+			}
+		}
+	}
+	return lo, hi, ok
+}
+
+// FindInstance resolves the batch instance for the occ-th use of table, as
+// assigned at compile time.
+func (b *Batch) FindInstance(table string, occ int) (InstID, bool) {
+	id, ok := b.instIdx[instKey{table, occ}]
+	return id, ok
+}
+
+// ResidualsOf returns query qid's cycle-closing predicates.
+func (b *Batch) ResidualsOf(qid int) []Residual {
+	var out []Residual
+	for _, r := range b.Residuals {
+		if r.QID == qid {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package sqlfe
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// FuzzParseBatch asserts the parser never panics and that everything it
+// accepts also compiles as a batch (the two layers must agree on validity).
+func FuzzParseBatch(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM t",
+		"SELECT SUM(a.x) FROM a, b WHERE a.k = b.k AND a.x BETWEEN 1 AND 9 GROUP BY b.g ORDER BY b.g",
+		"SELECT MIN(x) FROM t WHERE 5 <= x; SELECT MAX(x) FROM t",
+		"select avg(t.v) from tab t where t.v > -42 -- comment",
+		"SELECT COUNT(*) FROM r x, r y WHERE x.a = y.b",
+		"SELECT COUNT(*) FROM",
+		"SELECT COUNT(*) FROM t WHERE x = 'oops'",
+		"; ;; SELECT",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		qs, err := ParseBatch(src)
+		if err != nil {
+			return
+		}
+		if len(qs) == 0 {
+			t.Fatal("nil error with empty batch")
+		}
+		if _, err := query.Compile(qs); err != nil {
+			t.Fatalf("parser accepted %q but Compile rejected it: %v", src, err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+// Package sqlfe is the SQL front end of the host system (§3 "Query Parser
+// & Optimizer"): it parses the Select-Project-Join dialect RouLette
+// executes — single-block SELECT with COUNT(*)/SUM aggregates, inner joins
+// expressed as WHERE equality predicates, integer range filters, GROUP BY
+// and ORDER BY — into the engine's query model.
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // punctuation and operators: ( ) , ; . * = < > <= >=
+	tokString // quoted string (rejected by the parser with a helpful error)
+)
+
+// token is one lexical unit with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits input into tokens.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{tokIdent, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{tokNumber, l.src[start:l.pos], start})
+		case c == '\'':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{tokString, l.src[start+1 : l.pos-1], start})
+		case c == '<' || c == '>':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{tokSymbol, l.src[start:l.pos], start})
+		case strings.ContainsRune("(),;.*=", rune(c)):
+			l.pos++
+			l.tokens = append(l.tokens, token{tokSymbol, string(c), start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,451 @@
+package sqlfe
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// Parse parses one SQL statement into the engine's query model. Supported
+// grammar (keywords case-insensitive):
+//
+//	SELECT COUNT(*) | SUM(col_ref) | MIN(col_ref) | MAX(col_ref) | AVG(col_ref)
+//	FROM table [[AS] alias] {, table [[AS] alias]}
+//	[WHERE predicate {AND predicate}]
+//	[GROUP BY col_ref]
+//	[ORDER BY col_ref]
+//
+//	predicate := col_ref = col_ref            -- equi-join
+//	           | col_ref (=|<|<=|>|>=) number -- filter
+//	           | number (=|<|<=|>|>=) col_ref
+//	           | col_ref BETWEEN number AND number
+//	col_ref   := [alias.]column
+//
+// A bare column (no alias) is allowed only in single-table queries.
+func Parse(src string) (*query.Query, error) {
+	qs, err := ParseBatch(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(qs) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(qs))
+	}
+	return qs[0], nil
+}
+
+// ParseBatch parses semicolon-separated statements into a batch.
+func ParseBatch(src string) ([]*query.Query, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens, src: src}
+	var out []*query.Query
+	for !p.at(tokEOF) {
+		q, err := p.statement(len(out))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+		for p.eatSymbol(";") {
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sql: empty input")
+	}
+	// Validate the statements against the engine's query model (join-graph
+	// connectivity, alias uniqueness, filter ranges): whatever the parser
+	// accepts must compile. Compilation here is throwaway — the caller's
+	// batch is compiled again with its final ID assignment.
+	probe := make([]*query.Query, len(out))
+	for i, q := range out {
+		cp := *q
+		probe[i] = &cp
+	}
+	if _, err := query.Compile(probe); err != nil {
+		return nil, fmt.Errorf("sql: %w", err)
+	}
+	return out, nil
+}
+
+type parser struct {
+	tokens []token
+	i      int
+	src    string
+}
+
+func (p *parser) cur() token  { return p.tokens[p.i] }
+func (p *parser) next() token { t := p.tokens[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+// atKeyword reports whether the current token is the given keyword.
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return p.errf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) eatSymbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.eatSymbol(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	got := t.text
+	if t.kind == tokEOF {
+		got = "end of input"
+	}
+	return fmt.Errorf("sql: %s at offset %d (found %q)", fmt.Sprintf(format, args...), t.pos, got)
+}
+
+// colRef is a parsed [alias.]column reference.
+type colRef struct {
+	alias string
+	col   string
+}
+
+func (p *parser) colRef() (colRef, error) {
+	if !p.at(tokIdent) {
+		return colRef{}, p.errf("expected column reference")
+	}
+	first := p.next().text
+	if p.eatSymbol(".") {
+		if !p.at(tokIdent) {
+			return colRef{}, p.errf("expected column name after %q.", first)
+		}
+		return colRef{alias: first, col: p.next().text}, nil
+	}
+	return colRef{col: first}, nil
+}
+
+func (p *parser) number() (int64, error) {
+	if !p.at(tokNumber) {
+		if p.at(tokString) {
+			return 0, p.errf("string literals are not supported: dictionary-encode strings to integers before loading")
+		}
+		return 0, p.errf("expected integer literal")
+	}
+	v, err := strconv.ParseInt(p.next().text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad integer: %w", err)
+	}
+	return v, nil
+}
+
+// statement parses one SELECT.
+func (p *parser) statement(idx int) (*query.Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{Tag: fmt.Sprintf("sql-%d", idx)}
+
+	// Aggregate.
+	var aggRef *colRef
+	colAgg := func(kind query.AggKind) error {
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+		q.Agg.Kind = kind
+		aggRef = &ref
+		return nil
+	}
+	switch {
+	case p.eatKeyword("count"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		q.Agg.Kind = query.AggCount
+	case p.eatKeyword("sum"):
+		if err := colAgg(query.AggSum); err != nil {
+			return nil, err
+		}
+	case p.eatKeyword("min"):
+		if err := colAgg(query.AggMin); err != nil {
+			return nil, err
+		}
+	case p.eatKeyword("max"):
+		if err := colAgg(query.AggMax); err != nil {
+			return nil, err
+		}
+	case p.eatKeyword("avg"):
+		if err := colAgg(query.AggAvg); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected COUNT(*), SUM, MIN, MAX or AVG: RouLette consumers aggregate SPJ output")
+	}
+
+	// FROM list.
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	aliases := map[string]bool{}
+	for {
+		if !p.at(tokIdent) || isReserved(p.cur().text) {
+			return nil, p.errf("expected table name")
+		}
+		table := p.next().text
+		alias := table
+		if p.eatKeyword("as") {
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected alias after AS")
+			}
+			alias = p.next().text
+		} else if p.at(tokIdent) && !isReserved(p.cur().text) {
+			alias = p.next().text
+		}
+		if aliases[alias] {
+			return nil, fmt.Errorf("sql: duplicate alias %q", alias)
+		}
+		aliases[alias] = true
+		q.Rels = append(q.Rels, query.RelRef{Table: table, Alias: alias})
+		if !p.eatSymbol(",") {
+			break
+		}
+	}
+
+	resolve := func(r colRef) (string, error) {
+		if r.alias != "" {
+			if !aliases[r.alias] {
+				return "", fmt.Errorf("sql: unknown alias %q", r.alias)
+			}
+			return r.alias, nil
+		}
+		if len(q.Rels) == 1 {
+			return q.Rels[0].Alias, nil
+		}
+		return "", fmt.Errorf("sql: column %q needs a table alias in a multi-table query", r.col)
+	}
+
+	// WHERE.
+	if p.eatKeyword("where") {
+		for {
+			if err := p.predicate(q, resolve); err != nil {
+				return nil, err
+			}
+			if !p.eatKeyword("and") {
+				break
+			}
+		}
+	}
+
+	// GROUP BY / ORDER BY.
+	if p.eatKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		alias, err := resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		q.Agg.GroupByAlias, q.Agg.GroupByCol = alias, ref.col
+	}
+	if p.eatKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		alias, err := resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		if q.Agg.GroupByAlias == "" || alias != q.Agg.GroupByAlias || ref.col != q.Agg.GroupByCol {
+			return nil, fmt.Errorf("sql: ORDER BY must name the GROUP BY column (RouLette does not preserve interesting orders; the host sorts group keys)")
+		}
+		q.Agg.Sorted = true
+	}
+
+	if aggRef != nil {
+		alias, err := resolve(*aggRef)
+		if err != nil {
+			return nil, err
+		}
+		q.Agg.Alias, q.Agg.Col = alias, aggRef.col
+	}
+	return q, nil
+}
+
+// predicate parses one WHERE conjunct into a join or filter.
+func (p *parser) predicate(q *query.Query, resolve func(colRef) (string, error)) error {
+	// Left side may be a column or a number (number-first comparisons).
+	if p.at(tokNumber) {
+		v, err := p.number()
+		if err != nil {
+			return err
+		}
+		op, err := p.compareOp()
+		if err != nil {
+			return err
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		alias, err := resolve(ref)
+		if err != nil {
+			return err
+		}
+		// Mirror: 5 < c.x  ≡  c.x > 5.
+		q.Filters = append(q.Filters, filterFor(alias, ref.col, mirror(op), v))
+		return nil
+	}
+
+	ref, err := p.colRef()
+	if err != nil {
+		return err
+	}
+	alias, err := resolve(ref)
+	if err != nil {
+		return err
+	}
+
+	if p.eatKeyword("between") {
+		lo, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return err
+		}
+		if lo > hi {
+			return fmt.Errorf("sql: BETWEEN %d AND %d is empty", lo, hi)
+		}
+		q.Filters = append(q.Filters, query.Filter{Alias: alias, Col: ref.col, Lo: lo, Hi: hi})
+		return nil
+	}
+
+	op, err := p.compareOp()
+	if err != nil {
+		return err
+	}
+	if p.at(tokIdent) {
+		if op != "=" {
+			return p.errf("join predicates must use =")
+		}
+		rref, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		ralias, err := resolve(rref)
+		if err != nil {
+			return err
+		}
+		q.Joins = append(q.Joins, query.Join{
+			LeftAlias: alias, LeftCol: ref.col,
+			RightAlias: ralias, RightCol: rref.col,
+		})
+		return nil
+	}
+	v, err := p.number()
+	if err != nil {
+		return err
+	}
+	q.Filters = append(q.Filters, filterFor(alias, ref.col, op, v))
+	return nil
+}
+
+func (p *parser) compareOp() (string, error) {
+	t := p.cur()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<", "<=", ">", ">=":
+			p.i++
+			return t.text, nil
+		}
+	}
+	return "", p.errf("expected comparison operator")
+}
+
+// mirror flips a comparison for number-first predicates.
+func mirror(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// filterFor converts a comparison into the engine's inclusive-range form.
+func filterFor(alias, col, op string, v int64) query.Filter {
+	f := query.Filter{Alias: alias, Col: col, Lo: math.MinInt64, Hi: math.MaxInt64}
+	switch op {
+	case "=":
+		f.Lo, f.Hi = v, v
+	case "<":
+		f.Hi = v - 1
+	case "<=":
+		f.Hi = v
+	case ">":
+		f.Lo = v + 1
+	case ">=":
+		f.Lo = v
+	}
+	return f
+}
+
+// isReserved lists keywords that terminate a FROM alias position.
+func isReserved(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "from", "where", "group", "order", "by", "and", "between", "as", "count", "sum", "min", "max", "avg":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package sqlfe
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+func TestParseCountJoinFilter(t *testing.T) {
+	q, err := Parse(`
+		SELECT COUNT(*)
+		FROM store_sales ss, date_dim d
+		WHERE ss.ss_sold_date_sk = d.d_date_sk
+		  AND d.d_year BETWEEN 1999 AND 2001
+		  AND ss.ss_quantity > 10
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rels) != 2 || q.Rels[0].Alias != "ss" || q.Rels[1].Table != "date_dim" {
+		t.Errorf("rels = %+v", q.Rels)
+	}
+	if len(q.Joins) != 1 || q.Joins[0].LeftCol != "ss_sold_date_sk" {
+		t.Errorf("joins = %+v", q.Joins)
+	}
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	if q.Filters[0].Lo != 1999 || q.Filters[0].Hi != 2001 {
+		t.Errorf("between filter = %+v", q.Filters[0])
+	}
+	if q.Filters[1].Lo != 11 || q.Filters[1].Hi != math.MaxInt64 {
+		t.Errorf("> filter = %+v", q.Filters[1])
+	}
+	if q.Agg.Kind != query.AggCount {
+		t.Error("aggregate should be COUNT")
+	}
+	// Must compile as a batch.
+	if _, err := query.Compile([]*query.Query{q}); err != nil {
+		t.Fatalf("parsed query does not compile: %v", err)
+	}
+}
+
+func TestParseSumGroupOrder(t *testing.T) {
+	q, err := Parse(`
+		SELECT SUM(ss.ss_quantity)
+		FROM store_sales AS ss, item i
+		WHERE ss.ss_item_sk = i.i_item_sk
+		GROUP BY i.i_item_sk
+		ORDER BY i.i_item_sk
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg.Kind != query.AggSum || q.Agg.Alias != "ss" || q.Agg.Col != "ss_quantity" {
+		t.Errorf("agg = %+v", q.Agg)
+	}
+	if q.Agg.GroupByAlias != "i" || !q.Agg.Sorted {
+		t.Errorf("group/order = %+v", q.Agg)
+	}
+}
+
+func TestParseBareColumnsSingleTable(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM t WHERE x >= 5 AND y = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 2 || q.Filters[0].Alias != "t" {
+		t.Errorf("filters = %+v", q.Filters)
+	}
+	if q.Filters[1].Lo != 3 || q.Filters[1].Hi != 3 {
+		t.Errorf("eq filter = %+v", q.Filters[1])
+	}
+}
+
+func TestParseNumberFirstComparison(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM t WHERE 5 < x AND -3 >= y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Filters[0].Lo != 6 { // 5 < x ≡ x > 5
+		t.Errorf("mirrored filter = %+v", q.Filters[0])
+	}
+	if q.Filters[1].Hi != -3 { // -3 >= y ≡ y <= -3
+		t.Errorf("mirrored filter = %+v", q.Filters[1])
+	}
+}
+
+func TestParseBatchStatements(t *testing.T) {
+	qs, err := ParseBatch(`
+		SELECT COUNT(*) FROM a;  -- first
+		SELECT COUNT(*) FROM b;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0].Rels[0].Table != "a" || qs[1].Rels[0].Table != "b" {
+		t.Errorf("batch = %+v", qs)
+	}
+	if qs[0].Tag == qs[1].Tag {
+		t.Error("tags should be distinct")
+	}
+}
+
+func TestParseSelfJoinAliases(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM r x, r y WHERE x.b = y.a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rels) != 2 || q.Rels[0].Alias != "x" || q.Rels[1].Alias != "y" {
+		t.Errorf("rels = %+v", q.Rels)
+	}
+	if _, err := query.Compile([]*query.Query{q}); err != nil {
+		t.Fatalf("self-join does not compile: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		sql     string
+		errPart string
+	}{
+		{``, "empty input"},
+		{`SELECT * FROM t`, "COUNT(*), SUM, MIN, MAX or AVG"},
+		{`SELECT COUNT(*) FROM`, "table name"},
+		{`SELECT COUNT(*) FROM t WHERE`, "column reference"},
+		{`SELECT COUNT(*) FROM t WHERE x <> 3`, "expected integer literal"},
+		{`SELECT COUNT(*) FROM a, b WHERE x = 3`, "needs a table alias"},
+		{`SELECT COUNT(*) FROM t WHERE z.x = 3`, "unknown alias"},
+		{`SELECT COUNT(*) FROM t, t`, "duplicate alias"},
+		{`SELECT COUNT(*) FROM t WHERE x BETWEEN 9 AND 2`, "empty"},
+		{`SELECT COUNT(*) FROM t WHERE name = 'Bob'`, "dictionary-encode"},
+		{`SELECT COUNT(*) FROM a x, b y WHERE x.k < y.k`, "join predicates must use ="},
+		{`SELECT COUNT(*) FROM t ORDER BY x`, "GROUP BY"},
+		{`SELECT COUNT(*) FROM t WHERE x = 'a`, "unterminated"},
+		{`SELECT COUNT(*) FROM t WHERE x ? 3`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := ParseBatch(c.sql)
+		if err == nil {
+			t.Errorf("%q: no error, want %q", c.sql, c.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("%q: error %q does not mention %q", c.sql, err, c.errPart)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	q, err := Parse(`select count(*) from T where X between 1 and 2 group by X order by X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg.GroupByCol != "X" || !q.Agg.Sorted {
+		t.Errorf("agg = %+v", q.Agg)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) -- trailing comment\nFROM t -- another\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rels[0].Table != "t" {
+		t.Errorf("rels = %+v", q.Rels)
+	}
+}
+
+func TestParseMinMaxAvg(t *testing.T) {
+	for kw, kind := range map[string]query.AggKind{
+		"MIN": query.AggMin, "MAX": query.AggMax, "AVG": query.AggAvg,
+	} {
+		q, err := Parse("SELECT " + kw + "(t.x) FROM t WHERE t.x > 0")
+		if err != nil {
+			t.Fatalf("%s: %v", kw, err)
+		}
+		if q.Agg.Kind != kind || q.Agg.Col != "x" {
+			t.Errorf("%s: agg = %+v", kw, q.Agg)
+		}
+	}
+}

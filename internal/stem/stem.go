@@ -1,0 +1,320 @@
+// Package stem implements State Modules (STeMs), the per-relation indexes
+// that RouLette's history-independent multi-query n-ary symmetric hash join
+// is built on (Raman et al., ICDE 2003; Sioulas & Ailamaki §3, §5.1).
+//
+// A STeM stores unified entries (index-vector of join keys, vID, version
+// slot, query-set) in a chunked append-only slab and builds one lock-free
+// hash index per join-key column. Inserts and probes are wait-free on the
+// hot path; insert-probe atomicity across concurrent episodes uses the
+// paper's batch versioning: every inserted vector takes one STeM-local
+// version slot that is later published to a global timestamp with a single
+// atomic, and probes accept only entries whose published timestamp is
+// strictly older than the probing episode's.
+package stem
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+)
+
+const (
+	chunkBits = 12
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// Versions is the session-wide version-slot table shared by all STeMs.
+// Each episode allocates one slot, stamps its inserted entries with the
+// slot index, and publishes the slot to a fresh global timestamp after the
+// insert completes (two atomics per vector, §5.2 "Scalable versioning").
+type Versions struct {
+	global atomic.Int64 // global timestamp counter; 0 is reserved
+
+	mu    sync.Mutex
+	slabs atomic.Pointer[[]*versionSlab]
+}
+
+type versionSlab struct {
+	ts [chunkSize]atomic.Int64
+}
+
+// NewVersions creates an empty version table.
+func NewVersions() *Versions {
+	v := &Versions{}
+	empty := []*versionSlab{}
+	v.slabs.Store(&empty)
+	return v
+}
+
+// Slot indexes a version slot.
+type Slot int32
+
+// Alloc reserves version slot number n (slots are allocated densely by the
+// caller, typically the episode counter).
+func (v *Versions) ensure(n Slot) *versionSlab {
+	si := int(n) >> chunkBits
+	slabs := *v.slabs.Load()
+	if si < len(slabs) {
+		return slabs[si]
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	slabs = *v.slabs.Load()
+	for si >= len(slabs) {
+		next := make([]*versionSlab, len(slabs)+1)
+		copy(next, slabs)
+		next[len(slabs)] = &versionSlab{}
+		v.slabs.Store(&next)
+		slabs = next
+	}
+	return slabs[si]
+}
+
+// Publish maps slot n to a fresh global timestamp and returns it. Entries
+// stamped with n become visible to probes with a newer timestamp.
+func (v *Versions) Publish(n Slot) int64 {
+	slab := v.ensure(n)
+	ts := v.global.Add(1)
+	slab.ts[int(n)&chunkMask].Store(ts)
+	return ts
+}
+
+// Now returns a probe timestamp newer than every published slot.
+func (v *Versions) Now() int64 { return v.global.Add(1) }
+
+// Get resolves slot n to its global timestamp, spinning through the tiny
+// publish window if the inserting episode has stamped entries but not yet
+// published (the window spans a few instructions).
+func (v *Versions) Get(n Slot) int64 {
+	slab := v.ensure(n)
+	for {
+		if ts := slab.ts[int(n)&chunkMask].Load(); ts != 0 {
+			return ts
+		}
+	}
+}
+
+// tryGet is Get without spinning; 0 means unpublished.
+func (v *Versions) tryGet(n Slot) int64 {
+	si := int(n) >> chunkBits
+	slabs := *v.slabs.Load()
+	if si >= len(slabs) {
+		return 0
+	}
+	return slabs[si].ts[int(n)&chunkMask].Load()
+}
+
+// chunk holds a fixed-size block of unified STeM entries in columnar form.
+type chunk struct {
+	vids  [chunkSize]int32
+	slots [chunkSize]Slot
+	keys  [][]int64 // one column per index
+	next  [][]int32 // one chain per index; 0 = end, else entryIdx+1
+	qsets []uint64  // chunkSize * qw words
+}
+
+// STeM is the state module for one relation instance.
+type STeM struct {
+	versions *Versions
+	qw       int // query-set words per entry
+	keyCols  []string
+	colIdx   map[string]int
+
+	buckets [][]atomic.Int32 // per index; value 0 = empty, else entryIdx+1
+	shift   []uint
+
+	mu     sync.Mutex
+	chunks atomic.Pointer[[]*chunk]
+	count  atomic.Int64
+
+	final atomic.Bool // set once the relation is fully ingested for all scheduled queries
+}
+
+// New creates a STeM indexing the given join-key columns, sized for about
+// capacityHint entries and query sets over nQueries queries.
+func New(versions *Versions, keyCols []string, nQueries, capacityHint int) *STeM {
+	s := &STeM{
+		versions: versions,
+		qw:       bitset.WordsFor(nQueries),
+		keyCols:  keyCols,
+		colIdx:   make(map[string]int, len(keyCols)),
+	}
+	if s.qw == 0 {
+		s.qw = 1
+	}
+	nb := 1
+	for nb < capacityHint*2 {
+		nb <<= 1
+	}
+	if nb < 64 {
+		nb = 64
+	}
+	s.buckets = make([][]atomic.Int32, len(keyCols))
+	s.shift = make([]uint, len(keyCols))
+	for i, c := range keyCols {
+		s.colIdx[c] = i
+		s.buckets[i] = make([]atomic.Int32, nb)
+		s.shift[i] = uint(64 - bits.TrailingZeros(uint(nb)))
+	}
+	empty := []*chunk{}
+	s.chunks.Store(&empty)
+	return s
+}
+
+// KeyCols returns the indexed join-key columns.
+func (s *STeM) KeyCols() []string { return s.keyCols }
+
+// HasIndex reports whether col is indexed.
+func (s *STeM) HasIndex(col string) bool { _, ok := s.colIdx[col]; return ok }
+
+// Len returns the number of inserted entries.
+func (s *STeM) Len() int { return int(s.count.Load()) }
+
+// MarkFinal records that the relation is fully ingested; pruning semi-joins
+// may then use this STeM (§5.2 "Symmetric Join Pruning").
+func (s *STeM) MarkFinal() { s.final.Store(true) }
+
+// Final reports whether the relation is fully ingested.
+func (s *STeM) Final() bool { return s.final.Load() }
+
+func hash64(x int64) uint64 {
+	// Fibonacci multiplicative hashing with an avalanche step.
+	h := uint64(x) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+func (s *STeM) chunkFor(idx int64) *chunk {
+	ci := int(idx >> chunkBits)
+	chunks := *s.chunks.Load()
+	if ci < len(chunks) {
+		return chunks[ci]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunks = *s.chunks.Load()
+	for ci >= len(chunks) {
+		c := &chunk{
+			keys:  make([][]int64, len(s.keyCols)),
+			next:  make([][]int32, len(s.keyCols)),
+			qsets: make([]uint64, chunkSize*s.qw),
+		}
+		for i := range s.keyCols {
+			c.keys[i] = make([]int64, chunkSize)
+			c.next[i] = make([]int32, chunkSize)
+		}
+		next := make([]*chunk, len(chunks)+1)
+		copy(next, chunks)
+		next[len(chunks)] = c
+		s.chunks.Store(&next)
+		chunks = next
+	}
+	return chunks[ci]
+}
+
+// Insert adds one tuple with the given join-key values (one per indexed
+// column, in KeyCols order), stamping it with version slot slot. The tuple
+// becomes visible to probes once the slot is published.
+func (s *STeM) Insert(vid int32, keys []int64, qset bitset.Set, slot Slot) {
+	idx := s.count.Add(1) - 1
+	c := s.chunkFor(idx)
+	off := int(idx) & chunkMask
+	c.vids[off] = vid
+	c.slots[off] = slot
+	qoff := off * s.qw
+	for i := 0; i < s.qw; i++ {
+		var w uint64
+		if i < len(qset) {
+			w = qset[i]
+		}
+		c.qsets[qoff+i] = w
+	}
+	ref := int32(idx) + 1
+	for i := range s.keyCols {
+		k := keys[i]
+		c.keys[i][off] = k
+		b := &s.buckets[i][hash64(k)>>s.shift[i]]
+		for {
+			head := b.Load()
+			c.next[i][off] = head
+			if b.CompareAndSwap(head, ref) {
+				break
+			}
+		}
+	}
+}
+
+// Match is one probe result: the matched entry's vID and query set.
+type Match struct {
+	VID  int32
+	QSet bitset.Set // view into the STeM's slab; do not mutate
+}
+
+// Probe finds entries whose key column col equals key and whose published
+// timestamp is strictly older than probeTS, appending them to dst. Entries
+// stamped but not yet published are waited for (their timestamp is known to
+// be concurrent, so the wait is bounded by the publisher's two-atomic
+// window).
+func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match {
+	ki, ok := s.colIdx[col]
+	if !ok {
+		return dst
+	}
+	chunks := *s.chunks.Load()
+	ref := s.buckets[ki][hash64(key)>>s.shift[ki]].Load()
+	for ref != 0 {
+		idx := int(ref) - 1
+		c := chunks[idx>>chunkBits]
+		off := idx & chunkMask
+		if c.keys[ki][off] == key {
+			ts := s.versions.Get(c.slots[off])
+			if ts < probeTS {
+				qoff := off * s.qw
+				dst = append(dst, Match{
+					VID:  c.vids[off],
+					QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
+				})
+			}
+		}
+		ref = c.next[ki][off]
+	}
+	return dst
+}
+
+// SemiJoinQueries unions, into out, the query sets of all published entries
+// matching key on col. It is the primitive behind symmetric join pruning:
+// a probing tuple keeps only the query bits that some matching entry also
+// carries. out must have capacity for the STeM's query-set width.
+func (s *STeM) SemiJoinQueries(out bitset.Set, col string, key int64) {
+	ki, ok := s.colIdx[col]
+	if !ok {
+		return
+	}
+	chunks := *s.chunks.Load()
+	ref := s.buckets[ki][hash64(key)>>s.shift[ki]].Load()
+	for ref != 0 {
+		idx := int(ref) - 1
+		c := chunks[idx>>chunkBits]
+		off := idx & chunkMask
+		if c.keys[ki][off] == key && s.versions.tryGet(c.slots[off]) != 0 {
+			qoff := off * s.qw
+			for i := 0; i < s.qw && i < len(out); i++ {
+				out[i] |= c.qsets[qoff+i]
+			}
+		}
+		ref = c.next[ki][off]
+	}
+}
+
+// Entry returns the vID and query set of entry idx (test/diagnostic use).
+func (s *STeM) Entry(idx int) (int32, bitset.Set) {
+	c := (*s.chunks.Load())[idx>>chunkBits]
+	off := idx & chunkMask
+	qoff := off * s.qw
+	return c.vids[off], bitset.Set(c.qsets[qoff : qoff+s.qw])
+}

@@ -1,0 +1,251 @@
+package stem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+)
+
+func TestInsertProbeBasic(t *testing.T) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 4, 16)
+
+	q01 := bitset.FromIDs(4, 0, 1)
+	s.Insert(10, []int64{5}, q01, 0)
+	s.Insert(11, []int64{5}, bitset.FromIDs(4, 2), 0)
+	s.Insert(12, []int64{7}, q01, 0)
+	v.Publish(0)
+
+	ts := v.Now()
+	got := s.Probe(nil, "k", 5, ts)
+	if len(got) != 2 {
+		t.Fatalf("Probe(5) = %d matches, want 2", len(got))
+	}
+	vids := map[int32]bool{got[0].VID: true, got[1].VID: true}
+	if !vids[10] || !vids[11] {
+		t.Errorf("Probe vids = %v", vids)
+	}
+	if got := s.Probe(nil, "k", 99, ts); len(got) != 0 {
+		t.Errorf("Probe(99) = %d matches, want 0", len(got))
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestProbeTimestampAtomicity(t *testing.T) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 2, 16)
+
+	s.Insert(1, []int64{5}, bitset.NewFull(2), 0)
+	ts0 := v.Publish(0)
+
+	// A probe with a timestamp equal to or older than the publish time must
+	// not see the entry ("only matches with older timestamps").
+	if got := s.Probe(nil, "k", 5, ts0); len(got) != 0 {
+		t.Errorf("probe at publish ts saw %d entries", len(got))
+	}
+	if got := s.Probe(nil, "k", 5, v.Now()); len(got) != 1 {
+		t.Errorf("probe with newer ts saw %d entries, want 1", len(got))
+	}
+
+	// An unpublished vector must stay invisible (SemiJoinQueries path, which
+	// never spins).
+	s.Insert(2, []int64{6}, bitset.NewFull(2), 1)
+	out := bitset.New(2)
+	s.SemiJoinQueries(out, "k", 6)
+	if !out.Empty() {
+		t.Error("semi-join saw unpublished entry")
+	}
+	v.Publish(1)
+	s.SemiJoinQueries(out, "k", 6)
+	if out.Count() != 2 {
+		t.Error("semi-join missed published entry")
+	}
+}
+
+func TestMultipleIndices(t *testing.T) {
+	v := NewVersions()
+	s := New(v, []string{"a", "b"}, 2, 16)
+	s.Insert(1, []int64{10, 20}, bitset.NewFull(2), 0)
+	s.Insert(2, []int64{10, 21}, bitset.NewFull(2), 0)
+	v.Publish(0)
+	ts := v.Now()
+
+	if got := s.Probe(nil, "a", 10, ts); len(got) != 2 {
+		t.Errorf("Probe(a=10) = %d, want 2", len(got))
+	}
+	if got := s.Probe(nil, "b", 21, ts); len(got) != 1 || got[0].VID != 2 {
+		t.Errorf("Probe(b=21) = %v", got)
+	}
+	if s.Probe(nil, "zzz", 1, ts) != nil {
+		t.Error("probe on unindexed column should return nil dst")
+	}
+	if !s.HasIndex("a") || s.HasIndex("zzz") {
+		t.Error("HasIndex wrong")
+	}
+}
+
+func TestSemiJoinQueriesUnions(t *testing.T) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 8, 16)
+	s.Insert(1, []int64{3}, bitset.FromIDs(8, 0), 0)
+	s.Insert(2, []int64{3}, bitset.FromIDs(8, 5), 0)
+	s.Insert(3, []int64{4}, bitset.FromIDs(8, 7), 0)
+	v.Publish(0)
+
+	out := bitset.New(8)
+	s.SemiJoinQueries(out, "k", 3)
+	if got := out.IDs(); len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Errorf("SemiJoinQueries = %v, want [0 5]", got)
+	}
+}
+
+func TestFinalFlag(t *testing.T) {
+	s := New(NewVersions(), []string{"k"}, 1, 4)
+	if s.Final() {
+		t.Error("new STeM marked final")
+	}
+	s.MarkFinal()
+	if !s.Final() {
+		t.Error("MarkFinal did not stick")
+	}
+}
+
+func TestChunkGrowth(t *testing.T) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 2, 16)
+	n := chunkSize*2 + 57 // force three chunks
+	for i := 0; i < n; i++ {
+		s.Insert(int32(i), []int64{int64(i % 97)}, bitset.NewFull(2), 0)
+	}
+	v.Publish(0)
+	ts := v.Now()
+	total := 0
+	for k := int64(0); k < 97; k++ {
+		total += len(s.Probe(nil, "k", k, ts))
+	}
+	if total != n {
+		t.Errorf("probed %d entries across all keys, want %d", total, n)
+	}
+	vid, q := s.Entry(chunkSize + 5)
+	if vid != int32(chunkSize+5) || q.Count() != 2 {
+		t.Errorf("Entry = %d %v", vid, q)
+	}
+}
+
+// TestConcurrentInsertProbePairsOnce models two episodes symmetric-joining:
+// every (r, s) key match must be produced exactly once across the two sides.
+func TestConcurrentInsertProbePairsOnce(t *testing.T) {
+	const keys = 64
+	const perSide = 4096
+	for trial := 0; trial < 4; trial++ {
+		v := NewVersions()
+		r := New(v, []string{"k"}, 2, perSide)
+		s := New(v, []string{"k"}, 2, perSide)
+		qs := bitset.NewFull(2)
+
+		type pair struct{ a, b int32 }
+		var mu sync.Mutex
+		found := make(map[pair]int)
+
+		run := func(mine, other *STeM, slotBase Slot, flip bool, seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perSide; i += 64 {
+				slot := slotBase + Slot(i/64)
+				for j := 0; j < 64; j++ {
+					vid := int32(i + j)
+					mine.Insert(vid, []int64{int64(rng.Intn(keys))}, qs, slot)
+				}
+				ts := v.Publish(slot)
+				// Probe the other side for each of my just-inserted keys.
+				rng2 := rand.New(rand.NewSource(seed))
+				_ = rng2
+				for j := 0; j < 64; j++ {
+					vid := int32(i + j)
+					key := mine.keyOf(vid)
+					for _, m := range other.Probe(nil, "k", key, ts) {
+						p := pair{vid, m.VID}
+						if flip {
+							p = pair{m.VID, vid}
+						}
+						mu.Lock()
+						found[p]++
+						mu.Unlock()
+					}
+				}
+			}
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); run(r, s, 0, false, int64(trial)*2+1) }()
+		go func() { defer wg.Done(); run(s, r, 1<<20, true, int64(trial)*2+2) }()
+		wg.Wait()
+
+		// Verify against ground truth.
+		rKeys := map[int64][]int32{}
+		sKeys := map[int64][]int32{}
+		for vid := int32(0); vid < perSide; vid++ {
+			rKeys[r.keyOf(vid)] = append(rKeys[r.keyOf(vid)], vid)
+			sKeys[s.keyOf(vid)] = append(sKeys[s.keyOf(vid)], vid)
+		}
+		want := 0
+		for k, rs := range rKeys {
+			want += len(rs) * len(sKeys[k])
+		}
+		if len(found) != want {
+			t.Fatalf("trial %d: found %d distinct pairs, want %d", trial, len(found), want)
+		}
+		for p, c := range found {
+			if c != 1 {
+				t.Fatalf("trial %d: pair %v produced %d times", trial, p, c)
+			}
+		}
+	}
+}
+
+// keyOf recovers the key of entry vid (test helper; entries were inserted
+// with vid == index order per side, single key column).
+func (s *STeM) keyOf(vid int32) int64 {
+	chunks := *s.chunks.Load()
+	n := int(s.count.Load())
+	for idx := 0; idx < n; idx++ {
+		c := chunks[idx>>chunkBits]
+		off := idx & chunkMask
+		if c.vids[off] == vid {
+			return c.keys[0][off]
+		}
+	}
+	return -1
+}
+
+func BenchmarkInsert(b *testing.B) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 64, b.N+1)
+	q := bitset.NewFull(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(int32(i), []int64{int64(i & 1023)}, q, Slot(i>>10))
+	}
+}
+
+func BenchmarkProbe(b *testing.B) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 64, 1<<16)
+	q := bitset.NewFull(64)
+	for i := 0; i < 1<<16; i++ {
+		s.Insert(int32(i), []int64{int64(i & 4095)}, q, 0)
+	}
+	v.Publish(0)
+	ts := v.Now()
+	var dst []Match
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.Probe(dst[:0], "k", int64(i&4095), ts)
+	}
+}

@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+)
+
+// Dict dictionary-encodes strings to dense int64 codes, the loader's
+// bridge between string-typed source data and the integer-only engine.
+type Dict struct {
+	codes  map[string]int64
+	values []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{codes: make(map[string]int64)} }
+
+// Code interns s, returning its stable code.
+func (d *Dict) Code(s string) int64 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := int64(len(d.values))
+	d.codes[s] = c
+	d.values = append(d.values, s)
+	return c
+}
+
+// Lookup returns the code for s without interning.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Value decodes a code; it returns "" for out-of-range codes.
+func (d *Dict) Value(c int64) string {
+	if c < 0 || c >= int64(len(d.values)) {
+		return ""
+	}
+	return d.values[c]
+}
+
+// Len returns the number of distinct interned values.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Values returns the interned strings in code order (a copy).
+func (d *Dict) Values() []string { return append([]string(nil), d.values...) }
+
+// SortedRemap re-assigns codes in lexicographic value order and returns the
+// old-code → new-code mapping, so range predicates over encoded strings
+// match lexicographic string ranges.
+func (d *Dict) SortedRemap() []int64 {
+	order := make([]int, len(d.values))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return d.values[order[a]] < d.values[order[b]] })
+	remap := make([]int64, len(d.values))
+	newValues := make([]string, len(d.values))
+	for newCode, oldCode := range order {
+		remap[oldCode] = int64(newCode)
+		newValues[newCode] = d.values[oldCode]
+		d.codes[d.values[oldCode]] = int64(newCode)
+	}
+	d.values = newValues
+	return remap
+}
+
+// CSVOptions configures LoadCSV.
+type CSVOptions struct {
+	// Header skips the first record (and, when the relation has no columns
+	// configured, could be used to derive them — the loader requires the
+	// relation schema, so Header only controls skipping).
+	Header bool
+	Comma  rune
+	// Dicts maps column names to dictionaries for non-integer columns;
+	// values in other columns must parse as int64.
+	Dicts map[string]*Dict
+}
+
+// LoadCSV reads rows into a new table with rel's schema. Each record must
+// have exactly one field per relation column, in schema order.
+func LoadCSV(rel *catalog.Relation, r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+
+	cols := make([][]int64, len(rel.Columns))
+	dicts := make([]*Dict, len(rel.Columns))
+	for i, c := range rel.Columns {
+		dicts[i] = opts.Dicts[c.Name]
+	}
+
+	first := true
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: csv: %w", err)
+		}
+		if first && opts.Header {
+			first = false
+			continue
+		}
+		first = false
+		if len(rec) != len(rel.Columns) {
+			return nil, fmt.Errorf("storage: csv row %d has %d fields, want %d", row, len(rec), len(rel.Columns))
+		}
+		for i, f := range rec {
+			var v int64
+			if dicts[i] != nil {
+				v = dicts[i].Code(f)
+			} else {
+				v, err = strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("storage: csv row %d column %s: %q is not an integer (use a Dict for string columns)", row, rel.Columns[i].Name, f)
+				}
+			}
+			cols[i] = append(cols[i], v)
+		}
+		row++
+	}
+	return FromColumns(rel, cols...), nil
+}
+
+// Binary snapshot format: magic, column count, row count, then each column
+// as row-count little-endian int64 values. Column order follows the schema.
+const binaryMagic = uint32(0x52544C54) // "RTLT"
+
+// SaveBinary writes a compact binary snapshot of the table.
+func SaveBinary(t *Table, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{binaryMagic, uint32(len(t.Rel.Columns)), uint32(t.NumRows())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for i := range t.Rel.Columns {
+		if err := binary.Write(bw, binary.LittleEndian, t.ColAt(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadBinary reads a snapshot saved by SaveBinary into rel's schema.
+func LoadBinary(rel *catalog.Relation, r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	var magic, nCols, nRows uint32
+	for _, p := range []*uint32{&magic, &nCols, &nRows} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("storage: binary header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("storage: bad magic %#x", magic)
+	}
+	if int(nCols) != len(rel.Columns) {
+		return nil, fmt.Errorf("storage: snapshot has %d columns, schema %s has %d", nCols, rel.Name, len(rel.Columns))
+	}
+	cols := make([][]int64, nCols)
+	for i := range cols {
+		cols[i] = make([]int64, nRows)
+		if err := binary.Read(br, binary.LittleEndian, cols[i]); err != nil {
+			return nil, fmt.Errorf("storage: binary column %d: %w", i, err)
+		}
+	}
+	return FromColumns(rel, cols...), nil
+}

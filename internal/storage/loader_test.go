@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+)
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	a := d.Code("apple")
+	b := d.Code("banana")
+	if a == b {
+		t.Fatal("distinct values share a code")
+	}
+	if got := d.Code("apple"); got != a {
+		t.Error("Code not stable")
+	}
+	if v := d.Value(b); v != "banana" {
+		t.Errorf("Value = %q", v)
+	}
+	if d.Value(99) != "" {
+		t.Error("out-of-range Value should be empty")
+	}
+	if _, ok := d.Lookup("cherry"); ok {
+		t.Error("Lookup interned")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDictSortedRemap(t *testing.T) {
+	d := NewDict()
+	zebra := d.Code("zebra")
+	apple := d.Code("apple")
+	mango := d.Code("mango")
+	remap := d.SortedRemap()
+	// After remap: apple=0, mango=1, zebra=2.
+	if remap[zebra] != 2 || remap[apple] != 0 || remap[mango] != 1 {
+		t.Errorf("remap = %v", remap)
+	}
+	if c, _ := d.Lookup("apple"); c != 0 {
+		t.Errorf("apple code after remap = %d", c)
+	}
+	vals := d.Values()
+	if vals[0] != "apple" || vals[2] != "zebra" {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	rel := catalog.NewRelation("people", "id", "name", "age")
+	dict := NewDict()
+	src := "id,name,age\n1,alice,30\n2,bob,25\n3,alice,41\n"
+	tab, err := LoadCSV(rel, strings.NewReader(src), CSVOptions{
+		Header: true,
+		Dicts:  map[string]*Dict{"name": dict},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	name := tab.Col("name")
+	if name[0] != name[2] || name[0] == name[1] {
+		t.Errorf("dictionary encoding broken: %v", name)
+	}
+	if dict.Value(name[1]) != "bob" {
+		t.Errorf("decode = %q", dict.Value(name[1]))
+	}
+	if tab.Col("age")[2] != 41 {
+		t.Errorf("age = %v", tab.Col("age"))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	rel := catalog.NewRelation("t", "a", "b")
+	if _, err := LoadCSV(rel, strings.NewReader("1,2,3\n"), CSVOptions{}); err == nil {
+		t.Error("wrong field count accepted")
+	}
+	if _, err := LoadCSV(rel, strings.NewReader("1,notanint\n"), CSVOptions{}); err == nil {
+		t.Error("non-integer without dict accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rel := catalog.NewRelation("t", "x", "y")
+	orig := FromColumns(rel, []int64{1, -5, 9}, []int64{7, 0, 42})
+	var buf bytes.Buffer
+	if err := SaveBinary(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinary(rel, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	for c := 0; c < 2; c++ {
+		for r := 0; r < 3; r++ {
+			if got.ColAt(c)[r] != orig.ColAt(c)[r] {
+				t.Errorf("col %d row %d: %d != %d", c, r, got.ColAt(c)[r], orig.ColAt(c)[r])
+			}
+		}
+	}
+}
+
+func TestLoadBinaryRejectsGarbage(t *testing.T) {
+	rel := catalog.NewRelation("t", "x")
+	if _, err := LoadBinary(rel, bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short input accepted")
+	}
+	var buf bytes.Buffer
+	two := catalog.NewRelation("two", "a", "b")
+	if err := SaveBinary(FromColumns(two, []int64{1}, []int64{2}), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinary(rel, &buf); err == nil {
+		t.Error("column-count mismatch accepted")
+	}
+}

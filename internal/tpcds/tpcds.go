@@ -1,0 +1,295 @@
+// Package tpcds provides the TPC-DS-shaped substrate of the evaluation: a
+// three-channel snowstorm schema (store / catalog / web sales facts with
+// shared and channel-specific dimensions, plus customer sub-dimensions), a
+// synthetic data generator at configurable scale, and the paper's extension
+// of every table with a uniformly distributed 0..999 column ("u") used to
+// control query selectivity precisely (§6.1).
+//
+// Substitution note (see DESIGN.md): the paper loads dsdgen SF10 data; this
+// generator reproduces the schema topology, key domains and uniform
+// selectivity-control column that the generated workloads actually exercise,
+// at laptop scale.
+package tpcds
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// SchemaKind selects the join-graph subset workloads draw from (Fig. 11d).
+type SchemaKind int
+
+// Schema kinds of the sensitivity analysis.
+const (
+	// Template: the fixed join set store_sales ⋈ date_dim ⋈ hdemo ⋈ item ⋈
+	// customer.
+	Template SchemaKind = iota
+	// SnowflakeStore: subgraphs of the store channel's star (fact → direct
+	// dimensions only).
+	SnowflakeStore
+	// SnowflakeAll: subgraphs of any single channel's star.
+	SnowflakeAll
+	// SnowstormStore: the store star plus customer sub-dimensions.
+	SnowstormStore
+	// SnowstormAll: any channel's star plus sub-dimensions.
+	SnowstormAll
+)
+
+// String names the schema kind as in Fig. 11d.
+func (k SchemaKind) String() string {
+	switch k {
+	case Template:
+		return "template"
+	case SnowflakeStore:
+		return "snowflake-store"
+	case SnowflakeAll:
+		return "snowflake-all"
+	case SnowstormStore:
+		return "snowstorm-store"
+	case SnowstormAll:
+		return "snowstorm-all"
+	}
+	return "unknown"
+}
+
+// Edge is one usable join edge of a schema graph: child.childCol =
+// parent.parentCol.
+type Edge struct {
+	Child, ChildCol, Parent, ParentCol string
+}
+
+// Sizes at scale 1.0. Dimension sizes follow TPC-DS proportions
+// (dimensions largely scale-invariant, facts linear in scale).
+var baseSizes = map[string]int{
+	"store_sales":            20000,
+	"catalog_sales":          12000,
+	"web_sales":              6000,
+	"date_dim":               1095,
+	"time_dim":               864,
+	"item":                   1800,
+	"customer":               4000,
+	"customer_address":       2000,
+	"customer_demographics":  1920,
+	"household_demographics": 720,
+	"promotion":              90,
+	"store":                  24,
+	"warehouse":              10,
+	"ship_mode":              20,
+	"web_site":               12,
+	"web_page":               60,
+}
+
+// factTables lists the channel facts; only facts scale with the factor.
+var factTables = map[string]bool{"store_sales": true, "catalog_sales": true, "web_sales": true}
+
+// channelEdges maps each channel fact to its star edges.
+var channelEdges = map[string][]Edge{
+	"store_sales": {
+		{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"},
+		{"store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk"},
+		{"store_sales", "ss_item_sk", "item", "i_item_sk"},
+		{"store_sales", "ss_customer_sk", "customer", "c_customer_sk"},
+		{"store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk"},
+		{"store_sales", "ss_store_sk", "store", "s_store_sk"},
+		{"store_sales", "ss_promo_sk", "promotion", "p_promo_sk"},
+	},
+	"catalog_sales": {
+		{"catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"},
+		{"catalog_sales", "cs_sold_time_sk", "time_dim", "t_time_sk"},
+		{"catalog_sales", "cs_item_sk", "item", "i_item_sk"},
+		{"catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"},
+		{"catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk"},
+		{"catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"},
+		{"catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk"},
+	},
+	"web_sales": {
+		{"web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"},
+		{"web_sales", "ws_sold_time_sk", "time_dim", "t_time_sk"},
+		{"web_sales", "ws_item_sk", "item", "i_item_sk"},
+		{"web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk"},
+		{"web_sales", "ws_web_site_sk", "web_site", "web_site_sk"},
+		{"web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk"},
+		{"web_sales", "ws_promo_sk", "promotion", "p_promo_sk"},
+	},
+}
+
+// snowstormEdges extends dimension tables with sub-dimensions.
+var snowstormEdges = []Edge{
+	{"customer", "c_current_addr_sk", "customer_address", "ca_address_sk"},
+	{"customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"},
+}
+
+// Facts returns the channel fact tables usable under kind.
+func Facts(kind SchemaKind) []string {
+	switch kind {
+	case Template, SnowflakeStore, SnowstormStore:
+		return []string{"store_sales"}
+	default:
+		return []string{"store_sales", "catalog_sales", "web_sales"}
+	}
+}
+
+// Edges returns the usable join edges when the query's fact is fact. Facts
+// of different channels are never joined (the paper excludes the one TPC-DS
+// query that does).
+func Edges(kind SchemaKind, fact string) []Edge {
+	star := channelEdges[fact]
+	switch kind {
+	case Template, SnowflakeStore, SnowflakeAll:
+		return star
+	default:
+		out := append([]Edge(nil), star...)
+		out = append(out, snowstormEdges...)
+		return out
+	}
+}
+
+// TemplateEdges returns the fixed template join set of Fig. 11d.
+func TemplateEdges() []Edge {
+	return []Edge{
+		{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"},
+		{"store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk"},
+		{"store_sales", "ss_item_sk", "item", "i_item_sk"},
+		{"store_sales", "ss_customer_sk", "customer", "c_customer_sk"},
+	}
+}
+
+// keyColumns maps each table to its primary key column.
+var keyColumns = map[string]string{
+	"date_dim":               "d_date_sk",
+	"time_dim":               "t_time_sk",
+	"item":                   "i_item_sk",
+	"customer":               "c_customer_sk",
+	"customer_address":       "ca_address_sk",
+	"customer_demographics":  "cd_demo_sk",
+	"household_demographics": "hd_demo_sk",
+	"promotion":              "p_promo_sk",
+	"store":                  "s_store_sk",
+	"warehouse":              "w_warehouse_sk",
+	"ship_mode":              "sm_ship_mode_sk",
+	"web_site":               "web_site_sk",
+	"web_page":               "wp_web_page_sk",
+}
+
+// Generate builds the database at the given scale factor (facts scale
+// linearly, dimensions are fixed) with deterministic content from seed.
+// Every table carries the uniform selectivity-control column "u" (0..999).
+func Generate(scale float64, seed int64) *storage.Database {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	sizes := make(map[string]int, len(baseSizes))
+	for t, n := range baseSizes {
+		if factTables[t] {
+			n = int(float64(n) * scale)
+			if n < 100 {
+				n = 100
+			}
+		}
+		sizes[t] = n
+	}
+
+	// Collect column lists per table.
+	cols := map[string][]string{}
+	addCol := func(t, c string) {
+		for _, have := range cols[t] {
+			if have == c {
+				return
+			}
+		}
+		cols[t] = append(cols[t], c)
+	}
+	for t, k := range keyColumns {
+		addCol(t, k)
+	}
+	for _, edges := range channelEdges {
+		for _, e := range edges {
+			addCol(e.Child, e.ChildCol)
+			addCol(e.Parent, e.ParentCol)
+		}
+	}
+	for _, e := range snowstormEdges {
+		addCol(e.Child, e.ChildCol)
+		addCol(e.Parent, e.ParentCol)
+	}
+	for t := range sizes {
+		addCol(t, "u")
+	}
+	// A couple of measure columns on facts.
+	addCol("store_sales", "ss_quantity")
+	addCol("catalog_sales", "cs_quantity")
+	addCol("web_sales", "ws_quantity")
+
+	// Deterministic generation requires a fixed table order (maps iterate
+	// randomly, which would perturb the RNG stream).
+	names := make([]string, 0, len(sizes))
+	for t := range sizes {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+
+	var rels []*catalog.Relation
+	for _, t := range names {
+		rels = append(rels, catalog.NewRelation(t, cols[t]...))
+	}
+	sch := catalog.NewSchema(rels...)
+	for _, fact := range []string{"store_sales", "catalog_sales", "web_sales"} {
+		for _, e := range channelEdges[fact] {
+			sch.AddFK(e.Child, e.ChildCol, e.Parent, e.ParentCol)
+		}
+	}
+	for _, e := range snowstormEdges {
+		sch.AddFK(e.Child, e.ChildCol, e.Parent, e.ParentCol)
+	}
+
+	db := storage.NewDatabase(sch)
+	for _, t := range names {
+		n := sizes[t]
+		tab := storage.NewTable(sch.Relation(t), n)
+		// Primary keys: dense 0..n-1.
+		if k, ok := keyColumns[t]; ok {
+			col := tab.Col(k)
+			for i := range col {
+				col[i] = int64(i)
+			}
+		}
+		// Uniform selectivity column.
+		u := tab.Col("u")
+		for i := range u {
+			u[i] = int64(rng.Intn(1000))
+		}
+		db.Put(tab)
+	}
+	// Foreign keys: uniform over the parent domain.
+	fill := func(e Edge) {
+		child := db.MustTable(e.Child)
+		parentRows := db.MustTable(e.Parent).NumRows()
+		col := child.Col(e.ChildCol)
+		for i := range col {
+			col[i] = int64(rng.Intn(parentRows))
+		}
+	}
+	for _, fact := range []string{"store_sales", "catalog_sales", "web_sales"} {
+		for _, e := range channelEdges[fact] {
+			fill(e)
+		}
+	}
+	for _, e := range snowstormEdges {
+		fill(e)
+	}
+	// Measures.
+	for _, f := range []struct{ t, c string }{
+		{"store_sales", "ss_quantity"}, {"catalog_sales", "cs_quantity"}, {"web_sales", "ws_quantity"},
+	} {
+		col := db.MustTable(f.t).Col(f.c)
+		for i := range col {
+			col[i] = int64(1 + rng.Intn(100))
+		}
+	}
+	return db
+}

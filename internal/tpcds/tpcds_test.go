@@ -1,0 +1,82 @@
+package tpcds
+
+import (
+	"testing"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	db := Generate(0.5, 1)
+	ss := db.MustTable("store_sales")
+	if ss.NumRows() != 10000 {
+		t.Errorf("store_sales rows = %d, want 10000 at scale 0.5", ss.NumRows())
+	}
+	dd := db.MustTable("date_dim")
+	if dd.NumRows() != 1095 {
+		t.Errorf("date_dim rows = %d (dimensions must not scale)", dd.NumRows())
+	}
+	// FK domain: every ss_sold_date_sk must be a valid date_dim key.
+	fk := ss.Col("ss_sold_date_sk")
+	for _, v := range fk {
+		if v < 0 || v >= int64(dd.NumRows()) {
+			t.Fatalf("FK out of domain: %d", v)
+		}
+	}
+	// Uniform column present everywhere and in range.
+	for _, name := range db.TableNames() {
+		u := db.MustTable(name).Col("u")
+		for _, v := range u {
+			if v < 0 || v > 999 {
+				t.Fatalf("%s.u out of range: %d", name, v)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.1, 7)
+	b := Generate(0.1, 7)
+	ca := a.MustTable("store_sales").Col("ss_item_sk")
+	cb := b.MustTable("store_sales").Col("ss_item_sk")
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("generation not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestEdgesPerKind(t *testing.T) {
+	if got := len(Facts(SnowflakeStore)); got != 1 {
+		t.Errorf("snowflake-store facts = %d", got)
+	}
+	if got := len(Facts(SnowstormAll)); got != 3 {
+		t.Errorf("snowstorm-all facts = %d", got)
+	}
+	star := Edges(SnowflakeStore, "store_sales")
+	storm := Edges(SnowstormStore, "store_sales")
+	if len(storm) != len(star)+2 {
+		t.Errorf("snowstorm edges = %d, want star+2 (customer sub-dims)", len(storm))
+	}
+	for _, e := range Edges(SnowflakeAll, "web_sales") {
+		if e.Child == "store_sales" || e.Parent == "store_sales" {
+			t.Error("web channel edges must not touch store_sales")
+		}
+	}
+	if len(TemplateEdges()) != 4 {
+		t.Errorf("template edges = %d, want 4", len(TemplateEdges()))
+	}
+}
+
+func TestUniformColumnIsRoughlyUniform(t *testing.T) {
+	db := Generate(1, 3)
+	u := db.MustTable("store_sales").Col("u")
+	var buckets [10]int
+	for _, v := range u {
+		buckets[v/100]++
+	}
+	expect := len(u) / 10
+	for i, c := range buckets {
+		if c < expect*7/10 || c > expect*13/10 {
+			t.Errorf("bucket %d count %d far from uniform expectation %d", i, c, expect)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// The paper's sensitivity analysis shows sharing degrades with join-set
+// diversity and suggests "increasing homogeneity using workload-aware
+// batching" as future work (§6.1). This file implements that optimization:
+// queries are clustered into batches by join-set similarity, so each batch
+// maximizes shareable work.
+
+// joinSet returns a canonical signature set of a query's join edges.
+func joinSet(q *query.Query) map[string]struct{} {
+	aliasTable := map[string]string{}
+	for _, r := range q.Rels {
+		a := r.Alias
+		if a == "" {
+			a = r.Table
+		}
+		aliasTable[a] = r.Table
+	}
+	s := make(map[string]struct{}, len(q.Joins))
+	for _, j := range q.Joins {
+		l := fmt.Sprintf("%s.%s", aliasTable[j.LeftAlias], j.LeftCol)
+		r := fmt.Sprintf("%s.%s", aliasTable[j.RightAlias], j.RightCol)
+		if l > r {
+			l, r = r, l
+		}
+		s[l+"="+r] = struct{}{}
+	}
+	return s
+}
+
+// jaccard computes |a∩b| / |a∪b|; two empty sets are fully similar.
+func jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// ClusterBatches groups queries into batches of at most batchSize,
+// maximizing intra-batch join-set similarity: a greedy agglomeration that
+// repeatedly seeds a batch with the first unassigned query and fills it
+// with the most similar remaining queries.
+func ClusterBatches(qs []*query.Query, batchSize int) [][]*query.Query {
+	if batchSize <= 0 {
+		batchSize = len(qs)
+	}
+	sets := make([]map[string]struct{}, len(qs))
+	for i, q := range qs {
+		sets[i] = joinSet(q)
+	}
+	assigned := make([]bool, len(qs))
+	var out [][]*query.Query
+	for seed := 0; seed < len(qs); seed++ {
+		if assigned[seed] {
+			continue
+		}
+		assigned[seed] = true
+		batch := []*query.Query{qs[seed]}
+		// Rank remaining queries by similarity to the seed.
+		type cand struct {
+			idx int
+			sim float64
+		}
+		var cands []cand
+		for j := seed + 1; j < len(qs); j++ {
+			if !assigned[j] {
+				cands = append(cands, cand{j, jaccard(sets[seed], sets[j])})
+			}
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].sim > cands[b].sim })
+		for _, c := range cands {
+			if len(batch) >= batchSize {
+				break
+			}
+			assigned[c.idx] = true
+			batch = append(batch, qs[c.idx])
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// FIFOBatches splits queries into batches of at most batchSize in arrival
+// order (the paper's workload-agnostic scheduling baseline).
+func FIFOBatches(qs []*query.Query, batchSize int) [][]*query.Query {
+	if batchSize <= 0 {
+		batchSize = len(qs)
+	}
+	var out [][]*query.Query
+	for i := 0; i < len(qs); i += batchSize {
+		end := i + batchSize
+		if end > len(qs) {
+			end = len(qs)
+		}
+		out = append(out, qs[i:end:end])
+	}
+	return out
+}
+
+// MeanPairwiseSimilarity reports the average intra-batch join-set Jaccard
+// similarity over a batching — the homogeneity metric clustering optimizes.
+func MeanPairwiseSimilarity(batches [][]*query.Query) float64 {
+	total, pairs := 0.0, 0
+	for _, b := range batches {
+		sets := make([]map[string]struct{}, len(b))
+		for i, q := range b {
+			sets[i] = joinSet(q)
+		}
+		for i := 0; i < len(b); i++ {
+			for j := i + 1; j < len(b); j++ {
+				total += jaccard(sets[i], sets[j])
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 1
+	}
+	return total / float64(pairs)
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/tpcds"
+)
+
+func TestFIFOBatches(t *testing.T) {
+	qs := NewGenerator(DefaultParams()).Generate(10)
+	bs := FIFOBatches(qs, 4)
+	if len(bs) != 3 || len(bs[0]) != 4 || len(bs[2]) != 2 {
+		t.Fatalf("batch sizes = %v", lens(bs))
+	}
+	if bs[0][0] != qs[0] || bs[2][1] != qs[9] {
+		t.Error("FIFO order broken")
+	}
+	if got := FIFOBatches(qs, 0); len(got) != 1 || len(got[0]) != 10 {
+		t.Error("batchSize<=0 should produce one batch")
+	}
+}
+
+func TestClusterBatchesCoversAllOnce(t *testing.T) {
+	p := DefaultParams()
+	p.Kind = tpcds.SnowstormAll
+	p.Seed = 5
+	qs := NewGenerator(p).Generate(60)
+	bs := ClusterBatches(qs, 8)
+	seen := map[*query.Query]bool{}
+	for _, b := range bs {
+		if len(b) > 8 {
+			t.Fatalf("batch over size: %d", len(b))
+		}
+		for _, q := range b {
+			if seen[q] {
+				t.Fatal("query assigned twice")
+			}
+			seen[q] = true
+		}
+	}
+	if len(seen) != 60 {
+		t.Fatalf("covered %d queries", len(seen))
+	}
+}
+
+func TestClusteringImprovesHomogeneity(t *testing.T) {
+	// On a diverse (snowstorm-all) workload, clustered batches must have
+	// markedly higher intra-batch join-set similarity than FIFO.
+	p := DefaultParams()
+	p.Kind = tpcds.SnowstormAll
+	p.Seed = 7
+	qs := NewGenerator(p).Generate(128)
+	fifo := MeanPairwiseSimilarity(FIFOBatches(qs, 16))
+	clustered := MeanPairwiseSimilarity(ClusterBatches(qs, 16))
+	if clustered <= fifo {
+		t.Errorf("clustered similarity %.3f not above FIFO %.3f", clustered, fifo)
+	}
+	t.Logf("similarity: fifo=%.3f clustered=%.3f", fifo, clustered)
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[string]struct{}{"x": {}, "y": {}}
+	b := map[string]struct{}{"y": {}, "z": {}}
+	if got := jaccard(a, b); got != 1.0/3.0 {
+		t.Errorf("jaccard = %v", got)
+	}
+	if jaccard(nil, nil) != 1 {
+		t.Error("empty sets should be fully similar")
+	}
+}
+
+func lens(bs [][]*query.Query) []int {
+	out := make([]int, len(bs))
+	for i, b := range bs {
+		out[i] = len(b)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package workload implements the paper's two-step query generator (§6.1):
+// (1) draw a join subgraph of the chosen TPC-DS schema subset rooted at a
+// channel fact, never joining facts of different channels; (2) attach
+// BETWEEN predicates on the uniform 0..999 column of three randomly chosen
+// relations, with unequal per-relation selectivities whose product matches
+// the target query selectivity.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/tpcds"
+)
+
+// Params are the sensitivity-analysis knobs of Fig. 11. Defaults mirror the
+// paper: 10% selectivity, 4 joins, snowflake-store.
+type Params struct {
+	Joins       int     // joins per query (relations = Joins+1)
+	Selectivity float64 // total query selectivity in (0, 1]
+	Kind        tpcds.SchemaKind
+	Seed        int64
+}
+
+// DefaultParams returns the paper's defaults.
+func DefaultParams() Params {
+	return Params{Joins: 4, Selectivity: 0.10, Kind: tpcds.SnowflakeStore, Seed: 1}
+}
+
+// Generator draws queries under fixed parameters.
+type Generator struct {
+	p   Params
+	rng *rand.Rand
+}
+
+// NewGenerator creates a generator.
+func NewGenerator(p Params) *Generator {
+	if p.Joins < 1 {
+		p.Joins = 1
+	}
+	if p.Selectivity <= 0 || p.Selectivity > 1 {
+		p.Selectivity = 0.10
+	}
+	return &Generator{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Generate draws n queries (the paper generates a 4096-query pool per
+// configuration and samples batches from it without replacement).
+func (g *Generator) Generate(n int) []*query.Query {
+	out := make([]*query.Query, n)
+	for i := range out {
+		out[i] = g.one(i)
+	}
+	return out
+}
+
+// one draws a single query.
+func (g *Generator) one(idx int) *query.Query {
+	q := &query.Query{Tag: fmt.Sprintf("gen-%d", idx)}
+
+	var joins []tpcds.Edge
+	if g.p.Kind == tpcds.Template {
+		joins = tpcds.TemplateEdges()
+	} else {
+		facts := tpcds.Facts(g.p.Kind)
+		fact := facts[g.rng.Intn(len(facts))]
+		avail := tpcds.Edges(g.p.Kind, fact)
+		joins = g.subgraph(fact, avail, g.p.Joins)
+	}
+
+	// Relations: the union of edge endpoints.
+	seen := map[string]bool{}
+	for _, e := range joins {
+		for _, t := range []string{e.Child, e.Parent} {
+			if !seen[t] {
+				seen[t] = true
+				q.Rels = append(q.Rels, query.RelRef{Table: t})
+			}
+		}
+	}
+	for _, e := range joins {
+		q.Joins = append(q.Joins, query.Join{
+			LeftAlias: e.Child, LeftCol: e.ChildCol,
+			RightAlias: e.Parent, RightCol: e.ParentCol,
+		})
+	}
+
+	// Predicates: three random relations, unequal selectivities with the
+	// target product (ratios 2 : 1 : 1/2 around the cube root).
+	nPred := 3
+	if len(q.Rels) < nPred {
+		nPred = len(q.Rels)
+	}
+	sels := splitSelectivity(g.p.Selectivity, nPred)
+	perm := g.rng.Perm(len(q.Rels))
+	for i := 0; i < nPred; i++ {
+		rel := q.Rels[perm[i]].Table
+		width := int64(math.Round(sels[i] * 1000))
+		if width < 1 {
+			width = 1
+		}
+		if width > 1000 {
+			width = 1000
+		}
+		lo := int64(0)
+		if width < 1000 {
+			lo = int64(g.rng.Intn(int(1000 - width + 1)))
+		}
+		q.Filters = append(q.Filters, query.Filter{
+			Alias: rel, Col: "u", Lo: lo, Hi: lo + width - 1,
+		})
+	}
+	return q
+}
+
+// subgraph draws a random connected subgraph with nJoins edges containing
+// the fact: repeatedly attach a random edge adjacent to the current
+// relation set (sub-dimension edges become available once their parent
+// dimension is in).
+func (g *Generator) subgraph(fact string, avail []tpcds.Edge, nJoins int) []tpcds.Edge {
+	in := map[string]bool{fact: true}
+	var chosen []tpcds.Edge
+	used := make([]bool, len(avail))
+	for len(chosen) < nJoins {
+		var cands []int
+		for i, e := range avail {
+			if used[i] {
+				continue
+			}
+			// Edge is attachable if exactly one endpoint is in.
+			if in[e.Child] != in[e.Parent] {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			break // schema exhausted: fewer joins than requested
+		}
+		pick := cands[g.rng.Intn(len(cands))]
+		used[pick] = true
+		e := avail[pick]
+		in[e.Child] = true
+		in[e.Parent] = true
+		chosen = append(chosen, e)
+	}
+	return chosen
+}
+
+// splitSelectivity factors target into n unequal selectivities (each ≤ 1)
+// whose product is target.
+func splitSelectivity(target float64, n int) []float64 {
+	if n == 1 {
+		return []float64{target}
+	}
+	root := math.Pow(target, 1/float64(n))
+	out := make([]float64, n)
+	// Spread by a factor of 2 between the widest and the narrowest; fix up
+	// the last term so the product is exact.
+	ratio := []float64{2, 1, 0.5}
+	prod := 1.0
+	for i := 0; i < n; i++ {
+		r := ratio[i%len(ratio)]
+		s := root * r
+		if s > 1 {
+			s = 1
+		}
+		if i == n-1 {
+			s = target / prod
+			if s > 1 {
+				s = 1
+			}
+		}
+		out[i] = s
+		prod *= s
+	}
+	return out
+}
+
+// SampleBatch draws a batch of size k from pool without replacement.
+func SampleBatch(rng *rand.Rand, pool []*query.Query, k int) []*query.Query {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	perm := rng.Perm(len(pool))[:k]
+	out := make([]*query.Query, k)
+	for i, p := range perm {
+		src := pool[p]
+		// Queries carry batch-assigned IDs; copy so pools can be re-sampled.
+		cp := *src
+		out[i] = &cp
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/tpcds"
+)
+
+func TestGeneratedQueriesCompile(t *testing.T) {
+	for _, kind := range []tpcds.SchemaKind{
+		tpcds.Template, tpcds.SnowflakeStore, tpcds.SnowflakeAll,
+		tpcds.SnowstormStore, tpcds.SnowstormAll,
+	} {
+		p := DefaultParams()
+		p.Kind = kind
+		p.Seed = 42
+		qs := NewGenerator(p).Generate(50)
+		if len(qs) != 50 {
+			t.Fatalf("%v: generated %d queries", kind, len(qs))
+		}
+		if _, err := query.Compile(qs); err != nil {
+			t.Fatalf("%v: batch does not compile: %v", kind, err)
+		}
+	}
+}
+
+func TestJoinCountRespected(t *testing.T) {
+	for _, j := range []int{1, 2, 3, 4, 5, 6} {
+		p := DefaultParams()
+		p.Joins = j
+		p.Kind = tpcds.SnowflakeStore
+		qs := NewGenerator(p).Generate(30)
+		for _, q := range qs {
+			if len(q.Joins) != j {
+				t.Errorf("joins=%d: query has %d joins", j, len(q.Joins))
+			}
+			if len(q.Rels) != j+1 {
+				t.Errorf("joins=%d: query has %d relations", j, len(q.Rels))
+			}
+		}
+	}
+}
+
+func TestSelectivityProduct(t *testing.T) {
+	for _, target := range []float64{0.0001, 0.001, 0.01, 0.1, 1.0} {
+		p := DefaultParams()
+		p.Selectivity = target
+		qs := NewGenerator(p).Generate(20)
+		for _, q := range qs {
+			prod := 1.0
+			for _, f := range q.Filters {
+				prod *= float64(f.Hi-f.Lo+1) / 1000
+			}
+			// Rounding to integer range widths distorts tiny targets; allow
+			// a generous band on a log scale.
+			if target >= 0.001 {
+				if prod < target/3 || prod > target*3 {
+					t.Errorf("target %v: filter product %v", target, prod)
+				}
+			}
+			if len(q.Filters) == 0 {
+				t.Error("query without filters")
+			}
+		}
+	}
+}
+
+func TestSplitSelectivityExact(t *testing.T) {
+	for _, target := range []float64{0.5, 0.1, 0.01} {
+		sels := splitSelectivity(target, 3)
+		prod := 1.0
+		unequal := false
+		for i, s := range sels {
+			if s <= 0 || s > 1 {
+				t.Fatalf("selectivity %d out of range: %v", i, s)
+			}
+			prod *= s
+			if i > 0 && math.Abs(s-sels[0]) > 1e-12 {
+				unequal = true
+			}
+		}
+		if math.Abs(prod-target) > 1e-9 {
+			t.Errorf("product = %v, want %v", prod, target)
+		}
+		if !unequal {
+			t.Error("selectivities should be unequal")
+		}
+	}
+}
+
+func TestSnowstormUsesSubDimensions(t *testing.T) {
+	p := DefaultParams()
+	p.Kind = tpcds.SnowstormStore
+	p.Joins = 6
+	p.Seed = 9
+	qs := NewGenerator(p).Generate(200)
+	found := false
+	for _, q := range qs {
+		for _, r := range q.Rels {
+			if r.Table == "customer_address" || r.Table == "customer_demographics" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no snowstorm query used a sub-dimension in 200 draws")
+	}
+}
+
+func TestSampleBatchNoReplacement(t *testing.T) {
+	qs := NewGenerator(DefaultParams()).Generate(40)
+	rng := rand.New(rand.NewSource(1))
+	batch := SampleBatch(rng, qs, 10)
+	if len(batch) != 10 {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	seen := map[string]bool{}
+	for _, q := range batch {
+		if seen[q.Tag] {
+			t.Errorf("duplicate query %s in batch", q.Tag)
+		}
+		seen[q.Tag] = true
+	}
+	// Oversized request clamps.
+	if got := len(SampleBatch(rng, qs, 100)); got != 40 {
+		t.Errorf("oversized sample = %d", got)
+	}
+}

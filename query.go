@@ -1,0 +1,120 @@
+package roulette
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// Query is an SPJ query under construction. Build it fluently, then pass it
+// to Engine.ExecuteBatch; construction errors surface at execution.
+type Query struct {
+	q   query.Query
+	err error
+}
+
+// NewQuery starts a query with a user-facing tag.
+func NewQuery(tag string) *Query {
+	return &Query{q: query.Query{Tag: tag}}
+}
+
+func (q *Query) fail(format string, args ...any) *Query {
+	if q.err == nil {
+		q.err = fmt.Errorf(format, args...)
+	}
+	return q
+}
+
+// From adds a relation under its own name as alias.
+func (q *Query) From(table string) *Query { return q.FromAs(table, table) }
+
+// FromAs adds a relation under an explicit alias (required for self-joins).
+func (q *Query) FromAs(table, alias string) *Query {
+	q.q.Rels = append(q.q.Rels, query.RelRef{Table: table, Alias: alias})
+	return q
+}
+
+// Join adds the equi-join predicate leftAlias.leftCol = rightAlias.rightCol.
+// Each query's join graph must be connected; cycle-closing joins are
+// evaluated as residual predicates.
+func (q *Query) Join(leftAlias, leftCol, rightAlias, rightCol string) *Query {
+	q.q.Joins = append(q.q.Joins, query.Join{
+		LeftAlias: leftAlias, LeftCol: leftCol,
+		RightAlias: rightAlias, RightCol: rightCol,
+	})
+	return q
+}
+
+// Between restricts alias.col to the inclusive range [lo, hi].
+func (q *Query) Between(alias, col string, lo, hi int64) *Query {
+	if lo > hi {
+		return q.fail("roulette: Between(%s.%s, %d, %d): empty range", alias, col, lo, hi)
+	}
+	q.q.Filters = append(q.q.Filters, query.Filter{Alias: alias, Col: col, Lo: lo, Hi: hi})
+	return q
+}
+
+// Eq restricts alias.col to exactly v.
+func (q *Query) Eq(alias, col string, v int64) *Query { return q.Between(alias, col, v, v) }
+
+// Lt restricts alias.col to values < v.
+func (q *Query) Lt(alias, col string, v int64) *Query {
+	return q.Between(alias, col, math.MinInt64, v-1)
+}
+
+// Le restricts alias.col to values <= v.
+func (q *Query) Le(alias, col string, v int64) *Query {
+	return q.Between(alias, col, math.MinInt64, v)
+}
+
+// Gt restricts alias.col to values > v.
+func (q *Query) Gt(alias, col string, v int64) *Query {
+	return q.Between(alias, col, v+1, math.MaxInt64)
+}
+
+// Ge restricts alias.col to values >= v.
+func (q *Query) Ge(alias, col string, v int64) *Query {
+	return q.Between(alias, col, v, math.MaxInt64)
+}
+
+// CountStar makes the query's consumer COUNT(*) (the default).
+func (q *Query) CountStar() *Query {
+	q.q.Agg = query.Agg{Kind: query.AggCount}
+	return q
+}
+
+// Sum makes the consumer SUM(alias.col).
+func (q *Query) Sum(alias, col string) *Query { return q.agg(query.AggSum, alias, col) }
+
+// Min makes the consumer MIN(alias.col).
+func (q *Query) Min(alias, col string) *Query { return q.agg(query.AggMin, alias, col) }
+
+// Max makes the consumer MAX(alias.col).
+func (q *Query) Max(alias, col string) *Query { return q.agg(query.AggMax, alias, col) }
+
+// Avg makes the consumer AVG(alias.col) (integer division).
+func (q *Query) Avg(alias, col string) *Query { return q.agg(query.AggAvg, alias, col) }
+
+func (q *Query) agg(kind query.AggKind, alias, col string) *Query {
+	q.q.Agg.Kind = kind
+	q.q.Agg.Alias, q.q.Agg.Col = alias, col
+	return q
+}
+
+// GroupBy groups the aggregate by alias.col.
+func (q *Query) GroupBy(alias, col string) *Query {
+	q.q.Agg.GroupByAlias, q.q.Agg.GroupByCol = alias, col
+	return q
+}
+
+// OrderByKey sorts grouped output by group key. RouLette itself never
+// preserves interesting orders, so the host consumer adds the sort — this
+// mirrors the paper's plan transformation.
+func (q *Query) OrderByKey() *Query {
+	q.q.Agg.Sorted = true
+	return q
+}
+
+// Tag returns the query's tag.
+func (q *Query) Tag() string { return q.q.Tag }

@@ -1,0 +1,56 @@
+package roulette
+
+import "time"
+
+// Group is one aggregate output row; Key is 0 for ungrouped aggregates.
+type Group struct {
+	Key   int64
+	Value int64
+}
+
+// QueryResult is one query's outcome.
+type QueryResult struct {
+	Tag string
+	// Count is the SPJ result cardinality (before aggregation).
+	Count int64
+	// Groups holds the host-side aggregate: one entry for plain COUNT/SUM,
+	// one per key for grouped aggregates (sorted if OrderByKey was set).
+	Groups []Group
+}
+
+// Value returns the ungrouped aggregate value (0 when grouped/empty).
+func (r *QueryResult) Value() int64 {
+	if len(r.Groups) == 1 {
+		return r.Groups[0].Value
+	}
+	return 0
+}
+
+// ConvergencePoint is one episode's measured plan cost against the learned
+// policy's estimate of the minimum achievable cost (Fig. 16's two series).
+type ConvergencePoint struct {
+	Episode   int64
+	Measured  float64
+	Estimated float64
+}
+
+// BatchResult summarizes a batch execution.
+type BatchResult struct {
+	Queries []QueryResult
+
+	Elapsed  time.Duration
+	Episodes int64
+	// JoinTuples counts intermediate join output tuples — the paper's
+	// implementation-independent plan-quality metric.
+	JoinTuples int64
+
+	Convergence []ConvergencePoint
+}
+
+// Throughput returns queries per second.
+func (r *BatchResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Queries)) / r.Elapsed.Seconds()
+}

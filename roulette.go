@@ -1,0 +1,353 @@
+// Package roulette is an embeddable multi-query execution engine: a Go
+// implementation of RouLette (Sioulas & Ailamaki, "Scalable Multi-Query
+// Execution using Reinforcement Learning", SIGMOD 2021).
+//
+// RouLette executes batches of Select-Project-Join queries together,
+// sharing scans, selections and join work across queries. Instead of
+// optimizing before executing, it adapts a global query plan at runtime in
+// vector-sized episodes, steering join and selection ordering with a
+// specialized Q-learning policy that learns the long-term cost of planning
+// decisions — including the benefit of sharing operators across queries.
+//
+// Basic use:
+//
+//	e := roulette.NewEngine()
+//	e.MustCreateTable("fact", roulette.Col("fk", fk...), roulette.Col("v", v...))
+//	e.MustCreateTable("dim", roulette.Col("k", k...), roulette.Col("g", g...))
+//
+//	q := roulette.NewQuery("q1").
+//		From("fact").From("dim").
+//		Join("fact", "fk", "dim", "k").
+//		Between("fact", "v", 10, 20).
+//		CountStar()
+//
+//	res, err := e.ExecuteBatch([]*roulette.Query{q}, nil)
+//	fmt.Println(res.Queries[0].Count)
+package roulette
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/engine"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/host"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/sharing"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// Column is a named int64 column used to create tables. String data should
+// be dictionary-encoded to int64 by the caller; the engine is integer-only
+// by design (late materialization over columnar storage).
+type Column struct {
+	Name string
+	Data []int64
+}
+
+// Col is a convenience constructor for Column.
+func Col(name string, data ...int64) Column { return Column{Name: name, Data: data} }
+
+// ColSlice wraps an existing slice without copying.
+func ColSlice(name string, data []int64) Column { return Column{Name: name, Data: data} }
+
+// Engine owns an in-memory columnar database and executes query batches
+// over it.
+type Engine struct {
+	schema *catalog.Schema
+	db     *storage.Database
+
+	calOnce    sync.Once
+	calibrated *cost.Model
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	sch := catalog.NewSchema()
+	return &Engine{schema: sch, db: storage.NewDatabase(sch)}
+}
+
+// CreateTable registers a table from columns, which must all have the same
+// length.
+func (e *Engine) CreateTable(name string, cols ...Column) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("roulette: table %q needs at least one column", name)
+	}
+	if e.db.Table(name) != nil {
+		return fmt.Errorf("roulette: table %q already exists", name)
+	}
+	n := len(cols[0].Data)
+	names := make([]string, len(cols))
+	data := make([][]int64, len(cols))
+	for i, c := range cols {
+		if len(c.Data) != n {
+			return fmt.Errorf("roulette: table %q column %q has %d rows, want %d", name, c.Name, len(c.Data), n)
+		}
+		names[i] = c.Name
+		data[i] = c.Data
+	}
+	rel := catalog.NewRelation(name, names...)
+	e.schema.AddRelation(rel)
+	e.db.Put(storage.FromColumns(rel, data...))
+	return nil
+}
+
+// MustCreateTable is CreateTable, panicking on error (for setup code).
+func (e *Engine) MustCreateTable(name string, cols ...Column) {
+	if err := e.CreateTable(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// Database exposes the underlying storage for advanced integrations (the
+// benchmark harness loads pre-generated substrates through this).
+func (e *Engine) Database() *storage.Database { return e.db }
+
+// NewEngineOn wraps an existing database (substrate generators).
+func NewEngineOn(db *storage.Database) *Engine {
+	return &Engine{schema: db.Schema, db: db}
+}
+
+// PolicyKind selects the planning policy for a batch.
+type PolicyKind int
+
+// Available planning policies.
+const (
+	// PolicyLearned is RouLette's Q-learning policy (the default).
+	PolicyLearned PolicyKind = iota
+	// PolicyGreedy is the CACQ/CJOIN selectivity heuristic.
+	PolicyGreedy
+	// PolicyRandom explores uniformly (debugging, lower bounds).
+	PolicyRandom
+	// PolicyStitchShare replays per-query optimizer plans, sharing common
+	// prefixes (the QPipe/SharedDB online-sharing strategy).
+	PolicyStitchShare
+	// PolicyMatchShare extends the global plan query by query with maximum
+	// overlap (the DataPath strategy).
+	PolicyMatchShare
+)
+
+// Admission staggers query activation for dynamic workloads: the listed
+// query indexes are admitted once the given fraction of the batch's largest
+// relation has been scanned.
+type Admission struct {
+	AfterFraction float64
+	Queries       []int
+}
+
+// Options tune batch execution. The zero value (or nil) uses the paper's
+// defaults: learned policy, 1024-tuple vectors, one worker, every executor
+// optimization on.
+type Options struct {
+	Policy     PolicyKind
+	Workers    int
+	VectorSize int
+
+	// Seed makes the learned/random policies deterministic.
+	Seed int64
+
+	// DisablePruning, DisableGroupedFilters, DisableLocalityRouter and
+	// DisableAdaptiveProjections switch off individual §5 optimizations
+	// (ablation studies).
+	DisablePruning             bool
+	DisableGroupedFilters      bool
+	DisableLocalityRouter      bool
+	DisableAdaptiveProjections bool
+
+	// DiscardRows keeps only result counts (large throughput benchmarks).
+	DiscardRows bool
+
+	// TrackConvergence records per-episode measured and estimated costs.
+	TrackConvergence bool
+
+	// Admissions activates queries during the run instead of at the start.
+	Admissions []Admission
+
+	// CalibrateCostModel micro-benchmarks the executor's operator classes on
+	// this machine and fits the cost model by linear regression (§4.3),
+	// replacing the paper's Xeon-tuned constants. Calibration runs once per
+	// Engine and takes a few tens of milliseconds.
+	CalibrateCostModel bool
+}
+
+// execOptions converts Options to the internal executor options.
+func (o *Options) execOptions() exec.Options {
+	opt := exec.DefaultOptions()
+	if o == nil {
+		return opt
+	}
+	if o.VectorSize > 0 {
+		opt.VectorSize = o.VectorSize
+	}
+	opt.Pruning = !o.DisablePruning
+	opt.GroupedFilters = !o.DisableGroupedFilters
+	opt.LocalityRouter = !o.DisableLocalityRouter
+	opt.AdaptiveProjections = !o.DisableAdaptiveProjections
+	opt.CollectRows = !o.DiscardRows
+	return opt
+}
+
+// ExecuteBatch compiles and runs a batch of queries to completion, sharing
+// work across them, and returns per-query results.
+func (e *Engine) ExecuteBatch(qs []*Query, o *Options) (*BatchResult, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("roulette: empty batch")
+	}
+	inner := make([]*query.Query, len(qs))
+	for i, q := range qs {
+		if q.err != nil {
+			return nil, fmt.Errorf("roulette: query %q: %w", q.q.Tag, q.err)
+		}
+		if o != nil && o.DiscardRows && (q.q.Agg.Kind.NeedsColumn() || q.q.Agg.GroupByAlias != "") {
+			return nil, fmt.Errorf("roulette: query %q: DiscardRows keeps only counts, but the query's aggregate needs result rows", q.q.Tag)
+		}
+		cp := q.q // copy: Compile assigns batch-local IDs
+		inner[i] = &cp
+	}
+	b, err := query.Compile(inner)
+	if err != nil {
+		return nil, err
+	}
+
+	opt := o.execOptions()
+	cfg := engine.Config{Exec: opt}
+	if o != nil {
+		cfg.Workers = o.Workers
+		cfg.TrackConvergence = o.TrackConvergence
+		if o.CalibrateCostModel {
+			e.calOnce.Do(func() {
+				seed := o.Seed
+				if seed == 0 {
+					seed = 1
+				}
+				e.calibrated = exec.CalibrateModel(seed)
+			})
+			cfg.Model = e.calibrated
+		}
+	}
+
+	pol, err := e.buildPolicy(b, opt, o)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = pol
+
+	if o != nil && len(o.Admissions) > 0 {
+		// Trigger on the batch's largest relation instance.
+		trigger, vectorsPerPass := e.largestInstance(b, opt.VectorSize)
+		for _, a := range o.Admissions {
+			cfg.AdmitAt = append(cfg.AdmitAt, engine.AdmitEvent{
+				AfterVectors: int64(a.AfterFraction * float64(vectorsPerPass)),
+				Inst:         trigger,
+				QIDs:         a.Queries,
+			})
+		}
+	}
+
+	s, err := engine.NewSession(b, e.db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	return e.buildResult(b, s, res)
+}
+
+// buildPolicy instantiates the requested planning policy.
+func (e *Engine) buildPolicy(b *query.Batch, opt exec.Options, o *Options) (policy.Policy, error) {
+	kind := PolicyLearned
+	var seed int64 = 1
+	if o != nil {
+		kind = o.Policy
+		if o.Seed != 0 {
+			seed = o.Seed
+		}
+	}
+	// NumSelOps needs a context; build a throwaway one only when required.
+	numSelOps := func() (int, error) {
+		ctx, err := exec.NewContext(b, e.db, opt, nil)
+		if err != nil {
+			return 0, err
+		}
+		return ctx.NumSelOps(), nil
+	}
+	switch kind {
+	case PolicyLearned:
+		cfg := qlearn.DefaultConfig()
+		cfg.Seed = seed
+		return qlearn.New(cfg), nil
+	case PolicyGreedy:
+		n, err := numSelOps()
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewGreedy(b, n), nil
+	case PolicyRandom:
+		return policy.NewRandom(seed), nil
+	case PolicyStitchShare:
+		orders, err := sharing.StitchShareOrders(b, e.db)
+		if err != nil {
+			return nil, err
+		}
+		n, err := numSelOps()
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewStatic(orders, n), nil
+	case PolicyMatchShare:
+		n, err := numSelOps()
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewStatic(sharing.MatchShareOrders(b, e.db, nil), n), nil
+	}
+	return nil, fmt.Errorf("roulette: unknown policy %d", kind)
+}
+
+// largestInstance finds the admission trigger instance and its pass length.
+func (e *Engine) largestInstance(b *query.Batch, vectorSize int) (query.InstID, int) {
+	best, bestRows := query.InstID(0), -1
+	for i, in := range b.Insts {
+		rows := e.db.MustTable(in.Table).NumRows()
+		if rows > bestRows {
+			best, bestRows = query.InstID(i), rows
+		}
+	}
+	if vectorSize <= 0 {
+		vectorSize = 1024
+	}
+	return best, (bestRows + vectorSize - 1) / vectorSize
+}
+
+// buildResult drains host-side consumers into the public result shape.
+func (e *Engine) buildResult(b *query.Batch, s *engine.Session, res *engine.Results) (*BatchResult, error) {
+	out := &BatchResult{
+		Elapsed:    res.Elapsed,
+		Episodes:   res.Episodes,
+		JoinTuples: res.JoinTuples,
+	}
+	for _, c := range res.Convergence {
+		out.Convergence = append(out.Convergence, ConvergencePoint{
+			Episode: c.Episode, Measured: c.Measured, Estimated: c.Estimated,
+		})
+	}
+	hostRes, err := host.ConsumeAll(e.db, b, s.Context())
+	if err != nil {
+		return nil, err
+	}
+	out.Queries = make([]QueryResult, b.N)
+	for qid := range out.Queries {
+		qr := QueryResult{Tag: b.Queries[qid].Tag, Count: res.Counts[qid]}
+		for _, g := range hostRes[qid].Groups {
+			qr.Groups = append(qr.Groups, Group{Key: g.Key, Value: g.Value})
+		}
+		out.Queries[qid] = qr
+	}
+	return out, nil
+}

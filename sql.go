@@ -1,0 +1,46 @@
+package roulette
+
+import (
+	"github.com/roulette-db/roulette/internal/sqlfe"
+)
+
+// ParseSQL parses one SQL statement into a Query. The supported dialect is
+// the SPJ block RouLette executes:
+//
+//	SELECT COUNT(*) | SUM | MIN | MAX | AVG ([alias.]col)
+//	FROM table [[AS] alias] {, table [[AS] alias]}
+//	[WHERE predicate {AND predicate}]
+//	[GROUP BY [alias.]col] [ORDER BY [alias.]col]
+//
+// Predicates are equi-joins (a.x = b.y) and integer comparisons/BETWEEN
+// ranges. Attributes are int64; dictionary-encode strings before loading.
+func ParseSQL(stmt string) (*Query, error) {
+	q, err := sqlfe.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: *q}, nil
+}
+
+// ParseSQLBatch parses semicolon-separated statements into a batch.
+func ParseSQLBatch(src string) ([]*Query, error) {
+	inner, err := sqlfe.ParseBatch(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Query, len(inner))
+	for i, q := range inner {
+		out[i] = &Query{q: *q}
+	}
+	return out, nil
+}
+
+// ExecuteSQL parses semicolon-separated SQL statements and executes them as
+// one shared batch.
+func (e *Engine) ExecuteSQL(src string, o *Options) (*BatchResult, error) {
+	qs, err := ParseSQLBatch(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteBatch(qs, o)
+}

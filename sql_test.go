@@ -1,0 +1,47 @@
+package roulette
+
+import "testing"
+
+func TestExecuteSQL(t *testing.T) {
+	e := fixture(t)
+	res, err := e.ExecuteSQL(`
+		SELECT COUNT(*) FROM fact f, dim d WHERE f.fk = d.k AND f.v BETWEEN 0 AND 49;
+		SELECT SUM(f.v) FROM fact f, dim d WHERE f.fk = d.k GROUP BY d.g ORDER BY d.g;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 2 {
+		t.Fatalf("queries = %d", len(res.Queries))
+	}
+
+	// Cross-check against the builder API.
+	b1 := NewQuery("b1").From("fact").From("dim").Join("fact", "fk", "dim", "k").Between("fact", "v", 0, 49)
+	b2 := NewQuery("b2").From("fact").From("dim").Join("fact", "fk", "dim", "k").
+		Sum("fact", "v").GroupBy("dim", "g").OrderByKey()
+	want, err := e.ExecuteBatch([]*Query{b1, b2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries[0].Count != want.Queries[0].Count {
+		t.Errorf("SQL count %d, builder %d", res.Queries[0].Count, want.Queries[0].Count)
+	}
+	if len(res.Queries[1].Groups) != len(want.Queries[1].Groups) {
+		t.Fatalf("groups %d vs %d", len(res.Queries[1].Groups), len(want.Queries[1].Groups))
+	}
+	for i := range want.Queries[1].Groups {
+		if res.Queries[1].Groups[i] != want.Queries[1].Groups[i] {
+			t.Errorf("group %d: %+v vs %+v", i, res.Queries[1].Groups[i], want.Queries[1].Groups[i])
+		}
+	}
+}
+
+func TestExecuteSQLParseError(t *testing.T) {
+	e := fixture(t)
+	if _, err := e.ExecuteSQL(`SELECT nope`, nil); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if _, err := ParseSQL(`SELECT COUNT(*) FROM a; SELECT COUNT(*) FROM b`); err == nil {
+		t.Error("ParseSQL accepted two statements")
+	}
+}

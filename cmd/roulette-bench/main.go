@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/roulette-db/roulette/internal/bench"
@@ -60,8 +63,17 @@ func main() {
 		fmt.Printf("(fig %s done in %.1fs)\n\n", name, time.Since(start).Seconds())
 	}
 
+	// Ctrl-C stops the sweep at the next figure boundary (individual figures
+	// run to completion so partial tables are never printed).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *fig == "all" {
 		for _, name := range order {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "interrupted; remaining figures skipped")
+				os.Exit(1)
+			}
 			run(name)
 		}
 		return

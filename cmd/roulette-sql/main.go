@@ -14,10 +14,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	roulette "github.com/roulette-db/roulette"
 	"github.com/roulette-db/roulette/internal/catalog"
@@ -66,20 +69,35 @@ func main() {
 		if src == "" {
 			return
 		}
-		res, err := e.ExecuteSQL(src, &roulette.Options{Workers: *workers})
+		// Ctrl-C during the batch cancels it gracefully (partial results
+		// are printed as lower bounds). The context is scoped to one batch
+		// so an interrupted batch does not poison the next one; at the
+		// prompt Ctrl-C keeps its default behaviour and kills the shell.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err := e.ExecuteSQLContext(ctx, src, &roulette.Options{Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return
 		}
 		for _, q := range res.Queries {
+			note := ""
+			if q.Aborted {
+				note = fmt.Sprintf("\t-- aborted (%v), count is a lower bound", q.Err)
+			}
 			if len(q.Groups) <= 1 {
-				fmt.Printf("%s: %d\n", q.Tag, q.Value())
+				fmt.Printf("%s: %d%s\n", q.Tag, q.Value(), note)
 				continue
 			}
-			fmt.Printf("%s:\n", q.Tag)
+			fmt.Printf("%s:%s\n", q.Tag, note)
 			for _, g := range q.Groups {
 				fmt.Printf("  %d\t%d\n", g.Key, g.Value)
 			}
+		}
+		if res.Partial {
+			fmt.Printf("(batch interrupted: partial results for %d queries in %v, %d episodes)\n",
+				len(res.Queries), res.Elapsed, res.Episodes)
+			return
 		}
 		fmt.Printf("(%d queries in %v, %d episodes)\n", len(res.Queries), res.Elapsed, res.Episodes)
 	}
@@ -131,7 +149,9 @@ func loadTable(schema *catalog.Schema, db *storage.Database, dicts map[string]*s
 		cols[i] = strings.TrimSpace(cols[i])
 	}
 	rel := catalog.NewRelation(name, cols...)
-	schema.AddRelation(rel)
+	if err := schema.AddRelation(rel); err != nil {
+		return err
+	}
 
 	// Give every column a dictionary; integer values bypass it via a probe
 	// pass — simplest robust behaviour: try integer first, fall back to the

@@ -58,36 +58,55 @@ type Schema struct {
 	relIdx map[string]int
 }
 
-// NewSchema builds a schema over the given relations.
+// NewSchema builds a schema over the given relations. The variadic list is
+// static setup code, so duplicates are a programmer-error invariant and
+// still panic; use AddRelation directly to handle duplicates gracefully.
 func NewSchema(rels ...*Relation) *Schema {
 	s := &Schema{relIdx: make(map[string]int, len(rels))}
 	for _, r := range rels {
-		s.AddRelation(r)
+		s.MustAddRelation(r)
 	}
 	return s
 }
 
-// AddRelation registers r; it panics on duplicate names.
-func (s *Schema) AddRelation(r *Relation) {
+// AddRelation registers r; duplicate names are reported, not panicked
+// (schemas are built from external inputs, e.g. CSV headers).
+func (s *Schema) AddRelation(r *Relation) error {
 	if _, dup := s.relIdx[r.Name]; dup {
-		panic(fmt.Sprintf("catalog: duplicate relation %q", r.Name))
+		return fmt.Errorf("catalog: duplicate relation %q", r.Name)
 	}
 	s.relIdx[r.Name] = len(s.Relations)
 	s.Relations = append(s.Relations, r)
+	return nil
 }
 
-// AddFK registers a foreign-key edge; it panics if a referenced relation or
-// column does not exist.
-func (s *Schema) AddFK(child, childCol, parent, parentCol string) {
+// MustAddRelation is AddRelation, panicking on error (static schemas).
+func (s *Schema) MustAddRelation(r *Relation) {
+	if err := s.AddRelation(r); err != nil {
+		panic(err)
+	}
+}
+
+// AddFK registers a foreign-key edge; it reports an error if a referenced
+// relation or column does not exist.
+func (s *Schema) AddFK(child, childCol, parent, parentCol string) error {
 	c := s.Relation(child)
 	p := s.Relation(parent)
 	if c == nil || p == nil {
-		panic(fmt.Sprintf("catalog: FK %s.%s -> %s.%s references unknown relation", child, childCol, parent, parentCol))
+		return fmt.Errorf("catalog: FK %s.%s -> %s.%s references unknown relation", child, childCol, parent, parentCol)
 	}
 	if !c.HasColumn(childCol) || !p.HasColumn(parentCol) {
-		panic(fmt.Sprintf("catalog: FK %s.%s -> %s.%s references unknown column", child, childCol, parent, parentCol))
+		return fmt.Errorf("catalog: FK %s.%s -> %s.%s references unknown column", child, childCol, parent, parentCol)
 	}
 	s.Edges = append(s.Edges, FKEdge{Child: child, ChildCol: childCol, Parent: parent, ParentCol: parentCol})
+	return nil
+}
+
+// MustAddFK is AddFK, panicking on error (static generator schemas).
+func (s *Schema) MustAddFK(child, childCol, parent, parentCol string) {
+	if err := s.AddFK(child, childCol, parent, parentCol); err != nil {
+		panic(err)
+	}
 }
 
 // Relation returns the named relation, or nil.

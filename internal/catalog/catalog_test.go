@@ -29,23 +29,32 @@ func TestSchemaRelations(t *testing.T) {
 		t.Error("phantom relation")
 	}
 	c := NewRelation("c", "x")
-	s.AddRelation(c)
+	if err := s.AddRelation(c); err != nil {
+		t.Fatal(err)
+	}
 	if s.Relation("c") != c {
 		t.Error("AddRelation lookup broken")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("duplicate relation should panic")
-		}
+	if err := s.AddRelation(NewRelation("a", "k")); err == nil {
+		t.Error("duplicate relation should be an error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustAddRelation on a duplicate should panic")
+			}
+		}()
+		s.MustAddRelation(NewRelation("a", "k"))
 	}()
-	s.AddRelation(NewRelation("a", "k"))
 }
 
 func TestSchemaFKs(t *testing.T) {
 	a := NewRelation("a", "k")
 	b := NewRelation("b", "k", "fk")
 	s := NewSchema(a, b)
-	s.AddFK("b", "fk", "a", "k")
+	if err := s.AddFK("b", "fk", "a", "k"); err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Edges) != 1 {
 		t.Fatalf("edges = %d", len(s.Edges))
 	}
@@ -56,18 +65,21 @@ func TestSchemaFKs(t *testing.T) {
 		t.Errorf("EdgesOf(zzz) = %+v", got)
 	}
 
-	for _, bad := range []func(){
-		func() { s.AddFK("zzz", "fk", "a", "k") },
-		func() { s.AddFK("b", "nope", "a", "k") },
-		func() { s.AddFK("b", "fk", "a", "nope") },
+	for _, bad := range []func() error{
+		func() error { return s.AddFK("zzz", "fk", "a", "k") },
+		func() error { return s.AddFK("b", "nope", "a", "k") },
+		func() error { return s.AddFK("b", "fk", "a", "nope") },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("bad FK should panic")
-				}
-			}()
-			bad()
-		}()
+		if bad() == nil {
+			t.Error("bad FK should be an error")
+		}
 	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustAddFK on a bad edge should panic")
+			}
+		}()
+		s.MustAddFK("zzz", "fk", "a", "k")
+	}()
 }

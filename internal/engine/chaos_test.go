@@ -1,0 +1,443 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/faults"
+	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// checkSurvivors asserts the chaos invariant: every query the session
+// reports as completed matches the oracle exactly, and every uncompleted
+// query carries an explanation.
+func checkSurvivors(t *testing.T, res *Results, db *storage.Database, qs []*query.Query) (completed int) {
+	t.Helper()
+	if len(res.Status) != len(qs) {
+		t.Fatalf("status entries = %d, want %d", len(res.Status), len(qs))
+	}
+	for qid, st := range res.Status {
+		if st.Completed {
+			completed++
+			if want := oracleCount(db, qs[qid]); res.Counts[qid] != want {
+				t.Errorf("completed query %d: count = %d, oracle = %d", qid, res.Counts[qid], want)
+			}
+			if st.Err != nil {
+				t.Errorf("completed query %d carries error %v", qid, st.Err)
+			}
+		} else if st.Err == nil {
+			t.Errorf("aborted query %d has no error", qid)
+		}
+	}
+	return completed
+}
+
+func TestChaosInjectedPanicsIsolateToEpisodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	db := starDB(rng, 500, 40)
+	qs := starQueries(rng, 12)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		inj := faults.New(faults.Config{Seed: 7, PanicEvery: 6})
+		opt := exec.DefaultOptions()
+		opt.VectorSize = 32
+		opt.Hooks = inj.Hooks()
+		s, err := NewSession(b, db, Config{Exec: opt, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ring := metrics.NewRing(1 << 12)
+		s.cfg.Trace = ring
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: a faulted session must not error: %v", workers, err)
+		}
+		if inj.Panics() == 0 {
+			t.Fatalf("workers=%d: no panics injected (rate too low for workload?)", workers)
+		}
+		if int64(len(res.Faults)) < inj.Panics() {
+			t.Errorf("workers=%d: %d faults recorded, %d panics injected", workers, len(res.Faults), inj.Panics())
+		}
+		if !res.Partial {
+			t.Errorf("workers=%d: faulted session should report partial results", workers)
+		}
+		for _, f := range res.Faults {
+			if f.Kind != FaultPanic {
+				t.Errorf("workers=%d: fault kind = %v, want panic", workers, f.Kind)
+			}
+			if _, ok := f.Panic.(faults.InjectedPanic); !ok {
+				t.Errorf("workers=%d: recovered value %v (%T), want InjectedPanic", workers, f.Panic, f.Panic)
+			}
+			if len(f.Queries) == 0 {
+				t.Errorf("workers=%d: fault with no affected queries", workers)
+			}
+			if f.NumVIDs == 0 {
+				t.Errorf("workers=%d: fault quarantined an empty vector", workers)
+			}
+		}
+		completed := checkSurvivors(t, res, db, qs)
+		if completed == len(qs) {
+			t.Errorf("workers=%d: every query completed despite %d panics", workers, inj.Panics())
+		}
+		if ring.Faults() != int64(len(res.Faults)) {
+			t.Errorf("workers=%d: trace ring counted %d faults, session %d", workers, ring.Faults(), len(res.Faults))
+		}
+		t.Logf("workers=%d: %d/%d queries survived %d injected panics", workers, completed, len(qs), inj.Panics())
+	}
+}
+
+func TestChaosInsertFailuresIsolateToEpisodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	db := starDB(rng, 400, 30)
+	qs := starQueries(rng, 10)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(faults.Config{Seed: 9, InsertFailEvery: 7})
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	opt.Hooks = inj.Hooks()
+	s, err := NewSession(b, db, Config{Exec: opt, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.InsertFails() == 0 {
+		t.Fatal("no insertion failures injected")
+	}
+	for _, f := range res.Faults {
+		if f.Kind != FaultInsert {
+			t.Errorf("fault kind = %v, want insert", f.Kind)
+		}
+		if f.Err == nil {
+			t.Error("insert fault without underlying error")
+		}
+	}
+	completed := checkSurvivors(t, res, db, qs)
+	t.Logf("%d/%d queries survived %d injected insertion failures", completed, len(qs), inj.InsertFails())
+}
+
+func TestChaosMixedFaultsUnderRace(t *testing.T) {
+	// The -race CI run drives this with 4 workers, panics and insertion
+	// failures at once: surviving queries must still match the oracle.
+	rng := rand.New(rand.NewSource(71))
+	db := starDB(rng, 600, 40)
+	qs := starQueries(rng, 16)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(faults.Config{Seed: 13, PanicEvery: 9, InsertFailEvery: 11})
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 48
+	opt.Hooks = inj.Hooks()
+	s, err := NewSession(b, db, Config{Exec: opt, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Panics()+inj.InsertFails() == 0 {
+		t.Fatal("no faults injected")
+	}
+	completed := checkSurvivors(t, res, db, qs)
+	t.Logf("%d/%d queries survived %d panics + %d insert failures",
+		completed, len(qs), inj.Panics(), inj.InsertFails())
+}
+
+// islandsDB builds two disjoint join islands — factA⋈dimA and factB⋈dimB —
+// so a fault on one island's episodes cannot touch the other's queries.
+func islandsDB(rng *rand.Rand, factRows, dimRows int) *storage.Database {
+	sch := catalog.NewSchema()
+	db := storage.NewDatabase(sch)
+	for _, island := range []string{"a", "b"} {
+		fact := catalog.NewRelation("fact_"+island, "fk", "v")
+		dim := catalog.NewRelation("dim_"+island, "k")
+		sch.MustAddRelation(fact)
+		sch.MustAddRelation(dim)
+		sch.MustAddFK("fact_"+island, "fk", "dim_"+island, "k")
+		ft := storage.NewTable(fact, factRows)
+		for i := 0; i < factRows; i++ {
+			ft.Col("fk")[i] = int64(rng.Intn(dimRows))
+			ft.Col("v")[i] = int64(rng.Intn(100))
+		}
+		db.Put(ft)
+		dt := storage.NewTable(dim, dimRows)
+		for i := 0; i < dimRows; i++ {
+			dt.Col("k")[i] = int64(i)
+		}
+		db.Put(dt)
+	}
+	return db
+}
+
+func islandQueries(rng *rand.Rand, perIsland int) []*query.Query {
+	var qs []*query.Query
+	for _, island := range []string{"a", "b"} {
+		for i := 0; i < perIsland; i++ {
+			lo := int64(rng.Intn(60))
+			qs = append(qs, &query.Query{
+				Rels:    []query.RelRef{{Table: "fact_" + island}, {Table: "dim_" + island}},
+				Joins:   []query.Join{{LeftAlias: "fact_" + island, LeftCol: "fk", RightAlias: "dim_" + island, RightCol: "k"}},
+				Filters: []query.Filter{{Alias: "fact_" + island, Col: "v", Lo: lo, Hi: lo + 30}},
+			})
+		}
+	}
+	return qs
+}
+
+func TestChaosFaultBlastRadiusIsolation(t *testing.T) {
+	// Panics on one island's episodes must fail only that island's queries:
+	// every fault's affected set stays within the faulted instance's users,
+	// and whenever the faults all land on one island, the other island
+	// completes exactly.
+	rng := rand.New(rand.NewSource(101))
+	db := islandsDB(rng, 800, 40)
+	qs := islandQueries(rng, 4)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faults.Config{Seed: 99, PanicEvery: 30}
+	inj := faults.New(cfg)
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	opt.Hooks = inj.Hooks()
+	s, err := NewSession(b, db, Config{Exec: opt}) // 1 worker: deterministic
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Panics() == 0 {
+		t.Fatal("no panics injected")
+	}
+	usesTable := func(qid int, table string) bool {
+		for _, r := range qs[qid].Rels {
+			if r.Table == table {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range res.Faults {
+		table := b.Insts[f.Inst].Table
+		for _, qid := range f.Queries {
+			if !usesTable(qid, table) {
+				t.Errorf("fault on %s affected query %d, which never touches that table", table, qid)
+			}
+		}
+	}
+	completed := checkSurvivors(t, res, db, qs)
+	if completed == 0 {
+		t.Errorf("no queries survived %d panics across two disjoint islands", inj.Panics())
+	}
+	t.Logf("%d/%d queries survived %d injected panics (%d faults recorded)",
+		completed, len(qs), inj.Panics(), len(res.Faults))
+}
+
+func TestRunContextCancelReturnsPartialResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db := starDB(rng, 4000, 50)
+	qs := starQueries(rng, 8)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var episodes atomic.Int64
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 16
+	opt.CollectRows = false
+	opt.Hooks.EpisodeStart = func(query.InstID, stem.Slot) {
+		if episodes.Add(1) == 5 {
+			cancel()
+		}
+	}
+	s, err := NewSession(b, db, Config{Exec: opt, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("cancellation must not be an error: %v", err)
+	}
+	if !res.Partial {
+		t.Error("cancelled mid-run: results should be partial")
+	}
+	if res.Episodes >= int64(4000/16) {
+		t.Errorf("ran %d episodes after cancelling at 5 (fact alone has %d vectors)", res.Episodes, 4000/16)
+	}
+	aborted := 0
+	for qid, st := range res.Status {
+		if st.Completed {
+			continue
+		}
+		aborted++
+		if !errors.Is(st.Err, context.Canceled) {
+			t.Errorf("query %d: err = %v, want context.Canceled", qid, st.Err)
+		}
+	}
+	if aborted == 0 {
+		t.Error("no queries aborted by cancellation")
+	}
+	// Workers must have exited; allow the runtime a moment to reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines after run = %d, before = %d (leak?)", g, before)
+	}
+}
+
+func TestSessionDeadlineCancelsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	db := starDB(rng, 2000, 40)
+	qs := starQueries(rng, 6)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(faults.Config{Seed: 3, SlowEvery: 1, SlowDelay: 2 * time.Millisecond})
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 16
+	opt.CollectRows = false
+	opt.Hooks = inj.Hooks()
+	s, err := NewSession(b, db, Config{Exec: opt, SessionDeadline: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("deadline run should be partial (every episode sleeps 2ms, >125 episodes pending)")
+	}
+	for qid, st := range res.Status {
+		if !st.Completed && !errors.Is(st.Err, context.DeadlineExceeded) {
+			t.Errorf("query %d: err = %v, want context.DeadlineExceeded", qid, st.Err)
+		}
+	}
+}
+
+func TestEpisodeWatchdogRecordsStall(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	db := starDB(rng, 1000, 30)
+	qs := starQueries(rng, 6)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 8th episode sleeps far past the watchdog.
+	inj := faults.New(faults.Config{Seed: 11, SlowEvery: 8, SlowDelay: 100 * time.Millisecond})
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 16
+	opt.CollectRows = false
+	opt.Hooks = inj.Hooks()
+	s, err := NewSession(b, db, Config{Exec: opt, EpisodeWatchdog: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Slows() == 0 {
+		t.Fatal("no slow episodes injected")
+	}
+	stalls := 0
+	for _, f := range res.Faults {
+		if f.Kind == FaultStall {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("watchdog recorded no stall despite 100ms episodes under a 10ms bound")
+	}
+	if !res.Partial {
+		t.Error("a stalled session should report partial results")
+	}
+}
+
+func TestRunTwiceReturnsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	db := starDB(rng, 100, 10)
+	qs := starQueries(rng, 3)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(b, db, Config{Exec: exec.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("second Run must fail instead of returning bogus zero results")
+	}
+}
+
+func TestForcedAdmissionFiresWhenTriggerIdle(t *testing.T) {
+	// Satellite: a pending AdmitEvent whose trigger instance goes idle
+	// (AfterVectors beyond what the scan will ever deliver for the
+	// initially admitted queries) must still force-fire, and the late
+	// queries must run to completion with exact results.
+	rng := rand.New(rand.NewSource(97))
+	db := starDB(rng, 300, 30)
+	qs := starQueries(rng, 6)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factInst, _ := b.InstOfAlias(0, "fact")
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	s, err := NewSession(b, db, Config{Exec: opt, AdmitAt: []AdmitEvent{
+		{AfterVectors: 1 << 40, Inst: factInst, QIDs: []int{4, 5}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatal("forced admission should complete every query")
+	}
+	for qid, q := range qs {
+		if !res.Status[qid].Completed {
+			t.Errorf("query %d not completed", qid)
+		}
+		if want := oracleCount(db, q); res.Counts[qid] != want {
+			t.Errorf("query %d: count = %d, oracle = %d", qid, res.Counts[qid], want)
+		}
+	}
+}

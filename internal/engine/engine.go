@@ -5,8 +5,12 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/roulette-db/roulette/internal/bitset"
@@ -51,6 +55,16 @@ type Config struct {
 	// Trace, when non-nil, receives one record per episode (observability;
 	// see internal/metrics).
 	Trace *metrics.Ring
+
+	// SessionDeadline bounds the whole run; 0 means no deadline. A run
+	// exceeding it is cancelled cooperatively and returns partial results.
+	SessionDeadline time.Duration
+
+	// EpisodeWatchdog bounds a single episode; 0 disables the watchdog.
+	// Episodes are not preemptible, so an episode exceeding the bound keeps
+	// running to its end, but it is recorded as a stall fault, its queries
+	// are marked failed, and the rest of the session is cancelled.
+	EpisodeWatchdog time.Duration
 }
 
 // ConvergencePoint is one episode's measured cost and the policy's estimate
@@ -61,6 +75,82 @@ type ConvergencePoint struct {
 	Estimated float64
 }
 
+// FaultKind classifies an episode fault.
+type FaultKind int
+
+// Episode fault classes.
+const (
+	// FaultPanic is a panic recovered inside an episode (including hook-
+	// injected crashes).
+	FaultPanic FaultKind = iota
+	// FaultInsert is a STeM insertion failure reported by the executor.
+	FaultInsert
+	// FaultStall is an episode that exceeded Config.EpisodeWatchdog.
+	FaultStall
+)
+
+// String names the fault class.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultInsert:
+		return "insert"
+	case FaultStall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// EpisodeError records one failed episode. The episode's vector (FirstVID,
+// NumVIDs on Inst) is quarantined — it is never retried — and every query
+// that was executing the episode (Queries) is marked failed; queries not in
+// the episode's active set are unaffected and drain normally.
+type EpisodeError struct {
+	Kind    FaultKind
+	Inst    query.InstID
+	Slot    stem.Slot
+	Queries []int // query IDs active in the episode
+
+	// FirstVID/NumVIDs identify the quarantined input vector.
+	FirstVID int32
+	NumVIDs  int
+
+	// Panic and Stack hold the recovered value and goroutine stack for
+	// FaultPanic; Err holds the executor error for FaultInsert.
+	Panic any
+	Stack string
+	Err   error
+}
+
+// Error renders the fault.
+func (e *EpisodeError) Error() string {
+	switch e.Kind {
+	case FaultPanic:
+		return fmt.Sprintf("engine: episode panic on instance %d (slot %d, queries %v): %v", e.Inst, e.Slot, e.Queries, e.Panic)
+	case FaultInsert:
+		return fmt.Sprintf("engine: episode insert fault on instance %d (slot %d, queries %v): %v", e.Inst, e.Slot, e.Queries, e.Err)
+	case FaultStall:
+		return fmt.Sprintf("engine: episode stall on instance %d (slot %d, queries %v): exceeded watchdog", e.Inst, e.Slot, e.Queries)
+	}
+	return "engine: unknown episode fault"
+}
+
+// Unwrap exposes the underlying executor error, if any.
+func (e *EpisodeError) Unwrap() error { return e.Err }
+
+// QueryStatus reports one query's outcome in a finished (possibly cancelled
+// or faulted) session.
+type QueryStatus struct {
+	// Completed means the query's scans all drained and its count in
+	// Results.Counts is exact.
+	Completed bool
+	// Err explains why an uncompleted query did not finish: an
+	// *EpisodeError for queries caught in a faulted episode, or the
+	// context error for queries cut short by cancellation.
+	Err error
+}
+
 // Results summarizes a finished session run.
 type Results struct {
 	Counts      []int64 // per-query SPJ output tuples
@@ -68,6 +158,15 @@ type Results struct {
 	Episodes    int64
 	JoinTuples  int64 // intermediate join tuples (the Fig. 13 metric)
 	Convergence []ConvergencePoint
+
+	// Partial is set when at least one query did not complete (the session
+	// was cancelled, timed out, or lost episodes to faults). Counts of
+	// uncompleted queries are lower bounds, not exact results.
+	Partial bool
+	// Status has one entry per query.
+	Status []QueryStatus
+	// Faults lists the quarantined episodes, in recording order.
+	Faults []EpisodeError
 }
 
 // Throughput returns completed queries per second.
@@ -91,16 +190,24 @@ type scanState struct {
 
 func (s *scanState) done() bool { return s.active.Empty() }
 
-// Session executes one compiled batch.
+// Session executes one compiled batch. Sessions are single-use: Run (or
+// RunContext) may be called at most once.
 type Session struct {
 	b   *query.Batch
 	cfg Config
 	ctx *exec.Context
 	pol policy.Policy
 
+	started atomic.Bool
+	cancel  context.CancelFunc // cancels the active run
+
 	mu       sync.Mutex
+	runCtx   context.Context
 	scans    []*scanState
 	admitted bitset.Set
+	failed   bitset.Set // queries caught in a faulted episode
+	failErr  []error    // per query: first fault that failed it
+	faults   []EpisodeError
 	pending  []AdmitEvent
 	rrCursor int
 	episode  int64
@@ -120,14 +227,20 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 	s := &Session{
 		b: b, cfg: cfg, ctx: ctx, pol: pol,
 		admitted: bitset.New(b.N),
+		failed:   bitset.New(b.N),
+		failErr:  make([]error, b.N),
 		pending:  append([]AdmitEvent(nil), cfg.AdmitAt...),
 	}
 
 	ranks := RankScans(b, ctx)
 	s.scans = make([]*scanState, len(b.Insts))
 	for i := range b.Insts {
+		scan, err := storage.NewCircularScan(ctx.Tables[i].NumRows(), ctx.Opt.VectorSize)
+		if err != nil {
+			return nil, err
+		}
 		s.scans[i] = &scanState{
-			scan:      storage.NewCircularScan(ctx.Tables[i].NumRows(), ctx.Opt.VectorSize),
+			scan:      scan,
 			rank:      ranks[i],
 			active:    bitset.New(b.N),
 			remaining: make([]int, b.N),
@@ -184,10 +297,15 @@ func (s *Session) Admit(qids ...int) {
 
 // nextEpisode picks the next vector to process: among incomplete scans of
 // the lowest rank, round-robin. It returns ok=false when every admitted
-// query's scans are complete and no admissions are pending.
+// query's scans are complete and no admissions are pending, or when the
+// run's context has been cancelled (cooperative cancellation point).
 func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	if s.runCtx != nil && s.runCtx.Err() != nil {
+		return exec.EpisodeInput{}, false
+	}
 
 	s.fireAdmissionsLocked()
 
@@ -316,7 +434,29 @@ type costEstimator interface {
 }
 
 // Run executes the session to completion and returns per-query results.
-func (s *Session) Run() (*Results, error) {
+func (s *Session) Run() (*Results, error) { return s.RunContext(context.Background()) }
+
+// RunContext executes the session under ctx. Cancellation is cooperative:
+// workers stop picking up new episodes once ctx is done, in-flight episodes
+// finish, and the session returns partial results (Results.Partial with
+// per-query status) rather than an error. Episodes are the fault boundary:
+// a panicking episode is recovered, recorded in Results.Faults, and fails
+// only the queries it was executing; the rest of the batch drains normally.
+func (s *Session) RunContext(ctx context.Context) (*Results, error) {
+	if !s.started.CompareAndSwap(false, true) {
+		return nil, errors.New("engine: session already run (sessions are single-use)")
+	}
+	if s.cfg.SessionDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SessionDeadline)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.mu.Lock()
+	s.runCtx, s.cancel = ctx, cancel
+	s.mu.Unlock()
+
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = 1
@@ -328,64 +468,183 @@ func (s *Session) Run() (*Results, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := exec.NewWorker(s.ctx, s.pol)
-			for {
-				in, ok := s.nextEpisode()
-				if !ok {
-					return
-				}
-				// The estimate is read before the episode runs (the policy's
-				// current belief about the best join-phase plan, per input
-				// tuple) and scaled afterwards by the actual join input size,
-				// so the two Fig. 16 series are directly comparable.
-				var estPerTuple float64
-				if s.cfg.TrackConvergence {
-					if ce, ok := s.pol.(costEstimator); ok {
-						cands := s.b.Candidates(nil, 1<<in.Inst, in.Active)
-						estPerTuple = ce.EstimatedBestCost(policy.JoinPhase, 0, 1<<in.Inst, in.Active, cands)
-					}
-				}
-				epStart := time.Now()
-				rep := w.RunEpisode(in)
-				if s.cfg.Trace != nil {
-					s.cfg.Trace.Add(metrics.EpisodeRecord{
-						Episode:   int64(in.Slot),
-						Inst:      int(in.Inst),
-						Input:     len(in.VIDs),
-						JoinInput: rep.JoinInput,
-						Cost:      rep.MeasuredCost,
-						Duration:  time.Since(epStart),
-					})
-				}
-				s.mu.Lock()
-				s.scans[in.Inst].inserted++
-				if s.cfg.TrackConvergence {
-					s.conv = append(s.conv, ConvergencePoint{
-						Episode:   int64(in.Slot),
-						Measured:  rep.MeasuredJoinCost,
-						Estimated: estPerTuple * float64(rep.JoinInput),
-					})
-				}
-				s.mu.Unlock()
-			}
+			s.runWorker()
 		}()
 	}
 	wg.Wait()
 
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res := &Results{
 		Counts:      make([]int64, s.b.N),
 		Elapsed:     time.Since(start),
 		Episodes:    s.ctx.Stats.Episodes.Load(),
 		JoinTuples:  s.ctx.Stats.JoinOut.Load(),
 		Convergence: s.conv,
+		Status:      make([]QueryStatus, s.b.N),
+		Faults:      s.faults,
 	}
+	cancelErr := ctx.Err()
 	for qid := range res.Counts {
 		res.Counts[qid] = s.ctx.Sources[qid].Count()
+		switch {
+		case s.failed.Contains(qid):
+			res.Status[qid] = QueryStatus{Err: s.failErr[qid]}
+		case s.admitted.Contains(qid) && s.queryDrainedLocked(qid):
+			res.Status[qid] = QueryStatus{Completed: true}
+		default:
+			err := cancelErr
+			if err == nil {
+				err = errors.New("engine: query did not complete")
+			}
+			res.Status[qid] = QueryStatus{Err: err}
+		}
+		if !res.Status[qid].Completed {
+			res.Partial = true
+		}
 	}
-	if !s.admitted.Equal(bitset.NewFull(s.b.N)) {
+	if cancelErr == nil && !s.admitted.Equal(bitset.NewFull(s.b.N)) {
 		return res, fmt.Errorf("engine: run finished with unadmitted queries")
 	}
 	return res, nil
+}
+
+// queryDrainedLocked reports whether every scan of qid's instances has
+// delivered all of the query's vectors. Workers only exit after finishing
+// their in-flight episode, so once the pool has drained this implies the
+// query's result is complete.
+func (s *Session) queryDrainedLocked(qid int) bool {
+	for _, inst := range s.b.QueryInsts(qid) {
+		if !s.scans[inst].doneQ.Contains(qid) {
+			return false
+		}
+	}
+	return true
+}
+
+// runWorker is one worker's episode loop.
+func (s *Session) runWorker() {
+	w := exec.NewWorker(s.ctx, s.pol)
+	for {
+		in, ok := s.nextEpisode()
+		if !ok {
+			return
+		}
+		// The estimate is read before the episode runs (the policy's
+		// current belief about the best join-phase plan, per input
+		// tuple) and scaled afterwards by the actual join input size,
+		// so the two Fig. 16 series are directly comparable.
+		var estPerTuple float64
+		if s.cfg.TrackConvergence {
+			if ce, ok := s.pol.(costEstimator); ok {
+				cands := s.b.Candidates(nil, 1<<in.Inst, in.Active)
+				estPerTuple = ce.EstimatedBestCost(policy.JoinPhase, 0, 1<<in.Inst, in.Active, cands)
+			}
+		}
+		epStart := time.Now()
+		rep, err := s.runEpisode(w, in)
+		if s.cfg.Trace != nil {
+			rec := metrics.EpisodeRecord{
+				Episode:   int64(in.Slot),
+				Inst:      int(in.Inst),
+				Input:     len(in.VIDs),
+				JoinInput: rep.JoinInput,
+				Cost:      rep.MeasuredCost,
+				Duration:  time.Since(epStart),
+			}
+			if err != nil {
+				var ee *EpisodeError
+				if errors.As(err, &ee) {
+					rec.Fault = ee.Kind.String()
+				} else {
+					rec.Fault = "error"
+				}
+			}
+			s.cfg.Trace.Add(rec)
+		}
+		s.mu.Lock()
+		if err != nil {
+			s.recordFaultLocked(in, err)
+		} else {
+			s.scans[in.Inst].inserted++
+			if s.cfg.TrackConvergence {
+				s.conv = append(s.conv, ConvergencePoint{
+					Episode:   int64(in.Slot),
+					Measured:  rep.MeasuredJoinCost,
+					Estimated: estPerTuple * float64(rep.JoinInput),
+				})
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// runEpisode executes one episode behind a panic barrier and the optional
+// watchdog timer. A recovered panic publishes the episode's version slot
+// (entries it managed to insert were stamped with it; leaving the slot
+// unpublished would make concurrent probes spin forever) and is returned as
+// an *EpisodeError.
+func (s *Session) runEpisode(w *exec.Worker, in exec.EpisodeInput) (rep exec.EpisodeReport, err error) {
+	if d := s.cfg.EpisodeWatchdog; d > 0 {
+		timer := time.AfterFunc(d, func() {
+			s.mu.Lock()
+			s.recordFaultLocked(in, s.newEpisodeError(in, FaultStall))
+			s.mu.Unlock()
+			s.cancel()
+		})
+		defer timer.Stop()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.ctx.Versions.Publish(in.Slot)
+			ee := s.newEpisodeError(in, FaultPanic)
+			ee.Panic, ee.Stack = r, string(debug.Stack())
+			err = ee
+		}
+	}()
+	rep, execErr := w.RunEpisode(in)
+	if execErr != nil {
+		ee := s.newEpisodeError(in, FaultInsert)
+		ee.Err = execErr
+		err = ee
+	}
+	return rep, err
+}
+
+// newEpisodeError captures the episode's identity and quarantined vector.
+func (s *Session) newEpisodeError(in exec.EpisodeInput, kind FaultKind) *EpisodeError {
+	ee := &EpisodeError{
+		Kind:    kind,
+		Inst:    in.Inst,
+		Slot:    in.Slot,
+		Queries: in.Active.IDs(),
+		NumVIDs: len(in.VIDs),
+	}
+	if len(in.VIDs) > 0 {
+		ee.FirstVID = in.VIDs[0]
+	}
+	return ee
+}
+
+// recordFaultLocked quarantines a faulted episode: it is appended to the
+// fault log and every query in its active set is marked failed and dropped
+// from all scans, so the surviving queries drain without wasted work.
+func (s *Session) recordFaultLocked(in exec.EpisodeInput, err error) {
+	var ee *EpisodeError
+	if !errors.As(err, &ee) {
+		ee = s.newEpisodeError(in, FaultInsert)
+		ee.Err = err
+	}
+	s.faults = append(s.faults, *ee)
+	in.Active.ForEach(func(qid int) {
+		if !s.failed.Contains(qid) {
+			s.failed.Add(qid)
+			s.failErr[qid] = ee
+		}
+		for _, inst := range s.b.QueryInsts(qid) {
+			s.scans[inst].active.Remove(qid)
+		}
+	})
 }
 
 // RankScans orders circular-scan initiation for pruning (§5.2): relations

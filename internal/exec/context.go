@@ -25,6 +25,10 @@ type Options struct {
 	Pruning             bool // symmetric join pruning via semi-join filters
 	AdaptiveProjections bool // shed vID columns not needed downstream
 	CollectRows         bool // retain routed tuples in sources (off = count only)
+
+	// Hooks observes or perturbs episode execution (fault injection,
+	// chaos tests). The zero value is a no-op.
+	Hooks Hooks
 }
 
 // DefaultOptions enables every optimization with the paper's vector size.

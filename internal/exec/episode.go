@@ -72,8 +72,14 @@ type EpisodeReport struct {
 
 // RunEpisode processes one episode: selection phase, STeM insert, join
 // phase, routing, and the policy update from the episode's execution log.
-func (w *Worker) RunEpisode(in EpisodeInput) EpisodeReport {
+// A non-nil error means the episode was aborted before completing its STeM
+// insertion (injected or real insertion failure); the episode's version
+// slot is published regardless so concurrent probes never spin on it.
+func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 	c := w.C
+	if h := c.Opt.Hooks.EpisodeStart; h != nil {
+		h(in.Inst, in.Slot)
+	}
 	w.log = w.log[:0]
 	c.Stats.Episodes.Add(1)
 
@@ -116,6 +122,12 @@ func (w *Worker) RunEpisode(in EpisodeInput) EpisodeReport {
 	c.Stats.SelOut.Add(int64(len(vids)))
 
 	// ---- STeM insert (make the join symmetric) ---------------------------
+	if h := c.Opt.Hooks.StemInsert; h != nil {
+		if err := h(in.Inst, in.Slot); err != nil {
+			c.Versions.Publish(in.Slot)
+			return EpisodeReport{}, err
+		}
+	}
 	t0 = time.Now()
 	keys := make([]int64, len(c.stemKeyCols[in.Inst]))
 	for i, vid := range vids {
@@ -139,7 +151,7 @@ func (w *Worker) RunEpisode(in EpisodeInput) EpisodeReport {
 	rep := EpisodeReport{JoinInput: joinInput}
 	rep.MeasuredCost, rep.MeasuredJoinCost = w.measuredCost()
 	w.Pol.Observe(w.log)
-	return rep
+	return rep, nil
 }
 
 // measuredCost totals the episode's log through the cost model: join-phase

@@ -147,10 +147,13 @@ func TestEpisodeReportCosts(t *testing.T) {
 	}
 	w := NewWorker(ctx, policy.NewRandom(3))
 	active := bitset.NewFull(1)
-	rep := w.RunEpisode(EpisodeInput{
+	rep, err := w.RunEpisode(EpisodeInput{
 		Inst: 0, VIDs: []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
 		Active: active, Slot: 0, SelOps: ctx.SelOpsFor(0, nil),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.JoinInput != 6 { // filter keeps v in [0,5]
 		t.Errorf("JoinInput = %d, want 6", rep.JoinInput)
 	}
@@ -205,10 +208,13 @@ func TestPruneFilterDropsUnjoinable(t *testing.T) {
 	})
 	// r's episode with s prunable: tuples with k=3 pruned before insert.
 	elig := bitset.NewFull(1)
-	rep := w.RunEpisode(EpisodeInput{
+	rep, err := w.RunEpisode(EpisodeInput{
 		Inst: rInst, VIDs: []int32{0, 1, 2, 3, 4, 5, 6, 7}, Active: active, Slot: 1,
 		SelOps: ctx.SelOpsFor(rInst, func(int, query.InstID) bitset.Set { return elig }),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.JoinInput != 6 { // 8 rows minus the two k=3 rows
 		t.Errorf("pruned join input = %d, want 6", rep.JoinInput)
 	}

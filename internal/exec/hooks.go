@@ -1,0 +1,23 @@
+package exec
+
+import (
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+)
+
+// Hooks lets harnesses observe or perturb episode execution. All fields are
+// optional; the zero value is a no-op. The engine treats a panic raised by
+// a hook exactly like a panic in the episode body (the episode becomes a
+// recorded fault and its queries are marked failed), so hooks are the
+// injection points the fault-injection harness (internal/faults) uses.
+type Hooks struct {
+	// EpisodeStart runs at the very start of every episode, before any
+	// tuple is touched. It may sleep (slow-episode injection) or panic
+	// (crash injection).
+	EpisodeStart func(inst query.InstID, slot stem.Slot)
+
+	// StemInsert runs immediately before the episode's STeM insertion. A
+	// non-nil error aborts the episode before any entry is inserted; the
+	// engine records it as an insertion fault.
+	StemInsert func(inst query.InstID, slot stem.Slot) error
+}

@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/stem"
+)
+
+func TestHitsDeterministicAndRoughlyRated(t *testing.T) {
+	in := New(Config{Seed: 42})
+	const n = 10000
+	const every = 8
+	hits := 0
+	for slot := 0; slot < n; slot++ {
+		if in.hits(2, stem.Slot(slot), every) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits over 10k slots")
+	}
+	// ~1-in-8 with slack for hash variance.
+	if hits < n/every/2 || hits > n/every*2 {
+		t.Errorf("hits = %d, want around %d", hits, n/every)
+	}
+	// Same seed, same decisions.
+	in2 := New(Config{Seed: 42})
+	for slot := 0; slot < n; slot++ {
+		if in.hits(2, stem.Slot(slot), every) != in2.hits(2, stem.Slot(slot), every) {
+			t.Fatalf("slot %d: decision not deterministic", slot)
+		}
+	}
+}
+
+func TestSaltsIndependent(t *testing.T) {
+	in := New(Config{Seed: 7})
+	same := 0
+	const n = 4096
+	for slot := 0; slot < n; slot++ {
+		a := in.hits(1, stem.Slot(slot), 4)
+		b := in.hits(2, stem.Slot(slot), 4)
+		if a && b {
+			same++
+		}
+	}
+	// Fully correlated salts would give ~n/4 joint hits; independent ones
+	// ~n/16. Guard against full correlation.
+	if same > n/8 {
+		t.Errorf("salts look correlated: %d joint hits over %d slots", same, n)
+	}
+}
+
+func TestHooksFireAndCount(t *testing.T) {
+	in := New(Config{Seed: 3, PanicEvery: 1, SlowEvery: 1, SlowDelay: time.Microsecond, InsertFailEvery: 1})
+	h := in.Hooks()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("EpisodeStart with PanicEvery=1 should panic")
+			}
+			if _, ok := r.(InjectedPanic); !ok {
+				t.Fatalf("panic value = %v (%T), want InjectedPanic", r, r)
+			}
+		}()
+		h.EpisodeStart(0, 0)
+	}()
+	if err := h.StemInsert(0, 0); err == nil {
+		t.Fatal("StemInsert with InsertFailEvery=1 should fail")
+	}
+	if in.Panics() != 1 || in.Slows() != 1 || in.InsertFails() != 1 {
+		t.Errorf("counters = %d/%d/%d, want 1/1/1", in.Panics(), in.Slows(), in.InsertFails())
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 1})
+	h := in.Hooks()
+	for slot := 0; slot < 100; slot++ {
+		h.EpisodeStart(0, stem.Slot(slot))
+		if err := h.StemInsert(0, stem.Slot(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.Panics()+in.Slows()+in.InsertFails() != 0 {
+		t.Error("zero config must not inject")
+	}
+}

@@ -117,7 +117,7 @@ func GenerateScaled(scale float64, seed int64) *storage.Database {
 	}
 	sch := catalog.NewSchema(rels...)
 	for _, e := range edges {
-		sch.AddFK(e.child, e.childCol, e.parent, e.parentCol)
+		sch.MustAddFK(e.child, e.childCol, e.parent, e.parentCol)
 	}
 	db := storage.NewDatabase(sch)
 

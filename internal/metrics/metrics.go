@@ -149,15 +149,21 @@ type EpisodeRecord struct {
 	JoinInput int
 	Cost      float64
 	Duration  time.Duration
+	// Fault is empty for a completed episode, else the fault class that
+	// aborted it ("panic", "insert", "stall").
+	Fault string
 }
 
 // Ring is a fixed-capacity trace of the most recent episodes. Safe for
-// concurrent use.
+// concurrent use. Besides the windowed trace it keeps lifetime abort/fault
+// counters, which survive eviction.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []EpisodeRecord
-	next int
-	full bool
+	mu     sync.Mutex
+	buf    []EpisodeRecord
+	next   int
+	full   bool
+	faults map[string]int64
+	nfault int64
 }
 
 // NewRing creates a ring holding the last n episodes.
@@ -172,11 +178,37 @@ func NewRing(n int) *Ring {
 func (r *Ring) Add(rec EpisodeRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if rec.Fault != "" {
+		if r.faults == nil {
+			r.faults = make(map[string]int64)
+		}
+		r.faults[rec.Fault]++
+		r.nfault++
+	}
 	r.buf[r.next] = rec
 	r.next = (r.next + 1) % len(r.buf)
 	if r.next == 0 {
 		r.full = true
 	}
+}
+
+// Faults returns the lifetime count of aborted episodes recorded, across
+// the whole trace (not just the current window).
+func (r *Ring) Faults() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nfault
+}
+
+// FaultsByKind returns the lifetime per-class abort counters (a copy).
+func (r *Ring) FaultsByKind() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.faults))
+	for k, v := range r.faults {
+		out[k] = v
+	}
+	return out
 }
 
 // Snapshot returns the traced episodes oldest-first.

@@ -95,3 +95,30 @@ func TestRing(t *testing.T) {
 		t.Error("zero-capacity ring should default")
 	}
 }
+
+func TestRingFaultCounters(t *testing.T) {
+	r := NewRing(4)
+	if r.Faults() != 0 {
+		t.Error("fresh ring has faults")
+	}
+	r.Add(EpisodeRecord{Episode: 1})
+	r.Add(EpisodeRecord{Episode: 2, Fault: "panic"})
+	r.Add(EpisodeRecord{Episode: 3, Fault: "panic"})
+	r.Add(EpisodeRecord{Episode: 4, Fault: "insert"})
+	// Fault totals survive ring eviction: push the faulted records out.
+	for i := int64(5); i <= 10; i++ {
+		r.Add(EpisodeRecord{Episode: i})
+	}
+	if got := r.Faults(); got != 3 {
+		t.Errorf("Faults() = %d, want 3", got)
+	}
+	by := r.FaultsByKind()
+	if by["panic"] != 2 || by["insert"] != 1 {
+		t.Errorf("FaultsByKind() = %v", by)
+	}
+	// The returned map is a copy.
+	by["panic"] = 99
+	if r.FaultsByKind()["panic"] != 2 {
+		t.Error("FaultsByKind exposed internal map")
+	}
+}

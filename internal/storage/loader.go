@@ -132,7 +132,7 @@ func LoadCSV(rel *catalog.Relation, r io.Reader, opts CSVOptions) (*Table, error
 		}
 		row++
 	}
-	return FromColumns(rel, cols...), nil
+	return FromColumns(rel, cols...)
 }
 
 // Binary snapshot format: magic, column count, row count, then each column
@@ -178,5 +178,5 @@ func LoadBinary(rel *catalog.Relation, r io.Reader) (*Table, error) {
 			return nil, fmt.Errorf("storage: binary column %d: %w", i, err)
 		}
 	}
-	return FromColumns(rel, cols...), nil
+	return FromColumns(rel, cols...)
 }

@@ -89,7 +89,7 @@ func TestLoadCSVErrors(t *testing.T) {
 
 func TestBinaryRoundTrip(t *testing.T) {
 	rel := catalog.NewRelation("t", "x", "y")
-	orig := FromColumns(rel, []int64{1, -5, 9}, []int64{7, 0, 42})
+	orig := MustFromColumns(rel, []int64{1, -5, 9}, []int64{7, 0, 42})
 	var buf bytes.Buffer
 	if err := SaveBinary(orig, &buf); err != nil {
 		t.Fatal(err)
@@ -117,7 +117,7 @@ func TestLoadBinaryRejectsGarbage(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	two := catalog.NewRelation("two", "a", "b")
-	if err := SaveBinary(FromColumns(two, []int64{1}, []int64{2}), &buf); err != nil {
+	if err := SaveBinary(MustFromColumns(two, []int64{1}, []int64{2}), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := LoadBinary(rel, &buf); err == nil {

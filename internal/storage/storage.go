@@ -30,10 +30,11 @@ func NewTable(rel *catalog.Relation, rows int) *Table {
 }
 
 // FromColumns builds a table from pre-built columns, which must all have the
-// same length and match the relation's column count.
-func FromColumns(rel *catalog.Relation, cols ...[]int64) *Table {
+// same length and match the relation's column count. Loaders reach this with
+// externally supplied data, so shape mismatches are returned, not panicked.
+func FromColumns(rel *catalog.Relation, cols ...[]int64) (*Table, error) {
 	if len(cols) != len(rel.Columns) {
-		panic(fmt.Sprintf("storage: %s expects %d columns, got %d", rel.Name, len(rel.Columns), len(cols)))
+		return nil, fmt.Errorf("storage: %s expects %d columns, got %d", rel.Name, len(rel.Columns), len(cols))
 	}
 	rows := 0
 	if len(cols) > 0 {
@@ -41,10 +42,20 @@ func FromColumns(rel *catalog.Relation, cols ...[]int64) *Table {
 	}
 	for i, c := range cols {
 		if len(c) != rows {
-			panic(fmt.Sprintf("storage: %s column %d has %d rows, want %d", rel.Name, i, len(c), rows))
+			return nil, fmt.Errorf("storage: %s column %d has %d rows, want %d", rel.Name, i, len(c), rows)
 		}
 	}
-	return &Table{Rel: rel, cols: cols, rows: rows}
+	return &Table{Rel: rel, cols: cols, rows: rows}, nil
+}
+
+// MustFromColumns is FromColumns, panicking on error (for statically shaped
+// setup code and tests).
+func MustFromColumns(rel *catalog.Relation, cols ...[]int64) *Table {
+	t, err := FromColumns(rel, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // NumRows returns the table's cardinality.
@@ -106,12 +117,14 @@ type CircularScan struct {
 	pos  int // next vID to hand out
 }
 
-// NewCircularScan creates a scan over rows tuples with vectors of vec tuples.
-func NewCircularScan(rows, vec int) *CircularScan {
+// NewCircularScan creates a scan over rows tuples with vectors of vec
+// tuples. Vector sizes arrive from session configuration, so a non-positive
+// size is reported rather than panicked.
+func NewCircularScan(rows, vec int) (*CircularScan, error) {
 	if vec <= 0 {
-		panic("storage: vector size must be positive")
+		return nil, fmt.Errorf("storage: vector size must be positive, got %d", vec)
 	}
-	return &CircularScan{rows: rows, vec: vec}
+	return &CircularScan{rows: rows, vec: vec}, nil
 }
 
 // Pos returns the current scan position (the vID the next vector starts at).

@@ -33,12 +33,20 @@ func TestTableBasics(t *testing.T) {
 
 func TestFromColumnsValidation(t *testing.T) {
 	rel := catalog.NewRelation("r", "a", "b")
-	defer func() {
-		if recover() == nil {
-			t.Error("mismatched column lengths should panic")
-		}
+	if _, err := FromColumns(rel, []int64{1, 2}, []int64{1}); err == nil {
+		t.Error("mismatched column lengths should be an error")
+	}
+	if _, err := FromColumns(rel, []int64{1, 2}); err == nil {
+		t.Error("column-count mismatch should be an error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustFromColumns should panic on error")
+			}
+		}()
+		MustFromColumns(rel, []int64{1, 2}, []int64{1})
 	}()
-	FromColumns(rel, []int64{1, 2}, []int64{1})
 }
 
 func TestDatabase(t *testing.T) {
@@ -63,7 +71,10 @@ func TestDatabase(t *testing.T) {
 func TestCircularScanCoversAllOncePerPass(t *testing.T) {
 	for _, rows := range []int{1, 5, 10, 17, 100} {
 		for _, vec := range []int{1, 4, 7, 16, 128} {
-			s := NewCircularScan(rows, vec)
+			s, err := NewCircularScan(rows, vec)
+			if err != nil {
+				t.Fatal(err)
+			}
 			seen := make([]int, rows)
 			for i := 0; i < s.VectorsPerPass(); i++ {
 				start, n := s.Next()
@@ -87,7 +98,10 @@ func TestCircularScanCoversAllOncePerPass(t *testing.T) {
 }
 
 func TestCircularScanWrap(t *testing.T) {
-	s := NewCircularScan(10, 4)
+	s, err := NewCircularScan(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Vectors: [0,4) [4,8) [8,10) then wrap to [0,4).
 	wants := [][2]int{{0, 4}, {4, 4}, {8, 2}, {0, 4}}
 	for i, w := range wants {
@@ -99,7 +113,13 @@ func TestCircularScanWrap(t *testing.T) {
 }
 
 func TestCircularScanEmpty(t *testing.T) {
-	s := NewCircularScan(0, 8)
+	s, err := NewCircularScan(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCircularScan(5, 0); err == nil {
+		t.Error("non-positive vector size should be an error")
+	}
 	if _, n := s.Next(); n != 0 {
 		t.Error("empty table should yield empty vectors")
 	}

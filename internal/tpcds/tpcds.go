@@ -240,11 +240,11 @@ func Generate(scale float64, seed int64) *storage.Database {
 	sch := catalog.NewSchema(rels...)
 	for _, fact := range []string{"store_sales", "catalog_sales", "web_sales"} {
 		for _, e := range channelEdges[fact] {
-			sch.AddFK(e.Child, e.ChildCol, e.Parent, e.ParentCol)
+			sch.MustAddFK(e.Child, e.ChildCol, e.Parent, e.ParentCol)
 		}
 	}
 	for _, e := range snowstormEdges {
-		sch.AddFK(e.Child, e.ChildCol, e.Parent, e.ParentCol)
+		sch.MustAddFK(e.Child, e.ChildCol, e.Parent, e.ParentCol)
 	}
 
 	db := storage.NewDatabase(sch)

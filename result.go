@@ -16,6 +16,13 @@ type QueryResult struct {
 	// Groups holds the host-side aggregate: one entry for plain COUNT/SUM,
 	// one per key for grouped aggregates (sorted if OrderByKey was set).
 	Groups []Group
+
+	// Aborted marks a query that did not complete — the batch was cancelled
+	// or timed out before its scans drained, or one of its episodes
+	// faulted. Count and Groups then reflect only the work that finished
+	// (lower bounds), and Err explains the cut.
+	Aborted bool
+	Err     error
 }
 
 // Value returns the ungrouped aggregate value (0 when grouped/empty).
@@ -37,6 +44,11 @@ type ConvergencePoint struct {
 // BatchResult summarizes a batch execution.
 type BatchResult struct {
 	Queries []QueryResult
+
+	// Partial is set when at least one query was aborted (cancellation,
+	// deadline, or an episode fault); the per-query Aborted flags say
+	// which.
+	Partial bool
 
 	Elapsed  time.Duration
 	Episodes int64

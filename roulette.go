@@ -26,8 +26,10 @@
 package roulette
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/roulette-db/roulette/internal/catalog"
 	"github.com/roulette-db/roulette/internal/cost"
@@ -91,8 +93,14 @@ func (e *Engine) CreateTable(name string, cols ...Column) error {
 		data[i] = c.Data
 	}
 	rel := catalog.NewRelation(name, names...)
-	e.schema.AddRelation(rel)
-	e.db.Put(storage.FromColumns(rel, data...))
+	if err := e.schema.AddRelation(rel); err != nil {
+		return err
+	}
+	t, err := storage.FromColumns(rel, data...)
+	if err != nil {
+		return err
+	}
+	e.db.Put(t)
 	return nil
 }
 
@@ -172,6 +180,16 @@ type Options struct {
 	// replacing the paper's Xeon-tuned constants. Calibration runs once per
 	// Engine and takes a few tens of milliseconds.
 	CalibrateCostModel bool
+
+	// Deadline bounds the whole batch execution; 0 means no deadline. A
+	// batch exceeding it is cancelled cooperatively and returns partial
+	// results (BatchResult.Partial, per-query Aborted/Err). Composes with
+	// any deadline already on the ExecuteBatchContext context.
+	Deadline time.Duration
+
+	// EpisodeWatchdog flags any single episode running longer than this as
+	// a stall fault and cancels the rest of the batch; 0 disables it.
+	EpisodeWatchdog time.Duration
 }
 
 // execOptions converts Options to the internal executor options.
@@ -194,6 +212,15 @@ func (o *Options) execOptions() exec.Options {
 // ExecuteBatch compiles and runs a batch of queries to completion, sharing
 // work across them, and returns per-query results.
 func (e *Engine) ExecuteBatch(qs []*Query, o *Options) (*BatchResult, error) {
+	return e.ExecuteBatchContext(context.Background(), qs, o)
+}
+
+// ExecuteBatchContext is ExecuteBatch under a context. Cancellation (or an
+// expired deadline) stops the batch cooperatively at the next episode
+// boundary and returns what finished: the result has Partial set and every
+// query carries a completed/aborted status, so callers still get exact
+// counts for the queries that drained before the cut.
+func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []*Query, o *Options) (*BatchResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("roulette: empty batch")
 	}
@@ -218,6 +245,8 @@ func (e *Engine) ExecuteBatch(qs []*Query, o *Options) (*BatchResult, error) {
 	if o != nil {
 		cfg.Workers = o.Workers
 		cfg.TrackConvergence = o.TrackConvergence
+		cfg.SessionDeadline = o.Deadline
+		cfg.EpisodeWatchdog = o.EpisodeWatchdog
 		if o.CalibrateCostModel {
 			e.calOnce.Do(func() {
 				seed := o.Seed
@@ -252,7 +281,7 @@ func (e *Engine) ExecuteBatch(qs []*Query, o *Options) (*BatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run()
+	res, err := s.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -341,9 +370,14 @@ func (e *Engine) buildResult(b *query.Batch, s *engine.Session, res *engine.Resu
 	if err != nil {
 		return nil, err
 	}
+	out.Partial = res.Partial
 	out.Queries = make([]QueryResult, b.N)
 	for qid := range out.Queries {
 		qr := QueryResult{Tag: b.Queries[qid].Tag, Count: res.Counts[qid]}
+		if qid < len(res.Status) && !res.Status[qid].Completed {
+			qr.Aborted = true
+			qr.Err = res.Status[qid].Err
+		}
 		for _, g := range hostRes[qid].Groups {
 			qr.Groups = append(qr.Groups, Group{Key: g.Key, Value: g.Value})
 		}

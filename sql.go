@@ -1,6 +1,8 @@
 package roulette
 
 import (
+	"context"
+
 	"github.com/roulette-db/roulette/internal/sqlfe"
 )
 
@@ -38,9 +40,15 @@ func ParseSQLBatch(src string) ([]*Query, error) {
 // ExecuteSQL parses semicolon-separated SQL statements and executes them as
 // one shared batch.
 func (e *Engine) ExecuteSQL(src string, o *Options) (*BatchResult, error) {
+	return e.ExecuteSQLContext(context.Background(), src, o)
+}
+
+// ExecuteSQLContext is ExecuteSQL under a context; see ExecuteBatchContext
+// for the cancellation and partial-result semantics.
+func (e *Engine) ExecuteSQLContext(ctx context.Context, src string, o *Options) (*BatchResult, error) {
 	qs, err := ParseSQLBatch(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteBatch(qs, o)
+	return e.ExecuteBatchContext(ctx, qs, o)
 }

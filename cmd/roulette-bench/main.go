@@ -7,28 +7,64 @@
 //	roulette-bench -fig 11a            # throughput vs batch size
 //	roulette-bench -fig all -quick     # every figure, reduced sweeps
 //	roulette-bench -fig 13 -scale 0.5  # policy quality at a larger scale
+//	roulette-bench -fig perf           # hot-path microbenchmarks
+//	roulette-bench -fig all -json BENCH.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"github.com/roulette-db/roulette/internal/bench"
 )
 
+// figTiming is one figure's wall-clock entry in BENCH.json.
+type figTiming struct {
+	Fig     string  `json:"fig"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchFile is the BENCH.json schema (documented in EXPERIMENTS.md).
+type benchFile struct {
+	Timestamp string            `json:"timestamp"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Scale     float64           `json:"scale"`
+	Seed      int64             `json:"seed"`
+	Quick     bool              `json:"quick"`
+	Figures   []figTiming       `json:"figures"`
+	Perf      *bench.PerfReport `json:"perf,omitempty"`
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching all")
+	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching perf all")
 	scale := flag.Float64("scale", 0.25, "TPC-DS scale factor (facts scale linearly)")
 	seed := flag.Int64("seed", 1, "workload and data seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	jsonOut := flag.String("json", "", "write machine-readable results (timings + perf) to this file")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout}
+
+	out := benchFile{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Scale:     *scale,
+		Seed:      *seed,
+		Quick:     *quick,
+	}
 
 	figures := map[string]func() error{
 		"11a":      func() error { _, err := cfg.Fig11a(); return err },
@@ -46,8 +82,13 @@ func main() {
 		"swo":      func() error { _, err := cfg.SWO(); return err },
 		"stress":   func() error { _, err := cfg.Stress(); return err },
 		"batching": func() error { _, err := cfg.Batching(); return err },
+		"perf": func() error {
+			rep, err := cfg.Perf()
+			out.Perf = rep
+			return err
+		},
 	}
-	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching"}
+	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching", "perf"}
 
 	run := func(name string) {
 		f, ok := figures[name]
@@ -60,7 +101,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(fig %s done in %.1fs)\n\n", name, time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		out.Figures = append(out.Figures, figTiming{Fig: name, Seconds: secs})
+		fmt.Printf("(fig %s done in %.1fs)\n\n", name, secs)
+	}
+
+	writeJSON := func() {
+		if *jsonOut == "" {
+			return
+		}
+		data, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 
 	// Ctrl-C stops the sweep at the next figure boundary (individual figures
@@ -76,7 +136,9 @@ func main() {
 			}
 			run(name)
 		}
+		writeJSON()
 		return
 	}
 	run(*fig)
+	writeJSON()
 }

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+)
+
+// BenchResult is one microbenchmark measurement, JSON-shaped for BENCH.json.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func toResult(name string, r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// PerfReport is the perf section of BENCH.json: the steady-state episode
+// step, STeM primitives, and the Q-table against its retained string-keyed
+// map baseline (the acceptance bar is QTableSpeedup >= 2).
+type PerfReport struct {
+	EpisodeStep          []BenchResult `json:"episode_step"`
+	EpisodeStepZeroAlloc bool          `json:"episode_step_zero_alloc"`
+	StemInsert           BenchResult   `json:"stem_insert"`
+	StemProbe            BenchResult   `json:"stem_probe"`
+	QTable               BenchResult   `json:"qtable_open_addressing"`
+	QTableRef            BenchResult   `json:"qtable_map_reference"`
+	QTableSpeedup        float64       `json:"qtable_speedup"`
+}
+
+// qtableState is one recurring Q-table state for the table microbenchmarks.
+type qtableState struct {
+	phase   policy.Phase
+	inst    query.InstID
+	lineage uint64
+	q       bitset.Set
+	op      int
+}
+
+func qtableWorkload() []qtableState {
+	pool := []bitset.Set{
+		bitset.NewFull(16),
+		bitset.NewFull(64),
+		bitset.FromIDs(64, 2, 17, 63),
+		bitset.NewFull(128),
+		bitset.NewFull(200), // overflows the inline key words
+		bitset.FromIDs(200, 5, 199),
+	}
+	states := make([]qtableState, 0, 4096)
+	for i := 0; len(states) < cap(states); i++ {
+		states = append(states, qtableState{
+			phase:   policy.Phase(i % 2),
+			inst:    query.InstID(i % 4),
+			lineage: uint64(i % 61),
+			q:       pool[i%len(pool)],
+			op:      i % 7,
+		})
+	}
+	return states
+}
+
+// Perf runs the allocation/throughput microbenchmarks and returns the
+// machine-readable report. It is the "-fig perf" target of roulette-bench
+// and the source of BENCH.json's perf section.
+func (c *Config) Perf() (*PerfReport, error) {
+	rep := &PerfReport{}
+
+	for _, tc := range []struct {
+		name string
+		cfg  exec.StepBenchConfig
+	}{
+		{"episode_step/16q-1word", exec.StepBenchConfig{NQueries: 16}},
+		{"episode_step/80q-2words", exec.StepBenchConfig{NQueries: 80}},
+	} {
+		tc.cfg.Policy = qlearn.New(qlearn.DefaultConfig())
+		sb, err := exec.NewStepBench(tc.cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 16; i++ {
+			sb.Step()
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sb.Step()
+			}
+		})
+		rep.EpisodeStep = append(rep.EpisodeStep, toResult(tc.name, r))
+	}
+	rep.EpisodeStepZeroAlloc = true
+	for _, r := range rep.EpisodeStep {
+		if r.AllocsPerOp != 0 {
+			rep.EpisodeStepZeroAlloc = false
+		}
+	}
+
+	rep.StemInsert = toResult("stem_insert", testing.Benchmark(func(b *testing.B) {
+		v := stem.NewVersions()
+		s := stem.New(v, []string{"k"}, 64, b.N+1)
+		q := bitset.NewFull(64)
+		key := make([]int64, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key[0] = int64(i & 1023)
+			s.Insert(int32(i), key, q, stem.Slot(i>>10))
+		}
+	}))
+
+	rep.StemProbe = toResult("stem_probe", testing.Benchmark(func(b *testing.B) {
+		v := stem.NewVersions()
+		s := stem.New(v, []string{"k"}, 64, 1<<16)
+		q := bitset.NewFull(64)
+		key := make([]int64, 1)
+		for i := 0; i < 1<<16; i++ {
+			key[0] = int64(i & 4095)
+			s.Insert(int32(i), key, q, 0)
+		}
+		v.Publish(0)
+		ts := v.Now()
+		var dst []stem.Match
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = s.Probe(dst[:0], "k", int64(i&4095), ts)
+		}
+	}))
+
+	states := qtableWorkload()
+	rep.QTable = toResult("qtable_open_addressing", testing.Benchmark(func(b *testing.B) {
+		tbl := qlearn.NewTable()
+		for i := range states {
+			s := &states[i]
+			*tbl.Slot(s.phase, s.inst, s.lineage, s.q, s.op) = float64(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := &states[i%len(states)]
+			v := tbl.Get(s.phase, s.inst, s.lineage, s.q, s.op)
+			*tbl.Slot(s.phase, s.inst, s.lineage, s.q, s.op) = v + 1
+		}
+	}))
+
+	rep.QTableRef = toResult("qtable_map_reference", testing.Benchmark(func(b *testing.B) {
+		ref := qlearn.NewRefTable()
+		for i := range states {
+			s := &states[i]
+			ref.Set(s.phase, s.inst, s.lineage, s.q, s.op, float64(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := &states[i%len(states)]
+			v := ref.Get(s.phase, s.inst, s.lineage, s.q, s.op)
+			ref.Set(s.phase, s.inst, s.lineage, s.q, s.op, v+1)
+		}
+	}))
+	if rep.QTable.NsPerOp > 0 {
+		rep.QTableSpeedup = rep.QTableRef.NsPerOp / rep.QTable.NsPerOp
+	}
+
+	c.printf("perf: steady-state hot-path microbenchmarks\n")
+	c.printf("%-28s %12s %10s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	all := append(append([]BenchResult{}, rep.EpisodeStep...),
+		rep.StemInsert, rep.StemProbe, rep.QTable, rep.QTableRef)
+	for _, r := range all {
+		c.printf("%-28s %12.1f %10d %10d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	c.printf("qtable speedup over map reference: %.2fx (acceptance: >= 2x)\n", rep.QTableSpeedup)
+	if !rep.EpisodeStepZeroAlloc {
+		c.printf("WARNING: episode step is no longer allocation-free\n")
+	}
+	return rep, nil
+}

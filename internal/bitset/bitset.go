@@ -204,32 +204,67 @@ func (s Set) ForEach(fn func(id int)) {
 
 // IDs returns the set bits in ascending order.
 func (s Set) IDs() []int {
-	ids := make([]int, 0, s.Count())
-	s.ForEach(func(id int) { ids = append(ids, id) })
-	return ids
+	return s.AppendIDs(make([]int, 0, s.Count()))
+}
+
+// AppendIDs appends the set bits in ascending order to dst and returns the
+// extended slice. It is the allocation-free variant of IDs for callers that
+// reuse a buffer across calls.
+func (s Set) AppendIDs(dst []int) []int {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// trimmed returns the number of words up to the last non-zero one, so sets
+// differing only in trailing-zero-word padding canonicalize identically.
+func (s Set) trimmed() int {
+	n := len(s)
+	for n > 0 && s[n-1] == 0 {
+		n--
+	}
+	return n
+}
+
+// Hash returns a 64-bit hash of the set's contents. Two sets with the same
+// bits (regardless of trailing-zero-word padding) hash identically. It never
+// allocates.
+func (s Set) Hash() uint64 {
+	n := s.trimmed()
+	h := uint64(0x9E3779B97F4A7C15) ^ uint64(n)
+	for i := 0; i < n; i++ {
+		h ^= s[i]
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 29
+	}
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	return h
+}
+
+// AppendKey appends s's canonical key bytes — the little-endian words up to
+// the last non-zero one — to dst and returns the extended slice. It is the
+// allocation-free variant of Key for callers that reuse a buffer.
+func (s Set) AppendKey(dst []byte) []byte {
+	n := s.trimmed()
+	for i := 0; i < n; i++ {
+		w := s[i]
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
 }
 
 // Key returns a compact string usable as a map key. Two sets with the same
 // bits (regardless of trailing-zero-word padding) produce the same key.
 func (s Set) Key() string {
-	n := len(s)
-	for n > 0 && s[n-1] == 0 {
-		n--
-	}
-	var b strings.Builder
-	b.Grow(n * 8)
-	for i := 0; i < n; i++ {
-		w := s[i]
-		b.WriteByte(byte(w))
-		b.WriteByte(byte(w >> 8))
-		b.WriteByte(byte(w >> 16))
-		b.WriteByte(byte(w >> 24))
-		b.WriteByte(byte(w >> 32))
-		b.WriteByte(byte(w >> 40))
-		b.WriteByte(byte(w >> 48))
-		b.WriteByte(byte(w >> 56))
-	}
-	return b.String()
+	return string(s.AppendKey(make([]byte, 0, len(s)*8)))
 }
 
 // String renders the set as {id, id, ...} for debugging.

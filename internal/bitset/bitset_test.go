@@ -197,3 +197,47 @@ func BenchmarkAndWith(b *testing.B) {
 		a.AndWith(c)
 	}
 }
+
+// TestQuickHashAndAppendKey checks the no-alloc key/hash variants against
+// set equality: equal sets (padding-insensitively) agree on Hash and
+// AppendKey, AppendKey matches Key, and neither allocates on reuse.
+func TestQuickHashAndAppendKey(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(300)
+		a := randomSet(rr, n, 0.3)
+		b := randomSet(rr, n, 0.3)
+		aPad := append(a.Clone(), 0, 0)
+		if a.Hash() != aPad.Hash() || a.Key() != aPad.Key() {
+			return false
+		}
+		if string(a.AppendKey(nil)) != a.Key() {
+			return false
+		}
+		if a.Equal(b) != (a.Hash() == b.Hash() && a.Key() == b.Key()) {
+			// Hash collisions between unequal sets are possible in theory;
+			// with these mixers and 300-bit random sets they would indicate
+			// a broken trim/canonicalization, so treat them as failure.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendKeyDoesNotAllocateOnReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := randomSet(r, 300, 0.4)
+	buf := make([]byte, 0, 64*8)
+	var ids []int
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendKey(buf[:0])
+		ids = s.AppendIDs(ids[:0])
+		_ = s.Hash()
+	})
+	if allocs != 0 {
+		t.Errorf("AppendKey/AppendIDs/Hash allocate %.1f allocs/op on reuse, want 0", allocs)
+	}
+}

@@ -1,10 +1,10 @@
 package exec
 
 import (
-	"github.com/roulette-db/roulette/internal/cost"
 	"time"
 
 	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/cost"
 	"github.com/roulette-db/roulette/internal/plan"
 	"github.com/roulette-db/roulette/internal/policy"
 	"github.com/roulette-db/roulette/internal/query"
@@ -40,6 +40,51 @@ func (v *jvec) instIdx(inst query.InstID) int {
 	return -1
 }
 
+// jvecPool recycles join-phase vectors and their vID columns within one
+// worker. Vectors are acquired per probe/routing selection and released by
+// execChildren once their sub-plan completes, so the live set is bounded by
+// the plan depth; backing arrays keep their capacity across episodes, which
+// makes the steady-state join phase allocation-free.
+type jvecPool struct {
+	free []*jvec
+	cols [][]int32
+}
+
+func (p *jvecPool) get() *jvec {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		return v
+	}
+	return &jvec{}
+}
+
+// col returns an empty vID column, reusing a released one when available.
+func (p *jvecPool) col() []int32 {
+	if n := len(p.cols); n > 0 {
+		c := p.cols[n-1]
+		p.cols = p.cols[:n-1]
+		return c[:0]
+	}
+	return nil
+}
+
+// put returns v and its columns to the pool. The caller must be done with
+// every slice view into v.
+func (p *jvecPool) put(v *jvec) {
+	for i := range v.vids {
+		if v.vids[i] != nil {
+			p.cols = append(p.cols, v.vids[i])
+		}
+		v.vids[i] = nil
+	}
+	v.insts = v.insts[:0]
+	v.vids = v.vids[:0]
+	v.qsets = v.qsets[:0]
+	v.n = 0
+	p.free = append(p.free, v)
+}
+
 // Worker executes episodes against a shared Context. Each worker owns its
 // scratch buffers; workers synchronize only through STeMs, sources, the
 // policy, and the stats counters.
@@ -51,11 +96,41 @@ type Worker struct {
 	log     []policy.LogEntry
 	matches []stem.Match
 	scratch bitset.Set
+
+	// Episode arena: worker-owned buffers reset (not reallocated) per
+	// episode. Workers never share scratch, so reuse needs no new
+	// synchronization; everything handed to shared structures (STeM
+	// entries, source rows) is copied by the receiver before the arena is
+	// reused. DESIGN.md "Performance" documents the ownership rules.
+	selVids   []int32    // ingested vID buffer (selection phase input)
+	selQsets  []uint64   // ingested query-set slab, n × qw words
+	keys      []int64    // STeM-insert key buffer
+	root      jvec       // join-phase root vector (wraps selVids/selQsets)
+	pool      jvecPool   // intermediate join vectors
+	tq        bitset.Set // probe: masked tuple query set
+	zeroQ     []uint64   // qw zero words for extending qset slabs in place
+	fullMask  bitset.Set // all-queries mask (template for notMask)
+	notMask   bitset.Set // prune: bits outside the eligible set
+	unionBuf  bitset.Set // route: union of present query bits
+	qidBuf    []int      // route: decoded query IDs
+	colIdx    []int      // route: source column positions
+	flat      []int32    // route: per-query row batch
+	copyIdx   []int      // probe/routeSel: input column positions to copy
+	residuals []appliedResidual
 }
 
 // NewWorker creates a worker bound to ctx using pol for planning.
 func NewWorker(ctx *Context, pol policy.Policy) *Worker {
-	return &Worker{C: ctx, Pol: pol, qw: bitset.WordsFor(ctx.B.N), scratch: bitset.New(ctx.B.N)}
+	qw := bitset.WordsFor(ctx.B.N)
+	return &Worker{
+		C: ctx, Pol: pol, qw: qw,
+		scratch:  bitset.New(ctx.B.N),
+		tq:       make(bitset.Set, qw),
+		zeroQ:    make([]uint64, qw),
+		fullMask: bitset.NewFull(ctx.B.N),
+		notMask:  bitset.New(ctx.B.N),
+		unionBuf: make(bitset.Set, qw),
+	}
 }
 
 // EpisodeReport summarizes one episode for convergence tracking.
@@ -70,24 +145,16 @@ type EpisodeReport struct {
 	JoinInput int
 }
 
-// RunEpisode processes one episode: selection phase, STeM insert, join
-// phase, routing, and the policy update from the episode's execution log.
-// A non-nil error means the episode was aborted before completing its STeM
-// insertion (injected or real insertion failure); the episode's version
-// slot is published regardless so concurrent probes never spin on it.
-func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
-	c := w.C
-	if h := c.Opt.Hooks.EpisodeStart; h != nil {
-		h(in.Inst, in.Slot)
+// ingestVector copies the episode's vIDs into the worker arena and stamps
+// every tuple with the active query set.
+func (w *Worker) ingestVector(in EpisodeInput) ([]int32, []uint64) {
+	w.selVids = append(w.selVids[:0], in.VIDs...)
+	need := len(in.VIDs) * w.qw
+	if cap(w.selQsets) < need {
+		w.selQsets = make([]uint64, need)
 	}
-	w.log = w.log[:0]
-	c.Stats.Episodes.Add(1)
-
-	// ---- Selection phase -------------------------------------------------
-	t0 := time.Now()
-	vids := append([]int32(nil), in.VIDs...)
-	qsets := make([]uint64, len(vids)*w.qw)
-	for i := range vids {
+	qsets := w.selQsets[:need]
+	for i := range in.VIDs {
 		base := i * w.qw
 		for wd := 0; wd < w.qw; wd++ {
 			var word uint64
@@ -97,10 +164,15 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 			qsets[base+wd] = word
 		}
 	}
-	c.Stats.SelIn.Add(int64(len(vids)))
+	return w.selVids, qsets
+}
 
-	steps := plan.BuildSel(w.Pol, in.Inst, in.Active, in.SelOps)
-	for _, st := range steps {
+// runSelSteps applies a planned selection-phase operator chain to the
+// ingested vector, compacting after every step and logging each decision.
+func (w *Worker) runSelSteps(in EpisodeInput, steps []plan.SelStep, vids []int32, qsets []uint64) ([]int32, []uint64) {
+	c := w.C
+	for si := range steps {
+		st := &steps[si]
 		nIn := len(vids)
 		if nIn == 0 {
 			break
@@ -118,6 +190,39 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 			MainLineage: st.NextApplied, QMain: in.Active, MainCands: st.NextCands,
 		})
 	}
+	return vids, qsets
+}
+
+// rootVec wraps the surviving selection-phase vector as the join-phase root
+// without copying; it aliases the worker's ingest buffers.
+func (w *Worker) rootVec(inst query.InstID, vids []int32, qsets []uint64, n int) *jvec {
+	v := &w.root
+	v.insts = append(v.insts[:0], inst)
+	v.vids = append(v.vids[:0], vids)
+	v.qsets = qsets
+	v.n = n
+	return v
+}
+
+// RunEpisode processes one episode: selection phase, STeM insert, join
+// phase, routing, and the policy update from the episode's execution log.
+// A non-nil error means the episode was aborted before completing its STeM
+// insertion (injected or real insertion failure); the episode's version
+// slot is published regardless so concurrent probes never spin on it.
+func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
+	c := w.C
+	if h := c.Opt.Hooks.EpisodeStart; h != nil {
+		h(in.Inst, in.Slot)
+	}
+	w.log = w.log[:0]
+	c.Stats.Episodes.Add(1)
+
+	// ---- Selection phase -------------------------------------------------
+	t0 := time.Now()
+	vids, qsets := w.ingestVector(in)
+	c.Stats.SelIn.Add(int64(len(vids)))
+	steps := plan.BuildSel(w.Pol, in.Inst, in.Active, in.SelOps)
+	vids, qsets = w.runSelSteps(in, steps, vids, qsets)
 	c.Stats.FilterNs.Add(time.Since(t0).Nanoseconds())
 	c.Stats.SelOut.Add(int64(len(vids)))
 
@@ -129,7 +234,11 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 		}
 	}
 	t0 = time.Now()
-	keys := make([]int64, len(c.stemKeyCols[in.Inst]))
+	nk := len(c.stemKeyCols[in.Inst])
+	if cap(w.keys) < nk {
+		w.keys = make([]int64, nk)
+	}
+	keys := w.keys[:nk]
 	for i, vid := range vids {
 		for k, colData := range c.stemKeySlices[in.Inst] {
 			keys[k] = colData[vid]
@@ -144,8 +253,7 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 	if joinInput > 0 {
 		// ---- Join phase ---------------------------------------------------
 		root := plan.BuildJoin(c.B, w.Pol, in.Inst, in.Active, c.ReqInsts)
-		v := &jvec{insts: []query.InstID{in.Inst}, vids: [][]int32{vids}, qsets: qsets, n: joinInput}
-		w.execChildren(root, v, ts)
+		w.execChildren(root, w.rootVec(in.Inst, vids, qsets, joinInput), ts)
 	}
 
 	rep := EpisodeReport{JoinInput: joinInput}
@@ -183,7 +291,8 @@ func (w *Worker) applyPrune(p *PruneOp, elig bitset.Set, vids []int32, qsets []u
 	c := w.C
 	other := c.Stems[p.Other]
 	local := c.Tables[p.Inst].Col(p.LocalCol)
-	notMask := bitset.NewFull(c.B.N)
+	w.notMask = w.fullMask.CopyInto(w.notMask)
+	notMask := w.notMask
 	notMask.AndNotWith(elig)
 	allowed := w.scratch
 	for i, vid := range vids {
@@ -240,6 +349,8 @@ func compact(vids []int32, qsets []uint64, qw int) ([]int32, []uint64) {
 
 // execChildren runs node's children over its output vector v: probe
 // sub-plans before divergence sub-plans, bounding pending vectors (§3).
+// Intermediate vectors return to the worker pool as soon as their sub-plan
+// completes.
 func (w *Worker) execChildren(n *plan.Node, v *jvec, ts int64) {
 	for _, ch := range n.Children {
 		switch ch.Kind {
@@ -250,17 +361,43 @@ func (w *Worker) execChildren(n *plan.Node, v *jvec, ts int64) {
 		case plan.Probe:
 			out, logIdx := w.probe(ch, v, ts)
 			w.execChildren(ch, out, ts)
+			w.pool.put(out)
 			if ch.Div != nil {
 				divOut := w.routeSel(ch.Div, v)
 				w.log[logIdx].NDiv = divOut.n
 				w.execChildren(ch.Div, divOut, ts)
+				w.pool.put(divOut)
 			}
 		}
 	}
 }
 
+// appliedResidual is a cycle-closing residual predicate completed by the
+// current probe: it clears its query's bit from output tuples whose
+// endpoint values differ.
+type appliedResidual struct {
+	qid        int
+	otherIdx   int
+	otherData  []int64
+	targetData []int64
+}
+
+// emitTuple appends tuple i's kept vID columns (plus, for probes, the
+// matched vID) to out. Kept free of closure state so the probe and routing-
+// selection hot loops stay allocation-free.
+func emitTuple(out *jvec, copyIdx []int, v *jvec, i, targetPos int, vid int32) {
+	for oi, vi := range copyIdx {
+		out.vids[oi] = append(out.vids[oi], v.vids[vi][i])
+	}
+	if targetPos >= 0 {
+		out.vids[targetPos] = append(out.vids[targetPos], vid)
+	}
+	out.n++
+}
+
 // probe executes one STeM probe node, producing the expanded vector and the
-// index of its log entry (whose NDiv the caller may patch).
+// index of its log entry (whose NDiv the caller may patch). The output
+// vector comes from the worker pool; the caller releases it.
 func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 	c := w.C
 	t0 := time.Now()
@@ -276,15 +413,8 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 	srcIdx := v.instIdx(src)
 
 	// Residual predicates completed by this probe: cycle-closing joins whose
-	// second endpoint is the probed instance. Each clears its query's bit
-	// from output tuples whose endpoint values differ.
-	type appliedResidual struct {
-		qid        int
-		otherIdx   int
-		otherData  []int64
-		targetData []int64
-	}
-	var residuals []appliedResidual
+	// second endpoint is the probed instance.
+	residuals := w.residuals[:0]
 	for ri := range c.B.Residuals {
 		r := &c.B.Residuals[ri]
 		var other query.InstID
@@ -304,6 +434,7 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 			residuals = append(residuals, appliedResidual{r.QID, oi, otherData, targetData})
 		}
 	}
+	w.residuals = residuals
 
 	// Output columns: what the children need (adaptive projections), or the
 	// full lineage when the optimization is off.
@@ -315,33 +446,25 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 	} else {
 		outKeep = nd.MainLineage
 	}
-	out := &jvec{}
-	var copyIdx []int
+	out := w.pool.get()
+	copyIdx := w.copyIdx[:0]
 	for i, inst := range v.insts {
 		if outKeep&(1<<inst) != 0 {
 			out.insts = append(out.insts, inst)
-			out.vids = append(out.vids, nil)
+			out.vids = append(out.vids, w.pool.col())
 			copyIdx = append(copyIdx, i)
 		}
 	}
+	w.copyIdx = copyIdx
 	targetPos := -1
 	if outKeep&(1<<nd.Target) != 0 {
 		targetPos = len(out.insts)
 		out.insts = append(out.insts, nd.Target)
-		out.vids = append(out.vids, nil)
+		out.vids = append(out.vids, w.pool.col())
 	}
 
 	qmask := nd.Q
 	stemT := c.Stems[nd.Target]
-	emit := func(i int, vid int32) {
-		for oi, vi := range copyIdx {
-			out.vids[oi] = append(out.vids[oi], v.vids[vi][i])
-		}
-		if targetPos >= 0 {
-			out.vids[targetPos] = append(out.vids[targetPos], vid)
-		}
-		out.n++
-	}
 	if w.qw == 1 {
 		// Fast path: batches of up to 64 queries use single-word query
 		// sets; the generic word loops dominate the probe otherwise.
@@ -376,11 +499,11 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 					continue
 				}
 				out.qsets = append(out.qsets, oqw)
-				emit(i, m.VID)
+				emitTuple(out, copyIdx, v, i, targetPos, m.VID)
 			}
 		}
 	} else {
-		tq := make(bitset.Set, w.qw)
+		tq := w.tq
 		for i := 0; i < v.n; i++ {
 			base := i * w.qw
 			empty := true
@@ -400,8 +523,11 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 			key := srcData[v.vids[srcIdx][i]]
 			w.matches = stemT.Probe(w.matches[:0], targetCol, key, ts)
 			for _, m := range w.matches {
+				// Build the output query set in place at the slab's tail;
+				// roll back the extension if it comes out empty.
+				out.qsets = append(out.qsets, w.zeroQ...)
+				oq := out.qsets[len(out.qsets)-w.qw:]
 				outEmpty := true
-				oq := make([]uint64, w.qw)
 				for wd := 0; wd < w.qw; wd++ {
 					var mw uint64
 					if wd < len(m.QSet) {
@@ -412,10 +538,7 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 						outEmpty = false
 					}
 				}
-				if outEmpty {
-					continue
-				}
-				if len(residuals) > 0 {
+				if !outEmpty && len(residuals) > 0 {
 					for _, rr := range residuals {
 						wd, bit := rr.qid/64, uint64(1)<<(rr.qid%64)
 						if oq[wd]&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
@@ -429,12 +552,12 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 							break
 						}
 					}
-					if outEmpty {
-						continue
-					}
 				}
-				out.qsets = append(out.qsets, oq...)
-				emit(i, m.VID)
+				if outEmpty {
+					out.qsets = out.qsets[:len(out.qsets)-w.qw]
+					continue
+				}
+				emitTuple(out, copyIdx, v, i, targetPos, m.VID)
 			}
 		}
 	}
@@ -456,22 +579,24 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 }
 
 // routeSel executes a routing selection: tuples keep only nd.Q's bits and
-// empty tuples are dropped; vID columns are projected to nd.Keep.
+// empty tuples are dropped; vID columns are projected to nd.Keep. The
+// output vector comes from the worker pool; the caller releases it.
 func (w *Worker) routeSel(nd *plan.Node, v *jvec) *jvec {
 	t0 := time.Now()
 	keep := nd.Keep
 	if !w.C.Opt.AdaptiveProjections {
 		keep = nd.Lineage
 	}
-	out := &jvec{}
-	var copyIdx []int
+	out := w.pool.get()
+	copyIdx := w.copyIdx[:0]
 	for i, inst := range v.insts {
 		if keep&(1<<inst) != 0 {
 			out.insts = append(out.insts, inst)
-			out.vids = append(out.vids, nil)
+			out.vids = append(out.vids, w.pool.col())
 			copyIdx = append(copyIdx, i)
 		}
 	}
+	w.copyIdx = copyIdx
 	qmask := nd.Q
 	if w.qw == 1 {
 		var mask uint64
@@ -483,17 +608,15 @@ func (w *Worker) routeSel(nd *plan.Node, v *jvec) *jvec {
 			if qw == 0 {
 				continue
 			}
-			for oi, vi := range copyIdx {
-				out.vids[oi] = append(out.vids[oi], v.vids[vi][i])
-			}
 			out.qsets = append(out.qsets, qw)
-			out.n++
+			emitTuple(out, copyIdx, v, i, -1, 0)
 		}
 	} else {
 		for i := 0; i < v.n; i++ {
 			base := i * w.qw
+			out.qsets = append(out.qsets, w.zeroQ...)
+			q := out.qsets[len(out.qsets)-w.qw:]
 			empty := true
-			q := make([]uint64, w.qw)
 			for wd := 0; wd < w.qw; wd++ {
 				var m uint64
 				if wd < len(qmask) {
@@ -505,13 +628,10 @@ func (w *Worker) routeSel(nd *plan.Node, v *jvec) *jvec {
 				}
 			}
 			if empty {
+				out.qsets = out.qsets[:len(out.qsets)-w.qw]
 				continue
 			}
-			for oi, vi := range copyIdx {
-				out.vids[oi] = append(out.vids[oi], v.vids[vi][i])
-			}
-			out.qsets = append(out.qsets, q...)
-			out.n++
+			emitTuple(out, copyIdx, v, i, -1, 0)
 		}
 	}
 	w.C.Stats.ProbeNs.Add(time.Since(t0).Nanoseconds())
@@ -525,13 +645,27 @@ func (w *Worker) routeSel(nd *plan.Node, v *jvec) *jvec {
 func (w *Worker) route(nd *plan.Node, v *jvec) {
 	c := w.C
 	t0 := time.Now()
-	qids := bitset.And(nd.Q, unionQ(v, w.qw)).IDs()
+	// Union the present query bits into worker scratch (router fast path:
+	// skip queries with no tuples at all), then decode nd.Q ∩ union.
+	u := w.unionBuf
+	for wd := range u {
+		u[wd] = 0
+	}
+	for i := 0; i < v.n; i++ {
+		base := i * w.qw
+		for wd := 0; wd < w.qw; wd++ {
+			u[wd] |= v.qsets[base+wd]
+		}
+	}
+	u.AndWith(nd.Q)
+	qids := u.AppendIDs(w.qidBuf[:0])
+	w.qidBuf = qids
 	if c.Opt.LocalityRouter {
 		for _, qid := range qids {
 			src := c.Sources[qid]
-			var flat []int32
+			flat := w.flat[:0]
 			rows := 0
-			colIdx := sourceCols(src, v)
+			colIdx := w.sourceCols(src, v)
 			for i := 0; i < v.n; i++ {
 				if !tupleHas(v, w.qw, i, qid) {
 					continue
@@ -541,22 +675,23 @@ func (w *Worker) route(nd *plan.Node, v *jvec) {
 				}
 				rows++
 			}
+			w.flat = flat
 			src.Append(flat, rows)
 			c.Stats.Routed.Add(int64(rows))
 		}
 	} else {
-		row := make([]int32, 8)
 		for _, qid := range qids {
 			src := c.Sources[qid]
-			colIdx := sourceCols(src, v)
+			colIdx := w.sourceCols(src, v)
 			for i := 0; i < v.n; i++ {
 				if !tupleHas(v, w.qw, i, qid) {
 					continue
 				}
-				row = row[:0]
+				row := w.flat[:0]
 				for _, ci := range colIdx {
 					row = append(row, v.vids[ci][i])
 				}
+				w.flat = row
 				src.Append(row, 1)
 				c.Stats.Routed.Add(1)
 			}
@@ -565,12 +700,14 @@ func (w *Worker) route(nd *plan.Node, v *jvec) {
 	c.Stats.RouteNs.Add(time.Since(t0).Nanoseconds())
 }
 
-// sourceCols maps a source's required instances to v's column indices.
-func sourceCols(src *Source, v *jvec) []int {
-	idx := make([]int, len(src.Insts))
-	for i, inst := range src.Insts {
-		idx[i] = v.instIdx(inst)
+// sourceCols maps a source's required instances to v's column indices,
+// reusing the worker's index buffer.
+func (w *Worker) sourceCols(src *Source, v *jvec) []int {
+	idx := w.colIdx[:0]
+	for _, inst := range src.Insts {
+		idx = append(idx, v.instIdx(inst))
 	}
+	w.colIdx = idx
 	return idx
 }
 
@@ -581,17 +718,4 @@ func tupleHas(v *jvec, qw, i, qid int) bool {
 		return false
 	}
 	return v.qsets[i*qw+wd]&(1<<(qid%64)) != 0
-}
-
-// unionQ unions all tuples' query sets (router fast path: skip queries with
-// no tuples at all).
-func unionQ(v *jvec, qw int) bitset.Set {
-	u := bitset.New(qw * 64)
-	for i := 0; i < v.n; i++ {
-		base := i * qw
-		for wd := 0; wd < qw; wd++ {
-			u[wd] |= v.qsets[base+wd]
-		}
-	}
-	return u
 }

@@ -71,19 +71,24 @@ func NewGroupedFilter(nQueries int, sc *query.SelCol, col []int64) *GroupedFilte
 	f.outMask.AndNotWith(sc.Queries)
 
 	// Boundary points: each predicate [lo, hi] contributes lo and hi+1.
-	set := map[int64]struct{}{}
+	// Collected into a sorted, deduplicated slice (rather than a hash set)
+	// so construction stays allocation-light and the table is immediately
+	// in binary-search order.
+	f.bounds = make([]int64, 0, 2*len(f.preds))
 	for _, p := range f.preds {
 		if p.Lo > p.Hi {
 			continue
 		}
-		set[p.Lo] = struct{}{}
-		set[p.Hi+1] = struct{}{}
-	}
-	f.bounds = make([]int64, 0, len(set))
-	for v := range set {
-		f.bounds = append(f.bounds, v)
+		f.bounds = append(f.bounds, p.Lo, p.Hi+1)
 	}
 	sort.Slice(f.bounds, func(i, j int) bool { return f.bounds[i] < f.bounds[j] })
+	uniq := f.bounds[:0]
+	for i, v := range f.bounds {
+		if i == 0 || v != f.bounds[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	f.bounds = uniq
 
 	if len(f.bounds) > 0 {
 		f.masks = make([]bitset.Set, len(f.bounds)-1)

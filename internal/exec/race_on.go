@@ -1,0 +1,7 @@
+//go:build race
+
+package exec
+
+// raceEnabled mirrors whether the race detector instruments this build; see
+// race_off.go.
+const raceEnabled = true

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/plan"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// StepBenchConfig sizes the steady-state episode-step harness.
+type StepBenchConfig struct {
+	NQueries   int           // queries in the batch (default 16)
+	Rows       int           // fact-table rows (default 4096)
+	VectorSize int           // tuples per episode vector (default 1024)
+	Policy     policy.Policy // planning policy (default policy.NewRandom(1))
+}
+
+// StepBench drives the steady-state episode step in isolation: a prebuilt
+// star batch (fact ⋈ dim1, fact ⋈ dim2, per-query range filters on the
+// fact table) with the dimension STeMs fully populated and published, so
+// every Step replays the hot data path — ingest, grouped filters, compact,
+// probes, routing selections, routers, cost measurement, policy update —
+// without the cold-path work RunEpisode performs per episode (plan
+// construction, STeM insertion, version publishing).
+//
+// That cold path is excluded deliberately: plan construction allocates the
+// per-episode operator tree by design, and STeM insertion grows shared
+// state. The zero-allocation contract (TestEpisodeStepZeroAlloc) covers
+// exactly what Step runs; DESIGN.md "Performance" spells out the boundary.
+type StepBench struct {
+	Ctx *Context
+	W   *Worker
+
+	in       EpisodeInput
+	selSteps []plan.SelStep
+	joinRoot *plan.Node
+}
+
+// NewStepBench builds the harness fixture and warms nothing: callers run a
+// few Steps to reach steady state before measuring.
+func NewStepBench(cfg StepBenchConfig) (*StepBench, error) {
+	if cfg.NQueries <= 0 {
+		cfg.NQueries = 16
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 4096
+	}
+	if cfg.VectorSize <= 0 {
+		cfg.VectorSize = 1024
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.NewRandom(1)
+	}
+
+	fact := catalog.NewRelation("fact", "a", "b", "v")
+	d1 := catalog.NewRelation("dim1", "a")
+	d2 := catalog.NewRelation("dim2", "b")
+	db := storage.NewDatabase(catalog.NewSchema(fact, d1, d2))
+
+	dimRows := cfg.Rows / 4
+	if dimRows < 4 {
+		dimRows = 4
+	}
+	ft := storage.NewTable(fact, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		ft.Col("a")[i] = int64(i % dimRows)
+		ft.Col("b")[i] = int64((i * 7) % dimRows)
+		ft.Col("v")[i] = int64(i % 100)
+	}
+	db.Put(ft)
+	t1 := storage.NewTable(d1, dimRows)
+	t2 := storage.NewTable(d2, dimRows)
+	for i := 0; i < dimRows; i++ {
+		t1.Col("a")[i] = int64(i)
+		t2.Col("b")[i] = int64(i)
+	}
+	db.Put(t1)
+	db.Put(t2)
+
+	qs := make([]*query.Query, cfg.NQueries)
+	for i := range qs {
+		qs[i] = &query.Query{
+			Rels: []query.RelRef{{Table: "fact"}, {Table: "dim1"}, {Table: "dim2"}},
+			Joins: []query.Join{
+				{LeftAlias: "fact", LeftCol: "a", RightAlias: "dim1", RightCol: "a"},
+				{LeftAlias: "fact", LeftCol: "b", RightAlias: "dim2", RightCol: "b"},
+			},
+			Filters: []query.Filter{{Alias: "fact", Col: "v", Lo: 0, Hi: int64(50 + i%50)}},
+		}
+	}
+	b, err := query.Compile(qs)
+	if err != nil {
+		return nil, err
+	}
+	opt := DefaultOptions()
+	opt.CollectRows = false // sources count rows; unbounded row buffers would dominate
+	opt.VectorSize = cfg.VectorSize
+	ctx, err := NewContext(b, db, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	w := NewWorker(ctx, pol)
+
+	factInst, ok := b.InstOfAlias(0, "fact")
+	if !ok {
+		return nil, fmt.Errorf("exec: steady fixture lost its fact instance")
+	}
+
+	// Populate the probed side: every dimension row, stamped with the full
+	// query set, under one published slot.
+	active := bitset.NewFull(b.N)
+	const seedSlot = stem.Slot(0)
+	for inst := range b.Insts {
+		if query.InstID(inst) == factInst {
+			continue
+		}
+		keys := make([]int64, len(ctx.stemKeyCols[inst]))
+		tbl := ctx.Tables[inst]
+		for vid := 0; vid < tbl.NumRows(); vid++ {
+			for k, col := range ctx.stemKeySlices[inst] {
+				keys[k] = col[vid]
+			}
+			ctx.Stems[inst].Insert(int32(vid), keys, active, seedSlot)
+		}
+	}
+	ctx.Versions.Publish(seedSlot)
+
+	vids := make([]int32, cfg.VectorSize)
+	for i := range vids {
+		vids[i] = int32(i % cfg.Rows)
+	}
+	in := EpisodeInput{
+		Inst:   factInst,
+		VIDs:   vids,
+		Active: active,
+		SelOps: ctx.SelOpsFor(factInst, nil),
+	}
+
+	sb := &StepBench{Ctx: ctx, W: w, in: in}
+	sb.selSteps = plan.BuildSel(pol, factInst, active, in.SelOps)
+	sb.joinRoot = plan.BuildJoin(b, pol, factInst, active, ctx.ReqInsts)
+	return sb, nil
+}
+
+// Step runs one steady-state episode step over the prebuilt plan and
+// returns the episode report. After a handful of warm-up calls it performs
+// zero heap allocations.
+func (s *StepBench) Step() EpisodeReport {
+	w := s.W
+	w.log = w.log[:0]
+	vids, qsets := w.ingestVector(s.in)
+	vids, qsets = w.runSelSteps(s.in, s.selSteps, vids, qsets)
+	joinInput := len(vids)
+	if joinInput > 0 {
+		ts := w.C.Versions.Now()
+		w.execChildren(s.joinRoot, w.rootVec(s.in.Inst, vids, qsets, joinInput), ts)
+	}
+	rep := EpisodeReport{JoinInput: joinInput}
+	rep.MeasuredCost, rep.MeasuredJoinCost = w.measuredCost()
+	w.Pol.Observe(w.log)
+	return rep
+}

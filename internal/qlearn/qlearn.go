@@ -5,10 +5,12 @@
 // update rule bootstraps separately through the sharing and divergence
 // branches (Algorithm 2).
 //
-// The Q-table is a sparse map keyed by concatenated (L, Q, op) bytes with
-// optimistic (zero) initialization; rewards are negative operator costs
-// from the linear cost model, so unexplored actions look maximally
-// attractive, driving early exploration.
+// The Q-table is a sparse open-addressing hash table keyed by the packed
+// (phase, inst, L, Q, op) components (see table.go) with optimistic (zero)
+// initialization; rewards are negative operator costs from the linear cost
+// model, so unexplored actions look maximally attractive, driving early
+// exploration. Steady-state accesses — choose, qValue, Observe over known
+// states — never allocate.
 package qlearn
 
 import (
@@ -45,7 +47,7 @@ type Learned struct {
 
 	mu    sync.Mutex
 	rng   *rand.Rand
-	table map[string]float64
+	table *Table
 }
 
 // New creates a learned policy for a compiled batch.
@@ -58,7 +60,7 @@ func New(cfg Config) *Learned {
 		cfg:   cfg,
 		model: m,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		table: make(map[string]float64),
+		table: NewTable(),
 	}
 }
 
@@ -66,26 +68,14 @@ func New(cfg Config) *Learned {
 func (l *Learned) TableSize() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.table)
-}
-
-// key builds the unique (phase, L, Q, op) triplet key: the byte
-// concatenation the paper stores in its hash map. For the selection phase,
-// L is the applied-operator mask and the instance disambiguates.
-func key(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int) string {
-	buf := make([]byte, 0, 16+len(q)*8+4)
-	buf = append(buf, byte(phase), byte(inst))
-	for i := 0; i < 8; i++ {
-		buf = append(buf, byte(lineage>>(8*i)))
-	}
-	buf = append(buf, byte(op), byte(op>>8), byte(op>>16), byte(op>>24))
-	return string(buf) + q.Key()
+	return l.table.Len()
 }
 
 // qValue reads Q((L,Q),op); unexplored pairs are 0 (optimistic: costs are
-// negative).
+// negative). For the selection phase, L is the applied-operator mask and
+// the instance disambiguates.
 func (l *Learned) qValue(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int) float64 {
-	return l.table[key(phase, inst, lineage, q, op)]
+	return l.table.Get(phase, inst, lineage, q, op)
 }
 
 // bestOf returns max_a Q((L,Q),a) over cands (0 for an empty candidate set:
@@ -164,8 +154,8 @@ func (l *Learned) Observe(entries []policy.LogEntry) {
 			r += (-l.model.Kappa[cost.RoutingSelection]*nIn - l.model.Lambda[cost.RoutingSelection]*nDiv + l.cfg.Gamma*nDiv*q2) / nIn
 		}
 
-		k := key(e.Phase, e.Inst, e.Lineage, e.Q, e.Op)
-		l.table[k] = (1-l.cfg.Mu)*l.table[k] + l.cfg.Mu*r
+		p := l.table.Slot(e.Phase, e.Inst, e.Lineage, e.Q, e.Op)
+		*p = (1-l.cfg.Mu)**p + l.cfg.Mu*r
 	}
 }
 

@@ -14,6 +14,7 @@ package stem
 
 import (
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -85,14 +86,25 @@ func (v *Versions) Publish(n Slot) int64 {
 // Now returns a probe timestamp newer than every published slot.
 func (v *Versions) Now() int64 { return v.global.Add(1) }
 
+// getSpinBudget bounds the busy-spin in Get before yielding the processor.
+// The publish window normally spans a few instructions, but on few-core
+// hosts an unbounded spin can starve the very publisher it waits on (the
+// scheduler has no reason to preempt a spinning goroutine), so after the
+// budget each retry yields.
+const getSpinBudget = 128
+
 // Get resolves slot n to its global timestamp, spinning through the tiny
 // publish window if the inserting episode has stamped entries but not yet
-// published (the window spans a few instructions).
+// published.
 func (v *Versions) Get(n Slot) int64 {
 	slab := v.ensure(n)
-	for {
-		if ts := slab.ts[int(n)&chunkMask].Load(); ts != 0 {
+	cell := &slab.ts[int(n)&chunkMask]
+	for spins := 0; ; spins++ {
+		if ts := cell.Load(); ts != 0 {
 			return ts
+		}
+		if spins >= getSpinBudget {
+			runtime.Gosched()
 		}
 	}
 }

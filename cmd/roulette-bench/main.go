@@ -16,12 +16,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	roulette "github.com/roulette-db/roulette"
 	"github.com/roulette-db/roulette/internal/bench"
 )
 
@@ -51,9 +53,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload and data seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	jsonOut := flag.String("json", "", "write machine-readable results (timings + perf) to this file")
+	stats := flag.Bool("stats", false, "collect execution stats for RouLette-family runs (skews timings; not for EXPERIMENTS.md numbers)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text + JSON) on this address while the sweep runs")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout, CollectStats: *stats}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", roulette.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "roulette-bench: metrics server:", err)
+			}
+		}()
+		fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	out := benchFile{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),

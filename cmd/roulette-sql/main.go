@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,11 +41,24 @@ func main() {
 	var tables tableFlags
 	flag.Var(&tables, "t", "table to load: name=file.csv (repeatable; first row is the header)")
 	workers := flag.Int("workers", 1, "RouLette workers")
+	stats := flag.Bool("stats", false, "collect execution stats and print a summary after each batch")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text + JSON) on this address, e.g. :9090")
 	flag.Parse()
 
 	if len(tables) == 0 {
 		fmt.Fprintln(os.Stderr, "roulette-sql: at least one -t name=file.csv is required")
 		os.Exit(2)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", roulette.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "roulette-sql: metrics server:", err)
+			}
+		}()
+		fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
 	}
 
 	schema := catalog.NewSchema()
@@ -75,7 +89,10 @@ func main() {
 		// prompt Ctrl-C keeps its default behaviour and kills the shell.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		res, err := e.ExecuteSQLContext(ctx, src, &roulette.Options{Workers: *workers})
+		res, err := e.ExecuteSQLContext(ctx, src, &roulette.Options{
+			Workers:      *workers,
+			CollectStats: *stats,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return
@@ -97,9 +114,12 @@ func main() {
 		if res.Partial {
 			fmt.Printf("(batch interrupted: partial results for %d queries in %v, %d episodes)\n",
 				len(res.Queries), res.Elapsed, res.Episodes)
-			return
+		} else {
+			fmt.Printf("(%d queries in %v, %d episodes)\n", len(res.Queries), res.Elapsed, res.Episodes)
 		}
-		fmt.Printf("(%d queries in %v, %d episodes)\n", len(res.Queries), res.Elapsed, res.Episodes)
+		if res.Stats != nil {
+			fmt.Print(res.Stats.Summary())
+		}
 	}
 
 	if flag.NArg() > 0 {

@@ -44,7 +44,7 @@ func (c *Config) Batching() (*BatchingResult, error) {
 				c := *q
 				cp[i] = &c
 			}
-			r, err := runSystem(SysRouLette, db, cp, 0, c.Seed)
+			r, err := c.runSystem(SysRouLette, db, cp, 0)
 			if err != nil {
 				return 0, err
 			}

@@ -32,6 +32,12 @@ type Config struct {
 	Seed  int64
 	Quick bool // reduced sweeps (CI / testing.B)
 	Out   io.Writer
+
+	// CollectStats turns on the engine's execution-stats collection for the
+	// RouLette-family runs and prints a compact per-run breakdown. It adds
+	// bookkeeping to every episode, so leave it off when timing figures for
+	// EXPERIMENTS.md.
+	CollectStats bool
 }
 
 // DefaultConfig returns a laptop-scale configuration.
@@ -96,7 +102,7 @@ func (r RunResult) Throughput() float64 {
 
 // runSystem executes the batch on the given system. Shared-work systems run
 // the whole batch at once; query-at-a-time systems run queries serially.
-func runSystem(sys System, db *storage.Database, qs []*query.Query, workers int, seed int64) (RunResult, error) {
+func (c *Config) runSystem(sys System, db *storage.Database, qs []*query.Query, workers int) (RunResult, error) {
 	res := RunResult{System: sys, Queries: len(qs)}
 	switch sys {
 	case SysMonet:
@@ -118,6 +124,7 @@ func runSystem(sys System, db *storage.Database, qs []*query.Query, workers int,
 		}
 		opt := exec.DefaultOptions()
 		opt.CollectRows = false
+		opt.CollectStats = c.CollectStats
 		ctx, err := exec.NewContext(b, db, opt, nil)
 		if err != nil {
 			return res, err
@@ -126,7 +133,7 @@ func runSystem(sys System, db *storage.Database, qs []*query.Query, workers int,
 		switch sys {
 		case SysRouLette:
 			cfg := qlearn.DefaultConfig()
-			cfg.Seed = seed
+			cfg.Seed = c.Seed
 			pol = qlearn.New(cfg)
 		case SysRouLetteGreedy:
 			pol = policy.NewGreedy(b, ctx.NumSelOps())
@@ -149,8 +156,26 @@ func runSystem(sys System, db *storage.Database, qs []*query.Query, workers int,
 		}
 		res.Elapsed = r.Elapsed
 		res.JoinTuples = r.JoinTuples
+		if c.CollectStats && r.Stats != nil {
+			c.printStats(sys, r.Stats)
+		}
 	}
 	return res, nil
+}
+
+// printStats emits one compact line per stats-collecting run.
+func (c *Config) printStats(sys System, bs *engine.BatchStats) {
+	var stemBytes int64
+	for _, st := range bs.Stems {
+		stemBytes += st.EstBytes
+	}
+	var factor float64
+	if bs.Sharing.TotalOps > 0 {
+		factor = float64(bs.Sharing.SharedOps) / float64(bs.Sharing.TotalOps)
+	}
+	c.printf("    [stats %s] ops=%d sharing=%.2f qstates=%d switches=%d stems~%.1fMiB\n",
+		sys, bs.Sharing.TotalOps, factor, bs.Policy.QStates,
+		bs.Policy.PlanSwitches, float64(stemBytes)/(1<<20))
 }
 
 // sampleWithoutReplacement copies k queries from the pool.

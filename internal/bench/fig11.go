@@ -23,7 +23,7 @@ var fig11Systems = []System{SysMonet, SysDBMSV, SysRouLette, SysStitchShare, Sys
 // fig11Sweep runs one sensitivity configuration across all systems.
 func (c *Config) fig11Sweep(label string, db *storage.Database, qs []*query.Query, out *[]Point) error {
 	for _, sys := range fig11Systems {
-		r, err := runSystem(sys, db, qs, 0, c.Seed)
+		r, err := c.runSystem(sys, db, qs, 0)
 		if err != nil {
 			return err
 		}

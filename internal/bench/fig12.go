@@ -33,7 +33,7 @@ func (c *Config) Fig12() ([]Point, error) {
 	for bi := 1; bi <= batches; bi++ {
 		qs := sampleWithoutReplacement(rng, pool, size)
 		for _, sys := range []System{SysRouLette, SysStitchShare, SysDBMSV, SysMonet} {
-			r, err := runSystem(sys, db, qs, 0, c.Seed)
+			r, err := c.runSystem(sys, db, qs, 0)
 			if err != nil {
 				return nil, err
 			}

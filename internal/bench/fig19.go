@@ -42,7 +42,7 @@ func (c *Config) Fig19() ([]Fig19Row, error) {
 		qs := sampleWithoutReplacement(rng, pool, size)
 		var base time.Duration
 		for _, wk := range workerCounts {
-			r, err := runSystem(SysRouLette, db, qs, wk, c.Seed)
+			r, err := c.runSystem(SysRouLette, db, qs, wk)
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +95,7 @@ func (c *Config) Fig20() ([]Fig20Row, error) {
 		rows = append(rows, Fig20Row{System: "DBMS-V", Clients: n, QPS: qps})
 		c.printf("DBMS-V   clients=%4d  %8.2f q/s\n", n, qps)
 
-		r, err := runSystem(SysRouLette, db, qs, runtime.GOMAXPROCS(0), c.Seed)
+		r, err := c.runSystem(SysRouLette, db, qs, runtime.GOMAXPROCS(0))
 		if err != nil {
 			return nil, err
 		}

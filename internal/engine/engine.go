@@ -53,7 +53,8 @@ type Config struct {
 	TrackConvergence bool
 
 	// Trace, when non-nil, receives one record per episode (observability;
-	// see internal/metrics).
+	// see internal/metrics). Public callers reach it through
+	// roulette.Options.TraceEpisodes.
 	Trace *metrics.Ring
 
 	// SessionDeadline bounds the whole run; 0 means no deadline. A run
@@ -167,6 +168,10 @@ type Results struct {
 	Status []QueryStatus
 	// Faults lists the quarantined episodes, in recording order.
 	Faults []EpisodeError
+
+	// Stats is the execution breakdown, non-nil only under
+	// Config.Exec.CollectStats.
+	Stats *BatchStats
 }
 
 // Throughput returns completed queries per second.
@@ -212,6 +217,13 @@ type Session struct {
 	rrCursor int
 	episode  int64
 	conv     []ConvergencePoint
+
+	// Stats accounting (Config.Exec.CollectStats only), under mu.
+	startAt      time.Time
+	qEpisodes    []int64         // per query: episodes whose active set included it
+	qElapsed     []time.Duration // per query: start → last vector scheduled
+	lastSig      []uint64        // per instance: previous episode's plan signature
+	planSwitches int64
 }
 
 // NewSession compiles the execution context and scan plan for batch b.
@@ -230,6 +242,11 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 		failed:   bitset.New(b.N),
 		failErr:  make([]error, b.N),
 		pending:  append([]AdmitEvent(nil), cfg.AdmitAt...),
+	}
+	if cfg.Exec.CollectStats {
+		s.qEpisodes = make([]int64, b.N)
+		s.qElapsed = make([]time.Duration, b.N)
+		s.lastSig = make([]uint64, len(b.Insts))
 	}
 
 	ranks := RankScans(b, ctx)
@@ -395,6 +412,9 @@ func (s *Session) takeVectorLocked(inst query.InstID) exec.EpisodeInput {
 	// revolution (admission is vector-aligned).
 	var finished []int
 	st.active.ForEach(func(qid int) {
+		if s.qEpisodes != nil {
+			s.qEpisodes[qid]++
+		}
 		st.remaining[qid] -= n
 		if st.remaining[qid] <= 0 {
 			finished = append(finished, qid)
@@ -403,6 +423,12 @@ func (s *Session) takeVectorLocked(inst query.InstID) exec.EpisodeInput {
 	for _, qid := range finished {
 		st.active.Remove(qid)
 		st.doneQ.Add(qid)
+		// Per-query elapsed: stamped when the query's last vector is handed
+		// out (the in-flight episode's tail is not included; observability
+		// precision, not an exactness contract).
+		if s.qElapsed != nil && s.queryDrainedLocked(qid) {
+			s.qElapsed[qid] = time.Since(s.startAt)
+		}
 	}
 
 	slot := stem.Slot(s.episode)
@@ -462,6 +488,9 @@ func (s *Session) RunContext(ctx context.Context) (*Results, error) {
 		workers = 1
 	}
 	start := time.Now()
+	s.mu.Lock()
+	s.startAt = start
+	s.mu.Unlock()
 
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
@@ -503,6 +532,10 @@ func (s *Session) RunContext(ctx context.Context) (*Results, error) {
 			res.Partial = true
 		}
 	}
+	if s.cfg.Exec.CollectStats {
+		res.Stats = s.buildStatsLocked(res)
+	}
+	s.foldRegistryLocked(res, res.Stats)
 	if cancelErr == nil && !s.admitted.Equal(bitset.NewFull(s.b.N)) {
 		return res, fmt.Errorf("engine: run finished with unadmitted queries")
 	}
@@ -545,12 +578,21 @@ func (s *Session) runWorker() {
 		rep, err := s.runEpisode(w, in)
 		if s.cfg.Trace != nil {
 			rec := metrics.EpisodeRecord{
-				Episode:   int64(in.Slot),
-				Inst:      int(in.Inst),
-				Input:     len(in.VIDs),
-				JoinInput: rep.JoinInput,
-				Cost:      rep.MeasuredCost,
-				Duration:  time.Since(epStart),
+				Episode:       int64(in.Slot),
+				Inst:          int(in.Inst),
+				Input:         len(in.VIDs),
+				JoinInput:     rep.JoinInput,
+				Cost:          rep.MeasuredCost,
+				Duration:      time.Since(epStart),
+				ActiveQueries: in.Active.Count(),
+			}
+			// The report's action slices alias worker buffers; the record
+			// owns its copies.
+			if len(rep.SelActions) > 0 {
+				rec.SelActions = append([]int32(nil), rep.SelActions...)
+			}
+			if len(rep.JoinActions) > 0 {
+				rec.JoinActions = append([]int32(nil), rep.JoinActions...)
 			}
 			if err != nil {
 				var ee *EpisodeError
@@ -563,6 +605,12 @@ func (s *Session) runWorker() {
 			s.cfg.Trace.Add(rec)
 		}
 		s.mu.Lock()
+		if s.lastSig != nil && rep.PlanSig != 0 {
+			if prev := s.lastSig[in.Inst]; prev != 0 && prev != rep.PlanSig {
+				s.planSwitches++
+			}
+			s.lastSig[in.Inst] = rep.PlanSig
+		}
 		if err != nil {
 			s.recordFaultLocked(in, err)
 		} else {

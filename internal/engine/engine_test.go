@@ -319,6 +319,123 @@ func TestEpisodeTracing(t *testing.T) {
 	}
 }
 
+// TestBatchStatsCollection runs a batch with CollectStats + TraceActions on
+// and checks every stats family comes back populated and consistent.
+func TestBatchStatsCollection(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	db := starDB(rng, 300, 30)
+	qs := starQueries(rng, 8)
+	b, err := query.Compile(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 64
+	opt.CollectStats = true
+	opt.TraceActions = true
+	ring := metrics.NewRing(128)
+	s, err := NewSession(b, db, Config{Exec: opt, Trace: ring, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := res.Stats
+	if bs == nil {
+		t.Fatal("CollectStats run returned nil Stats")
+	}
+
+	if len(bs.Queries) != b.N {
+		t.Fatalf("per-query stats: %d entries, want %d", len(bs.Queries), b.N)
+	}
+	for qid, q := range bs.Queries {
+		if q.Episodes == 0 {
+			t.Errorf("query %d: no episodes counted", qid)
+		}
+		if q.Elapsed <= 0 {
+			t.Errorf("query %d: elapsed = %v", qid, q.Elapsed)
+		}
+		if !q.Completed {
+			t.Errorf("query %d: not completed in a clean run", qid)
+		}
+		if q.Tuples != res.Counts[qid] {
+			t.Errorf("query %d: tuples %d != count %d", qid, q.Tuples, res.Counts[qid])
+		}
+	}
+
+	if bs.Probes.Invocations == 0 || bs.Probes.Tuples != res.JoinTuples {
+		t.Errorf("probe class: %+v (join tuples %d)", bs.Probes, res.JoinTuples)
+	}
+	if bs.Builds.Tuples == 0 || bs.Routers.Tuples == 0 {
+		t.Errorf("builds %+v / routers %+v recorded no tuples", bs.Builds, bs.Routers)
+	}
+
+	if len(bs.Stems) != len(b.Insts) {
+		t.Fatalf("stem stats: %d entries, want %d", len(bs.Stems), len(b.Insts))
+	}
+	var inserts, probes, estBytes int64
+	for _, ss := range bs.Stems {
+		if ss.Table == "" {
+			t.Error("stem stats entry without table name")
+		}
+		if ss.Entries == 0 {
+			t.Errorf("stem %s: no entries after full ingestion", ss.Table)
+		}
+		inserts += ss.Inserts
+		probes += ss.Probes
+		estBytes += ss.EstBytes
+	}
+	if inserts == 0 || probes == 0 || estBytes == 0 {
+		t.Errorf("stem traffic: inserts=%d probes=%d bytes=%d", inserts, probes, estBytes)
+	}
+	if inserts != bs.Builds.Tuples {
+		t.Errorf("stem inserts %d != build tuples %d", inserts, bs.Builds.Tuples)
+	}
+
+	if bs.Policy.QStates == 0 {
+		t.Error("learned policy reported no Q-table states")
+	}
+	if bs.Policy.Exploits == 0 {
+		t.Error("no greedy decisions counted")
+	}
+
+	sh := bs.Sharing
+	if sh.TotalOps == 0 || sh.SharedOps == 0 || sh.QueriesServed < sh.TotalOps {
+		t.Errorf("sharing stats: %+v", sh)
+	}
+	if f := sh.Factor(); f <= 0 || f > 1 {
+		t.Errorf("sharing factor = %v", f)
+	}
+
+	// Trace records carry the active query count and action sequences.
+	var traced bool
+	for _, rec := range ring.Snapshot() {
+		if rec.ActiveQueries <= 0 {
+			t.Errorf("record %d: ActiveQueries = %d", rec.Episode, rec.ActiveQueries)
+		}
+		if rec.JoinInput > 0 && len(rec.JoinActions) > 0 {
+			traced = true
+		}
+	}
+	if !traced {
+		t.Error("no trace record carried join actions")
+	}
+}
+
+// TestStatsOffLeavesResultsBare pins the opt-in contract: without
+// CollectStats, Results.Stats is nil.
+func TestStatsOffLeavesResultsBare(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	db := starDB(rng, 150, 20)
+	qs := starQueries(rng, 4)
+	res := runAndCheck(t, db, qs, Config{Exec: exec.DefaultOptions()})
+	if res.Stats != nil {
+		t.Error("stats-off run returned non-nil Stats")
+	}
+}
+
 func TestDirectAdmitAPI(t *testing.T) {
 	rng := rand.New(rand.NewSource(47))
 	db := starDB(rng, 200, 20)

@@ -7,6 +7,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/cost"
@@ -26,8 +27,21 @@ type Options struct {
 	AdaptiveProjections bool // shed vID columns not needed downstream
 	CollectRows         bool // retain routed tuples in sources (off = count only)
 
+	// CollectStats enables the per-operator-class and sharing counters.
+	// Workers accumulate them in plain arena fields and fold into the shared
+	// atomics once per episode, so the stats-off hot path is untouched and
+	// the stats-on path stays allocation-free.
+	CollectStats bool
+
+	// TraceActions records each episode's chosen action sequence (selection
+	// ops, probed edges) in the EpisodeReport, for episode tracing.
+	TraceActions bool
+
 	// Hooks observes or perturbs episode execution (fault injection,
-	// chaos tests). The zero value is a no-op.
+	// chaos tests). The zero value is a no-op. Deliberately NOT reachable
+	// from the public roulette.Options — it exists for the engine's own
+	// chaos tests, and every other Options/Config field maps to a public
+	// knob (see DESIGN.md "Observability").
 	Hooks Hooks
 }
 
@@ -95,6 +109,18 @@ type Context struct {
 	ReqInsts plan.RequiredInsts
 
 	Stats Stats
+
+	// InstStats holds per-instance STeM traffic counters, folded at episode
+	// boundaries when Options.CollectStats is on.
+	InstStats []InstStat
+}
+
+// InstStat counts one instance's STeM traffic: entries inserted, probe
+// lookups against it, and match tuples it emitted.
+type InstStat struct {
+	Inserts atomic.Int64
+	Probes  atomic.Int64
+	Matches atomic.Int64
 }
 
 // NewContext compiles the execution context for a batch over db.
@@ -220,6 +246,7 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 		}
 		return m
 	}
+	c.InstStats = make([]InstStat, len(b.Insts))
 	return c, nil
 }
 

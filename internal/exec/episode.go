@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math/bits"
 	"time"
 
 	"github.com/roulette-db/roulette/internal/bitset"
@@ -97,6 +98,22 @@ type Worker struct {
 	matches []stem.Match
 	scratch bitset.Set
 
+	// Stats arena: every counter accumulates in these plain fields during an
+	// episode and folds into the shared Context.Stats atomics exactly once,
+	// at the episode boundary (foldStats). The hot loops therefore never
+	// touch a shared cache line, with or without CollectStats.
+	collect bool       // Context.Opt.CollectStats
+	trace   bool       // Context.Opt.TraceActions
+	ep      epCounters // folded and reset by foldStats
+	planSig uint64     // FNV-style signature of the episode's chosen ops
+
+	// Per-instance STeM traffic (collect only), parallel to C.InstStats.
+	instIns, instProbes, instMatches []int64
+
+	// Action-trace buffers (trace only), reused across episodes; an
+	// EpisodeReport's action slices alias them until the next episode.
+	selActs, joinActs []int32
+
 	// Episode arena: worker-owned buffers reset (not reallocated) per
 	// episode. Workers never share scratch, so reuse needs no new
 	// synchronization; everything handed to shared structures (STeM
@@ -122,8 +139,10 @@ type Worker struct {
 // NewWorker creates a worker bound to ctx using pol for planning.
 func NewWorker(ctx *Context, pol policy.Policy) *Worker {
 	qw := bitset.WordsFor(ctx.B.N)
-	return &Worker{
+	w := &Worker{
 		C: ctx, Pol: pol, qw: qw,
+		collect:  ctx.Opt.CollectStats,
+		trace:    ctx.Opt.TraceActions,
 		scratch:  bitset.New(ctx.B.N),
 		tq:       make(bitset.Set, qw),
 		zeroQ:    make([]uint64, qw),
@@ -131,6 +150,107 @@ func NewWorker(ctx *Context, pol policy.Policy) *Worker {
 		notMask:  bitset.New(ctx.B.N),
 		unionBuf: make(bitset.Set, qw),
 	}
+	if w.collect {
+		w.instIns = make([]int64, len(ctx.B.Insts))
+		w.instProbes = make([]int64, len(ctx.B.Insts))
+		w.instMatches = make([]int64, len(ctx.B.Insts))
+	}
+	return w
+}
+
+// epCounters is the per-worker stats arena: plain fields mirroring the
+// Stats atomics, zeroed by each fold.
+type epCounters struct {
+	episodes, selIn, selOut, inserted, joinOut, routed int64
+	filterNs, buildNs, probeNs, routeNs                int64
+	filterOps, probeOps, routeSelOps, routerOps        int64
+	sharedOps, opQueries                               int64
+}
+
+// foldStats folds the worker's arena counters into the shared atomics and
+// resets the arena. Called exactly once per episode — deferred in
+// RunEpisode so faulted (panicking) episodes still publish their partial
+// counters, and explicitly at the end of StepBench.Step. It never
+// allocates.
+func (w *Worker) foldStats() {
+	s, e := &w.C.Stats, &w.ep
+	if e.episodes != 0 {
+		s.Episodes.Add(e.episodes)
+	}
+	if e.selIn != 0 {
+		s.SelIn.Add(e.selIn)
+	}
+	if e.selOut != 0 {
+		s.SelOut.Add(e.selOut)
+	}
+	if e.inserted != 0 {
+		s.Inserted.Add(e.inserted)
+	}
+	if e.joinOut != 0 {
+		s.JoinOut.Add(e.joinOut)
+	}
+	if e.routed != 0 {
+		s.Routed.Add(e.routed)
+	}
+	if e.filterNs != 0 {
+		s.FilterNs.Add(e.filterNs)
+	}
+	if e.buildNs != 0 {
+		s.BuildNs.Add(e.buildNs)
+	}
+	if e.probeNs != 0 {
+		s.ProbeNs.Add(e.probeNs)
+	}
+	if e.routeNs != 0 {
+		s.RouteNs.Add(e.routeNs)
+	}
+	if w.collect {
+		if e.filterOps != 0 {
+			s.FilterOps.Add(e.filterOps)
+		}
+		if e.probeOps != 0 {
+			s.ProbeOps.Add(e.probeOps)
+		}
+		if e.routeSelOps != 0 {
+			s.RouteSelOps.Add(e.routeSelOps)
+		}
+		if e.routerOps != 0 {
+			s.RouterOps.Add(e.routerOps)
+		}
+		if e.sharedOps != 0 {
+			s.SharedOps.Add(e.sharedOps)
+		}
+		if e.opQueries != 0 {
+			s.OpQueries.Add(e.opQueries)
+		}
+		for i := range w.instIns {
+			st := &w.C.InstStats[i]
+			if w.instIns[i] != 0 {
+				st.Inserts.Add(w.instIns[i])
+				w.instIns[i] = 0
+			}
+			if w.instProbes[i] != 0 {
+				st.Probes.Add(w.instProbes[i])
+				w.instProbes[i] = 0
+			}
+			if w.instMatches[i] != 0 {
+				st.Matches.Add(w.instMatches[i])
+				w.instMatches[i] = 0
+			}
+		}
+	}
+	*e = epCounters{}
+}
+
+// foldSig folds one chosen operator into the episode's plan signature
+// (FNV-1a-style over (lineage, phase, op)). Episodes that pick the same
+// operator sequence over the same lineage states share a signature, so a
+// signature change between consecutive episodes of an instance is a plan
+// switch.
+func (w *Worker) foldSig(phase uint64, op int, lineage uint64) {
+	const prime = 0x100000001b3
+	w.planSig = (w.planSig ^ lineage) * prime
+	w.planSig = (w.planSig ^ (phase<<32 | uint64(op))) * prime
 }
 
 // EpisodeReport summarizes one episode for convergence tracking.
@@ -143,6 +263,15 @@ type EpisodeReport struct {
 	MeasuredJoinCost float64
 	// JoinInput is the number of tuples entering the join phase.
 	JoinInput int
+
+	// PlanSig identifies the episode's chosen operator sequence (CollectStats
+	// only); see Worker.foldSig. Zero when stats are off.
+	PlanSig uint64
+	// SelActions and JoinActions are the chosen selection-op IDs and probed
+	// edge IDs in execution order (TraceActions only). They alias worker
+	// buffers valid until the worker's next episode; consumers copy.
+	SelActions  []int32
+	JoinActions []int32
 }
 
 // ingestVector copies the episode's vIDs into the worker arena and stamps
@@ -183,6 +312,18 @@ func (w *Worker) runSelSteps(in EpisodeInput, steps []plan.SelStep, vids []int32
 			w.applyPrune(&c.PruneOps[st.Op.ID-len(c.Filters)], st.Op.Queries, vids, qsets)
 		}
 		vids, qsets = compact(vids, qsets, w.qw)
+		if w.collect {
+			w.ep.filterOps++
+			served := andCount(st.Op.Queries, in.Active)
+			w.ep.opQueries += int64(served)
+			if served > 1 {
+				w.ep.sharedOps++
+			}
+			w.foldSig(0, st.Op.ID, st.Applied)
+		}
+		if w.trace {
+			w.selActs = append(w.selActs, int32(st.Op.ID))
+		}
 		w.log = append(w.log, policy.LogEntry{
 			Phase: policy.SelPhase, Inst: in.Inst,
 			Lineage: st.Applied, Q: in.Active, Op: st.Op.ID,
@@ -215,16 +356,22 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 		h(in.Inst, in.Slot)
 	}
 	w.log = w.log[:0]
-	c.Stats.Episodes.Add(1)
+	w.planSig = 0
+	if w.trace {
+		w.selActs = w.selActs[:0]
+		w.joinActs = w.joinActs[:0]
+	}
+	defer w.foldStats() // runs during panic unwind too: faulted episodes fold
+	w.ep.episodes++
 
 	// ---- Selection phase -------------------------------------------------
 	t0 := time.Now()
 	vids, qsets := w.ingestVector(in)
-	c.Stats.SelIn.Add(int64(len(vids)))
+	w.ep.selIn += int64(len(vids))
 	steps := plan.BuildSel(w.Pol, in.Inst, in.Active, in.SelOps)
 	vids, qsets = w.runSelSteps(in, steps, vids, qsets)
-	c.Stats.FilterNs.Add(time.Since(t0).Nanoseconds())
-	c.Stats.SelOut.Add(int64(len(vids)))
+	w.ep.filterNs += time.Since(t0).Nanoseconds()
+	w.ep.selOut += int64(len(vids))
 
 	// ---- STeM insert (make the join symmetric) ---------------------------
 	if h := c.Opt.Hooks.StemInsert; h != nil {
@@ -247,7 +394,11 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 		c.Stems[in.Inst].Insert(vid, keys, bitset.Set(qsets[base:base+w.qw]), in.Slot)
 	}
 	ts := c.Versions.Publish(in.Slot)
-	c.Stats.BuildNs.Add(time.Since(t0).Nanoseconds())
+	w.ep.buildNs += time.Since(t0).Nanoseconds()
+	w.ep.inserted += int64(len(vids))
+	if w.collect {
+		w.instIns[in.Inst] += int64(len(vids))
+	}
 
 	joinInput := len(vids)
 	if joinInput > 0 {
@@ -256,8 +407,11 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 		w.execChildren(root, w.rootVec(in.Inst, vids, qsets, joinInput), ts)
 	}
 
-	rep := EpisodeReport{JoinInput: joinInput}
+	rep := EpisodeReport{JoinInput: joinInput, PlanSig: w.planSig}
 	rep.MeasuredCost, rep.MeasuredJoinCost = w.measuredCost()
+	if w.trace {
+		rep.SelActions, rep.JoinActions = w.selActs, w.joinActs
+	}
 	w.Pol.Observe(w.log)
 	return rep, nil
 }
@@ -312,6 +466,19 @@ func (w *Worker) applyPrune(p *PruneOp, elig bitset.Set, vids []int32, qsets []u
 			qsets[base+wd] &= m
 		}
 	}
+}
+
+// andCount returns the popcount of a ∧ b without materializing it.
+func andCount(a, b bitset.Set) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
 }
 
 // compact drops tuples with empty query sets, in place.
@@ -465,6 +632,7 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 
 	qmask := nd.Q
 	stemT := c.Stems[nd.Target]
+	var lookups int64 // STeM probe calls; folded per instance when collecting
 	if w.qw == 1 {
 		// Fast path: batches of up to 64 queries use single-word query
 		// sets; the generic word loops dominate the probe otherwise.
@@ -479,6 +647,7 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 				continue
 			}
 			key := srcData[srcVids[i]]
+			lookups++
 			w.matches = stemT.Probe(w.matches[:0], targetCol, key, ts)
 			for _, m := range w.matches {
 				var mw uint64
@@ -521,6 +690,7 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 				continue
 			}
 			key := srcData[v.vids[srcIdx][i]]
+			lookups++
 			w.matches = stemT.Probe(w.matches[:0], targetCol, key, ts)
 			for _, m := range w.matches {
 				// Build the output query set in place at the slab's tail;
@@ -561,8 +731,22 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 			}
 		}
 	}
-	c.Stats.JoinOut.Add(int64(out.n))
-	c.Stats.ProbeNs.Add(time.Since(t0).Nanoseconds())
+	w.ep.joinOut += int64(out.n)
+	w.ep.probeNs += time.Since(t0).Nanoseconds()
+	if w.collect {
+		w.ep.probeOps++
+		served := nd.Q.Count()
+		w.ep.opQueries += int64(served)
+		if served > 1 {
+			w.ep.sharedOps++
+		}
+		w.instProbes[nd.Target] += lookups
+		w.instMatches[nd.Target] += int64(out.n)
+		w.foldSig(1, nd.EdgeID, nd.Lineage)
+	}
+	if w.trace {
+		w.joinActs = append(w.joinActs, int32(nd.EdgeID))
+	}
 
 	var divQ bitset.Set
 	if nd.Div != nil {
@@ -634,7 +818,17 @@ func (w *Worker) routeSel(nd *plan.Node, v *jvec) *jvec {
 			emitTuple(out, copyIdx, v, i, -1, 0)
 		}
 	}
-	w.C.Stats.ProbeNs.Add(time.Since(t0).Nanoseconds())
+	// Routing-selection time lands in the probe bucket, matching the cost
+	// model (§6.3 charges routing selections to the join phase).
+	w.ep.probeNs += time.Since(t0).Nanoseconds()
+	if w.collect {
+		w.ep.routeSelOps++
+		served := nd.Q.Count()
+		w.ep.opQueries += int64(served)
+		if served > 1 {
+			w.ep.sharedOps++
+		}
+	}
 	return out
 }
 
@@ -677,7 +871,7 @@ func (w *Worker) route(nd *plan.Node, v *jvec) {
 			}
 			w.flat = flat
 			src.Append(flat, rows)
-			c.Stats.Routed.Add(int64(rows))
+			w.ep.routed += int64(rows)
 		}
 	} else {
 		for _, qid := range qids {
@@ -693,11 +887,20 @@ func (w *Worker) route(nd *plan.Node, v *jvec) {
 				}
 				w.flat = row
 				src.Append(row, 1)
-				c.Stats.Routed.Add(1)
+				w.ep.routed++
 			}
 		}
 	}
-	c.Stats.RouteNs.Add(time.Since(t0).Nanoseconds())
+	w.ep.routeNs += time.Since(t0).Nanoseconds()
+	// A vector with no tuples for nd.Q's queries routes nothing; don't count
+	// a zero-query invocation (it would drag FanOut below 1).
+	if w.collect && len(qids) > 0 {
+		w.ep.routerOps++
+		w.ep.opQueries += int64(len(qids))
+		if len(qids) > 1 {
+			w.ep.sharedOps++
+		}
+	}
 }
 
 // sourceCols maps a source's required instances to v's column indices,

@@ -63,12 +63,16 @@ func (s *Source) Reset() {
 
 // Stats aggregates executor counters; all fields are atomically updated and
 // safe to read while workers run. Times are cumulative nanoseconds per
-// §6.3's breakdown categories.
+// §6.3's breakdown categories. Workers accumulate every counter in plain
+// per-worker arena fields and fold them in here once per episode (see
+// Worker.foldStats), so the hot loops never touch shared cache lines.
 type Stats struct {
 	Episodes atomic.Int64
 
 	SelIn  atomic.Int64 // tuples entering the selection phase
 	SelOut atomic.Int64 // tuples surviving it (inserted into STeMs)
+
+	Inserted atomic.Int64 // STeM entries inserted
 
 	JoinOut atomic.Int64 // probe output tuples: the Fig. 13 cost metric
 
@@ -78,6 +82,24 @@ type Stats struct {
 	BuildNs  atomic.Int64 // STeM inserts
 	ProbeNs  atomic.Int64 // join phase probes + routing selections
 	RouteNs  atomic.Int64 // routers
+
+	// Operator-invocation counters, collected only with
+	// Options.CollectStats: one invocation is one operator applied to one
+	// vector (a selection step, a probe node, a routing selection, or a
+	// router). SharedOps counts invocations serving more than one query and
+	// OpQueries sums the queries served, so SharedOps/TotalOps() is the
+	// batch's sharing factor and OpQueries/TotalOps() its mean fan-out.
+	FilterOps   atomic.Int64
+	ProbeOps    atomic.Int64
+	RouteSelOps atomic.Int64
+	RouterOps   atomic.Int64
+	SharedOps   atomic.Int64
+	OpQueries   atomic.Int64
+}
+
+// TotalOps returns the total counted operator invocations.
+func (s *Stats) TotalOps() int64 {
+	return s.FilterOps.Load() + s.ProbeOps.Load() + s.RouteSelOps.Load() + s.RouterOps.Load()
 }
 
 // Breakdown returns the §6.3-style share of time per category.

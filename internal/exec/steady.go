@@ -18,6 +18,12 @@ type StepBenchConfig struct {
 	Rows       int           // fact-table rows (default 4096)
 	VectorSize int           // tuples per episode vector (default 1024)
 	Policy     policy.Policy // planning policy (default policy.NewRandom(1))
+
+	// CollectStats enables the per-operator-class and sharing counters, to
+	// verify the stats-on step stays allocation-free.
+	CollectStats bool
+	// TraceActions records chosen action sequences per step.
+	TraceActions bool
 }
 
 // StepBench drives the steady-state episode step in isolation: a prebuilt
@@ -101,6 +107,8 @@ func NewStepBench(cfg StepBenchConfig) (*StepBench, error) {
 	opt := DefaultOptions()
 	opt.CollectRows = false // sources count rows; unbounded row buffers would dominate
 	opt.VectorSize = cfg.VectorSize
+	opt.CollectStats = cfg.CollectStats
+	opt.TraceActions = cfg.TraceActions
 	ctx, err := NewContext(b, db, opt, nil)
 	if err != nil {
 		return nil, err
@@ -154,6 +162,11 @@ func NewStepBench(cfg StepBenchConfig) (*StepBench, error) {
 func (s *StepBench) Step() EpisodeReport {
 	w := s.W
 	w.log = w.log[:0]
+	w.planSig = 0
+	if w.trace {
+		w.selActs = w.selActs[:0]
+		w.joinActs = w.joinActs[:0]
+	}
 	vids, qsets := w.ingestVector(s.in)
 	vids, qsets = w.runSelSteps(s.in, s.selSteps, vids, qsets)
 	joinInput := len(vids)
@@ -161,8 +174,12 @@ func (s *StepBench) Step() EpisodeReport {
 		ts := w.C.Versions.Now()
 		w.execChildren(s.joinRoot, w.rootVec(s.in.Inst, vids, qsets, joinInput), ts)
 	}
-	rep := EpisodeReport{JoinInput: joinInput}
+	rep := EpisodeReport{JoinInput: joinInput, PlanSig: w.planSig}
 	rep.MeasuredCost, rep.MeasuredJoinCost = w.measuredCost()
+	if w.trace {
+		rep.SelActions, rep.JoinActions = w.selActs, w.joinActs
+	}
 	w.Pol.Observe(w.log)
+	w.foldStats()
 	return rep
 }

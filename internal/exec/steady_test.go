@@ -52,6 +52,64 @@ func TestEpisodeStepZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestEpisodeStepStatsZeroAlloc extends the zero-allocation contract to the
+// observability path: with CollectStats (and TraceActions) on, the episode
+// step still accumulates every counter in the worker arena and folds into
+// the shared atomics without allocating.
+func TestEpisodeStepStatsZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  StepBenchConfig
+	}{
+		{"stats-16q", StepBenchConfig{NQueries: 16, CollectStats: true}},
+		{"stats-trace-80q", StepBenchConfig{NQueries: 80, CollectStats: true, TraceActions: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Policy = qlearn.New(qlearn.DefaultConfig())
+			sb := stepBenchWarm(t, tc.cfg)
+			if rep := sb.Step(); rep.JoinInput == 0 {
+				t.Fatal("fixture produces empty episodes; the assertion would be vacuous")
+			}
+			allocs := testing.AllocsPerRun(50, func() { sb.Step() })
+
+			// The counters must actually move while staying alloc-free.
+			st := &sb.Ctx.Stats
+			if st.TotalOps() == 0 || st.FilterOps.Load() == 0 || st.ProbeOps.Load() == 0 {
+				t.Errorf("stats-on step collected no operator invocations: total=%d", st.TotalOps())
+			}
+			if st.SharedOps.Load() == 0 {
+				t.Error("full-batch fixture should record shared invocations")
+			}
+			if sb.Ctx.InstStats[sb.in.Inst].Probes.Load() != 0 {
+				t.Error("scan instance should not be probed in this fixture")
+			}
+			var probes int64
+			for i := range sb.Ctx.InstStats {
+				probes += sb.Ctx.InstStats[i].Probes.Load()
+			}
+			if probes == 0 {
+				t.Error("no per-instance probe traffic recorded")
+			}
+			if tc.cfg.TraceActions {
+				rep := sb.Step()
+				if len(rep.JoinActions) == 0 {
+					t.Error("trace-on step recorded no join actions")
+				}
+				if rep.PlanSig == 0 {
+					t.Error("stats-on step reported no plan signature")
+				}
+			}
+
+			if raceEnabled {
+				t.Skipf("race build: measured %.1f allocs/op, strict assertion skipped", allocs)
+			}
+			if allocs != 0 {
+				t.Errorf("stats-on episode step allocates %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
 // TestStepBenchMatchesRunEpisodeShape sanity-checks the harness against the
 // production path: a full RunEpisode over the same fixture input routes
 // tuples and reports a comparable join input.
@@ -97,6 +155,8 @@ func BenchmarkEpisodeStep(b *testing.B) {
 	}{
 		{"16q-1word", StepBenchConfig{NQueries: 16}},
 		{"80q-2words", StepBenchConfig{NQueries: 80}},
+		{"16q-stats", StepBenchConfig{NQueries: 16, CollectStats: true}},
+		{"80q-stats", StepBenchConfig{NQueries: 80, CollectStats: true}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			tc.cfg.Policy = qlearn.New(qlearn.DefaultConfig())

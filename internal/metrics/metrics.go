@@ -149,6 +149,16 @@ type EpisodeRecord struct {
 	JoinInput int
 	Cost      float64
 	Duration  time.Duration
+
+	// ActiveQueries is the number of queries in the episode's active set.
+	ActiveQueries int
+	// SelActions lists the chosen selection-operator IDs in application
+	// order; JoinActions the probed edge IDs in execution order. Both are
+	// recorded only when the executor runs with action tracing on, and the
+	// record owns the slices (they never alias executor buffers).
+	SelActions  []int32
+	JoinActions []int32
+
 	// Fault is empty for a completed episode, else the fault class that
 	// aborted it ("panic", "insert", "stall").
 	Fault string

@@ -96,6 +96,106 @@ func TestRing(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the bucket-resolution quantile contract
+// at its boundaries.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	if empty.Quantile(0) != 0 || empty.Quantile(1) != 0 {
+		t.Error("empty histogram quantiles should be 0")
+	}
+
+	// Single bucket: every sample lands in [64, 128); all quantiles resolve
+	// to that bucket's upper bound except q=1, which reports the exact max.
+	var single Histogram
+	for i := 0; i < 10; i++ {
+		single.Add(100)
+	}
+	if q := single.Quantile(0); q != 127 {
+		t.Errorf("single-bucket p0 = %d, want 127", q)
+	}
+	if q := single.Quantile(0.5); q != 127 {
+		t.Errorf("single-bucket p50 = %d, want 127", q)
+	}
+	if q := single.Quantile(1); q != 100 {
+		t.Errorf("single-bucket p100 = %d, want max 100", q)
+	}
+
+	// Zero-only samples live in bucket 0 and quantiles stay 0.
+	var zeros Histogram
+	zeros.Add(0)
+	zeros.Add(-5)
+	if zeros.Quantile(0) != 0 || zeros.Quantile(0.99) != 0 {
+		t.Error("zero-bucket quantiles should be 0")
+	}
+
+	// q=1 always reports the exact maximum, across buckets.
+	var h Histogram
+	for _, v := range []int64{1, 2, 900} {
+		h.Add(v)
+	}
+	if q := h.Quantile(1); q != 900 {
+		t.Errorf("p100 = %d, want 900", q)
+	}
+}
+
+// TestConcurrentPrimitives hammers every shared primitive from multiple
+// goroutines; run under -race this is the package's data-race check.
+func TestConcurrentPrimitives(t *testing.T) {
+	var h Histogram
+	e := NewEWMA(0.3)
+	r := NewRing(64)
+	var reg Registry
+
+	const goroutines, iters = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.Add(int64(i))
+				_ = h.Quantile(0.5)
+				_ = h.Mean()
+				e.Add(float64(i))
+				e.Value()
+				rec := EpisodeRecord{Episode: int64(g*iters + i), Inst: g}
+				if i%17 == 0 {
+					rec.Fault = "panic"
+				}
+				r.Add(rec)
+				r.Len()
+				if i%50 == 0 {
+					r.Snapshot()
+					r.FaultsByKind()
+				}
+				reg.Episodes.Add(1)
+				if i%100 == 0 {
+					reg.AddFault("stall", 1)
+					reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if h.Count() != goroutines*iters {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	if _, n := e.Value(); n != goroutines*iters {
+		t.Errorf("ewma samples = %d", n)
+	}
+	if r.Len() != 64 {
+		t.Errorf("ring len = %d", r.Len())
+	}
+	wantFaults := int64(goroutines * ((iters + 16) / 17))
+	if got := r.Faults(); got != wantFaults {
+		t.Errorf("ring faults = %d, want %d", got, wantFaults)
+	}
+	if got := reg.Episodes.Load(); got != goroutines*iters {
+		t.Errorf("registry episodes = %d", got)
+	}
+}
+
 func TestRingFaultCounters(t *testing.T) {
 	r := NewRing(4)
 	if r.Faults() != 0 {

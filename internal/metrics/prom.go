@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). HELP and TYPE headers are emitted once per metric family,
+// so labeled series of the same family can be written back to back. Write
+// errors are sticky; check Err after the last metric.
+type PromWriter struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Counter writes one counter sample.
+func (p *PromWriter) Counter(name, help string, value float64, labels ...Label) {
+	p.sample("counter", name, help, value, labels)
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, value float64, labels ...Label) {
+	p.sample("gauge", name, help, value, labels)
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) sample(typ, name, help string, value float64, labels []Label) {
+	if p.err != nil {
+		return
+	}
+	if !p.seen[name] {
+		p.seen[name] = true
+		if _, err := fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ); err != nil {
+			p.err = err
+			return
+		}
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	b.WriteByte('\n')
+	if _, err := io.WriteString(p.w, b.String()); err != nil {
+		p.err = err
+	}
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel additionally escapes double quotes.
+func escapeLabel(s string) string {
+	s = escapeHelp(s)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// sortedKeys returns m's keys in deterministic order (for stable exposition
+// of map-backed families such as fault classes).
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

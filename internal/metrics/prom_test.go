@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// TestPromWriterGolden pins the exact exposition-format output: HELP/TYPE
+// once per family, labels escaped, floats rendered compactly.
+func TestPromWriterGolden(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("app_requests_total", "Requests served.", 42)
+	p.Counter("app_errors_total", `Errors by "kind".`, 1.5, Label{"kind", `bad "input"`})
+	p.Counter("app_errors_total", `Errors by "kind".`, 3, Label{"kind", "timeout"})
+	p.Gauge("app_queue_depth", "Current queue depth.", 7)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total 42
+# HELP app_errors_total Errors by "kind".
+# TYPE app_errors_total counter
+app_errors_total{kind="bad \"input\""} 1.5
+app_errors_total{kind="timeout"} 3
+# HELP app_queue_depth Current queue depth.
+# TYPE app_queue_depth gauge
+app_queue_depth 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("prom output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRegistryWriteProm checks the full registry exposition is well-formed:
+// every non-comment line is `name[{labels}] value`, every family has HELP
+// and TYPE headers, and folded counters surface.
+func TestRegistryWriteProm(t *testing.T) {
+	var r Registry
+	r.Batches.Add(2)
+	r.Episodes.Add(100)
+	r.JoinTuples.Add(12345)
+	r.AddFault("panic", 1)
+	r.AddFault("stall", 3)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "roulette_batches_total 2\n") {
+		t.Errorf("missing batches counter:\n%s", out)
+	}
+	if !strings.Contains(out, `roulette_episode_faults_by_kind_total{kind="panic"} 1`) ||
+		!strings.Contains(out, `roulette_episode_faults_by_kind_total{kind="stall"} 3`) {
+		t.Errorf("missing fault-class counters:\n%s", out)
+	}
+	if !strings.Contains(out, `roulette_phase_seconds_total{phase="probe"}`) {
+		t.Errorf("missing phase breakdown:\n%s", out)
+	}
+
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !typed[name] {
+			t.Errorf("sample %q precedes its TYPE header", line)
+		}
+	}
+
+	if r.Snapshot().Faults["stall"] != 3 {
+		t.Error("snapshot lost fault classes")
+	}
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-wide set of engine counters. Sessions fold their
+// totals in once per batch (never on the episode hot path), so the registry
+// is cheap enough to leave always on; fields that depend on opt-in stats
+// collection (sharing, policy counters) simply stay zero when collection is
+// disabled. The zero value is ready to use.
+type Registry struct {
+	Batches         atomic.Int64 // finished batch executions
+	QueriesComplete atomic.Int64 // queries that drained to completion
+	QueriesAborted  atomic.Int64 // queries cut by cancellation or faults
+	Episodes        atomic.Int64
+	EpisodeFaults   atomic.Int64
+
+	SelIn       atomic.Int64 // tuples entering the selection phase
+	SelOut      atomic.Int64 // tuples surviving it
+	StemInserts atomic.Int64 // STeM entries inserted
+	StemProbes  atomic.Int64 // STeM probe lookups
+	JoinTuples  atomic.Int64 // intermediate join output tuples
+	Routed      atomic.Int64 // tuples delivered to sources
+
+	SharedOps atomic.Int64 // operator invocations serving >1 query
+	TotalOps  atomic.Int64 // all counted operator invocations
+
+	PlanSwitches   atomic.Int64
+	ExploreActions atomic.Int64
+	ExploitActions atomic.Int64
+	QStates        atomic.Int64 // Q-table size of the most recent session (gauge)
+
+	FilterNs atomic.Int64
+	BuildNs  atomic.Int64
+	ProbeNs  atomic.Int64
+	RouteNs  atomic.Int64
+
+	mu     sync.Mutex
+	faults map[string]int64 // per fault class
+}
+
+var defaultRegistry Registry
+
+// Default returns the process-wide registry that sessions fold into.
+func Default() *Registry { return &defaultRegistry }
+
+// AddFault adds n aborted episodes of the given fault class.
+func (r *Registry) AddFault(kind string, n int64) {
+	if n == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.faults == nil {
+		r.faults = make(map[string]int64)
+	}
+	r.faults[kind] += n
+	r.mu.Unlock()
+	r.EpisodeFaults.Add(n)
+}
+
+// faultsCopy snapshots the per-class fault counters.
+func (r *Registry) faultsCopy() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.faults))
+	for k, v := range r.faults {
+		out[k] = v
+	}
+	return out
+}
+
+// RegistrySnapshot is a point-in-time copy of a Registry, JSON-shaped for
+// the metrics endpoint.
+type RegistrySnapshot struct {
+	Batches         int64 `json:"batches"`
+	QueriesComplete int64 `json:"queries_completed"`
+	QueriesAborted  int64 `json:"queries_aborted"`
+	Episodes        int64 `json:"episodes"`
+	EpisodeFaults   int64 `json:"episode_faults"`
+
+	SelIn       int64 `json:"sel_tuples_in"`
+	SelOut      int64 `json:"sel_tuples_out"`
+	StemInserts int64 `json:"stem_inserts"`
+	StemProbes  int64 `json:"stem_probes"`
+	JoinTuples  int64 `json:"join_tuples"`
+	Routed      int64 `json:"routed_tuples"`
+
+	SharedOps int64 `json:"shared_op_invocations"`
+	TotalOps  int64 `json:"op_invocations"`
+
+	PlanSwitches   int64 `json:"plan_switches"`
+	ExploreActions int64 `json:"explore_actions"`
+	ExploitActions int64 `json:"exploit_actions"`
+	QStates        int64 `json:"qtable_states"`
+
+	FilterNs int64 `json:"filter_ns"`
+	BuildNs  int64 `json:"build_ns"`
+	ProbeNs  int64 `json:"probe_ns"`
+	RouteNs  int64 `json:"route_ns"`
+
+	Faults map[string]int64 `json:"episode_faults_by_kind,omitempty"`
+}
+
+// Snapshot copies the current counter values.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	return RegistrySnapshot{
+		Batches:         r.Batches.Load(),
+		QueriesComplete: r.QueriesComplete.Load(),
+		QueriesAborted:  r.QueriesAborted.Load(),
+		Episodes:        r.Episodes.Load(),
+		EpisodeFaults:   r.EpisodeFaults.Load(),
+		SelIn:           r.SelIn.Load(),
+		SelOut:          r.SelOut.Load(),
+		StemInserts:     r.StemInserts.Load(),
+		StemProbes:      r.StemProbes.Load(),
+		JoinTuples:      r.JoinTuples.Load(),
+		Routed:          r.Routed.Load(),
+		SharedOps:       r.SharedOps.Load(),
+		TotalOps:        r.TotalOps.Load(),
+		PlanSwitches:    r.PlanSwitches.Load(),
+		ExploreActions:  r.ExploreActions.Load(),
+		ExploitActions:  r.ExploitActions.Load(),
+		QStates:         r.QStates.Load(),
+		FilterNs:        r.FilterNs.Load(),
+		BuildNs:         r.BuildNs.Load(),
+		ProbeNs:         r.ProbeNs.Load(),
+		RouteNs:         r.RouteNs.Load(),
+		Faults:          r.faultsCopy(),
+	}
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	p := NewPromWriter(w)
+	p.Counter("roulette_batches_total", "Finished batch executions.", float64(s.Batches))
+	p.Counter("roulette_queries_completed_total", "Queries that drained to completion.", float64(s.QueriesComplete))
+	p.Counter("roulette_queries_aborted_total", "Queries cut by cancellation, deadlines, or faults.", float64(s.QueriesAborted))
+	p.Counter("roulette_episodes_total", "Executed episodes.", float64(s.Episodes))
+	p.Counter("roulette_episode_faults_total", "Episodes aborted by a fault.", float64(s.EpisodeFaults))
+	faults := s.Faults
+	for _, kind := range sortedKeys(faults) {
+		p.Counter("roulette_episode_faults_by_kind_total", "Episodes aborted, by fault class.",
+			float64(faults[kind]), Label{"kind", kind})
+	}
+	p.Counter("roulette_sel_tuples_in_total", "Tuples entering the selection phase.", float64(s.SelIn))
+	p.Counter("roulette_sel_tuples_out_total", "Tuples surviving the selection phase.", float64(s.SelOut))
+	p.Counter("roulette_stem_inserts_total", "STeM entries inserted.", float64(s.StemInserts))
+	p.Counter("roulette_stem_probes_total", "STeM probe lookups.", float64(s.StemProbes))
+	p.Counter("roulette_join_tuples_total", "Intermediate join output tuples.", float64(s.JoinTuples))
+	p.Counter("roulette_routed_tuples_total", "Result tuples delivered to query sources.", float64(s.Routed))
+	p.Counter("roulette_shared_op_invocations_total", "Operator invocations serving more than one query.", float64(s.SharedOps))
+	p.Counter("roulette_op_invocations_total", "Counted operator invocations.", float64(s.TotalOps))
+	p.Counter("roulette_plan_switches_total", "Episodes whose plan differed from the previous plan on the same relation.", float64(s.PlanSwitches))
+	p.Counter("roulette_policy_explore_actions_total", "Policy decisions taken by epsilon-exploration.", float64(s.ExploreActions))
+	p.Counter("roulette_policy_exploit_actions_total", "Policy decisions taken greedily from Q-values.", float64(s.ExploitActions))
+	p.Gauge("roulette_qtable_states", "Q-table (state, action) entries of the most recent session.", float64(s.QStates))
+	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",
+		float64(s.FilterNs)/1e9, Label{"phase", "filter"})
+	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",
+		float64(s.BuildNs)/1e9, Label{"phase", "build"})
+	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",
+		float64(s.ProbeNs)/1e9, Label{"phase", "probe"})
+	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",
+		float64(s.RouteNs)/1e9, Label{"phase", "route"})
+	return p.Err()
+}

@@ -48,6 +48,12 @@ type Learned struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	table *Table
+
+	// Decision counters (observability): explores took the ε-random branch,
+	// exploits the greedy argmax branch. Updated under mu; plain fields keep
+	// the choose hot path allocation-free.
+	explores int64
+	exploits int64
 }
 
 // New creates a learned policy for a compiled batch.
@@ -69,6 +75,14 @@ func (l *Learned) TableSize() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.table.Len()
+}
+
+// ActionCounts returns how many decisions took the ε-exploration branch and
+// how many the greedy branch, over the policy's lifetime.
+func (l *Learned) ActionCounts() (explores, exploits int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.explores, l.exploits
 }
 
 // qValue reads Q((L,Q),op); unexplored pairs are 0 (optimistic: costs are
@@ -98,8 +112,10 @@ func (l *Learned) choose(phase policy.Phase, inst query.InstID, lineage uint64, 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.rng.Float64() < l.cfg.Epsilon {
+		l.explores++
 		return l.rng.Intn(len(cands))
 	}
+	l.exploits++
 	best, bestV := 0, l.qValue(phase, inst, lineage, q, cands[0])
 	for i := 1; i < len(cands); i++ {
 		if v := l.qValue(phase, inst, lineage, q, cands[i]); v > bestV {

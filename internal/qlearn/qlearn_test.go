@@ -216,3 +216,26 @@ func TestProportionalityInvariance(t *testing.T) {
 		t.Error("no learning happened")
 	}
 }
+
+// TestActionCounts checks the explore/exploit decision counters at the
+// epsilon extremes.
+func TestActionCounts(t *testing.T) {
+	q := bitset.NewFull(4)
+	cands := []int{0, 1, 2}
+
+	greedy := New(Config{Mu: 0.2, Epsilon: 0, Gamma: 1, Seed: 1})
+	for i := 0; i < 20; i++ {
+		greedy.ChooseJoin(0, 1, q, cands)
+	}
+	if ex, gr := greedy.ActionCounts(); ex != 0 || gr != 20 {
+		t.Errorf("epsilon=0: counts = (%d, %d), want (0, 20)", ex, gr)
+	}
+
+	explorer := New(Config{Mu: 0.2, Epsilon: 1, Gamma: 1, Seed: 1})
+	for i := 0; i < 20; i++ {
+		explorer.ChooseSel(0, 0, q, cands)
+	}
+	if ex, gr := explorer.ActionCounts(); ex != 20 || gr != 0 {
+		t.Errorf("epsilon=1: counts = (%d, %d), want (20, 0)", ex, gr)
+	}
+}

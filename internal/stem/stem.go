@@ -323,6 +323,21 @@ func (s *STeM) SemiJoinQueries(out bitset.Set, col string, key int64) {
 	}
 }
 
+// EstBytes estimates the STeM's resident memory: allocated entry chunks
+// (vIDs, slots, key columns, hash chains, query-set slab) plus the bucket
+// arrays. Observability only; the estimate ignores Go object headers.
+func (s *STeM) EstBytes() int64 {
+	nChunks := int64(len(*s.chunks.Load()))
+	perChunk := int64(chunkSize) * (4 + 4 + // vids, slots
+		int64(len(s.keyCols))*(8+4) + // keys, next chains
+		int64(s.qw)*8) // query-set slab
+	var buckets int64
+	for _, b := range s.buckets {
+		buckets += int64(len(b)) * 4
+	}
+	return nChunks*perChunk + buckets
+}
+
 // Entry returns the vID and query set of entry idx (test/diagnostic use).
 func (s *STeM) Entry(idx int) (int32, bitset.Set) {
 	c := (*s.chunks.Load())[idx>>chunkBits]

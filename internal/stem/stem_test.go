@@ -249,3 +249,26 @@ func BenchmarkProbe(b *testing.B) {
 		dst = s.Probe(dst[:0], "k", int64(i&4095), ts)
 	}
 }
+
+// TestEstBytes checks the memory estimate grows with inserted chunks and
+// starts at the bucket-array floor.
+func TestEstBytes(t *testing.T) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 16, 64)
+	base := s.EstBytes()
+	if base <= 0 {
+		t.Fatalf("empty STeM estimate = %d", base)
+	}
+	q := bitset.NewFull(16)
+	for i := 0; i < chunkSize+1; i++ { // force a second chunk
+		s.Insert(int32(i), []int64{int64(i)}, q, 0)
+	}
+	grown := s.EstBytes()
+	if grown <= base {
+		t.Fatalf("estimate did not grow: %d -> %d", base, grown)
+	}
+	perChunk := (grown - base) / 2
+	if perChunk < chunkSize*(4+4+8+4+8) {
+		t.Errorf("per-chunk estimate %d smaller than its columns", perChunk)
+	}
+}

@@ -57,12 +57,30 @@ type BatchResult struct {
 	JoinTuples int64
 
 	Convergence []ConvergencePoint
+
+	// Stats is the execution breakdown, non-nil only when
+	// Options.CollectStats was set.
+	Stats *Stats
+
+	trace []EpisodeTrace
 }
 
-// Throughput returns queries per second.
+// Throughput returns completed queries per second; aborted queries did not
+// produce a result and do not count.
 func (r *BatchResult) Throughput() float64 {
 	if r.Elapsed <= 0 {
 		return 0
 	}
-	return float64(len(r.Queries)) / r.Elapsed.Seconds()
+	n := 0
+	for i := range r.Queries {
+		if !r.Queries[i].Aborted {
+			n++
+		}
+	}
+	return float64(n) / r.Elapsed.Seconds()
 }
+
+// Trace returns the batch's episode trace, oldest first: the last
+// Options.TraceEpisodes episodes (nil when tracing was off). The returned
+// slice is owned by the result; callers must not mutate it.
+func (r *BatchResult) Trace() []EpisodeTrace { return r.trace }

@@ -36,6 +36,7 @@ import (
 	"github.com/roulette-db/roulette/internal/engine"
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/host"
+	"github.com/roulette-db/roulette/internal/metrics"
 	"github.com/roulette-db/roulette/internal/policy"
 	"github.com/roulette-db/roulette/internal/qlearn"
 	"github.com/roulette-db/roulette/internal/query"
@@ -190,6 +191,19 @@ type Options struct {
 	// EpisodeWatchdog flags any single episode running longer than this as
 	// a stall fault and cancels the rest of the batch; 0 disables it.
 	EpisodeWatchdog time.Duration
+
+	// CollectStats attaches an execution breakdown (BatchResult.Stats):
+	// per-query episodes and elapsed time, per-operator-class work, STeM
+	// traffic and memory, policy decision counters, and the sharing factor.
+	// Counters accumulate in per-worker arenas and fold at episode
+	// boundaries, so the overhead is a few percent and the stats-off path is
+	// untouched.
+	CollectStats bool
+
+	// TraceEpisodes retains the last N episodes as records carrying the
+	// chosen action sequence, active query count, cost, and duration
+	// (BatchResult.Trace, WriteTraceJSONL). 0 disables tracing.
+	TraceEpisodes int
 }
 
 // execOptions converts Options to the internal executor options.
@@ -206,6 +220,8 @@ func (o *Options) execOptions() exec.Options {
 	opt.LocalityRouter = !o.DisableLocalityRouter
 	opt.AdaptiveProjections = !o.DisableAdaptiveProjections
 	opt.CollectRows = !o.DiscardRows
+	opt.CollectStats = o.CollectStats
+	opt.TraceActions = o.TraceEpisodes > 0
 	return opt
 }
 
@@ -242,11 +258,16 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []*Query, o *Option
 
 	opt := o.execOptions()
 	cfg := engine.Config{Exec: opt}
+	var ring *metrics.Ring
 	if o != nil {
 		cfg.Workers = o.Workers
 		cfg.TrackConvergence = o.TrackConvergence
 		cfg.SessionDeadline = o.Deadline
 		cfg.EpisodeWatchdog = o.EpisodeWatchdog
+		if o.TraceEpisodes > 0 {
+			ring = metrics.NewRing(o.TraceEpisodes)
+			cfg.Trace = ring
+		}
 		if o.CalibrateCostModel {
 			e.calOnce.Do(func() {
 				seed := o.Seed
@@ -285,7 +306,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []*Query, o *Option
 	if err != nil {
 		return nil, err
 	}
-	return e.buildResult(b, s, res)
+	return e.buildResult(b, s, res, ring)
 }
 
 // buildPolicy instantiates the requested planning policy.
@@ -355,7 +376,7 @@ func (e *Engine) largestInstance(b *query.Batch, vectorSize int) (query.InstID, 
 }
 
 // buildResult drains host-side consumers into the public result shape.
-func (e *Engine) buildResult(b *query.Batch, s *engine.Session, res *engine.Results) (*BatchResult, error) {
+func (e *Engine) buildResult(b *query.Batch, s *engine.Session, res *engine.Results, ring *metrics.Ring) (*BatchResult, error) {
 	out := &BatchResult{
 		Elapsed:    res.Elapsed,
 		Episodes:   res.Episodes,
@@ -382,6 +403,33 @@ func (e *Engine) buildResult(b *query.Batch, s *engine.Session, res *engine.Resu
 			qr.Groups = append(qr.Groups, Group{Key: g.Key, Value: g.Value})
 		}
 		out.Queries[qid] = qr
+	}
+
+	if res.Stats != nil {
+		tags := make([]string, b.N)
+		for qid := range tags {
+			tags[qid] = b.Queries[qid].Tag
+		}
+		out.Stats = newStats(res.Stats, tags)
+	}
+	if ring != nil {
+		for _, rec := range ring.Snapshot() {
+			tr := EpisodeTrace{
+				Episode:       rec.Episode,
+				ActiveQueries: rec.ActiveQueries,
+				Input:         rec.Input,
+				JoinInput:     rec.JoinInput,
+				Cost:          rec.Cost,
+				Duration:      rec.Duration,
+				SelActions:    rec.SelActions,
+				JoinActions:   rec.JoinActions,
+				Fault:         rec.Fault,
+			}
+			if rec.Inst >= 0 && rec.Inst < len(b.Insts) {
+				tr.Table = b.Insts[rec.Inst].Table
+			}
+			out.trace = append(out.trace, tr)
+		}
 	}
 	return out, nil
 }

@@ -35,20 +35,21 @@ type figTiming struct {
 
 // benchFile is the BENCH.json schema (documented in EXPERIMENTS.md).
 type benchFile struct {
-	Timestamp string            `json:"timestamp"`
-	GoVersion string            `json:"go_version"`
-	GOOS      string            `json:"goos"`
-	GOARCH    string            `json:"goarch"`
-	NumCPU    int               `json:"num_cpu"`
-	Scale     float64           `json:"scale"`
-	Seed      int64             `json:"seed"`
-	Quick     bool              `json:"quick"`
-	Figures   []figTiming       `json:"figures"`
-	Perf      *bench.PerfReport `json:"perf,omitempty"`
+	Timestamp string              `json:"timestamp"`
+	GoVersion string              `json:"go_version"`
+	GOOS      string              `json:"goos"`
+	GOARCH    string              `json:"goarch"`
+	NumCPU    int                 `json:"num_cpu"`
+	Scale     float64             `json:"scale"`
+	Seed      int64               `json:"seed"`
+	Quick     bool                `json:"quick"`
+	Figures   []figTiming         `json:"figures"`
+	Perf      *bench.PerfReport   `json:"perf,omitempty"`
+	Stream    *bench.StreamReport `json:"stream,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching perf all")
+	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching perf stream all")
 	scale := flag.Float64("scale", 0.25, "TPC-DS scale factor (facts scale linearly)")
 	seed := flag.Int64("seed", 1, "workload and data seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
@@ -102,8 +103,13 @@ func main() {
 			out.Perf = rep
 			return err
 		},
+		"stream": func() error {
+			rep, err := cfg.Stream()
+			out.Stream = rep
+			return err
+		},
 	}
-	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching", "perf"}
+	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching", "perf", "stream"}
 
 	run := func(name string) {
 		f, ok := figures[name]

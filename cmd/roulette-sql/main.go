@@ -10,6 +10,12 @@
 // reads statements from stdin (terminate each batch with a line containing
 // only "go", or EOF). All statements of a batch execute together, sharing
 // scans, filters and joins.
+//
+// With -serve the shell keeps one long-lived streaming session open
+// instead: every ';'-terminated statement is submitted the moment it is
+// read (from stdin, or from a client connected to -listen), starts
+// executing immediately against the state built by earlier queries, and
+// reports its result with per-query latency as soon as it retires.
 package main
 
 import (
@@ -17,11 +23,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	roulette "github.com/roulette-db/roulette"
 	"github.com/roulette-db/roulette/internal/catalog"
@@ -43,6 +54,8 @@ func main() {
 	workers := flag.Int("workers", 1, "RouLette workers")
 	stats := flag.Bool("stats", false, "collect execution stats and print a summary after each batch")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text + JSON) on this address, e.g. :9090")
+	serve := flag.Bool("serve", false, "streaming mode: keep one live session open; each ';'-terminated statement executes on arrival and reports its own latency")
+	listen := flag.String("listen", "", "with -serve: also accept statements from TCP clients on this address, e.g. :5433")
 	flag.Parse()
 
 	if len(tables) == 0 {
@@ -77,6 +90,14 @@ func main() {
 		fmt.Printf("loaded %s (%d rows)\n", name, db.MustTable(name).NumRows())
 	}
 	e := roulette.NewEngineOn(db)
+
+	if *serve {
+		if err := runServe(e, *workers, *stats, *listen); err != nil {
+			fmt.Fprintln(os.Stderr, "roulette-sql:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runBatch := func(src string) {
 		src = strings.TrimSpace(src)
@@ -147,6 +168,131 @@ func main() {
 		buf.WriteByte('\n')
 	}
 	runBatch(buf.String())
+}
+
+// runServe keeps one streaming session open and feeds it statements from
+// stdin (and, with -listen, from TCP clients) as they arrive. Each query
+// shares scans, STeMs and learned planning state with whatever else is in
+// flight and reports its own latency the moment it retires.
+func runServe(e *roulette.Engine, workers int, stats bool, listen string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := e.OpenStream(ctx, &roulette.StreamOptions{
+		Options: roulette.Options{Workers: workers, CollectStats: stats},
+	})
+	if err != nil {
+		return err
+	}
+
+	var out sync.Mutex // serializes result lines across retirement goroutines
+	var wg sync.WaitGroup
+	var seq int64
+	submit := func(w io.Writer, stmt string) {
+		stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+		if stmt == "" {
+			return
+		}
+		q, err := roulette.ParseSQL(stmt)
+		if err != nil {
+			out.Lock()
+			fmt.Fprintln(w, "error:", err)
+			out.Unlock()
+			return
+		}
+		q.WithTag(fmt.Sprintf("q%d", atomic.AddInt64(&seq, 1)))
+		start := time.Now()
+		tk, err := st.Submit(q)
+		if err != nil {
+			out.Lock()
+			fmt.Fprintln(w, "error:", err)
+			out.Unlock()
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qr, _ := tk.Wait(context.Background())
+			out.Lock()
+			defer out.Unlock()
+			note := ""
+			if qr.Aborted {
+				note = fmt.Sprintf("\t-- aborted (%v), count is a lower bound", qr.Err)
+			}
+			if len(qr.Groups) <= 1 {
+				fmt.Fprintf(w, "%s: %d\t(%v)%s\n", qr.Tag, qr.Value(), time.Since(start).Round(time.Microsecond), note)
+				return
+			}
+			fmt.Fprintf(w, "%s:\t(%v)%s\n", qr.Tag, time.Since(start).Round(time.Microsecond), note)
+			for _, g := range qr.Groups {
+				fmt.Fprintf(w, "  %d\t%d\n", g.Key, g.Value)
+			}
+		}()
+	}
+
+	// feed splits a reader into ';'-terminated statements, submitting each
+	// as soon as its terminator arrives.
+	feed := func(w io.Writer, r io.Reader) {
+		var buf strings.Builder
+		br := bufio.NewReader(r)
+		for {
+			line, err := br.ReadString('\n')
+			buf.WriteString(line)
+			for {
+				src := buf.String()
+				i := strings.IndexByte(src, ';')
+				if i < 0 {
+					break
+				}
+				buf.Reset()
+				buf.WriteString(src[i+1:])
+				submit(w, src[:i])
+			}
+			if err != nil {
+				submit(w, buf.String())
+				return
+			}
+		}
+	}
+
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go func() {
+			<-ctx.Done()
+			ln.Close()
+		}()
+		fmt.Printf("accepting statements on %s\n", listen)
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer conn.Close()
+					feed(conn, conn)
+				}()
+			}
+		}()
+	}
+
+	fmt.Println(`streaming session open; statements execute the moment their ';' arrives`)
+	feed(os.Stdout, os.Stdin)
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		return err
+	}
+	if stats {
+		fmt.Println("final STeM state:")
+		for _, s := range st.StemStats() {
+			fmt.Printf("  %-16s entries=%-8d probes=%-10d matches=%-10d est_bytes=%d\n",
+				s.Table, s.Entries, s.Probes, s.Matches, s.EstBytes)
+		}
+	}
+	return nil
 }
 
 // loadTable reads a CSV with a header row; columns whose first data value

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/engine"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/tpcds"
+	"github.com/roulette-db/roulette/internal/workload"
+)
+
+// StreamReport is the machine-readable result of the streaming benchmark:
+// how fast queries enter a live session (submit latency is the quiesce-gate
+// pause every admission costs), how fast they leave it (end-to-end
+// submit-to-retire latency and steady-state throughput), and how much STeM
+// memory the garbage collector hands back once they are gone. It is the
+// BENCH_stream.json baseline tracked in EXPERIMENTS.md.
+type StreamReport struct {
+	Queries         int     `json:"queries"`
+	MaxLive         int     `json:"max_live"`
+	Workers         int     `json:"workers"`
+	Seconds         float64 `json:"seconds"`
+	QPS             float64 `json:"qps"`
+	SubmitP50Micros float64 `json:"submit_p50_micros"`
+	SubmitP95Micros float64 `json:"submit_p95_micros"`
+	SubmitMaxMicros float64 `json:"submit_max_micros"`
+	RetireP50Millis float64 `json:"retire_p50_millis"`
+	RetireP95Millis float64 `json:"retire_p95_millis"`
+	StemPeakBytes   int64   `json:"stem_peak_bytes"`
+	StemFinalBytes  int64   `json:"stem_final_bytes"`
+}
+
+// percentile reads the p-th percentile (0..100) from a sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Stream runs the streaming-lifecycle benchmark: one long-lived session,
+// queries submitted one at a time with MaxLive in-flight, each retiring
+// individually and being garbage-collected while later queries run. The
+// batched figures measure shared execution of a fixed set; this one
+// measures the machinery around it — admission cost, retirement latency
+// and STeM reclamation under churn.
+func (c *Config) Stream() (*StreamReport, error) {
+	db := tpcds.Generate(c.Scale, c.Seed)
+	p := workload.DefaultParams()
+	p.Seed = c.Seed
+	n, maxLive := 200, 32
+	if c.Quick {
+		n, maxLive = 50, 16
+	}
+	pool := workload.NewGenerator(p).Generate(n)
+
+	qcfg := qlearn.DefaultConfig()
+	qcfg.Seed = c.Seed
+	opt := exec.DefaultOptions()
+	opt.CollectRows = false
+
+	var (
+		mu      sync.Mutex
+		started = map[int]time.Time{} // qid -> submit time
+		retire  []float64             // millis, appended on retirement
+		retired = make(chan struct{}, n)
+	)
+	cfg := engine.Config{
+		Exec:      opt,
+		Workers:   4,
+		Policy:    qlearn.New(qcfg),
+		Streaming: true,
+		OnRetire: func(qid int, st engine.QueryStatus) {
+			mu.Lock()
+			if t0, ok := started[qid]; ok {
+				retire = append(retire, float64(time.Since(t0).Microseconds())/1e3)
+				delete(started, qid)
+			}
+			mu.Unlock()
+			retired <- struct{}{}
+		},
+	}
+	b := query.NewStreamBatch(maxLive)
+	s, err := engine.NewSession(b, db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := s.RunContext(ctx)
+		runErr <- err
+	}()
+
+	rep := &StreamReport{Queries: n, MaxLive: maxLive, Workers: cfg.Workers}
+	var submit []float64 // micros
+	stemBytes := func() int64 {
+		var sum int64
+		for _, st := range s.StemSnapshot() {
+			sum += st.EstBytes
+		}
+		return sum
+	}
+
+	start := time.Now()
+	for _, q := range pool {
+		// Backpressure: a slot frees only after its query is swept, so the
+		// submit loop measures the whole admit-retire-reclaim cycle.
+		for s.FreeQuerySlots() == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		t0 := time.Now()
+		qid, err := s.SubmitLive(q)
+		if err != nil {
+			cancel()
+			<-runErr
+			return nil, err
+		}
+		submit = append(submit, float64(time.Since(t0).Microseconds()))
+		mu.Lock()
+		started[qid] = t0
+		mu.Unlock()
+		if bytes := stemBytes(); bytes > rep.StemPeakBytes {
+			rep.StemPeakBytes = bytes
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-retired
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	s.CloseSubmit()
+	if err := <-runErr; err != nil {
+		return nil, err
+	}
+	rep.StemFinalBytes = stemBytes()
+
+	sort.Float64s(submit)
+	sort.Float64s(retire)
+	rep.QPS = float64(n) / rep.Seconds
+	rep.SubmitP50Micros = percentile(submit, 50)
+	rep.SubmitP95Micros = percentile(submit, 95)
+	rep.SubmitMaxMicros = submit[len(submit)-1]
+	rep.RetireP50Millis = percentile(retire, 50)
+	rep.RetireP95Millis = percentile(retire, 95)
+
+	c.printf("=== stream: live admission / retirement / GC under churn ===\n")
+	c.printf("%d queries, %d live slots: %.1f q/s over %.2fs\n", n, maxLive, rep.QPS, rep.Seconds)
+	c.printf("submit latency  p50=%.0fµs p95=%.0fµs max=%.0fµs\n",
+		rep.SubmitP50Micros, rep.SubmitP95Micros, rep.SubmitMaxMicros)
+	c.printf("retire latency  p50=%.1fms p95=%.1fms\n", rep.RetireP50Millis, rep.RetireP95Millis)
+	c.printf("stem bytes      peak=%d final=%d (reclaimed %.0f%%)\n",
+		rep.StemPeakBytes, rep.StemFinalBytes,
+		100*(1-float64(rep.StemFinalBytes)/float64(max64(rep.StemPeakBytes, 1))))
+	return rep, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

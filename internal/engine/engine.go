@@ -66,6 +66,26 @@ type Config struct {
 	// running to its end, but it is recorded as a stall fault, its queries
 	// are marked failed, and the rest of the session is cancelled.
 	EpisodeWatchdog time.Duration
+
+	// Streaming switches the session from run-to-completion to a long-lived
+	// lifecycle: workers block for new work instead of exiting when every
+	// admitted query drains, queries arrive at any time via SubmitLive, each
+	// query retires individually (OnRetire) the moment it completes, and a
+	// between-episodes garbage collector reclaims retired queries' STeM
+	// entries, policy state and query IDs. RunContext then returns only
+	// after CloseSubmit (or context cancellation).
+	Streaming bool
+
+	// OnRetire, in streaming mode, delivers each query's terminal status.
+	// It is called outside the session mutex, exactly once per admitted
+	// query, as soon as the query's episodes drain — not at session end.
+	// The query's source still holds its routed rows at that point.
+	OnRetire func(qid int, st QueryStatus)
+
+	// OnReclaim, in streaming mode, reports query IDs whose state has been
+	// fully garbage-collected and returned to the free pool (capacity for
+	// new SubmitLive calls). Called outside the session mutex.
+	OnReclaim func(qids []int)
 }
 
 // ConvergencePoint is one episode's measured cost and the policy's estimate
@@ -218,6 +238,18 @@ type Session struct {
 	episode  int64
 	conv     []ConvergencePoint
 
+	// Streaming lifecycle (cfg.Streaming). cond (on mu) wakes idle workers
+	// on submission, episode completion, close, pause and cancellation.
+	cond        *sync.Cond
+	closed      bool       // CloseSubmit called
+	pauseReq    int        // quiesce requests (SubmitLive): no new episodes start
+	inFlight    int        // episodes handed out, not yet finished
+	outstanding []int32    // per query: in-flight episodes carrying its bit
+	retired     bitset.Set // retired queries awaiting a GC pass
+	gc          gcState
+	cbsQueued   []func() // retirement/reclaim callbacks awaiting execution
+	cbsActive   int      // callbacks taken but not finished executing
+
 	// Stats accounting (Config.Exec.CollectStats only), under mu.
 	startAt      time.Time
 	qEpisodes    []int64         // per query: episodes whose active set included it
@@ -225,6 +257,24 @@ type Session struct {
 	lastSig      []uint64        // per instance: previous episode's plan signature
 	planSwitches int64
 }
+
+// gcState is the streaming garbage collector's cursor. GC runs in budgeted
+// quanta between episodes (only while no episode is in flight, so the hot
+// path never races a sweep): each quantum sweeps a few STeM chunks,
+// clearing the retired snapshot's bits and compacting STeMs that became
+// mostly dead; the final quantum retires the queries from the batch's
+// shared operators, prunes the policy, and recycles the query IDs.
+type gcState struct {
+	running  bool
+	active   bitset.Set // snapshot of retired queries this pass is clearing
+	inst     int        // next instance to sweep
+	chunk    int        // next chunk within inst
+	stemDead int        // empty-qset entries seen in the current instance
+}
+
+// gcChunkBudget bounds the STeM chunks swept per GC quantum, keeping each
+// quantum short relative to an episode.
+const gcChunkBudget = 8
 
 // NewSession compiles the execution context and scan plan for batch b.
 func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, error) {
@@ -236,17 +286,24 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 	if pol == nil {
 		pol = qlearn.New(qlearn.DefaultConfig())
 	}
+	// Per-query state is sized to the batch's query-ID capacity (== b.N for
+	// one-shot batches) so streaming admissions never resize anything.
+	qcap := b.QCap()
 	s := &Session{
 		b: b, cfg: cfg, ctx: ctx, pol: pol,
-		admitted: bitset.New(b.N),
-		failed:   bitset.New(b.N),
-		failErr:  make([]error, b.N),
-		pending:  append([]AdmitEvent(nil), cfg.AdmitAt...),
+		admitted:    bitset.New(qcap),
+		failed:      bitset.New(qcap),
+		failErr:     make([]error, qcap),
+		outstanding: make([]int32, qcap),
+		retired:     bitset.New(qcap),
+		pending:     append([]AdmitEvent(nil), cfg.AdmitAt...),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	s.gc.active = bitset.New(qcap)
 	if cfg.Exec.CollectStats {
-		s.qEpisodes = make([]int64, b.N)
-		s.qElapsed = make([]time.Duration, b.N)
-		s.lastSig = make([]uint64, len(b.Insts))
+		s.qEpisodes = make([]int64, qcap)
+		s.qElapsed = make([]time.Duration, qcap)
+		s.lastSig = make([]uint64, query.MaxInstances)
 	}
 
 	ranks := RankScans(b, ctx)
@@ -259,9 +316,9 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 		s.scans[i] = &scanState{
 			scan:      scan,
 			rank:      ranks[i],
-			active:    bitset.New(b.N),
-			remaining: make([]int, b.N),
-			doneQ:     bitset.New(b.N),
+			active:    bitset.New(qcap),
+			remaining: make([]int, qcap),
+			doneQ:     bitset.New(qcap),
 		}
 	}
 
@@ -326,16 +383,7 @@ func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
 
 	s.fireAdmissionsLocked()
 
-	// Lowest rank with an incomplete scan.
-	best := -1
-	for i, st := range s.scans {
-		if st.done() {
-			continue
-		}
-		if best == -1 || st.rank < s.scans[best].rank {
-			best = i
-		}
-	}
+	best := s.bestScanLocked()
 	if best == -1 {
 		if len(s.pending) > 0 {
 			// Admissions outstanding but their trigger instance is idle:
@@ -350,8 +398,27 @@ func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
 		}
 		return exec.EpisodeInput{}, false
 	}
+	return s.takeRoundRobinLocked(best), true
+}
 
-	// Round-robin among the scans sharing that rank.
+// bestScanLocked returns the lowest-rank instance with an incomplete scan,
+// or -1 when every scan is drained.
+func (s *Session) bestScanLocked() int {
+	best := -1
+	for i, st := range s.scans {
+		if st.done() {
+			continue
+		}
+		if best == -1 || st.rank < s.scans[best].rank {
+			best = i
+		}
+	}
+	return best
+}
+
+// takeRoundRobinLocked pulls a vector round-robin among the incomplete
+// scans sharing best's rank.
+func (s *Session) takeRoundRobinLocked(best int) exec.EpisodeInput {
 	rank := s.scans[best].rank
 	n := len(s.scans)
 	for off := 0; off < n; off++ {
@@ -359,10 +426,10 @@ func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
 		st := s.scans[i]
 		if !st.done() && st.rank == rank {
 			s.rrCursor = i + 1
-			return s.takeVectorLocked(query.InstID(i)), true
+			return s.takeVectorLocked(query.InstID(i))
 		}
 	}
-	return s.takeVectorLocked(query.InstID(best)), true
+	return s.takeVectorLocked(query.InstID(best))
 }
 
 // nextEpisodeLockedRetry re-runs the selection after forced admissions.
@@ -407,11 +474,13 @@ func (s *Session) takeVectorLocked(inst query.InstID) exec.EpisodeInput {
 	}
 	active := st.active.Clone()
 	st.delivered++
+	s.inFlight++
 
 	// Completion: every active query sees each vector exactly once per
 	// revolution (admission is vector-aligned).
 	var finished []int
 	st.active.ForEach(func(qid int) {
+		s.outstanding[qid]++
 		if s.qEpisodes != nil {
 			s.qEpisodes[qid]++
 		}
@@ -482,6 +551,16 @@ func (s *Session) RunContext(ctx context.Context) (*Results, error) {
 	s.mu.Lock()
 	s.runCtx, s.cancel = ctx, cancel
 	s.mu.Unlock()
+	if s.cfg.Streaming {
+		// Streaming workers block on the condvar when idle; wake them when
+		// the run's context is cancelled so they observe it and exit.
+		go func() {
+			<-ctx.Done()
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}()
+	}
 
 	workers := s.cfg.Workers
 	if workers <= 0 {
@@ -504,6 +583,19 @@ func (s *Session) RunContext(ctx context.Context) (*Results, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cfg.Streaming {
+		// Per-query outcomes were already published through OnRetire as each
+		// query retired; the session-level result carries only aggregates.
+		res := &Results{
+			Elapsed:    time.Since(start),
+			Episodes:   s.ctx.Stats.Episodes.Load(),
+			JoinTuples: s.ctx.Stats.JoinOut.Load(),
+			Faults:     s.faults,
+			Partial:    ctx.Err() != nil,
+		}
+		s.foldRegistryLocked(res, nil)
+		return res, nil
+	}
 	res := &Results{
 		Counts:      make([]int64, s.b.N),
 		Elapsed:     time.Since(start),
@@ -557,9 +649,20 @@ func (s *Session) queryDrainedLocked(qid int) bool {
 
 // runWorker is one worker's episode loop.
 func (s *Session) runWorker() {
+	// Worker construction reads batch shape (query capacity, instance
+	// count); in streaming mode a SubmitLive may be extending the batch
+	// concurrently with pool startup, so size the worker under the mutex.
+	s.mu.Lock()
 	w := exec.NewWorker(s.ctx, s.pol)
+	s.mu.Unlock()
 	for {
-		in, ok := s.nextEpisode()
+		var in exec.EpisodeInput
+		var ok bool
+		if s.cfg.Streaming {
+			in, ok = s.nextEpisodeStreaming()
+		} else {
+			in, ok = s.nextEpisode()
+		}
 		if !ok {
 			return
 		}
@@ -623,7 +726,18 @@ func (s *Session) runWorker() {
 				})
 			}
 		}
+		s.inFlight--
+		var cbs []func()
+		in.Active.ForEach(func(qid int) {
+			s.outstanding[qid]--
+			s.maybeRetireLocked(qid)
+		})
+		if s.cfg.Streaming {
+			cbs = s.takeCallbacksLocked()
+			s.cond.Broadcast()
+		}
 		s.mu.Unlock()
+		s.runCallbacks(cbs)
 	}
 }
 

@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// This file is the streaming half of the session lifecycle (Config.
+// Streaming): live admission of queries into a running worker pool,
+// per-query retirement the moment a query's episodes drain, and the
+// between-episodes garbage collector that sweeps retired queries out of
+// STeM entries, grouped filters, the Q-table and the query-ID space.
+//
+// Synchronization model: everything here runs under the session mutex in
+// the gaps between episodes. The quiesce gate (pause/resume) additionally
+// waits until no episode is in flight, which is what makes it safe to
+// mutate structures the episode hot path reads lock-free (batch operator
+// sets, grouped filters, STeM indexes and chunks). The hot path itself
+// takes no new locks and sees no new atomics.
+
+// retirePruner is the optional policy interface for reclaiming learned
+// state of retired queries (qlearn.Learned implements it).
+type retirePruner interface{ PruneRetired(retired bitset.Set) int }
+
+// pause acquires the quiesce gate: it returns with the session mutex held,
+// no episode in flight and no retirement callback mid-execution (callbacks
+// read the batch without the mutex; the gate is what lets SubmitLive
+// mutate it), and workers do not start new episodes until resume. Callers
+// must pair it with resume.
+func (s *Session) pause() {
+	s.mu.Lock()
+	s.pauseReq++
+	for s.inFlight > 0 || s.cbsActive > 0 {
+		s.cond.Wait()
+	}
+}
+
+// resume releases the quiesce gate taken by pause.
+func (s *Session) resume() {
+	s.pauseReq--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SubmitLive merges one query into the running session: the batch and the
+// execution context are extended under the quiesce gate, the query is
+// admitted on its instances' scans (rescanning each relation from the
+// current circular-scan position, so it reuses every STeM entry built so
+// far and re-ingests only what it has not seen), and workers are woken.
+// It returns the assigned query ID.
+func (s *Session) SubmitLive(q *query.Query) (int, error) {
+	s.pause()
+	qid, err := s.b.Extend(q)
+	if err != nil {
+		s.resume()
+		return 0, err
+	}
+	d := s.b.TakeDelta()
+	if err := s.ctx.ApplyExtend(d); err != nil {
+		// The context is untouched (ApplyExtend validates before mutating);
+		// take the query's additions back out of the batch so instance and
+		// operator IDs stay aligned with the executor's arrays.
+		s.b.RollbackExtend(d)
+		s.resume()
+		return 0, err
+	}
+	for _, ii := range d.NewInsts {
+		// VectorSize was validated when the session's options were built, so
+		// scan construction cannot fail here.
+		scan, err := storage.NewCircularScan(s.ctx.Tables[ii].NumRows(), s.ctx.Opt.VectorSize)
+		if err != nil {
+			panic(err)
+		}
+		qcap := s.b.QCap()
+		s.scans = append(s.scans, &scanState{
+			scan:      scan,
+			active:    bitset.New(qcap),
+			remaining: make([]int, qcap),
+			doneQ:     bitset.New(qcap),
+		})
+	}
+	// Ranks depend on the join graph; recompute for all scans (new edges can
+	// change existing instances' pruning order).
+	ranks := RankScans(s.b, s.ctx)
+	for i, st := range s.scans {
+		st.rank = ranks[i]
+	}
+	// The rescan re-ingests relations whose STeMs may have been compacted
+	// to a fraction of the relation size; regrow their buckets up front so
+	// insert chains stay short.
+	for _, inst := range s.b.QueryInsts(qid) {
+		s.ctx.Stems[inst].EnsureBuckets(s.ctx.Tables[inst].NumRows())
+	}
+	s.admitLocked(qid)
+	s.maybeRetireLocked(qid) // zero-row relations: the query is born drained
+	cbs := s.takeCallbacksLocked()
+	s.cond.Broadcast()
+	s.resume()
+	s.runCallbacks(cbs)
+	return qid, nil
+}
+
+// CancelQuery marks one in-flight query failed with the given cause. Only
+// that query is affected: its bits leave the scan active sets, it retires
+// as soon as its in-flight episodes drain, and its count so far remains
+// available as a partial result. The rest of the stream is untouched.
+func (s *Session) CancelQuery(qid int, cause error) {
+	s.mu.Lock()
+	if qid < 0 || qid >= s.b.QCap() ||
+		!s.admitted.Contains(qid) || s.failed.Contains(qid) ||
+		s.retired.Contains(qid) || (s.gc.running && s.gc.active.Contains(qid)) {
+		s.mu.Unlock()
+		return
+	}
+	s.failed.Add(qid)
+	s.failErr[qid] = cause
+	for _, inst := range s.b.QueryInsts(qid) {
+		s.scans[inst].active.Remove(qid)
+	}
+	s.maybeRetireLocked(qid)
+	cbs := s.takeCallbacksLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.runCallbacks(cbs)
+}
+
+// CloseSubmit declares the stream input finished: once every admitted
+// query retires and GC drains, the worker pool exits and RunContext
+// returns. Further SubmitLive calls still work until the pool exits; the
+// caller decides when to stop submitting.
+func (s *Session) CloseSubmit() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// FreeQuerySlots reports how many query IDs are available for SubmitLive
+// (capacity minus live and not-yet-reclaimed queries).
+func (s *Session) FreeQuerySlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Free()
+}
+
+// maybeRetireLocked retires qid if it is terminal: admitted, every episode
+// carrying its bit finished, and either drained (exact result) or failed
+// (partial result). Retirement publishes the query's status via OnRetire
+// — immediately, not at session end — and queues the query for GC.
+func (s *Session) maybeRetireLocked(qid int) {
+	if !s.cfg.Streaming {
+		return
+	}
+	if !s.admitted.Contains(qid) || s.retired.Contains(qid) ||
+		(s.gc.running && s.gc.active.Contains(qid)) {
+		return
+	}
+	if s.outstanding[qid] != 0 {
+		return
+	}
+	failed := s.failed.Contains(qid)
+	if !failed && !s.queryDrainedLocked(qid) {
+		return
+	}
+	s.retired.Add(qid)
+	st := QueryStatus{Completed: !failed, Err: s.failErr[qid]}
+	if cb := s.cfg.OnRetire; cb != nil {
+		q := qid
+		s.cbsQueued = append(s.cbsQueued, func() { cb(q, st) })
+	}
+}
+
+// takeCallbacksLocked hands the queued callbacks to the caller for
+// execution outside the mutex, tracking them so GC cannot release a
+// query's source while its retirement callback still reads it.
+func (s *Session) takeCallbacksLocked() []func() {
+	cbs := s.cbsQueued
+	s.cbsQueued = nil
+	s.cbsActive += len(cbs)
+	return cbs
+}
+
+// runCallbacks executes callbacks taken by takeCallbacksLocked and marks
+// them done. Must be called without the session mutex.
+func (s *Session) runCallbacks(cbs []func()) {
+	if len(cbs) == 0 {
+		return
+	}
+	for _, f := range cbs {
+		f()
+	}
+	s.mu.Lock()
+	s.cbsActive -= len(cbs)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// nextEpisodeStreaming is the scheduling loop of a streaming worker: run
+// pending retirement callbacks, hand out a vector when a scan has work,
+// otherwise make GC progress (only with zero episodes in flight), and
+// block waiting for submissions when idle. Returns ok=false when the run
+// is cancelled or the stream is closed and fully drained.
+func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
+	s.mu.Lock()
+	for {
+		if len(s.cbsQueued) > 0 {
+			cbs := s.takeCallbacksLocked()
+			s.mu.Unlock()
+			s.runCallbacks(cbs)
+			s.mu.Lock()
+			continue
+		}
+		if s.runCtx != nil && s.runCtx.Err() != nil {
+			s.mu.Unlock()
+			return exec.EpisodeInput{}, false
+		}
+		if s.pauseReq > 0 {
+			s.cond.Wait()
+			continue
+		}
+		s.fireAdmissionsLocked()
+		if best := s.bestScanLocked(); best >= 0 {
+			in := s.takeRoundRobinLocked(best)
+			s.mu.Unlock()
+			return in, true
+		}
+		if s.inFlight == 0 && s.cbsActive == 0 && (s.gc.running || !s.retired.Empty()) {
+			s.gcQuantumLocked()
+			continue
+		}
+		if s.closed && s.inFlight == 0 && s.cbsActive == 0 &&
+			!s.gc.running && s.retired.Empty() {
+			s.cond.Broadcast() // wake peers so they observe the exit state
+			s.mu.Unlock()
+			return exec.EpisodeInput{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// gcQuantumLocked makes one budgeted unit of GC progress. It only runs
+// with no episode in flight (caller-checked), so sweeping and compacting
+// the structures probes read lock-free is safe. Each quantum sweeps up to
+// gcChunkBudget STeM chunks; finishing an instance whose entries became
+// at least half dead compacts it (also one quantum); finishing the last
+// instance runs the terminal reclamation step.
+func (s *Session) gcQuantumLocked() {
+	g := &s.gc
+	if !g.running {
+		g.active = s.retired.CopyInto(g.active)
+		for i := range s.retired {
+			s.retired[i] = 0
+		}
+		g.running, g.inst, g.chunk, g.stemDead = true, 0, 0, 0
+	}
+	budget := gcChunkBudget
+	for budget > 0 {
+		if g.inst >= len(s.ctx.Stems) {
+			s.gcFinishLocked()
+			return
+		}
+		st := s.ctx.Stems[g.inst]
+		if g.chunk >= st.NumChunks() {
+			if g.stemDead > 0 && 2*g.stemDead >= st.Len() {
+				st.CompactLive()
+				budget = 0 // a compaction consumes the quantum
+			}
+			g.inst++
+			g.chunk, g.stemDead = 0, 0
+			continue
+		}
+		g.stemDead += st.SweepChunk(g.chunk, g.active)
+		g.chunk++
+		budget--
+	}
+}
+
+// gcFinishLocked completes a GC pass: the swept queries leave the batch's
+// shared operator sets (their grouped-filter predicates are dropped and
+// the affected filters rebuilt), the policy prunes Q-states referencing
+// them, their sources are released, and their query IDs return to the
+// free pool for reuse by later SubmitLive calls.
+func (s *Session) gcFinishLocked() {
+	g := &s.gc
+	changed := s.b.RetireQueries(g.active)
+	s.ctx.RebuildFilters(changed)
+	if pr, ok := s.pol.(retirePruner); ok {
+		pr.PruneRetired(g.active)
+	}
+	freed := g.active.IDs()
+	for _, qid := range freed {
+		s.admitted.Remove(qid)
+		s.failed.Remove(qid)
+		s.failErr[qid] = nil
+		s.outstanding[qid] = 0
+		for _, sc := range s.scans {
+			sc.doneQ.Remove(qid)
+			sc.active.Remove(qid)
+		}
+		if s.qEpisodes != nil {
+			s.qEpisodes[qid], s.qElapsed[qid] = 0, 0
+		}
+		s.ctx.Sources[qid] = nil
+		s.b.ReleaseQID(qid)
+	}
+	for i := range g.active {
+		g.active[i] = 0
+	}
+	g.running = false
+	if cb := s.cfg.OnReclaim; cb != nil && len(freed) > 0 {
+		s.cbsQueued = append(s.cbsQueued, func() { cb(freed) })
+	}
+	s.cond.Broadcast()
+}
+
+// StemSnapshot returns the current per-instance STeM statistics (entries,
+// traffic counters, estimated resident bytes). Streaming observability:
+// unlike BatchStats it can be read while the session runs.
+func (s *Session) StemSnapshot() []StemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StemStats, len(s.b.Insts))
+	for i := range out {
+		is := &s.ctx.InstStats[i]
+		out[i] = StemStats{
+			Table:    s.b.Insts[i].Table,
+			Entries:  int64(s.ctx.Stems[i].Len()),
+			Inserts:  is.Inserts.Load(),
+			Probes:   is.Probes.Load(),
+			Matches:  is.Matches.Load(),
+			EstBytes: s.ctx.Stems[i].EstBytes(),
+		}
+	}
+	return out
+}

@@ -57,11 +57,17 @@ func DefaultOptions() Options {
 	}
 }
 
+// selOpRef resolves a stable selection-op ID to its implementation.
+type selOpRef struct {
+	prune bool
+	idx   int32 // SelCol ID (grouped filter) or PruneOps index
+}
+
 // PruneOp is a symmetric-join prune filter: tuples of Inst keep a query's
 // bit only if they have a join partner in Other's (fully ingested) STeM
 // over EdgeID (§5.2, Fig. 10).
 type PruneOp struct {
-	ID       int // selection-op ID (offset past the grouped filters)
+	ID       int // stable selection-op ID
 	Bit      int // stable bit within Inst's selection-op list
 	Inst     query.InstID
 	EdgeID   int
@@ -84,12 +90,26 @@ type Context struct {
 	Tables   []*storage.Table // per instance
 
 	Filters  []*GroupedFilter // per SelCol ID
-	PruneOps []PruneOp        // IDs are len(Filters)+i
+	PruneOps []PruneOp        // prune filters, any order
+
+	// selOps is the stable selection-operator ID space: op ID i refers to
+	// either a grouped filter or a prune op. IDs are append-only, so they
+	// stay stable while a streaming batch grows (a later-created grouped
+	// filter must not collide with an existing prune op's ID).
+	selOps []selOpRef
 
 	// selBits[inst] maps every potential selection op on inst to its stable
 	// bit; filterBit/pruneBit give per-op positions.
 	filterBits []int // per SelCol ID
+	filterOpID []int // per SelCol ID: its stable selection-op ID
 	pruneBits  []int // per prune index
+
+	// bitsUsed[inst] counts assigned per-instance selection-op bits (each
+	// instance's applied-operator mask is one 64-bit word); keySeen[inst]
+	// dedupes STeM key columns. Persisted so ApplyExtend can continue the
+	// assignment where NewContext left off.
+	bitsUsed []int
+	keySeen  []map[string]bool
 
 	// edge column slices, resolved once.
 	edgeACol [][]int64
@@ -146,13 +166,13 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 	c.edgeACol = make([][]int64, len(b.Edges))
 	c.edgeBCol = make([][]int64, len(b.Edges))
 	c.stemKeyCols = make([][]string, len(b.Insts))
-	keySeen := make([]map[string]bool, len(b.Insts))
-	for i := range keySeen {
-		keySeen[i] = make(map[string]bool)
+	c.keySeen = make([]map[string]bool, len(b.Insts))
+	for i := range c.keySeen {
+		c.keySeen[i] = make(map[string]bool)
 	}
 	addKey := func(inst query.InstID, col string) {
-		if !keySeen[inst][col] {
-			keySeen[inst][col] = true
+		if !c.keySeen[inst][col] {
+			c.keySeen[inst][col] = true
 			c.stemKeyCols[inst] = append(c.stemKeyCols[inst], col)
 		}
 	}
@@ -182,57 +202,47 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 	c.Stems = make([]*stem.STeM, len(b.Insts))
 	c.stemKeySlices = make([][][]int64, len(b.Insts))
 	for i := range b.Insts {
-		c.Stems[i] = stem.New(c.Versions, c.stemKeyCols[i], b.N, c.Tables[i].NumRows())
+		c.Stems[i] = stem.New(c.Versions, c.stemKeyCols[i], b.QCap(), c.Tables[i].NumRows())
 		for _, col := range c.stemKeyCols[i] {
 			c.stemKeySlices[i] = append(c.stemKeySlices[i], c.Tables[i].Col(col))
 		}
 	}
 
 	// Grouped filters, one per SelCol, plus per-instance bit assignment.
-	bitsUsed := make([]int, len(b.Insts))
+	c.bitsUsed = make([]int, len(b.Insts))
 	c.Filters = make([]*GroupedFilter, len(b.SelCols))
 	c.filterBits = make([]int, len(b.SelCols))
+	c.filterOpID = make([]int, len(b.SelCols))
 	for i := range b.SelCols {
 		sc := &b.SelCols[i]
 		if !c.Tables[sc.Inst].Rel.HasColumn(sc.Col) {
 			return nil, fmt.Errorf("exec: filter column %s missing on %s", sc.Col, b.Insts[sc.Inst].Table)
 		}
-		c.Filters[i] = NewGroupedFilter(b.N, sc, c.Tables[sc.Inst].Col(sc.Col))
-		c.filterBits[i] = bitsUsed[sc.Inst]
-		bitsUsed[sc.Inst]++
+		c.Filters[i] = NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col))
+		c.filterBits[i] = c.bitsUsed[sc.Inst]
+		c.bitsUsed[sc.Inst]++
+		c.filterOpID[i] = len(c.selOps)
+		c.selOps = append(c.selOps, selOpRef{prune: false, idx: int32(i)})
 	}
 
 	// Prune operators: one per (instance, incident edge), targeting the
 	// opposite endpoint's STeM.
 	if opt.Pruning {
 		for i := range b.Edges {
-			e := &b.Edges[i]
-			for _, side := range [2]struct {
-				inst, other        query.InstID
-				localCol, otherCol string
-			}{
-				{e.A, e.B, e.ACol, e.BCol},
-				{e.B, e.A, e.BCol, e.ACol},
-			} {
-				id := len(b.SelCols) + len(c.PruneOps)
-				c.PruneOps = append(c.PruneOps, PruneOp{
-					ID: id, Bit: bitsUsed[side.inst], Inst: side.inst, EdgeID: e.ID,
-					Other: side.other, LocalCol: side.localCol, OtherCol: side.otherCol,
-				})
-				c.pruneBits = append(c.pruneBits, bitsUsed[side.inst])
-				bitsUsed[side.inst]++
-			}
+			c.addPruneOps(&b.Edges[i])
 		}
 	}
-	for inst, n := range bitsUsed {
+	for inst, n := range c.bitsUsed {
 		if n > 64 {
 			return nil, fmt.Errorf("exec: instance %s has %d selection ops (max 64)", b.Insts[inst].Table, n)
 		}
 	}
 
-	// Per-query sources with their required vID columns.
-	c.Sources = make([]*Source, b.N)
-	for qid := range c.Sources {
+	// Per-query sources with their required vID columns. The slice spans the
+	// full query-ID capacity so its header never changes while a streaming
+	// batch admits queries (slots past b.N stay nil until Extend fills them).
+	c.Sources = make([]*Source, b.QCap())
+	for qid := 0; qid < b.N; qid++ {
 		insts, err := requiredInsts(b, qid)
 		if err != nil {
 			return nil, err
@@ -246,8 +256,185 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 		}
 		return m
 	}
-	c.InstStats = make([]InstStat, len(b.Insts))
+	// Capacity MaxInstances so streaming extensions append in place (the
+	// entries hold atomics; a reallocation would copy them).
+	c.InstStats = make([]InstStat, len(b.Insts), query.MaxInstances)
 	return c, nil
+}
+
+// addPruneOps registers the two symmetric prune filters of one edge,
+// assigning stable op IDs and per-instance bits.
+func (c *Context) addPruneOps(e *query.Edge) {
+	for _, side := range [2]struct {
+		inst, other        query.InstID
+		localCol, otherCol string
+	}{
+		{e.A, e.B, e.ACol, e.BCol},
+		{e.B, e.A, e.BCol, e.ACol},
+	} {
+		id := len(c.selOps)
+		c.selOps = append(c.selOps, selOpRef{prune: true, idx: int32(len(c.PruneOps))})
+		c.PruneOps = append(c.PruneOps, PruneOp{
+			ID: id, Bit: c.bitsUsed[side.inst], Inst: side.inst, EdgeID: e.ID,
+			Other: side.other, LocalCol: side.localCol, OtherCol: side.otherCol,
+		})
+		c.pruneBits = append(c.pruneBits, c.bitsUsed[side.inst])
+		c.bitsUsed[side.inst]++
+	}
+}
+
+// ApplyExtend grows the execution context to cover a batch extension
+// (query.Batch.Extend already applied to c.B): new instances get tables and
+// STeMs, new edges resolve their columns and may add STeM indexes to
+// already-built STeMs, new grouped filters and prune ops receive stable op
+// IDs past the existing ID space, predicate changes rebuild the affected
+// grouped filters, and the new query gets its source.
+//
+// Callers must hold the engine's quiesce gate: ApplyExtend mutates
+// structures the episode hot path reads lock-free. Validation failures
+// (missing table/column, per-instance selection-op budget) are returned
+// before any mutation, leaving the context consistent — the caller then
+// retires the query's ID from the batch.
+func (c *Context) ApplyExtend(d query.ExtendDelta) error {
+	b := c.B
+
+	// ---- Validate everything first, mutating nothing. --------------------
+	for _, ii := range d.NewInsts {
+		if c.DB.Table(b.Insts[ii].Table) == nil {
+			return fmt.Errorf("exec: no table %q", b.Insts[ii].Table)
+		}
+	}
+	tableOf := func(inst query.InstID) *storage.Table {
+		if int(inst) < len(c.Tables) {
+			return c.Tables[inst]
+		}
+		return c.DB.Table(b.Insts[inst].Table)
+	}
+	for _, ei := range d.NewEdges {
+		e := &b.Edges[ei]
+		if !tableOf(e.A).Rel.HasColumn(e.ACol) || !tableOf(e.B).Rel.HasColumn(e.BCol) {
+			return fmt.Errorf("exec: join column missing on edge %d (%s.%s = %s.%s)",
+				e.ID, b.Insts[e.A].Table, e.ACol, b.Insts[e.B].Table, e.BCol)
+		}
+	}
+	for ri := len(c.resACol); ri < len(b.Residuals); ri++ {
+		r := &b.Residuals[ri]
+		if !tableOf(r.A).Rel.HasColumn(r.ACol) || !tableOf(r.B).Rel.HasColumn(r.BCol) {
+			return fmt.Errorf("exec: residual join column missing (%s.%s = %s.%s)",
+				b.Insts[r.A].Table, r.ACol, b.Insts[r.B].Table, r.BCol)
+		}
+	}
+	for _, si := range d.NewSelCols {
+		sc := &b.SelCols[si]
+		if !tableOf(sc.Inst).Rel.HasColumn(sc.Col) {
+			return fmt.Errorf("exec: filter column %s missing on %s", sc.Col, b.Insts[sc.Inst].Table)
+		}
+	}
+	// Per-instance selection-op budget: each new grouped filter takes one
+	// bit on its instance, each new edge two prune bits (one per endpoint).
+	added := map[query.InstID]int{}
+	for _, si := range d.NewSelCols {
+		added[b.SelCols[si].Inst]++
+	}
+	if c.Opt.Pruning {
+		for _, ei := range d.NewEdges {
+			added[b.Edges[ei].A]++
+			added[b.Edges[ei].B]++
+		}
+	}
+	for inst, n := range added {
+		used := 0
+		if int(inst) < len(c.bitsUsed) {
+			used = c.bitsUsed[inst]
+		}
+		if used+n > 64 {
+			return fmt.Errorf("exec: instance %s has %d selection ops (max 64)", b.Insts[inst].Table, used+n)
+		}
+	}
+	if _, err := requiredInsts(b, d.QID); err != nil {
+		return err
+	}
+
+	// ---- Apply. -----------------------------------------------------------
+	for _, ii := range d.NewInsts {
+		t := c.DB.Table(b.Insts[ii].Table)
+		c.Tables = append(c.Tables, t)
+		c.stemKeyCols = append(c.stemKeyCols, nil)
+		c.stemKeySlices = append(c.stemKeySlices, nil)
+		c.keySeen = append(c.keySeen, make(map[string]bool))
+		c.bitsUsed = append(c.bitsUsed, 0)
+		c.Stems = append(c.Stems, nil) // created below, once key columns are known
+		c.InstStats = append(c.InstStats, InstStat{})
+	}
+
+	newInst := make(map[query.InstID]bool, len(d.NewInsts))
+	for _, ii := range d.NewInsts {
+		newInst[ii] = true
+	}
+	addKey := func(inst query.InstID, col string) {
+		if c.keySeen[inst][col] {
+			return
+		}
+		c.keySeen[inst][col] = true
+		c.stemKeyCols[inst] = append(c.stemKeyCols[inst], col)
+		c.stemKeySlices[inst] = append(c.stemKeySlices[inst], c.Tables[inst].Col(col))
+		if !newInst[inst] {
+			// Existing STeM learns a new key column: index its entries from
+			// the base table (entries store vIDs, so the key is a lookup).
+			colData := c.Tables[inst].Col(col)
+			c.Stems[inst].AddIndex(col, func(vid int32) int64 { return colData[vid] })
+		}
+	}
+	for _, ei := range d.NewEdges {
+		e := &b.Edges[ei]
+		c.edgeACol = append(c.edgeACol, c.Tables[e.A].Col(e.ACol))
+		c.edgeBCol = append(c.edgeBCol, c.Tables[e.B].Col(e.BCol))
+		addKey(e.A, e.ACol)
+		addKey(e.B, e.BCol)
+	}
+	for ri := len(c.resACol); ri < len(b.Residuals); ri++ {
+		r := &b.Residuals[ri]
+		c.resACol = append(c.resACol, c.Tables[r.A].Col(r.ACol))
+		c.resBCol = append(c.resBCol, c.Tables[r.B].Col(r.BCol))
+	}
+	for _, ii := range d.NewInsts {
+		c.Stems[ii] = stem.New(c.Versions, c.stemKeyCols[ii], b.QCap(), c.Tables[ii].NumRows())
+	}
+
+	for _, si := range d.NewSelCols {
+		sc := &b.SelCols[si]
+		c.Filters = append(c.Filters, NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col)))
+		c.filterBits = append(c.filterBits, c.bitsUsed[sc.Inst])
+		c.bitsUsed[sc.Inst]++
+		c.filterOpID = append(c.filterOpID, len(c.selOps))
+		c.selOps = append(c.selOps, selOpRef{prune: false, idx: int32(si)})
+	}
+	for _, si := range d.TouchedSels {
+		sc := &b.SelCols[si]
+		c.Filters[si] = NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col))
+	}
+	if c.Opt.Pruning {
+		for _, ei := range d.NewEdges {
+			c.addPruneOps(&b.Edges[ei])
+		}
+	}
+
+	insts, err := requiredInsts(b, d.QID)
+	if err != nil {
+		return err
+	}
+	c.Sources[d.QID] = NewSource(insts, c.Opt.CollectRows)
+	return nil
+}
+
+// RebuildFilters re-creates the grouped filters whose predicate lists
+// changed (after RetireQueries dropped retired predicates). Quiesced
+// callers only.
+func (c *Context) RebuildFilters(selIDs []int) {
+	for _, si := range selIDs {
+		sc := &c.B.SelCols[si]
+		c.Filters[si] = NewGroupedFilter(c.B.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col))
+	}
 }
 
 // requiredInsts derives which instances' vIDs a query's host consumer needs.
@@ -290,7 +477,7 @@ func requiredInsts(b *query.Batch, qid int) ([]query.InstID, error) {
 func (c *Context) SelOpsFor(inst query.InstID, prunable func(edgeID int, other query.InstID) bitset.Set) []plan.SelOpInfo {
 	var ops []plan.SelOpInfo
 	for _, si := range c.B.SelColsOf(inst) {
-		ops = append(ops, plan.SelOpInfo{ID: si, Bit: c.filterBits[si], Queries: c.B.SelCols[si].Queries})
+		ops = append(ops, plan.SelOpInfo{ID: c.filterOpID[si], Bit: c.filterBits[si], Queries: c.B.SelCols[si].Queries})
 	}
 	if c.Opt.Pruning && prunable != nil {
 		for i := range c.PruneOps {
@@ -310,4 +497,4 @@ func (c *Context) SelOpsFor(inst query.InstID, prunable func(edgeID int, other q
 
 // NumSelOps returns the size of the selection-operator ID space (grouped
 // filters plus prune ops), for policies that track per-op statistics.
-func (c *Context) NumSelOps() int { return len(c.B.SelCols) + len(c.PruneOps) }
+func (c *Context) NumSelOps() int { return len(c.selOps) }

@@ -136,24 +136,28 @@ type Worker struct {
 	residuals []appliedResidual
 }
 
-// NewWorker creates a worker bound to ctx using pol for planning.
+// NewWorker creates a worker bound to ctx using pol for planning. Buffers
+// are sized to the batch's query-ID capacity, so they never resize while a
+// streaming batch admits queries (qw == 1 for the default 64-query
+// capacity, keeping the single-word fast paths).
 func NewWorker(ctx *Context, pol policy.Policy) *Worker {
-	qw := bitset.WordsFor(ctx.B.N)
+	qcap := ctx.B.QCap()
+	qw := bitset.WordsFor(qcap)
 	w := &Worker{
 		C: ctx, Pol: pol, qw: qw,
 		collect:  ctx.Opt.CollectStats,
 		trace:    ctx.Opt.TraceActions,
-		scratch:  bitset.New(ctx.B.N),
+		scratch:  bitset.New(qcap),
 		tq:       make(bitset.Set, qw),
 		zeroQ:    make([]uint64, qw),
-		fullMask: bitset.NewFull(ctx.B.N),
-		notMask:  bitset.New(ctx.B.N),
+		fullMask: bitset.NewFull(qcap),
+		notMask:  bitset.New(qcap),
 		unionBuf: make(bitset.Set, qw),
 	}
 	if w.collect {
-		w.instIns = make([]int64, len(ctx.B.Insts))
-		w.instProbes = make([]int64, len(ctx.B.Insts))
-		w.instMatches = make([]int64, len(ctx.B.Insts))
+		w.instIns = make([]int64, len(ctx.B.Insts), query.MaxInstances)
+		w.instProbes = make([]int64, len(ctx.B.Insts), query.MaxInstances)
+		w.instMatches = make([]int64, len(ctx.B.Insts), query.MaxInstances)
 	}
 	return w
 }
@@ -306,10 +310,10 @@ func (w *Worker) runSelSteps(in EpisodeInput, steps []plan.SelStep, vids []int32
 		if nIn == 0 {
 			break
 		}
-		if st.Op.ID < len(c.Filters) {
-			c.Filters[st.Op.ID].Apply(c.Opt.GroupedFilters, vids, qsets, w.qw)
+		if ref := c.selOps[st.Op.ID]; !ref.prune {
+			c.Filters[ref.idx].Apply(c.Opt.GroupedFilters, vids, qsets, w.qw)
 		} else {
-			w.applyPrune(&c.PruneOps[st.Op.ID-len(c.Filters)], st.Op.Queries, vids, qsets)
+			w.applyPrune(&c.PruneOps[ref.idx], st.Op.Queries, vids, qsets)
 		}
 		vids, qsets = compact(vids, qsets, w.qw)
 		if w.collect {
@@ -357,6 +361,15 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 	}
 	w.log = w.log[:0]
 	w.planSig = 0
+	if w.collect && len(w.instIns) < len(c.B.Insts) {
+		// A live-admitted query added instances since this worker was built;
+		// extend the per-instance arenas (capacity reserved at creation, so
+		// steady state never reallocates).
+		n := len(c.B.Insts)
+		w.instIns = w.instIns[:n]
+		w.instProbes = w.instProbes[:n]
+		w.instMatches = w.instMatches[:n]
+	}
 	if w.trace {
 		w.selActs = w.selActs[:0]
 		w.joinActs = w.joinActs[:0]

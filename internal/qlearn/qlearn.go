@@ -77,6 +77,16 @@ func (l *Learned) TableSize() int {
 	return l.table.Len()
 }
 
+// PruneRetired drops every Q-table state whose query-set component
+// intersects the retired set (see Table.PruneRetired for why intersection,
+// not subset). Called by the streaming engine's GC once retired queries'
+// execution state has been swept; returns the number of pruned states.
+func (l *Learned) PruneRetired(retired bitset.Set) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.table.PruneRetired(retired)
+}
+
 // ActionCounts returns how many decisions took the ε-exploration branch and
 // how many the greedy branch, over the policy's lifetime.
 func (l *Learned) ActionCounts() (explores, exploits int64) {

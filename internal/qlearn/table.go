@@ -184,6 +184,66 @@ func (t *Table) grow() {
 	}
 }
 
+// entryIntersects reports whether the entry's query-set component shares
+// any bit with the given set.
+func entryIntersects(e *tableEntry, q bitset.Set) bool {
+	qlen := int(e.qlen)
+	ni := qlen
+	if ni > qInlineWords {
+		ni = qInlineWords
+	}
+	for i := 0; i < ni && i < len(q); i++ {
+		if e.qw[i]&q[i] != 0 {
+			return true
+		}
+	}
+	for i := qInlineWords; i < qlen && i < len(q); i++ {
+		if e.qext[i-qInlineWords]&q[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PruneRetired removes every entry whose query-set component intersects the
+// retired set and rebuilds the table sized to what remains, so a long-lived
+// streaming policy does not accumulate Q-states for queries that have left
+// the system. Intersection (rather than subset-of-retired) is deliberate:
+// after a query's ID is recycled, a stale prior containing its bit would
+// otherwise seed a new, unrelated query's Q-value. Runs off the hot path
+// (streaming GC under the engine's quiesce gate); Learned's mutex guards
+// concurrency. Returns the number of removed entries.
+func (t *Table) PruneRetired(retired bitset.Set) int {
+	kept := make([]tableEntry, 0, t.n)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.used && !entryIntersects(e, retired) {
+			kept = append(kept, *e)
+		}
+	}
+	removed := t.n - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	slots := 256
+	for slots < 2*len(kept) { // rebuild at load factor ≤ 1/2
+		slots <<= 1
+	}
+	t.entries = make([]tableEntry, slots)
+	t.mask = uint64(slots - 1)
+	t.n = 0
+	for i := range kept {
+		e := &kept[i]
+		j := e.hash & t.mask
+		for t.entries[j].used {
+			j = (j + 1) & t.mask
+		}
+		t.entries[j] = *e
+		t.n++
+	}
+	return removed
+}
+
 // RefTable is the original string-keyed map Q-table, retained as the
 // reference oracle: equivalence tests drive Table and RefTable with the
 // same operation sequences and compare every result.
@@ -205,6 +265,33 @@ func (r *RefTable) Get(phase policy.Phase, inst query.InstID, lineage uint64, q 
 // Set stores Q((L,Q),op) through the map.
 func (r *RefTable) Set(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int, v float64) {
 	r.m[key(phase, inst, lineage, q, op)] = v
+}
+
+// PruneRetired mirrors Table.PruneRetired on the reference oracle, decoding
+// each key's query-set suffix (the bytes past the fixed 14-byte prefix of
+// phase, inst, lineage and op).
+func (r *RefTable) PruneRetired(retired bitset.Set) int {
+	const prefix = 14
+	removed := 0
+	for k := range r.m {
+		qBytes := k[prefix:]
+		hit := false
+		for i := 0; i+8 <= len(qBytes); i += 8 {
+			var w uint64
+			for b := 0; b < 8; b++ {
+				w |= uint64(qBytes[i+b]) << (8 * b)
+			}
+			if wi := i / 8; wi < len(retired) && w&retired[wi] != 0 {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			delete(r.m, k)
+			removed++
+		}
+	}
+	return removed
 }
 
 // key builds the unique (phase, inst, L, Q, op) key: the byte concatenation

@@ -2,6 +2,15 @@
 // the shared-operator form RouLette executes: batch-level relation
 // instances, normalized equi-join edges with per-edge query sets, and
 // grouped-filter columns with per-query predicate ranges.
+//
+// Batches come in two flavours. Compile builds a closed batch from a fixed
+// query set (the original one-shot mode). NewStreamBatch builds an open
+// batch with a fixed query-ID capacity that grows one query at a time via
+// Extend — the compile-side half of the streaming engine: instances, edges
+// and grouped filters are reused when a new query's join structure matches
+// what is already compiled, and fresh IDs are allocated otherwise. Retired
+// queries give their IDs back through RetireQueries/ReleaseQID, so a
+// long-lived stream cycles through a bounded ID space.
 package query
 
 import (
@@ -173,7 +182,12 @@ type Residual struct {
 // filters. It is the unit RouLette schedules and adapts over.
 type Batch struct {
 	Queries []*Query
-	N       int // number of queries; bitsets are sized for N
+	N       int // number of query-ID slots in use (high-water mark)
+
+	// Cap is the query-ID capacity bitsets are sized for. Compile sets it
+	// to the batch size; NewStreamBatch fixes it up front so the executor's
+	// query-set width never changes while queries stream in and out.
+	Cap int
 
 	Insts     []Instance
 	Edges     []Edge
@@ -184,6 +198,10 @@ type Batch struct {
 	selColsOf [][]int // instance -> SelCol IDs on it
 	instIdx   map[instKey]InstID
 	queryInst [][]InstID // query -> instance per RelRef position
+	edgeIdx   map[edgeKey]int
+	selIdx    map[selKey]int
+	freeIDs   []int       // released query IDs available for reuse (streaming)
+	delta     ExtendDelta // most recent Extend's delta, see TakeDelta
 }
 
 type instKey struct {
@@ -191,144 +209,383 @@ type instKey struct {
 	occ   int
 }
 
+// QCap returns the query-ID capacity every query bitset is sized for.
+func (b *Batch) QCap() int {
+	if b.Cap > b.N {
+		return b.Cap
+	}
+	return b.N
+}
+
+// newBatch creates an empty batch with the given query-ID capacity.
+func newBatch(cap int) *Batch {
+	return &Batch{
+		Cap:     cap,
+		instIdx: make(map[instKey]InstID),
+		edgeIdx: make(map[edgeKey]int),
+		selIdx:  make(map[selKey]int),
+	}
+}
+
+// NewStreamBatch creates an empty open batch with a fixed query-ID
+// capacity, ready to grow via Extend.
+func NewStreamBatch(cap int) *Batch {
+	if cap <= 0 {
+		cap = 64
+	}
+	return newBatch(cap)
+}
+
 // Compile validates queries and builds the batch's shared-operator form.
 // Every query's join graph must be connected; a spanning tree of it drives
 // the shared plan and any cycle-closing joins become residual predicates.
 // Query IDs are assigned 0..len(qs)-1.
 func Compile(qs []*Query) (*Batch, error) {
-	b := &Batch{
-		Queries: qs,
-		N:       len(qs),
-		instIdx: make(map[instKey]InstID),
-	}
-	edgeIdx := make(map[edgeKey]int)
-	selIdx := make(map[selKey]int)
-	b.queryInst = make([][]InstID, len(qs))
-
-	for qi, q := range qs {
-		q.ID = qi
-		if len(q.Rels) == 0 {
-			return nil, fmt.Errorf("query %d (%s): no relations", qi, q.Tag)
+	b := newBatch(len(qs))
+	for _, q := range qs {
+		if _, err := b.Extend(q); err != nil {
+			return nil, err
 		}
-		// Map each RelRef to a batch instance: the k-th occurrence of a
-		// table within this query is instance (table, k).
-		occ := make(map[string]int)
-		insts := make([]InstID, len(q.Rels))
-		seen := make(map[string]bool)
-		for ri, r := range q.Rels {
-			alias := r.Alias
-			if alias == "" {
-				alias = r.Table
-			}
-			if seen[alias] {
-				return nil, fmt.Errorf("query %d (%s): duplicate alias %q", qi, q.Tag, alias)
-			}
-			seen[alias] = true
-			k := occ[r.Table]
-			occ[r.Table] = k + 1
-			insts[ri] = b.intern(instKey{r.Table, k})
-		}
-		b.queryInst[qi] = insts
-
-		if len(q.Joins) < len(q.Rels)-1 {
-			return nil, fmt.Errorf("query %d (%s): join graph disconnected (%d rels need at least %d joins, have %d)",
-				qi, q.Tag, len(q.Rels), len(q.Rels)-1, len(q.Joins))
-		}
-		// Union-find: joins that merge components become shared tree edges;
-		// cycle-closing joins become per-query residual predicates.
-		parent := make([]int, len(q.Rels))
-		for i := range parent {
-			parent[i] = i
-		}
-		var find func(int) int
-		find = func(x int) int {
-			for parent[x] != x {
-				parent[x] = parent[parent[x]]
-				x = parent[x]
-			}
-			return x
-		}
-		merges := 0
-		for _, j := range q.Joins {
-			li := q.aliasIdx(j.LeftAlias)
-			ri := q.aliasIdx(j.RightAlias)
-			if li < 0 || ri < 0 {
-				return nil, fmt.Errorf("query %d (%s): join references unknown alias %q or %q", qi, q.Tag, j.LeftAlias, j.RightAlias)
-			}
-			ia, ca, ib, cb := insts[li], j.LeftCol, insts[ri], j.RightCol
-			if ia > ib || (ia == ib && ca > cb) {
-				ia, ca, ib, cb = ib, cb, ia, ca
-			}
-			a, b2 := find(li), find(ri)
-			if a == b2 {
-				if ia == ib {
-					return nil, fmt.Errorf("query %d (%s): join of %s.%s with itself", qi, q.Tag, j.LeftAlias, j.LeftCol)
-				}
-				b.Residuals = append(b.Residuals, Residual{QID: qi, A: ia, ACol: ca, B: ib, BCol: cb})
-				continue
-			}
-			parent[a] = b2
-			merges++
-
-			k := edgeKey{ia, ca, ib, cb}
-			ei, ok := edgeIdx[k]
-			if !ok {
-				ei = len(b.Edges)
-				edgeIdx[k] = ei
-				b.Edges = append(b.Edges, Edge{ID: ei, A: ia, ACol: ca, B: ib, BCol: cb, Queries: bitset.New(len(qs))})
-			}
-			b.Edges[ei].Queries.Add(qi)
-		}
-		if merges != len(q.Rels)-1 {
-			return nil, fmt.Errorf("query %d (%s): join graph disconnected", qi, q.Tag)
-		}
-		for _, f := range q.Filters {
-			fi := q.aliasIdx(f.Alias)
-			if fi < 0 {
-				return nil, fmt.Errorf("query %d (%s): filter references unknown alias %q", qi, q.Tag, f.Alias)
-			}
-			if f.Lo > f.Hi {
-				return nil, fmt.Errorf("query %d (%s): filter on %s.%s has empty range [%d,%d]", qi, q.Tag, f.Alias, f.Col, f.Lo, f.Hi)
-			}
-			k := selKey{insts[fi], f.Col}
-			si, ok := selIdx[k]
-			if !ok {
-				si = len(b.SelCols)
-				selIdx[k] = si
-				b.SelCols = append(b.SelCols, SelCol{ID: si, Inst: insts[fi], Col: f.Col, Queries: bitset.New(len(qs))})
-			}
-			sc := &b.SelCols[si]
-			sc.Preds = append(sc.Preds, Pred{QID: qi, Lo: f.Lo, Hi: f.Hi})
-			sc.Queries.Add(qi)
-		}
-		for _, inst := range insts {
-			b.Insts[inst].Queries.Add(qi)
-		}
-	}
-
-	b.edgesOf = make([][]int, len(b.Insts))
-	for _, e := range b.Edges {
-		b.edgesOf[e.A] = append(b.edgesOf[e.A], e.ID)
-		b.edgesOf[e.B] = append(b.edgesOf[e.B], e.ID)
-	}
-	b.selColsOf = make([][]int, len(b.Insts))
-	for _, s := range b.SelCols {
-		b.selColsOf[s.Inst] = append(b.selColsOf[s.Inst], s.ID)
 	}
 	return b, nil
 }
 
-func (b *Batch) intern(k instKey) InstID {
-	if id, ok := b.instIdx[k]; ok {
-		return id
+// Free reports how many query-ID slots are available for Extend.
+func (b *Batch) Free() int { return b.Cap - b.N + len(b.freeIDs) }
+
+// Extend merges one query into the batch, reusing existing instances,
+// edges and grouped filters where its join structure matches and
+// allocating fresh IDs otherwise. Validation is identical to Compile; a
+// failed Extend leaves the batch unchanged. The query is assigned a free
+// query ID (a released one when available) and that ID is returned.
+func (b *Batch) Extend(q *Query) (int, error) {
+	qi := b.N
+	if n := len(b.freeIDs); n > 0 {
+		qi = b.freeIDs[n-1]
 	}
-	if len(b.Insts) >= MaxInstances {
-		panic(fmt.Sprintf("query: batch exceeds %d relation instances", MaxInstances))
+	p, err := b.planQuery(qi, q)
+	if err != nil {
+		return 0, err
 	}
-	id := InstID(len(b.Insts))
-	b.instIdx[k] = id
-	b.Insts = append(b.Insts, Instance{ID: id, Table: k.table, Occ: k.occ, Queries: bitset.New(b.N)})
-	return id
+	if qi == b.N && b.N >= b.QCap() {
+		return 0, fmt.Errorf("query: batch full (%d query IDs in use, none released)", b.N)
+	}
+	if n := len(b.freeIDs); n > 0 && qi == b.freeIDs[n-1] {
+		b.freeIDs = b.freeIDs[:n-1]
+	}
+	b.applyQuery(qi, q, p)
+	return qi, nil
+}
+
+// queryPlan is the validated, side-effect-free form of one query's
+// contribution to the batch, expressed over projected instance IDs (IDs
+// that interning will assign, computed without mutating the batch).
+type queryPlan struct {
+	insts     []InstID  // per RelRef position
+	newInsts  []instKey // instances to intern, in projected-ID order
+	treeJoins []planJoin
+	residuals []Residual
+	filters   []planFilter
+}
+
+type planJoin struct {
+	a    InstID
+	aCol string
+	b    InstID
+	bCol string
+}
+
+type planFilter struct {
+	inst InstID
+	col  string
+	lo   int64
+	hi   int64
+}
+
+// planQuery validates q as query qi and computes its batch delta without
+// mutating anything.
+func (b *Batch) planQuery(qi int, q *Query) (*queryPlan, error) {
+	if len(q.Rels) == 0 {
+		return nil, fmt.Errorf("query %d (%s): no relations", qi, q.Tag)
+	}
+	p := &queryPlan{insts: make([]InstID, len(q.Rels))}
+
+	// Map each RelRef to a batch instance: the k-th occurrence of a table
+	// within this query is instance (table, k). New instances receive
+	// projected IDs continuing the batch's interning order.
+	occ := make(map[string]int)
+	seen := make(map[string]bool)
+	projected := make(map[instKey]InstID)
+	for ri, r := range q.Rels {
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Table
+		}
+		if seen[alias] {
+			return nil, fmt.Errorf("query %d (%s): duplicate alias %q", qi, q.Tag, alias)
+		}
+		seen[alias] = true
+		k := occ[r.Table]
+		occ[r.Table] = k + 1
+		key := instKey{r.Table, k}
+		id, ok := b.instIdx[key]
+		if !ok {
+			id, ok = projected[key]
+		}
+		if !ok {
+			next := len(b.Insts) + len(p.newInsts)
+			if next >= MaxInstances {
+				return nil, fmt.Errorf("query %d (%s): batch exceeds %d relation instances", qi, q.Tag, MaxInstances)
+			}
+			id = InstID(next)
+			projected[key] = id
+			p.newInsts = append(p.newInsts, key)
+		}
+		p.insts[ri] = id
+	}
+
+	if len(q.Joins) < len(q.Rels)-1 {
+		return nil, fmt.Errorf("query %d (%s): join graph disconnected (%d rels need at least %d joins, have %d)",
+			qi, q.Tag, len(q.Rels), len(q.Rels)-1, len(q.Joins))
+	}
+	// Union-find: joins that merge components become shared tree edges;
+	// cycle-closing joins become per-query residual predicates.
+	parent := make([]int, len(q.Rels))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	merges := 0
+	for _, j := range q.Joins {
+		li := q.aliasIdx(j.LeftAlias)
+		ri := q.aliasIdx(j.RightAlias)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("query %d (%s): join references unknown alias %q or %q", qi, q.Tag, j.LeftAlias, j.RightAlias)
+		}
+		ia, ca, ib, cb := p.insts[li], j.LeftCol, p.insts[ri], j.RightCol
+		if ia > ib || (ia == ib && ca > cb) {
+			ia, ca, ib, cb = ib, cb, ia, ca
+		}
+		a, b2 := find(li), find(ri)
+		if a == b2 {
+			if ia == ib {
+				return nil, fmt.Errorf("query %d (%s): join of %s.%s with itself", qi, q.Tag, j.LeftAlias, j.LeftCol)
+			}
+			p.residuals = append(p.residuals, Residual{QID: qi, A: ia, ACol: ca, B: ib, BCol: cb})
+			continue
+		}
+		parent[a] = b2
+		merges++
+		p.treeJoins = append(p.treeJoins, planJoin{ia, ca, ib, cb})
+	}
+	if merges != len(q.Rels)-1 {
+		return nil, fmt.Errorf("query %d (%s): join graph disconnected", qi, q.Tag)
+	}
+	for _, f := range q.Filters {
+		fi := q.aliasIdx(f.Alias)
+		if fi < 0 {
+			return nil, fmt.Errorf("query %d (%s): filter references unknown alias %q", qi, q.Tag, f.Alias)
+		}
+		if f.Lo > f.Hi {
+			return nil, fmt.Errorf("query %d (%s): filter on %s.%s has empty range [%d,%d]", qi, q.Tag, f.Alias, f.Col, f.Lo, f.Hi)
+		}
+		p.filters = append(p.filters, planFilter{p.insts[fi], f.Col, f.Lo, f.Hi})
+	}
+	return p, nil
+}
+
+// ExtendDelta reports what an applied extension added or touched, so the
+// executor can grow its compiled state incrementally.
+type ExtendDelta struct {
+	QID         int
+	NewInsts    []InstID // instances created by this extension
+	NewEdges    []int    // edge IDs created by this extension
+	NewSelCols  []int    // grouped-filter IDs created by this extension
+	TouchedSels []int    // pre-existing grouped filters that gained predicates
+}
+
+// applyQuery mutates the batch according to a validated plan. It cannot
+// fail. The resulting delta is stored for TakeDelta.
+func (b *Batch) applyQuery(qi int, q *Query, p *queryPlan) {
+	delta := ExtendDelta{QID: qi}
+	q.ID = qi
+
+	for _, key := range p.newInsts {
+		id := InstID(len(b.Insts))
+		b.instIdx[key] = id
+		b.Insts = append(b.Insts, Instance{ID: id, Table: key.table, Occ: key.occ, Queries: bitset.New(b.QCap())})
+		b.edgesOf = append(b.edgesOf, nil)
+		b.selColsOf = append(b.selColsOf, nil)
+		delta.NewInsts = append(delta.NewInsts, id)
+	}
+
+	for _, j := range p.treeJoins {
+		k := edgeKey{j.a, j.aCol, j.b, j.bCol}
+		ei, ok := b.edgeIdx[k]
+		if !ok {
+			ei = len(b.Edges)
+			b.edgeIdx[k] = ei
+			b.Edges = append(b.Edges, Edge{ID: ei, A: j.a, ACol: j.aCol, B: j.b, BCol: j.bCol, Queries: bitset.New(b.QCap())})
+			b.edgesOf[j.a] = append(b.edgesOf[j.a], ei)
+			if j.b != j.a {
+				b.edgesOf[j.b] = append(b.edgesOf[j.b], ei)
+			}
+			delta.NewEdges = append(delta.NewEdges, ei)
+		}
+		b.Edges[ei].Queries.Add(qi)
+	}
+	b.Residuals = append(b.Residuals, p.residuals...)
+
+	touched := make(map[int]bool)
+	for _, f := range p.filters {
+		k := selKey{f.inst, f.col}
+		si, ok := b.selIdx[k]
+		if !ok {
+			si = len(b.SelCols)
+			b.selIdx[k] = si
+			b.SelCols = append(b.SelCols, SelCol{ID: si, Inst: f.inst, Col: f.col, Queries: bitset.New(b.QCap())})
+			b.selColsOf[f.inst] = append(b.selColsOf[f.inst], si)
+			delta.NewSelCols = append(delta.NewSelCols, si)
+		} else if !touched[si] && !containsInt(delta.NewSelCols, si) {
+			touched[si] = true
+			delta.TouchedSels = append(delta.TouchedSels, si)
+		}
+		sc := &b.SelCols[si]
+		sc.Preds = append(sc.Preds, Pred{QID: qi, Lo: f.lo, Hi: f.hi})
+		sc.Queries.Add(qi)
+	}
+
+	for _, inst := range p.insts {
+		b.Insts[inst].Queries.Add(qi)
+	}
+
+	if qi == b.N {
+		b.Queries = append(b.Queries, q)
+		b.queryInst = append(b.queryInst, p.insts)
+		b.N++
+	} else {
+		b.Queries[qi] = q
+		b.queryInst[qi] = p.insts
+	}
+	b.delta = delta
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TakeDelta returns the delta of the most recent successful Extend.
+func (b *Batch) TakeDelta() ExtendDelta { return b.delta }
+
+// RollbackExtend undoes the most recent Extend, given its delta: the
+// appended instances, edges and grouped filters are removed again (they
+// are the tails of their slices, so batch IDs stay dense and aligned with
+// the executor's parallel arrays), the query's bits and predicates leave
+// the surviving operators, and the query ID returns to the free pool.
+// Valid only while no other Extend or RetireQueries has run since.
+func (b *Batch) RollbackExtend(d ExtendDelta) {
+	if len(d.NewSelCols) > 0 {
+		first := d.NewSelCols[0]
+		for _, si := range d.NewSelCols {
+			sc := &b.SelCols[si]
+			delete(b.selIdx, selKey{sc.Inst, sc.Col})
+		}
+		b.SelCols = b.SelCols[:first]
+		for i := range b.selColsOf {
+			l := b.selColsOf[i]
+			for len(l) > 0 && l[len(l)-1] >= first {
+				l = l[:len(l)-1]
+			}
+			b.selColsOf[i] = l
+		}
+	}
+	if len(d.NewEdges) > 0 {
+		first := d.NewEdges[0]
+		for _, ei := range d.NewEdges {
+			e := &b.Edges[ei]
+			delete(b.edgeIdx, edgeKey{e.A, e.ACol, e.B, e.BCol})
+		}
+		b.Edges = b.Edges[:first]
+		for i := range b.edgesOf {
+			l := b.edgesOf[i]
+			for len(l) > 0 && l[len(l)-1] >= first {
+				l = l[:len(l)-1]
+			}
+			b.edgesOf[i] = l
+		}
+	}
+	if len(d.NewInsts) > 0 {
+		first := int(d.NewInsts[0])
+		for _, ii := range d.NewInsts {
+			in := &b.Insts[ii]
+			delete(b.instIdx, instKey{in.Table, in.Occ})
+		}
+		b.Insts = b.Insts[:first]
+		b.edgesOf = b.edgesOf[:first]
+		b.selColsOf = b.selColsOf[:first]
+	}
+	// Scrub the query's bits, predicates and residuals from what survives.
+	r := bitset.New(b.QCap())
+	r.Add(d.QID)
+	b.RetireQueries(r)
+	b.ReleaseQID(d.QID)
+}
+
+// RetireQueries clears the given queries from the batch's shared-operator
+// sets: their bits leave every instance/edge/grouped-filter query set,
+// their predicates leave the grouped filters, and their residuals are
+// dropped. It returns the IDs of pre-existing grouped filters whose
+// predicate lists changed (the executor rebuilds those). Query-ID slots
+// are NOT freed — call ReleaseQID once all executor state is swept.
+func (b *Batch) RetireQueries(retired bitset.Set) (changedSels []int) {
+	for i := range b.Insts {
+		b.Insts[i].Queries.AndNotWith(retired)
+	}
+	for i := range b.Edges {
+		b.Edges[i].Queries.AndNotWith(retired)
+	}
+	for i := range b.SelCols {
+		sc := &b.SelCols[i]
+		if !bitset.Intersects(sc.Queries, retired) {
+			continue
+		}
+		kept := sc.Preds[:0]
+		for _, p := range sc.Preds {
+			if !retired.Contains(p.QID) {
+				kept = append(kept, p)
+			}
+		}
+		sc.Preds = kept
+		sc.Queries.AndNotWith(retired)
+		changedSels = append(changedSels, sc.ID)
+	}
+	keptRes := b.Residuals[:0]
+	for _, r := range b.Residuals {
+		if !retired.Contains(r.QID) {
+			keptRes = append(keptRes, r)
+		}
+	}
+	b.Residuals = keptRes
+	return changedSels
+}
+
+// ReleaseQID returns a retired query's ID to the free pool for reuse by a
+// later Extend. The caller must have cleared all executor state referring
+// to the ID first (RetireQueries plus STeM/policy sweeps).
+func (b *Batch) ReleaseQID(qid int) {
+	b.freeIDs = append(b.freeIDs, qid)
 }
 
 type edgeKey struct {

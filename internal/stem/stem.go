@@ -338,6 +338,231 @@ func (s *STeM) EstBytes() int64 {
 	return nChunks*perChunk + buckets
 }
 
+// NumChunks returns the number of allocated entry chunks.
+func (s *STeM) NumChunks() int { return len(*s.chunks.Load()) }
+
+// SweepChunk clears the retired queries' bits from every entry of chunk ci
+// and returns how many of the chunk's entries now have an empty query set
+// (cumulatively, not just newly emptied). It is the amortized unit of STeM
+// garbage collection: the engine sweeps one chunk at a time between
+// episodes, so no sweep ever runs on the execution hot path.
+//
+// Callers must hold the engine's quiesce gate: no episode may be running,
+// because entries' query sets are read lock-free by probes.
+func (s *STeM) SweepChunk(ci int, retired bitset.Set) (dead int) {
+	chunks := *s.chunks.Load()
+	if ci >= len(chunks) {
+		return 0
+	}
+	c := chunks[ci]
+	lo := ci << chunkBits
+	hi := int(s.count.Load()) - lo
+	if hi > chunkSize {
+		hi = chunkSize
+	}
+	for off := 0; off < hi; off++ {
+		qoff := off * s.qw
+		empty := true
+		for i := 0; i < s.qw; i++ {
+			w := c.qsets[qoff+i]
+			if i < len(retired) {
+				w &^= retired[i]
+				c.qsets[qoff+i] = w
+			}
+			if w != 0 {
+				empty = false
+			}
+		}
+		if empty {
+			dead++
+		}
+	}
+	return dead
+}
+
+// CompactLive rebuilds the STeM keeping only entries whose query set is
+// non-empty, shrinking both the entry slab and the hash buckets to fit.
+// Live entries keep their version slots (already published, so they stay
+// visible to later probes). Returns the live entry count.
+//
+// Callers must hold the engine's quiesce gate.
+func (s *STeM) CompactLive() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.chunks.Load()
+	n := int(s.count.Load())
+
+	live := 0
+	for idx := 0; idx < n; idx++ {
+		if !s.entryEmpty(old, idx) {
+			live++
+		}
+	}
+
+	nb := 1
+	for nb < live*2 {
+		nb <<= 1
+	}
+	if nb < 64 {
+		nb = 64
+	}
+	newBuckets := make([][]atomic.Int32, len(s.keyCols))
+	newShift := make([]uint, len(s.keyCols))
+	for i := range s.keyCols {
+		newBuckets[i] = make([]atomic.Int32, nb)
+		newShift[i] = uint(64 - bits.TrailingZeros(uint(nb)))
+	}
+
+	newChunks := make([]*chunk, 0, (live+chunkSize-1)>>chunkBits)
+	w := 0
+	for idx := 0; idx < n; idx++ {
+		if s.entryEmpty(old, idx) {
+			continue
+		}
+		oc := old[idx>>chunkBits]
+		ooff := idx & chunkMask
+		if w>>chunkBits >= len(newChunks) {
+			newChunks = append(newChunks, s.newChunkLocked())
+		}
+		nc := newChunks[w>>chunkBits]
+		noff := w & chunkMask
+		nc.vids[noff] = oc.vids[ooff]
+		nc.slots[noff] = oc.slots[ooff]
+		copy(nc.qsets[noff*s.qw:(noff+1)*s.qw], oc.qsets[ooff*s.qw:(ooff+1)*s.qw])
+		ref := int32(w) + 1
+		for i := range s.keyCols {
+			k := oc.keys[i][ooff]
+			nc.keys[i][noff] = k
+			b := &newBuckets[i][hash64(k)>>newShift[i]]
+			nc.next[i][noff] = b.Load()
+			b.Store(ref)
+		}
+		w++
+	}
+
+	s.chunks.Store(&newChunks)
+	s.buckets = newBuckets
+	s.shift = newShift
+	s.count.Store(int64(w))
+	return w
+}
+
+func (s *STeM) entryEmpty(chunks []*chunk, idx int) bool {
+	c := chunks[idx>>chunkBits]
+	qoff := (idx & chunkMask) * s.qw
+	for i := 0; i < s.qw; i++ {
+		if c.qsets[qoff+i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// newChunkLocked allocates an empty chunk shaped for the current key
+// columns. s.mu must be held.
+func (s *STeM) newChunkLocked() *chunk {
+	c := &chunk{
+		keys:  make([][]int64, len(s.keyCols)),
+		next:  make([][]int32, len(s.keyCols)),
+		qsets: make([]uint64, chunkSize*s.qw),
+	}
+	for i := range s.keyCols {
+		c.keys[i] = make([]int64, chunkSize)
+		c.next[i] = make([]int32, chunkSize)
+	}
+	return c
+}
+
+// EnsureBuckets grows every index's bucket array to fit about capacityHint
+// entries, rebuilding the hash chains. It never shrinks. The engine calls
+// it when admitting a live query whose rescan will re-ingest a relation
+// into a previously compacted STeM, so insert chains stay short.
+//
+// Callers must hold the engine's quiesce gate.
+func (s *STeM) EnsureBuckets(capacityHint int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.keyCols) == 0 {
+		return
+	}
+	nb := 1
+	for nb < capacityHint*2 {
+		nb <<= 1
+	}
+	if nb < 64 {
+		nb = 64
+	}
+	if nb <= len(s.buckets[0]) {
+		return
+	}
+	for i := range s.keyCols {
+		s.buckets[i] = make([]atomic.Int32, nb)
+		s.shift[i] = uint(64 - bits.TrailingZeros(uint(nb)))
+	}
+	s.rebuildChainsLocked()
+}
+
+// rebuildChainsLocked re-pushes every entry into every index's (already
+// sized and zeroed) buckets. s.mu must be held.
+func (s *STeM) rebuildChainsLocked() {
+	chunks := *s.chunks.Load()
+	n := int(s.count.Load())
+	for idx := 0; idx < n; idx++ {
+		c := chunks[idx>>chunkBits]
+		off := idx & chunkMask
+		ref := int32(idx) + 1
+		for i := range s.keyCols {
+			b := &s.buckets[i][hash64(c.keys[i][off])>>s.shift[i]]
+			c.next[i][off] = b.Load()
+			b.Store(ref)
+		}
+	}
+}
+
+// AddIndex adds a new indexed join-key column, deriving each existing
+// entry's key with keyOf(vid) (typically a base-table column lookup). It
+// is how a live-admitted query can join an already-built STeM on a column
+// no earlier query joined on. No-op if col is already indexed.
+//
+// Callers must hold the engine's quiesce gate.
+func (s *STeM) AddIndex(col string, keyOf func(vid int32) int64) {
+	if s.HasIndex(col) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ki := len(s.keyCols)
+	s.keyCols = append(s.keyCols, col)
+	s.colIdx[col] = ki
+
+	nb := 64
+	if ki > 0 {
+		nb = len(s.buckets[0])
+	} else {
+		for nb < int(s.count.Load())*2 {
+			nb <<= 1
+		}
+	}
+	s.buckets = append(s.buckets, make([]atomic.Int32, nb))
+	s.shift = append(s.shift, uint(64-bits.TrailingZeros(uint(nb))))
+
+	chunks := *s.chunks.Load()
+	for _, c := range chunks {
+		c.keys = append(c.keys, make([]int64, chunkSize))
+		c.next = append(c.next, make([]int32, chunkSize))
+	}
+	n := int(s.count.Load())
+	for idx := 0; idx < n; idx++ {
+		c := chunks[idx>>chunkBits]
+		off := idx & chunkMask
+		k := keyOf(c.vids[off])
+		c.keys[ki][off] = k
+		b := &s.buckets[ki][hash64(k)>>s.shift[ki]]
+		c.next[ki][off] = b.Load()
+		b.Store(int32(idx) + 1)
+	}
+}
+
 // Entry returns the vID and query set of entry idx (test/diagnostic use).
 func (s *STeM) Entry(idx int) (int32, bitset.Set) {
 	c := (*s.chunks.Load())[idx>>chunkBits]

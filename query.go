@@ -118,3 +118,11 @@ func (q *Query) OrderByKey() *Query {
 
 // Tag returns the query's tag.
 func (q *Query) Tag() string { return q.q.Tag }
+
+// WithTag renames the query. Results carry the tag; ParseSQL assigns
+// positional sql-N tags, which collide when statements from separate
+// parses meet in one stream.
+func (q *Query) WithTag(tag string) *Query {
+	q.q.Tag = tag
+	return q
+}

@@ -1,0 +1,370 @@
+package roulette
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/roulette-db/roulette/internal/engine"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/host"
+	"github.com/roulette-db/roulette/internal/policy"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// StreamOptions tune a long-lived stream. The embedded Options carry the
+// executor and policy knobs; batch-only fields (Admissions, Deadline's
+// per-batch semantics aside, TrackConvergence output, CollectStats
+// breakdowns) do not apply to streams.
+type StreamOptions struct {
+	Options
+
+	// MaxQueries caps the number of concurrently live (submitted, not yet
+	// garbage-collected) queries; 0 means 64. Submissions beyond the cap
+	// fail with ErrStreamFull until retired queries are reclaimed.
+	MaxQueries int
+}
+
+// ErrStreamFull is returned by Submit when every query slot is occupied by
+// a live or not-yet-reclaimed query.
+var ErrStreamFull = errors.New("roulette: stream at capacity (live queries not yet reclaimed)")
+
+// ErrStreamClosed is returned by Submit after Close.
+var ErrStreamClosed = errors.New("roulette: stream closed")
+
+// ErrQueryCancelled is the default cancellation cause for Ticket.Cancel.
+var ErrQueryCancelled = errors.New("roulette: query cancelled")
+
+// Ticket tracks one submitted query through a Stream. Its result is
+// delivered the moment the query retires — when its scans drain, it is
+// cancelled, or it is caught in a faulted episode — not when the stream
+// closes.
+type Ticket struct {
+	s   *Stream
+	qid int
+	tag string
+
+	done chan struct{}
+	res  QueryResult // set before done closes
+}
+
+// Done is closed when the query's result is available.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the query retires and returns its result. If ctx
+// expires first, only this query is cancelled — the stream and its other
+// queries keep running — and Wait still returns the query's final
+// (partial, Aborted) result. The returned error is ctx's error in that
+// case, nil otherwise.
+func (t *Ticket) Wait(ctx context.Context) (QueryResult, error) {
+	select {
+	case <-t.done:
+		return t.res, nil
+	case <-ctx.Done():
+		t.Cancel(ctx.Err())
+		<-t.done
+		return t.res, ctx.Err()
+	}
+}
+
+// Cancel marks this query failed with the given cause (nil means
+// ErrQueryCancelled). The query retires with a partial count as soon as
+// its in-flight episodes drain; the rest of the stream is unaffected.
+// Cancelling an already-retired query is a no-op.
+func (t *Ticket) Cancel(cause error) {
+	if cause == nil {
+		cause = ErrQueryCancelled
+	}
+	t.s.sess.CancelQuery(t.qid, cause)
+}
+
+// StreamStemStat is a live snapshot of one relation instance's STeM.
+type StreamStemStat struct {
+	Table    string
+	Entries  int64 // entries currently resident (live after GC sweeps)
+	Inserts  int64 // cumulative build-side insertions
+	Probes   int64 // cumulative probe lookups
+	Matches  int64 // cumulative probe matches
+	EstBytes int64 // estimated resident bytes (shrinks as GC reclaims)
+}
+
+// Stream is a long-lived execution session: queries are submitted at any
+// time, share scans, STeMs and learned planning state with whatever else
+// is running, and each retires individually with its own result. A Stream
+// is safe for concurrent use.
+type Stream struct {
+	e    *Engine
+	b    *query.Batch
+	sess *engine.Session
+
+	mu      sync.Mutex
+	tickets map[int]*Ticket
+	// pending holds results whose retirement callback ran before Submit
+	// registered the ticket (a query can retire inside SubmitLive itself,
+	// e.g. over zero-row relations).
+	pending map[int]QueryResult
+	resQ    []QueryResult
+	resCond *sync.Cond
+	closed  bool // Close called: no more submissions
+	done    bool // worker pool exited: no more results
+
+	opt     StreamOptions
+	results chan QueryResult
+	resOnce sync.Once
+	runDone chan struct{}
+	runErr  error
+}
+
+// OpenStream starts a long-lived session over the engine's tables. The
+// worker pool starts immediately and idles until the first Submit; it
+// runs until Close (or ctx cancellation). Streams require an adaptive
+// policy — PolicyLearned (default) or PolicyRandom; plan-replay policies
+// (Greedy, StitchShare, MatchShare) fix their operator space at open time
+// and cannot admit unseen queries.
+func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, error) {
+	var opt StreamOptions
+	if o != nil {
+		opt = *o
+	}
+	if opt.MaxQueries <= 0 {
+		opt.MaxQueries = 64
+	}
+	if len(opt.Admissions) > 0 {
+		return nil, fmt.Errorf("roulette: Admissions are a batch-mode option; streams admit on Submit")
+	}
+
+	var seed int64 = 1
+	if opt.Seed != 0 {
+		seed = opt.Seed
+	}
+	cfg := engine.Config{
+		Exec:            opt.execOptions(),
+		Workers:         opt.Workers,
+		SessionDeadline: opt.Deadline,
+		EpisodeWatchdog: opt.EpisodeWatchdog,
+		Streaming:       true,
+	}
+	switch opt.Policy {
+	case PolicyLearned:
+		qcfg := qlearn.DefaultConfig()
+		qcfg.Seed = seed
+		cfg.Policy = qlearn.New(qcfg)
+	case PolicyRandom:
+		cfg.Policy = policy.NewRandom(seed)
+	default:
+		return nil, fmt.Errorf("roulette: policy %d cannot plan queries it has not seen; streams support PolicyLearned and PolicyRandom", opt.Policy)
+	}
+	if opt.CalibrateCostModel {
+		e.calOnce.Do(func() {
+			e.calibrated = exec.CalibrateModel(seed)
+		})
+		cfg.Model = e.calibrated
+	}
+
+	b := query.NewStreamBatch(opt.MaxQueries)
+	s := &Stream{
+		e:       e,
+		b:       b,
+		opt:     opt,
+		tickets: make(map[int]*Ticket),
+		pending: make(map[int]QueryResult),
+		runDone: make(chan struct{}),
+	}
+	s.resCond = sync.NewCond(&s.mu)
+	cfg.OnRetire = s.onRetire
+	sess, err := engine.NewSession(b, e.db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.sess = sess
+	go func() {
+		res, err := sess.RunContext(ctx)
+
+		// A cancelled or deadline-cut run exits with tickets unresolved;
+		// resolve them as aborted partial results so no Wait blocks forever.
+		cause := err
+		if cause == nil && res != nil && res.Partial {
+			cause = ctx.Err()
+		}
+		if cause == nil {
+			cause = errors.New("roulette: stream terminated")
+		}
+		s.mu.Lock()
+		orphans := s.tickets
+		s.tickets = make(map[int]*Ticket)
+		s.closed = true
+		s.mu.Unlock()
+		for _, t := range orphans {
+			qr := QueryResult{Tag: t.tag, Aborted: true, Err: cause}
+			if src := sess.Context().Sources[t.qid]; src != nil {
+				qr.Count = src.Count()
+			}
+			t.res = qr
+			close(t.done)
+			s.publish(qr)
+		}
+
+		s.mu.Lock()
+		s.runErr = err
+		s.done = true
+		s.resCond.Broadcast()
+		s.mu.Unlock()
+		close(s.runDone)
+	}()
+	return s, nil
+}
+
+// Submit merges one query into the running stream and returns a Ticket
+// for its result. The query starts executing immediately, reusing the
+// STeM state built by earlier queries over the same relations; it
+// rescans each of its relations once from the scan's current position.
+func (s *Stream) Submit(q *Query) (*Ticket, error) {
+	if q.err != nil {
+		return nil, fmt.Errorf("roulette: query %q: %w", q.q.Tag, q.err)
+	}
+	if s.opt.DiscardRows && (q.q.Agg.Kind.NeedsColumn() || q.q.Agg.GroupByAlias != "") {
+		return nil, fmt.Errorf("roulette: query %q: DiscardRows keeps only counts, but the query's aggregate needs result rows", q.q.Tag)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrStreamClosed
+	}
+	s.mu.Unlock()
+	if s.sess.FreeQuerySlots() == 0 {
+		return nil, ErrStreamFull
+	}
+
+	cp := q.q // copy: the stream assigns its own query ID
+	qid, err := s.sess.SubmitLive(&cp)
+	if err != nil {
+		return nil, err
+	}
+	t := &Ticket{s: s, qid: qid, tag: cp.Tag, done: make(chan struct{})}
+	s.mu.Lock()
+	if qr, ok := s.pending[qid]; ok {
+		// Retired before we could register (e.g. empty relations).
+		delete(s.pending, qid)
+		qr.Tag = t.tag
+		t.res = qr
+		s.mu.Unlock()
+		close(t.done)
+		s.publish(qr)
+		return t, nil
+	}
+	s.tickets[qid] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// onRetire is the engine's retirement callback: it consumes the query's
+// source into a QueryResult and resolves the ticket. It runs outside the
+// session mutex but never concurrently with a batch mutation (the
+// engine's quiesce gate waits for callbacks).
+func (s *Stream) onRetire(qid int, st engine.QueryStatus) {
+	src := s.sess.Context().Sources[qid]
+	qr := QueryResult{Count: src.Count()}
+	if st.Completed {
+		hostRes, err := host.Consume(s.e.db, s.b, qid, src)
+		if err != nil {
+			qr.Aborted, qr.Err = true, err
+		} else {
+			for _, g := range hostRes.Groups {
+				qr.Groups = append(qr.Groups, Group{Key: g.Key, Value: g.Value})
+			}
+		}
+	} else {
+		// Partial machinery: the count so far is a lower bound, not exact.
+		qr.Aborted, qr.Err = true, st.Err
+	}
+
+	s.mu.Lock()
+	t, ok := s.tickets[qid]
+	if !ok {
+		s.pending[qid] = qr
+		s.mu.Unlock()
+		return
+	}
+	delete(s.tickets, qid)
+	s.mu.Unlock()
+	qr.Tag = t.tag
+	t.res = qr
+	close(t.done)
+	s.publish(qr)
+}
+
+// publish enqueues a result for the Results channel (unbounded queue so
+// engine callbacks never block on a slow consumer).
+func (s *Stream) publish(qr QueryResult) {
+	s.mu.Lock()
+	s.resQ = append(s.resQ, qr)
+	s.resCond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Results returns a channel delivering each query's result as it retires,
+// in retirement order. The channel closes when the stream finishes. The
+// feeding queue is unbounded, so a slow consumer delays nothing.
+func (s *Stream) Results() <-chan QueryResult {
+	s.resOnce.Do(func() {
+		s.results = make(chan QueryResult)
+		go func() {
+			defer close(s.results)
+			for {
+				s.mu.Lock()
+				for len(s.resQ) == 0 && !s.done {
+					s.resCond.Wait()
+				}
+				if len(s.resQ) == 0 && s.done {
+					s.mu.Unlock()
+					return
+				}
+				qr := s.resQ[0]
+				s.resQ = s.resQ[1:]
+				s.mu.Unlock()
+				s.results <- qr
+			}
+		}()
+	})
+	return s.results
+}
+
+// StemStats snapshots the per-relation STeM state of the running stream:
+// resident entries and bytes (which shrink as retired queries are swept)
+// and cumulative insert/probe traffic (late-submitted queries reusing a
+// pre-built STeM show up as probes without matching inserts).
+func (s *Stream) StemStats() []StreamStemStat {
+	snap := s.sess.StemSnapshot()
+	out := make([]StreamStemStat, len(snap))
+	for i, st := range snap {
+		out[i] = StreamStemStat{
+			Table:    st.Table,
+			Entries:  st.Entries,
+			Inserts:  st.Inserts,
+			Probes:   st.Probes,
+			Matches:  st.Matches,
+			EstBytes: st.EstBytes,
+		}
+	}
+	return out
+}
+
+// Close stops accepting submissions, waits for every in-flight query to
+// retire and for the garbage collector to drain, and shuts the worker
+// pool down. It returns the session's terminal error, if any. Close is
+// idempotent.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.resCond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.sess.CloseSubmit()
+	<-s.runDone
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}

@@ -1,0 +1,460 @@
+package roulette
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// streamFixture builds a three-table engine large enough that streams run
+// for many episodes: fact(fk, gk, v) ⋈ dim(k, g) and fact ⋈ grp(gk2, h).
+func streamFixture(t *testing.T, nf int) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const nd, ng = 40, 16
+	fk := make([]int64, nf)
+	gk := make([]int64, nf)
+	v := make([]int64, nf)
+	for i := range fk {
+		fk[i] = int64(rng.Intn(nd))
+		gk[i] = int64(rng.Intn(ng))
+		v[i] = int64(rng.Intn(1000))
+	}
+	dk := make([]int64, nd)
+	dg := make([]int64, nd)
+	for i := range dk {
+		dk[i] = int64(i)
+		dg[i] = int64(i % 5)
+	}
+	gk2 := make([]int64, ng)
+	gh := make([]int64, ng)
+	for i := range gk2 {
+		gk2[i] = int64(i)
+		gh[i] = int64(i % 3)
+	}
+	e := NewEngine()
+	e.MustCreateTable("fact", ColSlice("fk", fk), ColSlice("gk", gk), ColSlice("v", v))
+	e.MustCreateTable("dim", ColSlice("k", dk), ColSlice("g", dg))
+	e.MustCreateTable("grp", ColSlice("gk2", gk2), ColSlice("h", gh))
+	return e
+}
+
+// streamWorkload is a mixed query set in the spirit of the paper's Fig. 12
+// workload: shared join structure, varying selections.
+func streamWorkload() []*Query {
+	mk := func(tag string) *Query {
+		return NewQuery(tag).From("fact").From("dim").Join("fact", "fk", "dim", "k")
+	}
+	return []*Query{
+		mk("q0").CountStar(),
+		mk("q1").Between("fact", "v", 0, 499),
+		mk("q2").Between("fact", "v", 500, 999),
+		mk("q3").Eq("dim", "g", 2),
+		mk("q4").Lt("fact", "v", 250).CountStar(),
+		NewQuery("q5").From("fact").From("grp").Join("fact", "gk", "grp", "gk2").Eq("grp", "h", 1),
+		NewQuery("q6").From("fact").From("dim").From("grp").
+			Join("fact", "fk", "dim", "k").Join("fact", "gk", "grp", "gk2").
+			Ge("fact", "v", 100),
+		mk("q7").Sum("fact", "v").GroupBy("dim", "g").OrderByKey(),
+	}
+}
+
+func oracleCounts(t *testing.T, e *Engine, qs []*Query) map[string]QueryResult {
+	t.Helper()
+	res, err := e.ExecuteBatch(qs, &Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]QueryResult, len(res.Queries))
+	for _, qr := range res.Queries {
+		if qr.Aborted {
+			t.Fatalf("oracle query %s aborted: %v", qr.Tag, qr.Err)
+		}
+		want[qr.Tag] = qr
+	}
+	return want
+}
+
+func checkAgainstOracle(t *testing.T, got QueryResult, want map[string]QueryResult) {
+	t.Helper()
+	w, ok := want[got.Tag]
+	if !ok {
+		t.Fatalf("unexpected result tag %q", got.Tag)
+	}
+	if got.Aborted {
+		t.Fatalf("query %s aborted: %v", got.Tag, got.Err)
+	}
+	if got.Count != w.Count {
+		t.Errorf("query %s: count = %d, want %d", got.Tag, got.Count, w.Count)
+	}
+	if len(got.Groups) != len(w.Groups) {
+		t.Fatalf("query %s: %d groups, want %d", got.Tag, len(got.Groups), len(w.Groups))
+	}
+	for i := range got.Groups {
+		if got.Groups[i] != w.Groups[i] {
+			t.Errorf("query %s group %d: %+v, want %+v", got.Tag, i, got.Groups[i], w.Groups[i])
+		}
+	}
+}
+
+// TestStreamMatchesBatch is the tentpole equivalence check: submitting the
+// workload one query at a time into a live stream produces results
+// identical to one-shot ExecuteBatch.
+func TestStreamMatchesBatch(t *testing.T) {
+	e := streamFixture(t, 4000)
+	want := oracleCounts(t, e, streamWorkload())
+
+	st, err := e.OpenStream(context.Background(), &StreamOptions{
+		Options: Options{Workers: 2, VectorSize: 256, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []*Ticket
+	for _, q := range streamWorkload() {
+		tk, err := st.Submit(q)
+		if err != nil {
+			t.Fatalf("submit %v: %v", q, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		qr, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstOracle(t, qr, want)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRandomizedArrival stresses the live-admission path: queries
+// arrive in random order with random delays (so they land mid-scan of
+// whatever is already running), across several reuse rounds so query IDs
+// are recycled through GC. Results must always match the oracle. Run with
+// -race to exercise the quiesce gate.
+func TestStreamRandomizedArrival(t *testing.T) {
+	e := streamFixture(t, 3000)
+	want := oracleCounts(t, e, streamWorkload())
+	rng := rand.New(rand.NewSource(5))
+
+	st, err := e.OpenStream(context.Background(), &StreamOptions{
+		Options:    Options{Workers: 3, VectorSize: 128, Seed: 11},
+		MaxQueries: 4, // force retirement + reclamation between arrivals
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := st.Results()
+	done := make(chan struct{})
+	var got []QueryResult
+	go func() {
+		defer close(done)
+		for qr := range results {
+			got = append(got, qr)
+		}
+	}()
+
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		qs := streamWorkload()
+		rng.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+		for _, q := range qs {
+			for {
+				_, err := st.Submit(q)
+				if errors.Is(err, ErrStreamFull) {
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				if err != nil {
+					t.Fatalf("round %d submit: %v", r, err)
+				}
+				break
+			}
+			if rng.Intn(2) == 0 {
+				time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	for _, qr := range got {
+		checkAgainstOracle(t, qr, want)
+	}
+	if wantN := rounds * len(streamWorkload()); len(got) != wantN {
+		t.Errorf("got %d results, want %d", len(got), wantN)
+	}
+}
+
+// TestStreamStemGC checks the reclamation contract: while queries run the
+// STeMs hold the ingested relations; after every query retires and the
+// collector drains, at least 90% of the estimated STeM bytes are gone —
+// and a query submitted after the collapse still computes exact results
+// (no live query loses tuples to GC).
+func TestStreamStemGC(t *testing.T) {
+	e := streamFixture(t, 4000)
+	want := oracleCounts(t, e, streamWorkload())
+
+	st, err := e.OpenStream(context.Background(), &StreamOptions{
+		Options: Options{Workers: 2, VectorSize: 256, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func() int64 {
+		var n int64
+		for _, s := range st.StemStats() {
+			n += s.EstBytes
+		}
+		return n
+	}
+
+	// Track the peak footprint while the first wave runs.
+	var peak int64
+	stop := make(chan struct{})
+	polled := make(chan struct{})
+	go func() {
+		defer close(polled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := total(); n > peak {
+				peak = n
+			}
+		}
+	}()
+
+	var tickets []*Ticket
+	for _, q := range streamWorkload() {
+		tk, err := st.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-polled
+	if peak == 0 {
+		t.Fatal("never observed a non-empty STeM")
+	}
+
+	// GC runs between episodes once the stream idles; poll for the collapse.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := total(); 10*n <= peak {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("STeM EstBytes did not drop >=90%%: peak %d, now %d", peak, total())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The stream is still usable after full reclamation: a fresh query gets
+	// exact results over recompacted, re-ingested STeMs.
+	tk, err := st.Submit(streamWorkload()[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, qr, want)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamLateProbeReuse submits a query, lets it finish, then submits a
+// second query over the same relations: the second must observe probe
+// traffic against the pre-built STeMs (shared state reuse, not a rebuild
+// from scratch per query).
+func TestStreamLateProbeReuse(t *testing.T) {
+	e := streamFixture(t, 2000)
+	st, err := e.OpenStream(context.Background(), &StreamOptions{
+		// Probe/match counters fold from worker arenas only under CollectStats.
+		Options: Options{Workers: 1, VectorSize: 256, Seed: 11, CollectStats: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	first, err := st.Submit(streamWorkload()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var probesBefore int64
+	for _, s := range st.StemStats() {
+		probesBefore += s.Probes
+	}
+
+	second, err := st.Submit(streamWorkload()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var probesAfter, matches int64
+	for _, s := range st.StemStats() {
+		probesAfter += s.Probes
+		matches += s.Matches
+	}
+	if probesAfter <= probesBefore {
+		t.Errorf("late query produced no probe traffic: %d -> %d", probesBefore, probesAfter)
+	}
+	if matches == 0 {
+		t.Error("late query probes found no matches on shared STeMs")
+	}
+}
+
+// TestStreamTicketCancel cancels one query mid-flight: only that query
+// aborts (with a partial, lower-bound count); the others complete exactly.
+func TestStreamTicketCancel(t *testing.T) {
+	e := streamFixture(t, 6000)
+	want := oracleCounts(t, e, streamWorkload())
+
+	st, err := e.OpenStream(context.Background(), &StreamOptions{
+		Options: Options{Workers: 2, VectorSize: 64, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []*Ticket
+	for _, q := range streamWorkload() {
+		tk, err := st.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	victim := tickets[3]
+	victim.Cancel(nil)
+	for i, tk := range tickets {
+		qr, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk == victim {
+			if !qr.Aborted || !errors.Is(qr.Err, ErrQueryCancelled) {
+				t.Errorf("victim not aborted: %+v", qr)
+			}
+			if w := want[qr.Tag]; qr.Count > w.Count {
+				t.Errorf("victim count %d exceeds exact count %d", qr.Count, w.Count)
+			}
+			continue
+		}
+		_ = i
+		checkAgainstOracle(t, qr, want)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamWaitContext ties a context to one ticket: when it expires,
+// only that query is cancelled; the stream keeps serving the rest.
+func TestStreamWaitContext(t *testing.T) {
+	e := streamFixture(t, 6000)
+	want := oracleCounts(t, e, streamWorkload())
+
+	st, err := e.OpenStream(context.Background(), &StreamOptions{
+		Options: Options{Workers: 1, VectorSize: 64, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []*Ticket
+	for _, q := range streamWorkload() {
+		tk, err := st.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the wait aborts its query immediately
+	qr, werr := tickets[0].Wait(ctx)
+	// The query may legitimately have retired before the cancelled Wait
+	// observed it; only a cancellation outcome is checked for consistency.
+	if werr != nil && !errors.Is(werr, context.Canceled) {
+		t.Fatalf("Wait error = %v, want context.Canceled or nil", werr)
+	}
+	if qr.Aborted && !errors.Is(qr.Err, context.Canceled) {
+		t.Errorf("cancelled ticket result = %+v", qr)
+	}
+	if werr != nil && !qr.Aborted {
+		t.Errorf("Wait returned cancellation but result not aborted: %+v", qr)
+	}
+	for _, tk := range tickets[1:] {
+		res, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstOracle(t, res, want)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamSubmitErrors covers the submission-side error paths.
+func TestStreamSubmitErrors(t *testing.T) {
+	e := streamFixture(t, 500)
+	if _, err := e.OpenStream(context.Background(), &StreamOptions{
+		Options: Options{Policy: PolicyGreedy},
+	}); err == nil {
+		t.Error("plan-replay policy accepted for a stream")
+	}
+	if _, err := e.OpenStream(context.Background(), &StreamOptions{
+		Options: Options{Admissions: []Admission{{AfterFraction: 0.5}}},
+	}); err == nil {
+		t.Error("batch admissions accepted for a stream")
+	}
+
+	st, err := e.OpenStream(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit(NewQuery("bad").From("nope")); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := st.Submit(NewQuery("bad2").From("fact").Between("fact", "v", 9, 3)); err == nil {
+		t.Error("builder error not surfaced")
+	}
+	ok, err := st.Submit(NewQuery("ok").From("fact").From("dim").Join("fact", "fk", "dim", "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit(NewQuery("late").From("fact")); !errors.Is(err, ErrStreamClosed) {
+		t.Errorf("submit after close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Error("Close not idempotent:", err)
+	}
+}

@@ -1,0 +1,157 @@
+// Command bench-compare checks a fresh roulette-bench JSON report against a
+// committed baseline (BENCH_stream.json, BENCH_scaling.json, or a combined
+// BENCH.json) within a multiplicative tolerance. It is the CI tripwire that
+// makes kernel regressions fail loudly: absolute numbers vary wildly across
+// runner hardware, so the tolerance is generous by default and the check
+// only catches order-of-magnitude cliffs.
+//
+// Usage:
+//
+//	bench-compare -baseline BENCH_scaling.json -current /tmp/out.json -tolerance 10
+//
+// Every headline metric present in BOTH files is compared; metrics missing
+// from either side are skipped (so a stream baseline can be checked against
+// a stream-only run). Exit status 1 means at least one metric regressed
+// beyond tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/roulette-db/roulette/internal/bench"
+)
+
+// report mirrors the roulette-bench JSON schema (only the compared parts).
+type report struct {
+	Perf    *bench.PerfReport    `json:"perf"`
+	Stream  *bench.StreamReport  `json:"stream"`
+	Scaling *bench.ScalingReport `json:"scaling"`
+
+	// BENCH_stream.json and BENCH_scaling.json are bare reports, not full
+	// BENCH.json files; detect that by their own headline fields.
+	QPS  float64            `json:"qps"`
+	Rows []bench.ScalingRow `json:"rows"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// Normalize bare section files into the combined shape.
+	if r.Stream == nil && r.QPS > 0 {
+		var s bench.StreamReport
+		if json.Unmarshal(data, &s) == nil {
+			r.Stream = &s
+		}
+	}
+	if r.Scaling == nil && len(r.Rows) > 0 {
+		var s bench.ScalingReport
+		if json.Unmarshal(data, &s) == nil {
+			r.Scaling = &s
+		}
+	}
+	return &r, nil
+}
+
+type checker struct {
+	tol    float64
+	failed bool
+}
+
+// higher checks a bigger-is-better metric: current must stay within
+// baseline/tol.
+func (c *checker) higher(name string, baseline, current float64) {
+	if baseline <= 0 {
+		return
+	}
+	ok := current >= baseline/c.tol
+	c.report(name, baseline, current, ok)
+}
+
+// lower checks a smaller-is-better metric: current must stay within
+// baseline*tol.
+func (c *checker) lower(name string, baseline, current float64) {
+	if baseline <= 0 {
+		return
+	}
+	ok := current <= baseline*c.tol
+	c.report(name, baseline, current, ok)
+}
+
+func (c *checker) report(name string, baseline, current float64, ok bool) {
+	status := "ok"
+	if !ok {
+		status = "REGRESSED"
+		c.failed = true
+	}
+	fmt.Printf("%-40s baseline %12.2f  current %12.2f  [%s]\n", name, baseline, current, status)
+}
+
+func main() {
+	basePath := flag.String("baseline", "", "committed baseline JSON (required)")
+	curPath := flag.String("current", "", "freshly generated JSON (required)")
+	tol := flag.Float64("tolerance", 10, "allowed multiplicative slack in either direction")
+	flag.Parse()
+	if *basePath == "" || *curPath == "" || *tol < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(1)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(1)
+	}
+
+	c := &checker{tol: *tol}
+	if base.Perf != nil && cur.Perf != nil {
+		for _, e := range base.Perf.EpisodeStep {
+			for _, g := range cur.Perf.EpisodeStep {
+				if g.Name == e.Name {
+					c.lower("perf."+e.Name+".ns_per_op", e.NsPerOp, g.NsPerOp)
+				}
+			}
+		}
+		if base.Perf.EpisodeStepZeroAlloc && !cur.Perf.EpisodeStepZeroAlloc {
+			c.report("perf.episode_step_zero_alloc", 1, 0, false)
+		}
+		c.higher("perf.stem_insert_vec_speedup", base.Perf.StemInsertSpeedup, cur.Perf.StemInsertSpeedup)
+		c.higher("perf.stem_probe_vec_speedup", base.Perf.StemProbeSpeedup, cur.Perf.StemProbeSpeedup)
+		c.higher("perf.qtable_speedup", base.Perf.QTableSpeedup, cur.Perf.QTableSpeedup)
+		c.lower("perf.stem_insert_vec.ns_per_op", base.Perf.StemInsertVec.NsPerOp, cur.Perf.StemInsertVec.NsPerOp)
+		c.lower("perf.stem_probe_vec.ns_per_op", base.Perf.StemProbeVec.NsPerOp, cur.Perf.StemProbeVec.NsPerOp)
+	}
+	if base.Stream != nil && cur.Stream != nil {
+		c.higher("stream.qps", base.Stream.QPS, cur.Stream.QPS)
+		c.lower("stream.submit_p95_micros", base.Stream.SubmitP95Micros, cur.Stream.SubmitP95Micros)
+		c.lower("stream.retire_p95_millis", base.Stream.RetireP95Millis, cur.Stream.RetireP95Millis)
+	}
+	if base.Scaling != nil && cur.Scaling != nil {
+		for _, b := range base.Scaling.Rows {
+			for _, g := range cur.Scaling.Rows {
+				if g.Workers == b.Workers {
+					c.higher(fmt.Sprintf("scaling.workers%d.episodes_per_sec", b.Workers),
+						b.EpisodesPerSec, g.EpisodesPerSec)
+				}
+			}
+		}
+	}
+
+	if c.failed {
+		fmt.Println("bench-compare: FAIL (at least one metric regressed beyond tolerance)")
+		os.Exit(1)
+	}
+	fmt.Println("bench-compare: all compared metrics within tolerance")
+}

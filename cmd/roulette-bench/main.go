@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -35,30 +36,67 @@ type figTiming struct {
 
 // benchFile is the BENCH.json schema (documented in EXPERIMENTS.md).
 type benchFile struct {
-	Timestamp string              `json:"timestamp"`
-	GoVersion string              `json:"go_version"`
-	GOOS      string              `json:"goos"`
-	GOARCH    string              `json:"goarch"`
-	NumCPU    int                 `json:"num_cpu"`
-	Scale     float64             `json:"scale"`
-	Seed      int64               `json:"seed"`
-	Quick     bool                `json:"quick"`
-	Figures   []figTiming         `json:"figures"`
-	Perf      *bench.PerfReport   `json:"perf,omitempty"`
-	Stream    *bench.StreamReport `json:"stream,omitempty"`
+	Timestamp string               `json:"timestamp"`
+	GoVersion string               `json:"go_version"`
+	GOOS      string               `json:"goos"`
+	GOARCH    string               `json:"goarch"`
+	NumCPU    int                  `json:"num_cpu"`
+	Scale     float64              `json:"scale"`
+	Seed      int64                `json:"seed"`
+	Quick     bool                 `json:"quick"`
+	Figures   []figTiming          `json:"figures"`
+	Perf      *bench.PerfReport    `json:"perf,omitempty"`
+	Stream    *bench.StreamReport  `json:"stream,omitempty"`
+	Scaling   *bench.ScalingReport `json:"scaling,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching perf stream all")
+	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching perf stream scaling all")
 	scale := flag.Float64("scale", 0.25, "TPC-DS scale factor (facts scale linearly)")
 	seed := flag.Int64("seed", 1, "workload and data seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	jsonOut := flag.String("json", "", "write machine-readable results (timings + perf) to this file")
 	stats := flag.Bool("stats", false, "collect execution stats for RouLette-family runs (skews timings; not for EXPERIMENTS.md numbers)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text + JSON) on this address while the sweep runs")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at sweep end to this file")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout, CollectStats: *stats}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", *cpuProfile)
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *memProfile, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			return
+		}
+		fmt.Printf("wrote %s\n", *memProfile)
+	}()
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
@@ -108,8 +146,13 @@ func main() {
 			out.Stream = rep
 			return err
 		},
+		"scaling": func() error {
+			rep, err := cfg.Scaling()
+			out.Scaling = rep
+			return err
+		},
 	}
-	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching", "perf", "stream"}
+	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching", "perf", "stream", "scaling"}
 
 	run := func(name string) {
 		f, ok := figures[name]

@@ -31,13 +31,21 @@ func toResult(name string, r testing.BenchmarkResult) BenchResult {
 }
 
 // PerfReport is the perf section of BENCH.json: the steady-state episode
-// step, STeM primitives, and the Q-table against its retained string-keyed
-// map baseline (the acceptance bar is QTableSpeedup >= 2).
+// step, STeM primitives (scalar vs vector kernels), and the Q-table against
+// its retained string-keyed map baseline. Acceptance bars: QTableSpeedup,
+// StemInsertSpeedup and StemProbeSpeedup all >= 2.
 type PerfReport struct {
 	EpisodeStep          []BenchResult `json:"episode_step"`
 	EpisodeStepZeroAlloc bool          `json:"episode_step_zero_alloc"`
 	StemInsert           BenchResult   `json:"stem_insert"`
+	StemInsertVec        BenchResult   `json:"stem_insert_vec"`
+	StemInsertSpeedup    float64       `json:"stem_insert_vec_speedup"`
 	StemProbe            BenchResult   `json:"stem_probe"`
+	StemProbeVec         BenchResult   `json:"stem_probe_vec"`
+	StemProbeSpeedup     float64       `json:"stem_probe_vec_speedup"`
+	StemSemiJoin         BenchResult   `json:"stem_semijoin"`
+	StemSemiJoinVec      BenchResult   `json:"stem_semijoin_vec"`
+	StemSemiJoinSpeedup  float64       `json:"stem_semijoin_vec_speedup"`
 	QTable               BenchResult   `json:"qtable_open_addressing"`
 	QTableRef            BenchResult   `json:"qtable_map_reference"`
 	QTableSpeedup        float64       `json:"qtable_speedup"`
@@ -110,37 +118,134 @@ func (c *Config) Perf() (*PerfReport, error) {
 		}
 	}
 
-	rep.StemInsert = toResult("stem_insert", testing.Benchmark(func(b *testing.B) {
-		v := stem.NewVersions()
-		s := stem.New(v, []string{"k"}, 64, b.N+1)
-		q := bitset.NewFull(64)
-		key := make([]int64, 1)
+	// STeM build path, scalar vs vector: one op inserts a 256-tuple batch
+	// over 32 distinct keys (fact-table FK shape, where batch chain
+	// pre-linking collapses the most bucket CASes). The STeM is replaced
+	// every few thousand batches — inside the timer, both modes alike — to
+	// bound memory and keep chain lengths comparable.
+	const (
+		insBatch      = 256
+		insDomain     = 32
+		insResetEvery = 4096
+	)
+	insVids := make([]int32, insBatch)
+	insKeys := make([]int64, insBatch)
+	insQsets := make([]uint64, insBatch)
+	for i := range insVids {
+		insVids[i] = int32(i)
+		insKeys[i] = int64(i % insDomain)
+		insQsets[i] = ^uint64(0)
+	}
+	freshInsertStem := func() *stem.STeM {
+		return stem.New(stem.NewVersions(), []string{"k"}, 64, insResetEvery*insBatch)
+	}
+	rep.StemInsert = toResult("stem_insert/scalar-batch256", testing.Benchmark(func(b *testing.B) {
+		s := freshInsertStem()
+		keyBuf := make([]int64, 1)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			key[0] = int64(i & 1023)
-			s.Insert(int32(i), key, q, stem.Slot(i>>10))
+			if i%insResetEvery == insResetEvery-1 {
+				s = freshInsertStem()
+			}
+			slot := stem.Slot(i & 1023)
+			for j := range insVids {
+				keyBuf[0] = insKeys[j]
+				s.Insert(insVids[j], keyBuf, bitset.Set(insQsets[j:j+1]), slot)
+			}
 		}
 	}))
+	rep.StemInsertVec = toResult("stem_insert/vec-batch256", testing.Benchmark(func(b *testing.B) {
+		s := freshInsertStem()
+		var sc stem.InsertScratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%insResetEvery == insResetEvery-1 {
+				s = freshInsertStem()
+			}
+			s.InsertVec(insVids, [][]int64{insKeys}, insQsets, 1, stem.Slot(i&1023), &sc)
+		}
+	}))
+	if rep.StemInsertVec.NsPerOp > 0 {
+		rep.StemInsertSpeedup = rep.StemInsert.NsPerOp / rep.StemInsertVec.NsPerOp
+	}
 
-	rep.StemProbe = toResult("stem_probe", testing.Benchmark(func(b *testing.B) {
-		v := stem.NewVersions()
-		s := stem.New(v, []string{"k"}, 64, 1<<16)
+	// STeM probe path, scalar vs vector: one op probes a 1024-key batch
+	// against a unique-key (dimension-table) STeM whose entries span one
+	// version slot per 64-tuple episode — the steady state of a long-lived
+	// streaming session, where the scalar path resolves a slot per entry
+	// and the vector path rides the publication watermark.
+	const probeEntries = 1 << 16
+	pv := stem.NewVersions()
+	ps := stem.New(pv, []string{"k"}, 64, probeEntries)
+	{
 		q := bitset.NewFull(64)
 		key := make([]int64, 1)
-		for i := 0; i < 1<<16; i++ {
-			key[0] = int64(i & 4095)
-			s.Insert(int32(i), key, q, 0)
+		for i := 0; i < probeEntries; i++ {
+			key[0] = int64(i)
+			ps.Insert(int32(i), key, q, stem.Slot(i>>6))
 		}
-		v.Publish(0)
-		ts := v.Now()
+		for sl := stem.Slot(0); sl < probeEntries>>6; sl++ {
+			pv.Publish(sl)
+		}
+	}
+	probeWM := pv.Watermark()
+	probeTS := pv.Now()
+	probeKeys := make([]int64, 1024)
+	for i := range probeKeys {
+		probeKeys[i] = int64((i * 40503) & (probeEntries - 1)) // Fibonacci stride: spread over the domain
+	}
+	rep.StemProbe = toResult("stem_probe/scalar-batch1024", testing.Benchmark(func(b *testing.B) {
 		var dst []stem.Match
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			dst = s.Probe(dst[:0], "k", int64(i&4095), ts)
+			for _, k := range probeKeys {
+				dst = ps.Probe(dst[:0], "k", k, probeTS)
+			}
 		}
 	}))
+	rep.StemProbeVec = toResult("stem_probe/vec-batch1024", testing.Benchmark(func(b *testing.B) {
+		var dst []stem.VecMatch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = ps.ProbeVec(dst[:0], "k", probeKeys, probeTS, probeWM)
+		}
+	}))
+	if rep.StemProbeVec.NsPerOp > 0 {
+		rep.StemProbeSpeedup = rep.StemProbe.NsPerOp / rep.StemProbeVec.NsPerOp
+	}
+
+	// Symmetric-join pruning, scalar vs vector, on the same fixture.
+	rep.StemSemiJoin = toResult("stem_semijoin/scalar-batch1024", testing.Benchmark(func(b *testing.B) {
+		out := bitset.New(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range probeKeys {
+				for w := range out {
+					out[w] = 0
+				}
+				ps.SemiJoinQueries(out, "k", k)
+			}
+		}
+	}))
+	rep.StemSemiJoinVec = toResult("stem_semijoin/vec-batch1024", testing.Benchmark(func(b *testing.B) {
+		outs := make([]uint64, len(probeKeys))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for w := range outs {
+				outs[w] = 0
+			}
+			ps.SemiJoinVec(outs, 1, "k", probeKeys)
+		}
+	}))
+	if rep.StemSemiJoinVec.NsPerOp > 0 {
+		rep.StemSemiJoinSpeedup = rep.StemSemiJoin.NsPerOp / rep.StemSemiJoinVec.NsPerOp
+	}
 
 	states := qtableWorkload()
 	rep.QTable = toResult("qtable_open_addressing", testing.Benchmark(func(b *testing.B) {
@@ -177,12 +282,16 @@ func (c *Config) Perf() (*PerfReport, error) {
 	}
 
 	c.printf("perf: steady-state hot-path microbenchmarks\n")
-	c.printf("%-28s %12s %10s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	c.printf("%-32s %12s %10s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 	all := append(append([]BenchResult{}, rep.EpisodeStep...),
-		rep.StemInsert, rep.StemProbe, rep.QTable, rep.QTableRef)
+		rep.StemInsert, rep.StemInsertVec, rep.StemProbe, rep.StemProbeVec,
+		rep.StemSemiJoin, rep.StemSemiJoinVec, rep.QTable, rep.QTableRef)
 	for _, r := range all {
-		c.printf("%-28s %12.1f %10d %10d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		c.printf("%-32s %12.1f %10d %10d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
+	c.printf("stem insert vector speedup:  %.2fx (acceptance: >= 2x)\n", rep.StemInsertSpeedup)
+	c.printf("stem probe vector speedup:   %.2fx (acceptance: >= 2x)\n", rep.StemProbeSpeedup)
+	c.printf("stem semijoin vector speedup: %.2fx\n", rep.StemSemiJoinSpeedup)
 	c.printf("qtable speedup over map reference: %.2fx (acceptance: >= 2x)\n", rep.QTableSpeedup)
 	if !rep.EpisodeStepZeroAlloc {
 		c.printf("WARNING: episode step is no longer allocation-free\n")

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+
+	"github.com/roulette-db/roulette/internal/engine"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/job"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// ScalingRow is one worker count's sample in the worker-scaling figure.
+type ScalingRow struct {
+	Workers        int     `json:"workers"`
+	Seconds        float64 `json:"seconds"`
+	Episodes       int64   `json:"episodes"`
+	EpisodesPerSec float64 `json:"episodes_per_sec"`
+	QPS            float64 `json:"qps"`
+	Speedup        float64 `json:"speedup"` // wall-clock vs workers=1
+}
+
+// ScalingReport is the BENCH_scaling.json baseline: episode throughput of
+// the vectorized engine as the worker pool grows. Unlike Fig19 (which prints
+// per-batch wall-clock speedups), this figure is recorded machine-readably
+// so CI can compare kernels against the committed baseline.
+type ScalingReport struct {
+	Queries    int          `json:"queries"`
+	Batches    int          `json:"batches"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Rows       []ScalingRow `json:"rows"`
+}
+
+// Scaling runs identical JOB batches at 1/2/4/8 workers and records episode
+// throughput per worker count. Wall-clock speedup saturates at GOMAXPROCS
+// (recorded in the report); on a single-core host the figure instead tracks
+// serial kernel efficiency and the overhead of extra workers.
+func (c *Config) Scaling() (*ScalingReport, error) {
+	db := job.Generate(c.Seed)
+	pool := job.Queries(job.NumQueries, c.Seed)
+	rng := rand.New(rand.NewSource(c.Seed))
+	size, batches := 48, 3
+	if c.Quick {
+		size, batches = 16, 1
+	}
+	qsBatches := make([][]*query.Query, batches)
+	for i := range qsBatches {
+		qsBatches[i] = sampleWithoutReplacement(rng, pool, size)
+	}
+
+	rep := &ScalingReport{Queries: size, Batches: batches, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	c.printf("=== scaling: episode throughput vs workers (GOMAXPROCS=%d) ===\n", rep.GoMaxProcs)
+	var base float64
+	for _, wk := range []int{1, 2, 4, 8} {
+		row := ScalingRow{Workers: wk}
+		for _, qs := range qsBatches {
+			b, err := query.Compile(qs)
+			if err != nil {
+				return nil, err
+			}
+			opt := exec.DefaultOptions()
+			opt.CollectRows = false
+			qcfg := qlearn.DefaultConfig()
+			qcfg.Seed = c.Seed
+			s, err := engine.NewSession(b, db, engine.Config{
+				Exec: opt, Workers: wk, Policy: qlearn.New(qcfg),
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			row.Seconds += r.Elapsed.Seconds()
+			row.Episodes += r.Episodes
+		}
+		if row.Seconds > 0 {
+			row.EpisodesPerSec = float64(row.Episodes) / row.Seconds
+			row.QPS = float64(size*batches) / row.Seconds
+		}
+		if wk == 1 {
+			base = row.Seconds
+		}
+		if row.Seconds > 0 {
+			row.Speedup = base / row.Seconds
+		}
+		rep.Rows = append(rep.Rows, row)
+		c.printf("workers=%d  %8.3fs  %9.0f episodes/s  %7.2f q/s  speedup %.2fx\n",
+			wk, row.Seconds, row.EpisodesPerSec, row.QPS, row.Speedup)
+	}
+	return rep, nil
+}

@@ -93,10 +93,8 @@ type Worker struct {
 	C   *Context
 	Pol policy.Policy
 
-	qw      int
-	log     []policy.LogEntry
-	matches []stem.Match
-	scratch bitset.Set
+	qw  int
+	log []policy.LogEntry
 
 	// Stats arena: every counter accumulates in these plain fields during an
 	// episode and folds into the shared Context.Stats atomics exactly once,
@@ -121,7 +119,6 @@ type Worker struct {
 	// reused. DESIGN.md "Performance" documents the ownership rules.
 	selVids   []int32    // ingested vID buffer (selection phase input)
 	selQsets  []uint64   // ingested query-set slab, n × qw words
-	keys      []int64    // STeM-insert key buffer
 	root      jvec       // join-phase root vector (wraps selVids/selQsets)
 	pool      jvecPool   // intermediate join vectors
 	tq        bitset.Set // probe: masked tuple query set
@@ -134,6 +131,18 @@ type Worker struct {
 	flat      []int32    // route: per-query row batch
 	copyIdx   []int      // probe/routeSel: input column positions to copy
 	residuals []appliedResidual
+
+	// Vector-kernel arena (see internal/stem/vec.go). probeKeys doubles as
+	// the prune phase's key batch — the selection and join phases of one
+	// episode never overlap on a worker, and probe() finishes with these
+	// buffers before execChildren recurses into a child probe.
+	insKeys    [][]int64          // STeM-insert key columns, built from vIDs
+	insScratch stem.InsertScratch // InsertVec bucket pre-linking scratch
+	probeKeys  []int64            // kernel input keys (probe + prune)
+	probeIn    []int32            // kernel input position -> tuple index
+	probeTqs   []uint64           // masked tuple query sets, stride qw
+	vmatches   []stem.VecMatch    // ProbeVec output buffer
+	pruneQs    []uint64           // SemiJoinVec output slab, stride qw
 }
 
 // NewWorker creates a worker bound to ctx using pol for planning. Buffers
@@ -147,7 +156,6 @@ func NewWorker(ctx *Context, pol policy.Policy) *Worker {
 		C: ctx, Pol: pol, qw: qw,
 		collect:  ctx.Opt.CollectStats,
 		trace:    ctx.Opt.TraceActions,
-		scratch:  bitset.New(qcap),
 		tq:       make(bitset.Set, qw),
 		zeroQ:    make([]uint64, qw),
 		fullMask: bitset.NewFull(qcap),
@@ -395,17 +403,22 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 	}
 	t0 = time.Now()
 	nk := len(c.stemKeyCols[in.Inst])
-	if cap(w.keys) < nk {
-		w.keys = make([]int64, nk)
+	for len(w.insKeys) < nk {
+		w.insKeys = append(w.insKeys, nil)
 	}
-	keys := w.keys[:nk]
-	for i, vid := range vids {
-		for k, colData := range c.stemKeySlices[in.Inst] {
-			keys[k] = colData[vid]
+	ik := w.insKeys[:nk]
+	for k, colData := range c.stemKeySlices[in.Inst] {
+		col := ik[k][:0]
+		for _, vid := range vids {
+			col = append(col, colData[vid])
 		}
-		base := i * w.qw
-		c.Stems[in.Inst].Insert(vid, keys, bitset.Set(qsets[base:base+w.qw]), in.Slot)
+		ik[k] = col
 	}
+	c.Stems[in.Inst].InsertVec(vids, ik, qsets, w.qw, in.Slot, &w.insScratch)
+	// The watermark is read before the publish timestamp is drawn: every
+	// slot under wm then has a timestamp strictly older than ts, which lets
+	// the probe kernels skip per-entry version lookups (stem.ProbeVec).
+	wm := c.Versions.Watermark()
 	ts := c.Versions.Publish(in.Slot)
 	w.ep.buildNs += time.Since(t0).Nanoseconds()
 	w.ep.inserted += int64(len(vids))
@@ -417,7 +430,7 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 	if joinInput > 0 {
 		// ---- Join phase ---------------------------------------------------
 		root := plan.BuildJoin(c.B, w.Pol, in.Inst, in.Active, c.ReqInsts)
-		w.execChildren(root, w.rootVec(in.Inst, vids, qsets, joinInput), ts)
+		w.execChildren(root, w.rootVec(in.Inst, vids, qsets, joinInput), ts, wm)
 	}
 
 	rep := EpisodeReport{JoinInput: joinInput, PlanSig: w.planSig}
@@ -453,7 +466,10 @@ func (w *Worker) measuredCost() (total, join float64) {
 
 // applyPrune intersects each tuple's query set with the union of matching
 // query sets in the opposite STeM, restricted to the eligible queries
-// (symmetric join pruning, §5.2).
+// (symmetric join pruning, §5.2). The whole vector goes through one
+// SemiJoinVec kernel call: keys are gathered into the worker's key batch,
+// matching query-set unions land in the pruneQs slab, and the mask is
+// applied tuple by tuple afterwards.
 func (w *Worker) applyPrune(p *PruneOp, elig bitset.Set, vids []int32, qsets []uint64) {
 	c := w.C
 	other := c.Stems[p.Other]
@@ -461,18 +477,26 @@ func (w *Worker) applyPrune(p *PruneOp, elig bitset.Set, vids []int32, qsets []u
 	w.notMask = w.fullMask.CopyInto(w.notMask)
 	notMask := w.notMask
 	notMask.AndNotWith(elig)
-	allowed := w.scratch
-	for i, vid := range vids {
-		for j := range allowed {
-			allowed[j] = 0
-		}
-		other.SemiJoinQueries(allowed, p.OtherCol, local[vid])
+
+	n := len(vids)
+	pk := w.probeKeys[:0]
+	for _, vid := range vids {
+		pk = append(pk, local[vid])
+	}
+	w.probeKeys = pk
+	need := n * w.qw
+	if cap(w.pruneQs) < need {
+		w.pruneQs = make([]uint64, need)
+	}
+	outs := w.pruneQs[:need]
+	for i := range outs {
+		outs[i] = 0
+	}
+	other.SemiJoinVec(outs, w.qw, p.OtherCol, pk)
+	for i := 0; i < n; i++ {
 		base := i * w.qw
 		for wd := 0; wd < w.qw; wd++ {
-			var m uint64
-			if wd < len(allowed) {
-				m = allowed[wd]
-			}
+			m := outs[base+wd]
 			if wd < len(notMask) {
 				m |= notMask[wd]
 			}
@@ -531,7 +555,7 @@ func compact(vids []int32, qsets []uint64, qw int) ([]int32, []uint64) {
 // sub-plans before divergence sub-plans, bounding pending vectors (§3).
 // Intermediate vectors return to the worker pool as soon as their sub-plan
 // completes.
-func (w *Worker) execChildren(n *plan.Node, v *jvec, ts int64) {
+func (w *Worker) execChildren(n *plan.Node, v *jvec, ts int64, wm stem.Slot) {
 	for _, ch := range n.Children {
 		switch ch.Kind {
 		case plan.Router:
@@ -539,13 +563,13 @@ func (w *Worker) execChildren(n *plan.Node, v *jvec, ts int64) {
 		case plan.RouteSel:
 			// Executed through the sibling probe's Div pointer.
 		case plan.Probe:
-			out, logIdx := w.probe(ch, v, ts)
-			w.execChildren(ch, out, ts)
+			out, logIdx := w.probe(ch, v, ts, wm)
+			w.execChildren(ch, out, ts, wm)
 			w.pool.put(out)
 			if ch.Div != nil {
 				divOut := w.routeSel(ch.Div, v)
 				w.log[logIdx].NDiv = divOut.n
-				w.execChildren(ch.Div, divOut, ts)
+				w.execChildren(ch.Div, divOut, ts, wm)
 				w.pool.put(divOut)
 			}
 		}
@@ -578,7 +602,7 @@ func emitTuple(out *jvec, copyIdx []int, v *jvec, i, targetPos int, vid int32) {
 // probe executes one STeM probe node, producing the expanded vector and the
 // index of its log entry (whose NDiv the caller may patch). The output
 // vector comes from the worker pool; the caller releases it.
-func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
+func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, int) {
 	c := w.C
 	t0 := time.Now()
 	e := &c.B.Edges[nd.EdgeID]
@@ -643,9 +667,15 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 		out.vids = append(out.vids, w.pool.col())
 	}
 
+	// Gather phase: eligible tuples' join keys and masked query sets move
+	// into the worker's kernel batch, then one ProbeVec call replaces the
+	// per-tuple STeM probes (stem/vec.go). The merge loop reads matches in
+	// input order, so output tuples append in the same order as before.
 	qmask := nd.Q
 	stemT := c.Stems[nd.Target]
-	var lookups int64 // STeM probe calls; folded per instance when collecting
+	pk := w.probeKeys[:0]
+	pin := w.probeIn[:0]
+	srcVids := v.vids[srcIdx]
 	if w.qw == 1 {
 		// Fast path: batches of up to 64 queries use single-word query
 		// sets; the generic word loops dominate the probe otherwise.
@@ -653,42 +683,47 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 		if len(qmask) > 0 {
 			mask = qmask[0]
 		}
-		srcVids := v.vids[srcIdx]
+		ptq := w.probeTqs[:0]
 		for i := 0; i < v.n; i++ {
 			tqw := v.qsets[i] & mask
 			if tqw == 0 {
 				continue
 			}
-			key := srcData[srcVids[i]]
-			lookups++
-			w.matches = stemT.Probe(w.matches[:0], targetCol, key, ts)
-			for _, m := range w.matches {
-				var mw uint64
-				if len(m.QSet) > 0 {
-					mw = m.QSet[0]
-				}
-				oqw := tqw & mw
-				if oqw == 0 {
-					continue
-				}
-				for _, rr := range residuals {
-					bit := uint64(1) << uint(rr.qid)
-					if oqw&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
-						oqw &^= bit
-					}
-				}
-				if oqw == 0 {
-					continue
-				}
-				out.qsets = append(out.qsets, oqw)
-				emitTuple(out, copyIdx, v, i, targetPos, m.VID)
+			pk = append(pk, srcData[srcVids[i]])
+			pin = append(pin, int32(i))
+			ptq = append(ptq, tqw)
+		}
+		w.probeKeys, w.probeIn, w.probeTqs = pk, pin, ptq
+		w.vmatches = stemT.ProbeVec(w.vmatches[:0], targetCol, pk, ts, wm)
+		for _, m := range w.vmatches {
+			j := int(m.In)
+			i := int(pin[j])
+			var mw uint64
+			if len(m.QSet) > 0 {
+				mw = m.QSet[0]
 			}
+			oqw := ptq[j] & mw
+			if oqw == 0 {
+				continue
+			}
+			for _, rr := range residuals {
+				bit := uint64(1) << uint(rr.qid)
+				if oqw&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
+					oqw &^= bit
+				}
+			}
+			if oqw == 0 {
+				continue
+			}
+			out.qsets = append(out.qsets, oqw)
+			emitTuple(out, copyIdx, v, i, targetPos, m.VID)
 		}
 	} else {
-		tq := w.tq
+		ptq := w.probeTqs[:0]
 		for i := 0; i < v.n; i++ {
 			base := i * w.qw
 			empty := true
+			tq := w.tq
 			for wd := 0; wd < w.qw; wd++ {
 				var m uint64
 				if wd < len(qmask) {
@@ -702,48 +737,54 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64) (*jvec, int) {
 			if empty {
 				continue
 			}
-			key := srcData[v.vids[srcIdx][i]]
-			lookups++
-			w.matches = stemT.Probe(w.matches[:0], targetCol, key, ts)
-			for _, m := range w.matches {
-				// Build the output query set in place at the slab's tail;
-				// roll back the extension if it comes out empty.
-				out.qsets = append(out.qsets, w.zeroQ...)
-				oq := out.qsets[len(out.qsets)-w.qw:]
-				outEmpty := true
-				for wd := 0; wd < w.qw; wd++ {
-					var mw uint64
-					if wd < len(m.QSet) {
-						mw = m.QSet[wd]
+			pk = append(pk, srcData[srcVids[i]])
+			pin = append(pin, int32(i))
+			ptq = append(ptq, tq...)
+		}
+		w.probeKeys, w.probeIn, w.probeTqs = pk, pin, ptq
+		w.vmatches = stemT.ProbeVec(w.vmatches[:0], targetCol, pk, ts, wm)
+		for _, m := range w.vmatches {
+			j := int(m.In)
+			i := int(pin[j])
+			tq := ptq[j*w.qw : (j+1)*w.qw]
+			// Build the output query set in place at the slab's tail;
+			// roll back the extension if it comes out empty.
+			out.qsets = append(out.qsets, w.zeroQ...)
+			oq := out.qsets[len(out.qsets)-w.qw:]
+			outEmpty := true
+			for wd := 0; wd < w.qw; wd++ {
+				var mw uint64
+				if wd < len(m.QSet) {
+					mw = m.QSet[wd]
+				}
+				oq[wd] = tq[wd] & mw
+				if oq[wd] != 0 {
+					outEmpty = false
+				}
+			}
+			if !outEmpty && len(residuals) > 0 {
+				for _, rr := range residuals {
+					wd, bit := rr.qid/64, uint64(1)<<(rr.qid%64)
+					if oq[wd]&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
+						oq[wd] &^= bit
 					}
-					oq[wd] = tq[wd] & mw
+				}
+				outEmpty = true
+				for wd := 0; wd < w.qw; wd++ {
 					if oq[wd] != 0 {
 						outEmpty = false
+						break
 					}
 				}
-				if !outEmpty && len(residuals) > 0 {
-					for _, rr := range residuals {
-						wd, bit := rr.qid/64, uint64(1)<<(rr.qid%64)
-						if oq[wd]&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
-							oq[wd] &^= bit
-						}
-					}
-					outEmpty = true
-					for wd := 0; wd < w.qw; wd++ {
-						if oq[wd] != 0 {
-							outEmpty = false
-							break
-						}
-					}
-				}
-				if outEmpty {
-					out.qsets = out.qsets[:len(out.qsets)-w.qw]
-					continue
-				}
-				emitTuple(out, copyIdx, v, i, targetPos, m.VID)
 			}
+			if outEmpty {
+				out.qsets = out.qsets[:len(out.qsets)-w.qw]
+				continue
+			}
+			emitTuple(out, copyIdx, v, i, targetPos, m.VID)
 		}
 	}
+	lookups := int64(len(pk)) // STeM probe keys; folded per instance when collecting
 	w.ep.joinOut += int64(out.n)
 	w.ep.probeNs += time.Since(t0).Nanoseconds()
 	if w.collect {

@@ -171,8 +171,11 @@ func (s *StepBench) Step() EpisodeReport {
 	vids, qsets = w.runSelSteps(s.in, s.selSteps, vids, qsets)
 	joinInput := len(vids)
 	if joinInput > 0 {
+		// Watermark before timestamp, same ordering as RunEpisode: slots
+		// under wm are guaranteed older than ts.
+		wm := w.C.Versions.Watermark()
 		ts := w.C.Versions.Now()
-		w.execChildren(s.joinRoot, w.rootVec(s.in.Inst, vids, qsets, joinInput), ts)
+		w.execChildren(s.joinRoot, w.rootVec(s.in.Inst, vids, qsets, joinInput), ts, wm)
 	}
 	rep := EpisodeReport{JoinInput: joinInput, PlanSig: w.planSig}
 	rep.MeasuredCost, rep.MeasuredJoinCost = w.measuredCost()

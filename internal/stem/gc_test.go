@@ -139,9 +139,10 @@ func TestAddIndexDerivesExistingEntries(t *testing.T) {
 	if got := s.Probe(nil, "k2", 3, ts); len(got) != 2 {
 		t.Errorf("repeated AddIndex broke the index")
 	}
-	// New inserts supply both keys and land in both indexes.
-	s.Insert(200, []int64{200, 100}, bitset.FromIDs(2, 1), 0)
-	v.Publish(0)
+	// New inserts supply both keys and land in both indexes (a fresh slot:
+	// slots are published at most once, after all their inserts).
+	s.Insert(200, []int64{200, 100}, bitset.FromIDs(2, 1), 1)
+	v.Publish(1)
 	ts = v.Now()
 	if got := s.Probe(nil, "k2", 100, ts); len(got) != 1 || got[0].VID != 200 {
 		t.Errorf("Probe(k2=100) = %v, want the new entry", got)

@@ -14,7 +14,6 @@ package stem
 
 import (
 	"math/bits"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -31,8 +30,19 @@ const (
 // Each episode allocates one slot, stamps its inserted entries with the
 // slot index, and publishes the slot to a fresh global timestamp after the
 // insert completes (two atomics per vector, §5.2 "Scalable versioning").
+//
+// Slot protocol: slots are allocated densely (the engine uses the episode
+// counter), a slot's entries are all inserted before the slot is published,
+// and each slot is published at most once. The publication watermark — the
+// count of contiguously published slots from 0 — depends on that contract:
+// every slot below the watermark is published, and because timestamps are
+// drawn from the same global counter, its timestamp is strictly older than
+// any timestamp drawn after the watermark was read. Vector probes use this
+// to skip the per-entry timestamp load for the (large, stable) prefix of
+// old entries and pay it only in the small concurrent tail.
 type Versions struct {
-	global atomic.Int64 // global timestamp counter; 0 is reserved
+	global    atomic.Int64 // global timestamp counter; 0 is reserved
+	watermark atomic.Int64 // slots [0, watermark) are all published
 
 	mu    sync.Mutex
 	slabs atomic.Pointer[[]*versionSlab]
@@ -75,41 +85,43 @@ func (v *Versions) ensure(n Slot) *versionSlab {
 }
 
 // Publish maps slot n to a fresh global timestamp and returns it. Entries
-// stamped with n become visible to probes with a newer timestamp.
+// stamped with n become visible to probes with a newer timestamp. Publish
+// also advances the publication watermark past every contiguously published
+// slot, so long-running probes can skip the per-entry timestamp check for
+// entries under it.
 func (v *Versions) Publish(n Slot) int64 {
 	slab := v.ensure(n)
 	ts := v.global.Add(1)
 	slab.ts[int(n)&chunkMask].Store(ts)
+	v.advanceWatermark()
 	return ts
 }
+
+// advanceWatermark pushes the watermark forward while the slot at the
+// frontier is published. Concurrent publishers race on the CAS; a lost race
+// just re-reads the frontier, so the loop is bounded by the number of slots
+// published since the caller started.
+func (v *Versions) advanceWatermark() {
+	for {
+		w := v.watermark.Load()
+		if v.tryGet(Slot(w)) == 0 {
+			return
+		}
+		v.watermark.CompareAndSwap(w, w+1)
+	}
+}
+
+// Watermark returns the current publication watermark: every slot below it
+// is published, and — because publication draws timestamps from the same
+// counter probes do — holds a timestamp strictly older than any probe
+// timestamp drawn *after* this call. Callers pairing a watermark with a
+// probe timestamp must therefore read the watermark first.
+func (v *Versions) Watermark() Slot { return Slot(v.watermark.Load()) }
 
 // Now returns a probe timestamp newer than every published slot.
 func (v *Versions) Now() int64 { return v.global.Add(1) }
 
-// getSpinBudget bounds the busy-spin in Get before yielding the processor.
-// The publish window normally spans a few instructions, but on few-core
-// hosts an unbounded spin can starve the very publisher it waits on (the
-// scheduler has no reason to preempt a spinning goroutine), so after the
-// budget each retry yields.
-const getSpinBudget = 128
-
-// Get resolves slot n to its global timestamp, spinning through the tiny
-// publish window if the inserting episode has stamped entries but not yet
-// published.
-func (v *Versions) Get(n Slot) int64 {
-	slab := v.ensure(n)
-	cell := &slab.ts[int(n)&chunkMask]
-	for spins := 0; ; spins++ {
-		if ts := cell.Load(); ts != 0 {
-			return ts
-		}
-		if spins >= getSpinBudget {
-			runtime.Gosched()
-		}
-	}
-}
-
-// tryGet is Get without spinning; 0 means unpublished.
+// tryGet resolves slot n to its global timestamp; 0 means unpublished.
 func (v *Versions) tryGet(n Slot) int64 {
 	si := int(n) >> chunkBits
 	slabs := *v.slabs.Load()
@@ -268,10 +280,15 @@ type Match struct {
 }
 
 // Probe finds entries whose key column col equals key and whose published
-// timestamp is strictly older than probeTS, appending them to dst. Entries
-// stamped but not yet published are waited for (their timestamp is known to
-// be concurrent, so the wait is bounded by the publisher's two-atomic
-// window).
+// timestamp is strictly older than probeTS, appending them to dst.
+//
+// probeTS must have been drawn from the STeM's Versions table (Publish or
+// Now) before the probe began. Under that contract an entry that is stamped
+// but not yet published needs no waiting: its eventual timestamp comes from
+// a later draw of the same counter, so it is strictly newer than probeTS
+// and the entry would be rejected anyway. Unpublished entries are therefore
+// skipped immediately (one atomic load) instead of spinning through the
+// publisher's window.
 func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match {
 	ki, ok := s.colIdx[col]
 	if !ok {
@@ -284,8 +301,8 @@ func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match 
 		c := chunks[idx>>chunkBits]
 		off := idx & chunkMask
 		if c.keys[ki][off] == key {
-			ts := s.versions.Get(c.slots[off])
-			if ts < probeTS {
+			ts := s.versions.tryGet(c.slots[off])
+			if ts != 0 && ts < probeTS {
 				qoff := off * s.qw
 				dst = append(dst, Match{
 					VID:  c.vids[off],

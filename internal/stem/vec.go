@@ -1,0 +1,352 @@
+package stem
+
+import "github.com/roulette-db/roulette/internal/bitset"
+
+// This file holds the vector kernels: whole-episode-vector variants of
+// Insert, Probe and SemiJoinQueries. The scalar paths pay one atomic
+// counter bump plus one CAS per key per tuple on insert, and a per-entry
+// version lookup on probe; the kernels amortize both across the vector
+// (§5.2 "Scalable versioning"):
+//
+//   - InsertVec reserves the whole vector's index range with a single
+//     count.Add(n), bulk-writes the entry columns chunk segment by chunk
+//     segment, pre-links the intra-batch hash chains in caller-owned
+//     scratch, and splices each *distinct* bucket with one CAS — up to
+//     len(vec)×keys CASes collapse into ~distinct-buckets CASes.
+//   - ProbeVec resolves the key column once (the scalar path pays a map
+//     lookup per call), batch-hashes the key block and preloads bucket
+//     heads before walking chains, and consults the publication watermark:
+//     entries whose slot is under the watermark skip the per-entry
+//     timestamp load entirely.
+//   - SemiJoinVec is the batched symmetric-join-pruning primitive with the
+//     same watermark short-circuit.
+//
+// Memory-ordering argument (same as the scalar Insert): every entry write
+// — vIDs, slots, keys, query sets, intra-batch next links — happens before
+// the bucket CAS that makes the batch reachable, and probes load the bucket
+// head with acquire semantics, so a reachable entry is always fully
+// written. Entries stay invisible to result probes until their slot is
+// published regardless, because unpublished slots resolve to timestamp 0.
+
+// VecMatch is one ProbeVec result: input position In of the probed key
+// batch matched entry (VID, QSet).
+type VecMatch struct {
+	In   int32
+	VID  int32
+	QSet bitset.Set // view into the STeM's slab; do not mutate
+}
+
+// InsertScratch is the worker-local scratch for InsertVec's intra-batch
+// chain building: an epoch-stamped open-addressing table deduplicating
+// bucket indices, and the per-distinct-bucket chain heads and tails. The
+// zero value is ready to use; buffers grow to the largest batch seen and
+// are reused, so steady-state inserts do not allocate.
+type InsertScratch struct {
+	table []uint64 // epoch<<32 | (distinct index + 1); epoch mismatch = empty
+	epoch uint32
+	mask  uint32
+
+	dbuck []int32 // distinct bucket index
+	dhead []int32 // entry ref of the batch chain's first entry
+	dtail []int32 // entry ref of the batch chain's last entry
+	nd    int
+}
+
+// begin readies the scratch for a batch of n tuples: the dedup table holds
+// at least 2n cells (power of two) and a bumped epoch empties it without
+// clearing.
+func (sc *InsertScratch) begin(n int) {
+	want := 1
+	for want < 2*n {
+		want <<= 1
+	}
+	if want < 64 {
+		want = 64
+	}
+	if len(sc.table) < want {
+		sc.table = make([]uint64, want)
+		sc.dbuck = make([]int32, 0, n)
+		sc.dhead = make([]int32, 0, n)
+		sc.dtail = make([]int32, 0, n)
+		sc.epoch = 0
+	}
+	sc.mask = uint32(len(sc.table) - 1)
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale cells could alias; clear once
+		for i := range sc.table {
+			sc.table[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.dbuck = sc.dbuck[:0]
+	sc.dhead = sc.dhead[:0]
+	sc.dtail = sc.dtail[:0]
+	sc.nd = 0
+}
+
+// lookupOrAdd returns the distinct-list index of bucket b, adding it on
+// first sight. Linear probing over the epoch-stamped table.
+func (sc *InsertScratch) lookupOrAdd(b int32) int {
+	tag := uint64(sc.epoch) << 32
+	for cell := uint32(b) & sc.mask; ; cell = (cell + 1) & sc.mask {
+		v := sc.table[cell]
+		if v>>32 != uint64(sc.epoch) {
+			li := sc.nd
+			sc.table[cell] = tag | uint64(uint32(li+1))
+			sc.dbuck = append(sc.dbuck, b)
+			sc.dhead = append(sc.dhead, 0)
+			sc.dtail = append(sc.dtail, 0)
+			sc.nd++
+			return li
+		}
+		li := int(uint32(v)) - 1
+		if sc.dbuck[li] == b {
+			return li
+		}
+	}
+}
+
+// InsertVec adds len(vids) tuples in bulk, all stamped with version slot
+// slot. keyCols holds one key column per indexed column (KeyCols order),
+// each of length len(vids); qsets is the tuples' query-set slab with qw
+// words per tuple. The tuples become visible to probes once the slot is
+// published. sc must not be shared between concurrent callers; pass a
+// fresh or worker-owned scratch.
+//
+// Result-equivalent to calling Insert per tuple, except that entries of
+// the same batch hitting the same bucket are chained in batch order rather
+// than last-in-first-out; probes see the same match *sets* either way.
+func (s *STeM) InsertVec(vids []int32, keyCols [][]int64, qsets []uint64, qw int, slot Slot, sc *InsertScratch) {
+	n := len(vids)
+	if n == 0 {
+		return
+	}
+	base := s.count.Add(int64(n)) - int64(n)
+	// Materialize every chunk the batch touches, then bulk-write the entry
+	// columns one chunk segment at a time.
+	s.chunkFor(base + int64(n) - 1)
+	chunks := *s.chunks.Load()
+	for i0 := 0; i0 < n; {
+		idx := base + int64(i0)
+		c := chunks[idx>>chunkBits]
+		off := int(idx) & chunkMask
+		seg := chunkSize - off
+		if seg > n-i0 {
+			seg = n - i0
+		}
+		copy(c.vids[off:off+seg], vids[i0:i0+seg])
+		for j := 0; j < seg; j++ {
+			c.slots[off+j] = slot
+		}
+		if qw == s.qw {
+			copy(c.qsets[off*s.qw:(off+seg)*s.qw], qsets[i0*qw:(i0+seg)*qw])
+		} else {
+			for j := 0; j < seg; j++ {
+				src := qsets[(i0+j)*qw : (i0+j+1)*qw]
+				dst := c.qsets[(off+j)*s.qw : (off+j+1)*s.qw]
+				for w := range dst {
+					if w < len(src) {
+						dst[w] = src[w]
+					} else {
+						dst[w] = 0
+					}
+				}
+			}
+		}
+		for k := range s.keyCols {
+			copy(c.keys[k][off:off+seg], keyCols[k][i0:i0+seg])
+		}
+		i0 += seg
+	}
+	for ki := range s.keyCols {
+		s.spliceBatch(ki, base, n, keyCols[ki], sc, chunks)
+	}
+}
+
+// spliceBatch links the batch's entries into index ki's hash chains: one
+// pass groups the batch per distinct bucket (chaining group members through
+// the entries' own next links, which nothing can read yet), then each
+// distinct bucket is spliced in front of its current chain with a single
+// CAS.
+func (s *STeM) spliceBatch(ki int, base int64, n int, keys []int64, sc *InsertScratch, chunks []*chunk) {
+	sc.begin(n)
+	buckets := s.buckets[ki]
+	shift := s.shift[ki]
+	for i := 0; i < n; i++ {
+		b := int32(hash64(keys[i]) >> shift)
+		li := sc.lookupOrAdd(b)
+		ref := int32(base) + int32(i) + 1
+		if sc.dhead[li] == 0 {
+			sc.dhead[li] = ref
+		} else {
+			prev := int(sc.dtail[li]) - 1
+			chunks[prev>>chunkBits].next[ki][prev&chunkMask] = ref
+		}
+		sc.dtail[li] = ref
+	}
+	for li := 0; li < sc.nd; li++ {
+		b := &buckets[sc.dbuck[li]]
+		tail := int(sc.dtail[li]) - 1
+		tnext := &chunks[tail>>chunkBits].next[ki][tail&chunkMask]
+		for {
+			head := b.Load()
+			*tnext = head
+			if b.CompareAndSwap(head, sc.dhead[li]) {
+				break
+			}
+		}
+	}
+}
+
+// probeBlock sizes ProbeVec's bucket-head preload: heads for a block of
+// keys are hashed and loaded before any chain is walked, so the loads'
+// cache misses overlap instead of serializing with the walks.
+const probeBlock = 128
+
+// ProbeVec probes every key of keys on column col, appending each match to
+// dst tagged with the key's input position. Visibility follows Probe's
+// contract — published timestamp strictly older than probeTS — with one
+// amortization: wm must be a Versions.Watermark() value read *before*
+// probeTS was drawn, which guarantees every slot under wm carries a
+// timestamp older than probeTS, so those entries (the stable majority in a
+// long-lived session) skip the per-entry timestamp load entirely. Pass
+// wm 0 to disable the short-circuit.
+func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64, wm Slot) []VecMatch {
+	ki, ok := s.colIdx[col]
+	if !ok {
+		return dst
+	}
+	chunks := *s.chunks.Load()
+	buckets := s.buckets[ki]
+	shift := s.shift[ki]
+	var heads [probeBlock]int32
+	var eKey [probeBlock]int64
+	var eNext [probeBlock]int32
+	var eSlot [probeBlock]Slot
+	var eVID [probeBlock]int32
+	for i0 := 0; i0 < len(keys); i0 += probeBlock {
+		m := len(keys) - i0
+		if m > probeBlock {
+			m = probeBlock
+		}
+		for j := 0; j < m; j++ {
+			heads[j] = buckets[hash64(keys[i0+j])>>shift].Load()
+		}
+		// Stage the head entries' fields in a branch-light pass: the loads
+		// are independent across keys, so their cache misses overlap instead
+		// of serializing behind the chain walk's branches. Unique-key
+		// (dimension) probes resolve entirely from this stage.
+		for j := 0; j < m; j++ {
+			ref := heads[j]
+			if ref == 0 {
+				continue
+			}
+			idx := int(ref) - 1
+			c := chunks[idx>>chunkBits]
+			off := idx & chunkMask
+			eKey[j] = c.keys[ki][off]
+			eNext[j] = c.next[ki][off]
+			eSlot[j] = c.slots[off]
+			eVID[j] = c.vids[off]
+		}
+		for j := 0; j < m; j++ {
+			ref := heads[j]
+			if ref == 0 {
+				continue
+			}
+			key := keys[i0+j]
+			in := int32(i0 + j)
+			if eKey[j] == key {
+				slot := eSlot[j]
+				visible := slot < wm
+				if !visible {
+					ts := s.versions.tryGet(slot)
+					visible = ts != 0 && ts < probeTS
+				}
+				if visible {
+					idx := int(ref) - 1
+					c := chunks[idx>>chunkBits]
+					qoff := (idx & chunkMask) * s.qw
+					dst = append(dst, VecMatch{
+						In:   in,
+						VID:  eVID[j],
+						QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
+					})
+				}
+			}
+			for ref = eNext[j]; ref != 0; {
+				idx := int(ref) - 1
+				c := chunks[idx>>chunkBits]
+				off := idx & chunkMask
+				if c.keys[ki][off] == key {
+					slot := c.slots[off]
+					visible := slot < wm
+					if !visible {
+						ts := s.versions.tryGet(slot)
+						visible = ts != 0 && ts < probeTS
+					}
+					if visible {
+						qoff := off * s.qw
+						dst = append(dst, VecMatch{
+							In:   in,
+							VID:  c.vids[off],
+							QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
+						})
+					}
+				}
+				ref = c.next[ki][off]
+			}
+		}
+	}
+	return dst
+}
+
+// SemiJoinVec ORs, for each input key i, the query sets of all published
+// entries matching keys[i] on col into outs[i*qw : (i+1)*qw] (the batched
+// SemiJoinQueries). Publication needs no timestamp ordering here, so the
+// watermark is read internally: entries under it skip the version lookup.
+func (s *STeM) SemiJoinVec(outs []uint64, qw int, col string, keys []int64) {
+	ki, ok := s.colIdx[col]
+	if !ok {
+		return
+	}
+	wm := s.versions.Watermark()
+	chunks := *s.chunks.Load()
+	buckets := s.buckets[ki]
+	shift := s.shift[ki]
+	uw := qw
+	if s.qw < uw {
+		uw = s.qw
+	}
+	var heads [probeBlock]int32
+	for i0 := 0; i0 < len(keys); i0 += probeBlock {
+		m := len(keys) - i0
+		if m > probeBlock {
+			m = probeBlock
+		}
+		for j := 0; j < m; j++ {
+			heads[j] = buckets[hash64(keys[i0+j])>>shift].Load()
+		}
+		for j := 0; j < m; j++ {
+			ref := heads[j]
+			if ref == 0 {
+				continue
+			}
+			key := keys[i0+j]
+			out := outs[(i0+j)*qw : (i0+j)*qw+uw]
+			for ref != 0 {
+				idx := int(ref) - 1
+				c := chunks[idx>>chunkBits]
+				off := idx & chunkMask
+				if c.keys[ki][off] == key &&
+					(c.slots[off] < wm || s.versions.tryGet(c.slots[off]) != 0) {
+					qoff := off * s.qw
+					for w := 0; w < uw; w++ {
+						out[w] |= c.qsets[qoff+w]
+					}
+				}
+				ref = c.next[ki][off]
+			}
+		}
+	}
+}

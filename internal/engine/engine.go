@@ -742,10 +742,12 @@ func (s *Session) runWorker() {
 }
 
 // runEpisode executes one episode behind a panic barrier and the optional
-// watchdog timer. A recovered panic publishes the episode's version slot
-// (entries it managed to insert were stamped with it; leaving the slot
-// unpublished would make concurrent probes spin forever) and is returned as
-// an *EpisodeError.
+// watchdog timer. Every exit path — normal, insert fault, panic — publishes
+// the episode's version slot: entries the episode managed to insert were
+// stamped with it and must eventually become visible, and the publication
+// watermark only advances past published slots, so one abandoned slot would
+// disable the probe kernels' watermark fast path for the rest of the
+// session. A recovered panic is returned as an *EpisodeError.
 func (s *Session) runEpisode(w *exec.Worker, in exec.EpisodeInput) (rep exec.EpisodeReport, err error) {
 	if d := s.cfg.EpisodeWatchdog; d > 0 {
 		timer := time.AfterFunc(d, func() {
@@ -757,8 +759,12 @@ func (s *Session) runEpisode(w *exec.Worker, in exec.EpisodeInput) (rep exec.Epi
 		defer timer.Stop()
 	}
 	defer func() {
+		// Publish unconditionally: idempotent on the paths that already
+		// published (normal return, hook faults), and the safety net for
+		// panics and any future early exit between slot allocation and
+		// execution.
+		s.ctx.Versions.Publish(in.Slot)
 		if r := recover(); r != nil {
-			s.ctx.Versions.Publish(in.Slot)
 			ee := s.newEpisodeError(in, FaultPanic)
 			ee.Panic, ee.Stack = r, string(debug.Stack())
 			err = ee

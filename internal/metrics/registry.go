@@ -32,6 +32,7 @@ type Registry struct {
 	ExploreActions atomic.Int64
 	ExploitActions atomic.Int64
 	QStates        atomic.Int64 // Q-table size of the most recent session (gauge)
+	WatermarkLag   atomic.Int64 // slots allocated but unpublished at session end (gauge; non-zero = leak)
 
 	FilterNs atomic.Int64
 	BuildNs  atomic.Int64
@@ -95,6 +96,7 @@ type RegistrySnapshot struct {
 	ExploreActions int64 `json:"explore_actions"`
 	ExploitActions int64 `json:"exploit_actions"`
 	QStates        int64 `json:"qtable_states"`
+	WatermarkLag   int64 `json:"watermark_lag"`
 
 	FilterNs int64 `json:"filter_ns"`
 	BuildNs  int64 `json:"build_ns"`
@@ -124,6 +126,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		ExploreActions:  r.ExploreActions.Load(),
 		ExploitActions:  r.ExploitActions.Load(),
 		QStates:         r.QStates.Load(),
+		WatermarkLag:    r.WatermarkLag.Load(),
 		FilterNs:        r.FilterNs.Load(),
 		BuildNs:         r.BuildNs.Load(),
 		ProbeNs:         r.ProbeNs.Load(),
@@ -158,6 +161,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	p.Counter("roulette_policy_explore_actions_total", "Policy decisions taken by epsilon-exploration.", float64(s.ExploreActions))
 	p.Counter("roulette_policy_exploit_actions_total", "Policy decisions taken greedily from Q-values.", float64(s.ExploitActions))
 	p.Gauge("roulette_qtable_states", "Q-table (state, action) entries of the most recent session.", float64(s.QStates))
+	p.Gauge("roulette_watermark_lag", "Version slots allocated but never published by the most recent session (non-zero indicates a slot leak disabling the probe watermark fast path).", float64(s.WatermarkLag))
 	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",
 		float64(s.FilterNs)/1e9, Label{"phase", "filter"})
 	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",

@@ -29,7 +29,7 @@ const (
 // Versions is the session-wide version-slot table shared by all STeMs.
 // Each episode allocates one slot, stamps its inserted entries with the
 // slot index, and publishes the slot to a fresh global timestamp after the
-// insert completes (two atomics per vector, §5.2 "Scalable versioning").
+// insert completes (§5.2 "Scalable versioning").
 //
 // Slot protocol: slots are allocated densely (the engine uses the episode
 // counter), a slot's entries are all inserted before the slot is published,
@@ -40,6 +40,24 @@ const (
 // any timestamp drawn after the watermark was read. Vector probes use this
 // to skip the per-entry timestamp load for the (large, stable) prefix of
 // old entries and pay it only in the small concurrent tail.
+//
+// A slot's cell holds one of three states:
+//
+//	 0   unpublished, no probe has rejected it
+//	+ts  published at global timestamp ts (final)
+//	-X   sealed: a probe at timestamp X found the slot unpublished and
+//	     rejected its entries; Publish must take a timestamp newer than X
+//
+// The seal closes the draw-to-store race: Publish draws its timestamp and
+// stores it as two separate atomics, so a probe that drew a newer probeTS
+// in between would otherwise read 0 and skip entries whose timestamp is
+// about to become strictly older than probeTS (and the publishing episode's
+// own probes reject the probing episode's entries for being newer — the
+// matching pair would be emitted by neither side). Sealing makes the
+// rejection binding instead: the probe CASes the cell to -probeTS before
+// rejecting, and Publish's CAS loop redraws after losing to a seal, so a
+// sealed slot's eventual timestamp is provably newer than every rejecting
+// probe's. Neither side ever waits.
 type Versions struct {
 	global    atomic.Int64 // global timestamp counter; 0 is reserved
 	watermark atomic.Int64 // slots [0, watermark) are all published
@@ -89,12 +107,29 @@ func (v *Versions) ensure(n Slot) *versionSlab {
 // also advances the publication watermark past every contiguously published
 // slot, so long-running probes can skip the per-entry timestamp check for
 // entries under it.
+//
+// Publishing an already-published slot is an idempotent no-op returning the
+// existing timestamp, so defensive publishes on fault paths are safe. If
+// probes sealed the slot (rejected it while unpublished), the CAS loop
+// redraws until its timestamp beats every seal: the timestamp is drawn
+// after the seal was loaded, and the seal's magnitude was drawn before the
+// seal was stored, so a successful CAS guarantees ts > every overwritten
+// seal. Each retry means a probe with a newer timestamp sealed in between,
+// so the loop is bounded by the number of concurrent probes.
 func (v *Versions) Publish(n Slot) int64 {
 	slab := v.ensure(n)
-	ts := v.global.Add(1)
-	slab.ts[int(n)&chunkMask].Store(ts)
-	v.advanceWatermark()
-	return ts
+	cell := &slab.ts[int(n)&chunkMask]
+	for {
+		old := cell.Load()
+		if old > 0 {
+			return old
+		}
+		ts := v.global.Add(1)
+		if cell.CompareAndSwap(old, ts) {
+			v.advanceWatermark()
+			return ts
+		}
+	}
 }
 
 // advanceWatermark pushes the watermark forward while the slot at the
@@ -121,14 +156,53 @@ func (v *Versions) Watermark() Slot { return Slot(v.watermark.Load()) }
 // Now returns a probe timestamp newer than every published slot.
 func (v *Versions) Now() int64 { return v.global.Add(1) }
 
-// tryGet resolves slot n to its global timestamp; 0 means unpublished.
+// tryGet resolves slot n to its global timestamp; 0 means unpublished
+// (sealed slots are unpublished).
 func (v *Versions) tryGet(n Slot) int64 {
 	si := int(n) >> chunkBits
 	slabs := *v.slabs.Load()
 	if si >= len(slabs) {
 		return 0
 	}
-	return slabs[si].ts[int(n)&chunkMask].Load()
+	if ts := slabs[si].ts[int(n)&chunkMask].Load(); ts > 0 {
+		return ts
+	}
+	return 0
+}
+
+// visibleAt reports whether slot n is visible to a probe at probeTS, i.e.
+// published with a timestamp strictly older than probeTS. An unpublished
+// slot is sealed at probeTS (one CAS) before visibleAt answers false: the
+// seal forces the slot's eventual Publish onto a timestamp newer than
+// probeTS, so a rejection can never lose to a publish that drew an older
+// timestamp but had not stored it yet. probeTS must come from this table's
+// counter (Publish or Now).
+func (v *Versions) visibleAt(n Slot, probeTS int64) bool {
+	si := int(n) >> chunkBits
+	slabs := *v.slabs.Load()
+	if si >= len(slabs) {
+		// No slab means Publish(n) has not finished ensure(n), which
+		// precedes its timestamp draw; with seq-cst atomics the slab-creating
+		// store ordered after our slabs load, so the eventual timestamp is
+		// ordered after probeTS and the entries are invisible.
+		return false
+	}
+	cell := &slabs[si].ts[int(n)&chunkMask]
+	for {
+		ts := cell.Load()
+		if ts > 0 {
+			return ts < probeTS
+		}
+		if -ts >= probeTS {
+			return false // a probe at or after probeTS already sealed it
+		}
+		if cell.CompareAndSwap(ts, -probeTS) {
+			return false
+		}
+		// Lost to a concurrent publish or a newer seal; re-read and decide
+		// again. Each retry strictly increases the cell's state, so the
+		// loop terminates.
+	}
 }
 
 // chunk holds a fixed-size block of unified STeM entries in columnar form.
@@ -283,32 +357,35 @@ type Match struct {
 // timestamp is strictly older than probeTS, appending them to dst.
 //
 // probeTS must have been drawn from the STeM's Versions table (Publish or
-// Now) before the probe began. Under that contract an entry that is stamped
-// but not yet published needs no waiting: its eventual timestamp comes from
-// a later draw of the same counter, so it is strictly newer than probeTS
-// and the entry would be rejected anyway. Unpublished entries are therefore
-// skipped immediately (one atomic load) instead of spinning through the
-// publisher's window.
+// Now) before the probe began. Entries whose slot is still unpublished are
+// rejected without waiting: the reject seals the slot at probeTS
+// (Versions.visibleAt), which forces the slot's eventual publication onto
+// a timestamp newer than probeTS — so the rejection is correct even
+// against a publish that drew its timestamp before probeTS but had not
+// stored it yet (the draw-to-store window).
 func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match {
 	ki, ok := s.colIdx[col]
 	if !ok {
 		return dst
 	}
-	chunks := *s.chunks.Load()
+	// The chunk snapshot must be taken after the bucket head is loaded:
+	// every entry reachable from the head had its chunk appended before the
+	// head was CASed, and the chunk list only grows while probes run (it is
+	// only replaced under the engine's quiesce gate), so a snapshot ordered
+	// after the head load covers the whole chain. The opposite order races
+	// with a concurrent insert extending the slab.
 	ref := s.buckets[ki][hash64(key)>>s.shift[ki]].Load()
+	chunks := *s.chunks.Load()
 	for ref != 0 {
 		idx := int(ref) - 1
 		c := chunks[idx>>chunkBits]
 		off := idx & chunkMask
-		if c.keys[ki][off] == key {
-			ts := s.versions.tryGet(c.slots[off])
-			if ts != 0 && ts < probeTS {
-				qoff := off * s.qw
-				dst = append(dst, Match{
-					VID:  c.vids[off],
-					QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
-				})
-			}
+		if c.keys[ki][off] == key && s.versions.visibleAt(c.slots[off], probeTS) {
+			qoff := off * s.qw
+			dst = append(dst, Match{
+				VID:  c.vids[off],
+				QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
+			})
 		}
 		ref = c.next[ki][off]
 	}
@@ -324,8 +401,9 @@ func (s *STeM) SemiJoinQueries(out bitset.Set, col string, key int64) {
 	if !ok {
 		return
 	}
-	chunks := *s.chunks.Load()
+	// Head before chunk snapshot, same ordering argument as Probe.
 	ref := s.buckets[ki][hash64(key)>>s.shift[ki]].Load()
+	chunks := *s.chunks.Load()
 	for ref != 0 {
 		idx := int(ref) - 1
 		c := chunks[idx>>chunkBits]

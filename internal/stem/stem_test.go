@@ -207,6 +207,150 @@ func TestConcurrentInsertProbePairsOnce(t *testing.T) {
 	}
 }
 
+// TestProbeSealBindsRejection pins the probe-side seal protocol: a probe
+// that rejects an unpublished slot seals it, so the slot's later Publish
+// must draw a timestamp newer than the rejecting probe's — the rejection
+// can never turn out wrong after the fact (the draw-to-store window).
+func TestProbeSealBindsRejection(t *testing.T) {
+	v := NewVersions()
+	s := New(v, []string{"k"}, 2, 16)
+
+	s.Insert(1, []int64{7}, bitset.NewFull(2), 0)
+	probeTS := v.Now()
+	if got := s.Probe(nil, "k", 7, probeTS); len(got) != 0 {
+		t.Fatalf("probe saw unpublished entry: %v", got)
+	}
+	if v.Watermark() != 0 {
+		t.Fatalf("watermark advanced past sealed slot: %d", v.Watermark())
+	}
+	ts := v.Publish(0)
+	if ts <= probeTS {
+		t.Fatalf("publish after seal drew ts %d <= rejecting probeTS %d", ts, probeTS)
+	}
+	if again := v.Publish(0); again != ts {
+		t.Fatalf("re-publish not idempotent: %d then %d", ts, again)
+	}
+	if v.Watermark() != 1 {
+		t.Fatalf("watermark = %d after publish, want 1", v.Watermark())
+	}
+	if got := s.Probe(nil, "k", 7, v.Now()); len(got) != 1 {
+		t.Fatalf("published entry invisible to newer probe")
+	}
+}
+
+// TestVisibleAtPublishRaceInvariant hammers visibleAt against concurrent
+// Publish calls and checks the binding-rejection invariant: whenever a
+// probe rejects a slot, the slot's final published timestamp must be newer
+// than the probe's; whenever it accepts, older.
+func TestVisibleAtPublishRaceInvariant(t *testing.T) {
+	const slots = 2048
+	const probers = 4
+	v := NewVersions()
+
+	type verdict struct {
+		slot    Slot
+		probeTS int64
+		visible bool
+	}
+	verdicts := make([][]verdict, probers)
+	var wg sync.WaitGroup
+	wg.Add(probers + 1)
+	go func() {
+		defer wg.Done()
+		for n := Slot(0); n < slots; n++ {
+			v.Publish(n)
+		}
+	}()
+	for p := 0; p < probers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < slots*2; i++ {
+				n := Slot(rng.Intn(slots))
+				probeTS := v.Now()
+				verdicts[p] = append(verdicts[p], verdict{n, probeTS, v.visibleAt(n, probeTS)})
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	for p, vs := range verdicts {
+		for _, vd := range vs {
+			ts := v.tryGet(vd.slot)
+			if ts == 0 {
+				t.Fatalf("slot %d never published", vd.slot)
+			}
+			if vd.visible && ts >= vd.probeTS {
+				t.Fatalf("prober %d: accepted slot %d with final ts %d >= probeTS %d", p, vd.slot, ts, vd.probeTS)
+			}
+			if !vd.visible && ts < vd.probeTS {
+				t.Fatalf("prober %d: rejected slot %d whose final ts %d < probeTS %d", p, vd.slot, ts, vd.probeTS)
+			}
+		}
+	}
+	if v.Watermark() != slots {
+		t.Fatalf("watermark = %d, want %d", v.Watermark(), slots)
+	}
+}
+
+// TestProbeDuringChunkGrowth races probes against an inserter crossing
+// chunk boundaries: a probe must never walk a chain entry whose chunk is
+// missing from its slab snapshot (the snapshot is ordered after the bucket
+// head loads), and every match it does emit must be published and valid.
+func TestProbeDuringChunkGrowth(t *testing.T) {
+	const total = chunkSize*3 + 100
+	const hotKeys = 8
+	v := NewVersions()
+	s := New(v, []string{"k"}, 2, 64) // deliberately undersized buckets
+	qs := bitset.NewFull(2)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i += 64 {
+			slot := Slot(i / 64)
+			for j := 0; j < 64 && i+j < total; j++ {
+				vid := int32(i + j)
+				s.Insert(vid, []int64{int64(vid) % hotKeys}, qs, slot)
+			}
+			v.Publish(slot)
+		}
+	}()
+
+	var scratch []Match
+	var vecDst []VecMatch
+	keys := make([]int64, hotKeys)
+	for k := range keys {
+		keys[k] = int64(k)
+	}
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		wm := v.Watermark()
+		ts := v.Now()
+		for k := int64(0); k < hotKeys; k++ {
+			scratch = s.Probe(scratch[:0], "k", k, ts)
+			for _, m := range scratch {
+				if int64(m.VID)%hotKeys != k {
+					t.Fatalf("scalar probe key %d matched vid %d", k, m.VID)
+				}
+			}
+		}
+		vecDst = s.ProbeVec(vecDst[:0], "k", keys, ts, wm)
+		for _, m := range vecDst {
+			if int64(m.VID)%hotKeys != keys[m.In] {
+				t.Fatalf("vector probe key %d matched vid %d", keys[m.In], m.VID)
+			}
+		}
+	}
+	if got := len(s.ProbeVec(nil, "k", keys, v.Now(), v.Watermark())); got != total {
+		t.Fatalf("final probe saw %d entries, want %d", got, total)
+	}
+}
+
 // keyOf recovers the key of entry vid (test helper; entries were inserted
 // with vid == index order per side, single key column).
 func (s *STeM) keyOf(vid int32) int64 {

@@ -26,7 +26,10 @@ import "github.com/roulette-db/roulette/internal/bitset"
 // the bucket CAS that makes the batch reachable, and probes load the bucket
 // head with acquire semantics, so a reachable entry is always fully
 // written. Entries stay invisible to result probes until their slot is
-// published regardless, because unpublished slots resolve to timestamp 0.
+// published regardless: a probe that finds the slot unpublished rejects it
+// after sealing it (Versions.visibleAt), which pins the slot's eventual
+// timestamp above the probe's, so the rejection cannot race with an
+// in-flight publish.
 
 // VecMatch is one ProbeVec result: input position In of the probed key
 // batch matched entry (VID, QSet).
@@ -216,7 +219,6 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 	if !ok {
 		return dst
 	}
-	chunks := *s.chunks.Load()
 	buckets := s.buckets[ki]
 	shift := s.shift[ki]
 	var heads [probeBlock]int32
@@ -232,6 +234,12 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 		for j := 0; j < m; j++ {
 			heads[j] = buckets[hash64(keys[i0+j])>>shift].Load()
 		}
+		// Chunk snapshot after the block's head loads (scalar Probe has the
+		// ordering argument): chunks reachable from these heads were all
+		// appended before the heads were CASed, so this snapshot covers
+		// every chain the block walks even with concurrent inserts growing
+		// the slab.
+		chunks := *s.chunks.Load()
 		// Stage the head entries' fields in a branch-light pass: the loads
 		// are independent across keys, so their cache misses overlap instead
 		// of serializing behind the chain walk's branches. Unique-key
@@ -258,12 +266,7 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 			in := int32(i0 + j)
 			if eKey[j] == key {
 				slot := eSlot[j]
-				visible := slot < wm
-				if !visible {
-					ts := s.versions.tryGet(slot)
-					visible = ts != 0 && ts < probeTS
-				}
-				if visible {
+				if slot < wm || s.versions.visibleAt(slot, probeTS) {
 					idx := int(ref) - 1
 					c := chunks[idx>>chunkBits]
 					qoff := (idx & chunkMask) * s.qw
@@ -280,12 +283,7 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 				off := idx & chunkMask
 				if c.keys[ki][off] == key {
 					slot := c.slots[off]
-					visible := slot < wm
-					if !visible {
-						ts := s.versions.tryGet(slot)
-						visible = ts != 0 && ts < probeTS
-					}
-					if visible {
+					if slot < wm || s.versions.visibleAt(slot, probeTS) {
 						qoff := off * s.qw
 						dst = append(dst, VecMatch{
 							In:   in,
@@ -311,7 +309,6 @@ func (s *STeM) SemiJoinVec(outs []uint64, qw int, col string, keys []int64) {
 		return
 	}
 	wm := s.versions.Watermark()
-	chunks := *s.chunks.Load()
 	buckets := s.buckets[ki]
 	shift := s.shift[ki]
 	uw := qw
@@ -327,6 +324,8 @@ func (s *STeM) SemiJoinVec(outs []uint64, qw int, col string, keys []int64) {
 		for j := 0; j < m; j++ {
 			heads[j] = buckets[hash64(keys[i0+j])>>shift].Load()
 		}
+		// Chunk snapshot after the head loads; see ProbeVec.
+		chunks := *s.chunks.Load()
 		for j := 0; j < m; j++ {
 			ref := heads[j]
 			if ref == 0 {

@@ -147,11 +147,11 @@ func BenchmarkSWO(b *testing.B) {
 	}
 }
 
-// BenchmarkStress — learned-vs-greedy correlation stress (§4.2 distilled).
-func BenchmarkStress(b *testing.B) {
+// BenchmarkCorrStress — learned-vs-greedy correlation stress (§4.2 distilled).
+func BenchmarkCorrStress(b *testing.B) {
 	c := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Stress(); err != nil {
+		if _, err := c.CorrStress(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -29,11 +29,15 @@ type report struct {
 	Perf    *bench.PerfReport    `json:"perf"`
 	Stream  *bench.StreamReport  `json:"stream"`
 	Scaling *bench.ScalingReport `json:"scaling"`
+	Stress  *bench.StressReport  `json:"stress"`
 
-	// BENCH_stream.json and BENCH_scaling.json are bare reports, not full
-	// BENCH.json files; detect that by their own headline fields.
-	QPS  float64            `json:"qps"`
-	Rows []bench.ScalingRow `json:"rows"`
+	// BENCH_stream.json, BENCH_scaling.json and BENCH_stress.json are bare
+	// reports, not full BENCH.json files; detect that by their own headline
+	// fields. A bare stress report also has "qps", so the tenant table is
+	// checked first.
+	QPS     float64                 `json:"qps"`
+	Rows    []bench.ScalingRow      `json:"rows"`
+	Tenants []bench.TenantStressRow `json:"tenants"`
 }
 
 func load(path string) (*report, error) {
@@ -46,7 +50,13 @@ func load(path string) (*report, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	// Normalize bare section files into the combined shape.
-	if r.Stream == nil && r.QPS > 0 {
+	if r.Stress == nil && len(r.Tenants) > 0 {
+		var s bench.StressReport
+		if json.Unmarshal(data, &s) == nil {
+			r.Stress = &s
+		}
+	}
+	if r.Stream == nil && r.Stress == nil && r.QPS > 0 {
 		var s bench.StreamReport
 		if json.Unmarshal(data, &s) == nil {
 			r.Stream = &s
@@ -145,6 +155,20 @@ func main() {
 					c.higher(fmt.Sprintf("scaling.workers%d.episodes_per_sec", b.Workers),
 						b.EpisodesPerSec, g.EpisodesPerSec)
 				}
+			}
+		}
+	}
+	if base.Stress != nil && cur.Stress != nil {
+		c.higher("stress.qps", base.Stress.QPS, cur.Stress.QPS)
+		for _, b := range base.Stress.Tenants {
+			for _, g := range cur.Stress.Tenants {
+				if g.Tenant != b.Tenant {
+					continue
+				}
+				// Every tenant class — the rate-limited one included — must
+				// keep retiring queries with a bounded latency tail.
+				c.higher("stress."+b.Tenant+".retired", float64(b.Retired), float64(g.Retired))
+				c.lower("stress."+b.Tenant+".retire_p95_millis", b.RetireP95Millis, g.RetireP95Millis)
 			}
 		}
 	}

@@ -48,10 +48,11 @@ type benchFile struct {
 	Perf      *bench.PerfReport    `json:"perf,omitempty"`
 	Stream    *bench.StreamReport  `json:"stream,omitempty"`
 	Scaling   *bench.ScalingReport `json:"scaling,omitempty"`
+	Stress    *bench.StressReport  `json:"stress,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo stress batching perf stream scaling all")
+	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo corrstress batching perf stream scaling stress all")
 	scale := flag.Float64("scale", 0.25, "TPC-DS scale factor (facts scale linearly)")
 	seed := flag.Int64("seed", 1, "workload and data seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
@@ -121,21 +122,21 @@ func main() {
 	}
 
 	figures := map[string]func() error{
-		"11a":      func() error { _, err := cfg.Fig11a(); return err },
-		"11b":      func() error { _, err := cfg.Fig11b(); return err },
-		"11c":      func() error { _, err := cfg.Fig11c(); return err },
-		"11d":      func() error { _, err := cfg.Fig11d(); return err },
-		"12":       func() error { _, err := cfg.Fig12(); return err },
-		"13":       func() error { _, err := cfg.Fig13(); return err },
-		"14":       func() error { _, err := cfg.Fig14(); return err },
-		"16":       func() error { _, err := cfg.Fig16(); return err },
-		"17":       func() error { _, err := cfg.Fig17(); return err },
-		"18":       func() error { _, err := cfg.Fig18(); return err },
-		"19":       func() error { _, err := cfg.Fig19(); return err },
-		"20":       func() error { _, err := cfg.Fig20(); return err },
-		"swo":      func() error { _, err := cfg.SWO(); return err },
-		"stress":   func() error { _, err := cfg.Stress(); return err },
-		"batching": func() error { _, err := cfg.Batching(); return err },
+		"11a":        func() error { _, err := cfg.Fig11a(); return err },
+		"11b":        func() error { _, err := cfg.Fig11b(); return err },
+		"11c":        func() error { _, err := cfg.Fig11c(); return err },
+		"11d":        func() error { _, err := cfg.Fig11d(); return err },
+		"12":         func() error { _, err := cfg.Fig12(); return err },
+		"13":         func() error { _, err := cfg.Fig13(); return err },
+		"14":         func() error { _, err := cfg.Fig14(); return err },
+		"16":         func() error { _, err := cfg.Fig16(); return err },
+		"17":         func() error { _, err := cfg.Fig17(); return err },
+		"18":         func() error { _, err := cfg.Fig18(); return err },
+		"19":         func() error { _, err := cfg.Fig19(); return err },
+		"20":         func() error { _, err := cfg.Fig20(); return err },
+		"swo":        func() error { _, err := cfg.SWO(); return err },
+		"corrstress": func() error { _, err := cfg.CorrStress(); return err },
+		"batching":   func() error { _, err := cfg.Batching(); return err },
 		"perf": func() error {
 			rep, err := cfg.Perf()
 			out.Perf = rep
@@ -151,8 +152,13 @@ func main() {
 			out.Scaling = rep
 			return err
 		},
+		"stress": func() error {
+			rep, err := cfg.Stress()
+			out.Stress = rep
+			return err
+		},
 	}
-	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "stress", "batching", "perf", "stream", "scaling"}
+	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "corrstress", "batching", "perf", "stream", "scaling", "stress"}
 
 	run := func(name string) {
 		f, ok := figures[name]

@@ -186,9 +186,9 @@ func TestSWOQuick(t *testing.T) {
 	}
 }
 
-func TestStress(t *testing.T) {
+func TestCorrStress(t *testing.T) {
 	c := quickCfg()
-	res, err := c.Stress()
+	res, err := c.CorrStress()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,172 +1,300 @@
 package bench
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
 
-	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/admission"
+	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/engine"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/qlearn"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/tpcds"
+	"github.com/roulette-db/roulette/internal/workload"
 )
 
-// StressResult compares policies on the correlation-stress workload.
-type StressResult struct {
-	Learned     int64
-	Greedy      int64
-	StitchSim   int64
-	Ratio       float64 // greedy / learned
-	RatioStitch float64
+// TenantStressRow is one tenant class's share of the saturation figure.
+type TenantStressRow struct {
+	Tenant          string  `json:"tenant"`
+	Weight          float64 `json:"weight"`
+	RateLimited     bool    `json:"rate_limited"`
+	Submitted       int64   `json:"submitted"`
+	Retired         int64   `json:"retired"`
+	Rejections      int64   `json:"rejections"` // admission rejections (each retried)
+	Dropped         int64   `json:"dropped"`    // gave up after max retries
+	RetireP50Millis float64 `json:"retire_p50_millis"`
+	RetireP95Millis float64 `json:"retire_p95_millis"`
 }
 
-// buildStressDB constructs the §4.2 motivating scenario as a concrete
-// workload: two query groups whose shared join edges have opposite
-// conditional selectivities.
-//
-//	fact(g, fk_a, fk_b, fk_c, fk_d)  ⋈ A(k) ⋈ B(k) ⋈ C(k)|D(k)
-//
-// Group-A queries filter g < 500; their fact tuples reference the hot key
-// range of dimension A (fan-out ~16) and the cold range of B (fan-out ~0.2).
-// Group-B queries are the mirror image. A selectivity-global policy sees
-// per-edge averages near 8 for both A and B and cannot order them
-// correctly for either group; RouLette's learned policy conditions on the
-// (lineage, query-set) state and learns each group's contracting-first
-// order after the C/D divergence.
-func buildStressDB(seed int64) (*storage.Database, []*query.Query) {
-	rng := rand.New(rand.NewSource(seed))
-	const (
-		factRows = 32000
-		hotKeys  = 100
-		domain   = 2000
-		hotDup   = 16
-		coldDup  = 1 // cold keys present once per 5 keys (fan-out 0.2)
+// StressReport is the machine-readable result of the overload/saturation
+// benchmark (BENCH_stress.json): three tenant classes push a live session
+// past its in-flight cost budget, and the figure records how the admission
+// controller and the weighted-fair scheduler degrade — rejections instead
+// of queueing collapse, bounded per-tenant retirement latency, and no
+// starvation of the rate-limited class.
+type StressReport struct {
+	Queries          int               `json:"queries"`
+	MaxLive          int               `json:"max_live"`
+	Workers          int               `json:"workers"`
+	BudgetCost       float64           `json:"budget_cost"`
+	Seconds          float64           `json:"seconds"`
+	QPS              float64           `json:"qps"`
+	Rejections       int64             `json:"rejections"`
+	PeakInFlightCost float64           `json:"peak_in_flight_cost"`
+	Tenants          []TenantStressRow `json:"tenants"`
+}
+
+// estimateQueryCost mirrors the public Stream's submit-time estimator: one
+// selection pass per relation plus a join pass per edge sized by its larger
+// side, in model nanoseconds.
+func estimateQueryCost(m *cost.Model, db *storage.Database, q *query.Query) float64 {
+	alias := func(r query.RelRef) string {
+		if r.Alias != "" {
+			return r.Alias
+		}
+		return r.Table
+	}
+	rows := make(map[string]float64, len(q.Rels))
+	total := 0.0
+	for _, r := range q.Rels {
+		t := db.Table(r.Table)
+		if t == nil {
+			continue
+		}
+		n := float64(t.NumRows())
+		rows[alias(r)] = n
+		total += m.Cost(cost.Selection, n, n)
+	}
+	for _, j := range q.Joins {
+		n := rows[j.LeftAlias]
+		if rn := rows[j.RightAlias]; rn > n {
+			n = rn
+		}
+		total += m.Cost(cost.Join, n, n)
+	}
+	return total
+}
+
+// Stress runs the saturation benchmark: three tenant classes (gold weight 8,
+// silver weight 2, bronze weight 1 and rate-limited) submit concurrently
+// against an in-flight cost budget sized well below what the query slots
+// alone would admit. Overload surfaces as typed rejections with retry-after
+// hints — the submitters honour them — and the report records per-tenant
+// admission and retirement tails.
+func (c *Config) Stress() (*StressReport, error) {
+	db := tpcds.Generate(c.Scale, c.Seed)
+	p := workload.DefaultParams()
+	p.Seed = c.Seed
+	n, maxLive := 240, 24
+	if c.Quick {
+		n, maxLive = 60, 12
+	}
+	n -= n % 3 // equal share per class
+	pool := workload.NewGenerator(p).Generate(n)
+
+	model := cost.Default()
+	ests := make([]float64, n)
+	for i, q := range pool {
+		ests[i] = estimateQueryCost(model, db, q)
+	}
+	sorted := append([]float64(nil), ests...)
+	sort.Float64s(sorted)
+	medEst := sorted[len(sorted)/2]
+
+	// The budget admits ~6 median queries — far below the maxLive slots, so
+	// the cost budget (not slot exhaustion) is what pushes back. Bronze is
+	// additionally rate-limited to ~30 median admissions per second.
+	budget := 6 * medEst
+	classes := []struct {
+		name    string
+		weight  float64
+		limited bool
+	}{
+		{"gold", 8, false},
+		{"silver", 2, false},
+		{"bronze", 1, true},
+	}
+	ctrl := admission.NewController(admission.Config{
+		MaxInFlightCost: budget,
+		Tenants: map[string]admission.TenantLimit{
+			"bronze": {Rate: 30 * medEst, Burst: 5 * medEst, Weight: 1},
+			"gold":   {Weight: 8},
+			"silver": {Weight: 2},
+		},
+	})
+
+	type inflight struct {
+		class int
+		cost  float64
+		t0    time.Time
+	}
+	var (
+		mu      sync.Mutex
+		started = map[int]inflight{}
+		early   = map[int]bool{}                  // retired before the submitter registered
+		retire  = make([][]float64, len(classes)) // millis per class
+		retired = make(chan struct{}, n)
 	)
-
-	fact := catalog.NewRelation("fact", "g", "fk_a", "fk_b", "fk_c", "fk_d")
-	dimA := catalog.NewRelation("dim_a", "k", "u")
-	dimB := catalog.NewRelation("dim_b", "k", "u")
-	dimC := catalog.NewRelation("dim_c", "k", "u")
-	dimD := catalog.NewRelation("dim_d", "k", "u")
-	sch := catalog.NewSchema(fact, dimA, dimB, dimC, dimD)
-	db := storage.NewDatabase(sch)
-
-	// Dimensions A and B: hot keys duplicated hotDup times, one cold key
-	// in five present once.
-	mkSkewDim := func(rel *catalog.Relation) {
-		var keys []int64
-		for k := 0; k < hotKeys; k++ {
-			for d := 0; d < hotDup; d++ {
-				keys = append(keys, int64(k))
+	qcfg := qlearn.DefaultConfig()
+	qcfg.Seed = c.Seed
+	opt := exec.DefaultOptions()
+	opt.CollectRows = false
+	cfg := engine.Config{
+		Exec:      opt,
+		Workers:   4,
+		Policy:    qlearn.New(qcfg),
+		Streaming: true,
+		OnRetire: func(qid int, st engine.QueryStatus) {
+			mu.Lock()
+			f, ok := started[qid]
+			if ok {
+				retire[f.class] = append(retire[f.class],
+					float64(time.Since(f.t0).Microseconds())/1e3)
+				delete(started, qid)
+			} else {
+				early[qid] = true // submitter settles accounting
 			}
-		}
-		for k := hotKeys; k < domain; k += 5 {
-			for d := 0; d < coldDup; d++ {
-				keys = append(keys, int64(k))
+			mu.Unlock()
+			if ok {
+				ctrl.Release(classes[f.class].name, f.cost)
+				retired <- struct{}{}
 			}
-		}
-		t := storage.NewTable(rel, len(keys))
-		copy(t.Col("k"), keys)
-		u := t.Col("u")
-		for i := range u {
-			u[i] = int64(rng.Intn(1000))
-		}
-		db.Put(t)
+		},
 	}
-	mkSkewDim(dimA)
-	mkSkewDim(dimB)
-
-	// C and D: selective PK-like dimensions covering 30% of their domain.
-	mkSelDim := func(rel *catalog.Relation) {
-		n := 600
-		t := storage.NewTable(rel, n)
-		k := t.Col("k")
-		for i := range k {
-			k[i] = int64(i) // fact references [0,2000): ~30% match
-		}
-		u := t.Col("u")
-		for i := range u {
-			u[i] = int64(rng.Intn(1000))
-		}
-		db.Put(t)
-	}
-	mkSelDim(dimC)
-	mkSelDim(dimD)
-
-	ft := storage.NewTable(fact, factRows)
-	g := ft.Col("g")
-	fa := ft.Col("fk_a")
-	fb := ft.Col("fk_b")
-	fc := ft.Col("fk_c")
-	fd := ft.Col("fk_d")
-	for i := 0; i < factRows; i++ {
-		g[i] = int64(rng.Intn(1000))
-		if g[i] < 500 {
-			// Group A: A explodes, B contracts.
-			fa[i] = int64(rng.Intn(hotKeys))
-			fb[i] = int64(hotKeys + rng.Intn(domain-hotKeys))
-		} else {
-			fa[i] = int64(hotKeys + rng.Intn(domain-hotKeys))
-			fb[i] = int64(rng.Intn(hotKeys))
-		}
-		fc[i] = int64(rng.Intn(domain))
-		fd[i] = int64(rng.Intn(domain))
-	}
-	db.Put(ft)
-
-	var qs []*query.Query
-	for i := 0; i < 16; i++ {
-		groupA := i%2 == 0
-		q := &query.Query{Tag: fmt.Sprintf("stress-%d", i)}
-		q.Rels = []query.RelRef{{Table: "fact"}, {Table: "dim_a"}, {Table: "dim_b"}}
-		q.Joins = []query.Join{
-			{LeftAlias: "fact", LeftCol: "fk_a", RightAlias: "dim_a", RightCol: "k"},
-			{LeftAlias: "fact", LeftCol: "fk_b", RightAlias: "dim_b", RightCol: "k"},
-		}
-		if groupA {
-			q.Rels = append(q.Rels, query.RelRef{Table: "dim_c"})
-			q.Joins = append(q.Joins, query.Join{LeftAlias: "fact", LeftCol: "fk_c", RightAlias: "dim_c", RightCol: "k"})
-			lo := int64(30 * (i / 2))
-			q.Filters = append(q.Filters, query.Filter{Alias: "fact", Col: "g", Lo: lo, Hi: lo + 280})
-		} else {
-			q.Rels = append(q.Rels, query.RelRef{Table: "dim_d"})
-			q.Joins = append(q.Joins, query.Join{LeftAlias: "fact", LeftCol: "fk_d", RightAlias: "dim_d", RightCol: "k"})
-			lo := int64(500 + 30*(i/2))
-			q.Filters = append(q.Filters, query.Filter{Alias: "fact", Col: "g", Lo: lo, Hi: lo + 280})
-		}
-		qs = append(qs, q)
-	}
-	return db, qs
-}
-
-// Stress runs the correlation-stress comparison (the paper's §4.2
-// requirements — long-term effects and correlation awareness — distilled
-// into a workload small enough for the policy to converge at laptop scale).
-func (c *Config) Stress() (*StressResult, error) {
-	db, qs := buildStressDB(c.Seed)
-
-	c.printf("=== Correlation stress: learned vs selectivity-greedy ===\n")
-	learned, err := joinTuplesVec(db, qs, nil, 0, c.Seed, 32)
+	b := query.NewStreamBatch(maxLive)
+	s, err := engine.NewSession(b, db, cfg)
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := joinTuplesVec(db, qs, mkGreedy, 0, c.Seed, 32)
-	if err != nil {
-		return nil, err
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := s.RunContext(ctx)
+		runErr <- err
+	}()
+
+	rep := &StressReport{Queries: n, MaxLive: maxLive, Workers: cfg.Workers, BudgetCost: budget}
+	rows := make([]TenantStressRow, len(classes))
+	var peakMu sync.Mutex
+	var wg sync.WaitGroup
+	var submitErr error
+	var errOnce sync.Once
+
+	start := time.Now()
+	for ci := range classes {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cls := classes[ci]
+			row := &rows[ci]
+			for i := ci; i < n; i += len(classes) {
+				q, est := pool[i], ests[i]
+				admitted := false
+				for attempt := 0; attempt < 1000; attempt++ {
+					if err := ctrl.Admit(cls.name, est); err == nil {
+						admitted = true
+						break
+					} else {
+						row.Rejections++
+						var oe *admission.OverloadError
+						wait := time.Millisecond
+						if errors.As(err, &oe) && oe.RetryAfter > 0 {
+							wait = oe.RetryAfter
+						}
+						if wait > 50*time.Millisecond {
+							wait = 50 * time.Millisecond
+						}
+						time.Sleep(wait)
+					}
+				}
+				if !admitted {
+					row.Dropped++
+					continue
+				}
+				for s.FreeQuerySlots() == 0 {
+					time.Sleep(100 * time.Microsecond)
+				}
+				t0 := time.Now()
+				qid, err := s.SubmitLiveMeta(q, engine.SubmitMeta{
+					Tenant: cls.name, Weight: cls.weight, Cost: est,
+				})
+				if err != nil {
+					ctrl.Release(cls.name, est)
+					errOnce.Do(func() { submitErr = err })
+					return
+				}
+				mu.Lock()
+				if early[qid] {
+					// Retired before registration: settle here.
+					delete(early, qid)
+					retire[ci] = append(retire[ci],
+						float64(time.Since(t0).Microseconds())/1e3)
+					mu.Unlock()
+					ctrl.Release(cls.name, est)
+					retired <- struct{}{}
+				} else {
+					started[qid] = inflight{class: ci, cost: est, t0: t0}
+					mu.Unlock()
+				}
+				row.Submitted++
+				peakMu.Lock()
+				if f := ctrl.InFlightCost(); f > rep.PeakInFlightCost {
+					rep.PeakInFlightCost = f
+				}
+				peakMu.Unlock()
+			}
+		}(ci)
 	}
-	_, solo, err := runQaaTAndExtractOrders(db, qs, c.Seed)
-	if err != nil {
-		return nil, err
+	wg.Wait()
+	if submitErr != nil {
+		cancel()
+		<-runErr
+		return nil, submitErr
 	}
-	stitch, err := joinTuplesVec(db, qs, stitchSimFactory(solo), 0, c.Seed, 32)
-	if err != nil {
+	var submitted int64
+	for i := range rows {
+		submitted += rows[i].Submitted
+	}
+	for i := int64(0); i < submitted; i++ {
+		<-retired
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	s.CloseSubmit()
+	if err := <-runErr; err != nil {
 		return nil, err
 	}
 
-	res := &StressResult{Learned: learned, Greedy: greedy, StitchSim: stitch}
-	if learned > 0 {
-		res.Ratio = float64(greedy) / float64(learned)
-		res.RatioStitch = float64(stitch) / float64(learned)
+	for ci := range classes {
+		lat := retire[ci]
+		sort.Float64s(lat)
+		rows[ci].Tenant = classes[ci].name
+		rows[ci].Weight = classes[ci].weight
+		rows[ci].RateLimited = classes[ci].limited
+		rows[ci].Retired = int64(len(lat))
+		rows[ci].RetireP50Millis = percentile(lat, 50)
+		rows[ci].RetireP95Millis = percentile(lat, 95)
+		rep.Rejections += rows[ci].Rejections
 	}
-	c.printf("learned=%d greedy=%d stitchSim=%d | greedy/learned=%.2fx stitchSim/learned=%.2fx\n",
-		learned, greedy, stitch, res.Ratio, res.RatioStitch)
-	return res, nil
+	rep.Tenants = rows
+	rep.QPS = float64(submitted) / rep.Seconds
+
+	c.printf("=== stress: admission under saturation (budget %.0f cost units) ===\n", budget)
+	c.printf("%d queries, %d live slots: %.1f q/s over %.2fs, peak in-flight cost %.0f\n",
+		n, maxLive, rep.QPS, rep.Seconds, rep.PeakInFlightCost)
+	for _, r := range rep.Tenants {
+		lim := ""
+		if r.RateLimited {
+			lim = " (rate-limited)"
+		}
+		c.printf("%-7s w=%.0f%s  submitted=%d retired=%d rejections=%d dropped=%d  retire p50=%.1fms p95=%.1fms\n",
+			r.Tenant, r.Weight, lim, r.Submitted, r.Retired, r.Rejections, r.Dropped,
+			r.RetireP50Millis, r.RetireP95Millis)
+	}
+	return rep, nil
 }

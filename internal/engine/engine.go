@@ -86,6 +86,16 @@ type Config struct {
 	// fully garbage-collected and returned to the free pool (capacity for
 	// new SubmitLive calls). Called outside the session mutex.
 	OnReclaim func(qids []int)
+
+	// DeadlineUrgency, in streaming mode, is how far ahead of a query's
+	// deadline the scheduler starts boosting its episodes into the urgent
+	// lane; 0 means 1ms.
+	DeadlineUrgency time.Duration
+
+	// StarveEpisodes, in streaming mode, is how many episodes a tenant with
+	// live queries may go unserved before the starvation watchdog boosts it
+	// above every priority lane; 0 means 512.
+	StarveEpisodes int
 }
 
 // ConvergencePoint is one episode's measured cost and the policy's estimate
@@ -250,6 +260,17 @@ type Session struct {
 	cbsQueued   []func() // retirement/reclaim callbacks awaiting execution
 	cbsActive   int      // callbacks taken but not finished executing
 
+	// Tenant-aware streaming scheduler (cfg.Streaming only; see sched.go).
+	tenantIDs    map[string]int
+	tenants      []tenantState
+	qTenant      []int32 // per query: tenant slot
+	qPriority    []int32 // per query: scheduling lane
+	qDeadline    []int64 // per query: absolute deadline (unixnano; 0 = none)
+	deadlineLive int     // live queries carrying a deadline
+	nextDeadline int64   // earliest live deadline (unixnano; 0 = none)
+	shedCount    int64   // queries shed mid-flight by deadline expiry
+	starveBoosts int64   // starvation-watchdog activations
+
 	// Stats accounting (Config.Exec.CollectStats only), under mu.
 	startAt      time.Time
 	qEpisodes    []int64         // per query: episodes whose active set included it
@@ -300,6 +321,9 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.gc.active = bitset.New(qcap)
+	if cfg.Streaming {
+		s.initSchedLocked(qcap)
+	}
 	if cfg.Exec.CollectStats {
 		s.qEpisodes = make([]int64, qcap)
 		s.qElapsed = make([]time.Duration, qcap)
@@ -481,6 +505,7 @@ func (s *Session) takeVectorLocked(inst query.InstID) exec.EpisodeInput {
 	var finished []int
 	st.active.ForEach(func(qid int) {
 		s.outstanding[qid]++
+		s.chargeServiceLocked(qid, n)
 		if s.qEpisodes != nil {
 			s.qEpisodes[qid]++
 		}

@@ -1,0 +1,335 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/roulette-db/roulette/internal/admission"
+	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// This file is the tenant-aware half of the streaming scheduler: weighted-
+// fair episode selection across tenants, priority lanes with deadline
+// urgency, mid-flight shedding of queries whose deadline expired, and the
+// per-tenant starvation watchdog. Everything here runs under the session
+// mutex in the gaps between episodes — the episode hot path is untouched
+// and the accounting is array reads/writes with no allocation.
+//
+// Scheduling model: each query carries a tenant slot, a priority lane and
+// an optional absolute deadline (SubmitMeta). Episodes charge every active
+// query's tenant cost/weight virtual time; scan selection picks, among
+// incomplete scans, the one with the best (lane desc, rank asc, tenant
+// virtual time asc) key. With a single tenant and no priorities every key
+// ties and the scheduler degenerates to the original rank + round-robin
+// order, so batch-identical behaviour is preserved for the common case.
+
+// SubmitMeta carries the admission metadata of one live submission.
+// The zero value is a default-tenant, no-deadline, priority-0 submission.
+type SubmitMeta struct {
+	// Tenant keys weighted-fair scheduling and the starvation watchdog.
+	// Empty is the default tenant.
+	Tenant string
+	// Weight is the tenant's fair-share weight; <= 0 means 1. The weight
+	// of a tenant is set by its first live submission and stable after.
+	Weight float64
+	// Priority is the query's scheduling lane; higher lanes are always
+	// served before lower ones. 0 is the default lane.
+	Priority int
+	// Deadline, when non-zero, is the query's absolute deadline: episodes
+	// near it get an urgency boost, and once it passes the query is shed
+	// with an admission.ShedError instead of consuming more work.
+	Deadline time.Time
+	// Cost is the query's estimated execution cost (informational; budget
+	// accounting lives in the admission controller, outside the engine).
+	Cost float64
+}
+
+// tenantState is one tenant's scheduler accounting.
+type tenantState struct {
+	name        string
+	weight      float64
+	vtime       float64 // weighted service received (cost units / weight)
+	lastService int64   // episode counter value at last service
+	live        int     // admitted, not yet retired queries
+	starved     bool    // watchdog-boosted until next service
+}
+
+// Scheduling boosts, in lane units. Priorities are user lanes; urgency
+// outranks any user lane; a starvation boost outranks urgency so a starved
+// tenant is always served next.
+const (
+	laneUrgent  = 1 << 16
+	laneStarved = 1 << 20
+)
+
+// Scheduler defaults.
+const (
+	defaultDeadlineUrgency = time.Millisecond
+	defaultStarveEpisodes  = 512
+)
+
+// initSchedLocked sizes the tenant scheduler for a streaming session.
+func (s *Session) initSchedLocked(qcap int) {
+	s.tenantIDs = map[string]int{"": 0}
+	s.tenants = []tenantState{{name: "", weight: 1}}
+	s.qTenant = make([]int32, qcap)
+	s.qPriority = make([]int32, qcap)
+	s.qDeadline = make([]int64, qcap)
+	if s.cfg.DeadlineUrgency <= 0 {
+		s.cfg.DeadlineUrgency = defaultDeadlineUrgency
+	}
+	if s.cfg.StarveEpisodes <= 0 {
+		s.cfg.StarveEpisodes = defaultStarveEpisodes
+	}
+}
+
+// SubmitLive merges one query into the running session with default
+// admission metadata. See SubmitLiveMeta.
+func (s *Session) SubmitLive(q *query.Query) (int, error) {
+	return s.SubmitLiveMeta(q, SubmitMeta{})
+}
+
+// registerMetaLocked records a live submission's scheduling metadata.
+func (s *Session) registerMetaLocked(qid int, m SubmitMeta) {
+	tid, ok := s.tenantIDs[m.Tenant]
+	if !ok {
+		tid = len(s.tenants)
+		w := m.Weight
+		if w <= 0 {
+			w = 1
+		}
+		s.tenants = append(s.tenants, tenantState{name: m.Tenant, weight: w})
+		s.tenantIDs[m.Tenant] = tid
+	}
+	ts := &s.tenants[tid]
+	if ts.live == 0 {
+		// A tenant (re)joining service starts at the current virtual time
+		// floor: it competes fairly from now on instead of cashing in the
+		// service it never requested while idle.
+		if floor := s.minActiveVtimeLocked(); ts.vtime < floor {
+			ts.vtime = floor
+		}
+		ts.lastService = s.episode
+		ts.starved = false
+	}
+	ts.live++
+	s.qTenant[qid] = int32(tid)
+	s.qPriority[qid] = int32(m.Priority)
+	if !m.Deadline.IsZero() {
+		ns := m.Deadline.UnixNano()
+		s.qDeadline[qid] = ns
+		s.deadlineLive++
+		if s.nextDeadline == 0 || ns < s.nextDeadline {
+			s.nextDeadline = ns
+		}
+	} else {
+		s.qDeadline[qid] = 0
+	}
+}
+
+// minActiveVtimeLocked returns the smallest virtual time among tenants with
+// live queries (0 when none).
+func (s *Session) minActiveVtimeLocked() float64 {
+	min, found := 0.0, false
+	for i := range s.tenants {
+		ts := &s.tenants[i]
+		if ts.live == 0 {
+			continue
+		}
+		if !found || ts.vtime < min {
+			min, found = ts.vtime, true
+		}
+	}
+	return min
+}
+
+// chargeServiceLocked charges one episode's service to a query's tenant
+// (called from takeVectorLocked for every active query; n is the vector
+// size). Array indexing only — no allocation, no map access.
+func (s *Session) chargeServiceLocked(qid, n int) {
+	if s.qTenant == nil {
+		return
+	}
+	ts := &s.tenants[s.qTenant[qid]]
+	ts.vtime += float64(n) / ts.weight
+	ts.lastService = s.episode
+	ts.starved = false
+}
+
+// releaseMetaLocked drops a query's scheduling metadata at retirement.
+func (s *Session) releaseMetaLocked(qid int) {
+	if s.qTenant == nil {
+		return
+	}
+	ts := &s.tenants[s.qTenant[qid]]
+	if ts.live > 0 {
+		ts.live--
+	}
+	if s.qDeadline[qid] != 0 {
+		s.qDeadline[qid] = 0
+		if s.deadlineLive > 0 {
+			s.deadlineLive--
+		}
+	}
+	s.qPriority[qid] = 0
+}
+
+// pickScanLocked is the streaming scan selector: it sheds expired-deadline
+// queries, runs the starvation watchdog, and returns the incomplete scan
+// with the best (lane desc, rank asc, tenant vtime asc) key, breaking ties
+// round-robin. Returns -1 when every scan is drained.
+func (s *Session) pickScanLocked() int {
+	var nowNs int64
+	if s.deadlineLive > 0 {
+		nowNs = time.Now().UnixNano()
+		if s.nextDeadline != 0 && nowNs >= s.nextDeadline {
+			s.shedExpiredLocked(nowNs)
+		}
+	}
+	if s.episode&63 == 0 {
+		s.starvationSweepLocked()
+	}
+
+	best, n := -1, len(s.scans)
+	var bestLane int64
+	var bestV float64
+	var bestRank int
+	urgentBefore := int64(0)
+	if nowNs != 0 {
+		urgentBefore = nowNs + int64(s.cfg.DeadlineUrgency)
+	}
+	for off := 0; off < n; off++ {
+		// Starting at the round-robin cursor makes "all keys equal" (single
+		// tenant, no lanes) degenerate to the original rotation.
+		i := (s.rrCursor + off) % n
+		st := s.scans[i]
+		if st.done() {
+			continue
+		}
+		lane, minV := s.scanKeyLocked(st, urgentBefore)
+		// Key order: lane (priority + boosts), tenant virtual time, scan
+		// rank. With one tenant every vtime ties, so rank (dimension tables
+		// first, pruning order §5.2) decides exactly as in batch mode; with
+		// several, fair-share dominates rank so a tenant cannot be crowded
+		// out by the shape of another tenant's join graphs.
+		if best == -1 || lane > bestLane ||
+			(lane == bestLane && (minV < bestV ||
+				(minV == bestV && st.rank < bestRank))) {
+			best, bestLane, bestV, bestRank = i, lane, minV, st.rank
+		}
+	}
+	if best >= 0 {
+		s.rrCursor = best + 1
+	}
+	return best
+}
+
+// scanKeyLocked computes one scan's scheduling key over its active queries:
+// the maximum boosted lane and the minimum tenant virtual time.
+func (s *Session) scanKeyLocked(st *scanState, urgentBefore int64) (lane int64, minV float64) {
+	lane, minV = 0, -1
+	first := true
+	st.active.ForEach(func(qid int) {
+		ts := &s.tenants[s.qTenant[qid]]
+		l := int64(s.qPriority[qid])
+		if ts.starved {
+			l += laneStarved
+		}
+		if d := s.qDeadline[qid]; d != 0 && urgentBefore != 0 && d <= urgentBefore {
+			l += laneUrgent
+		}
+		if first || l > lane {
+			lane = l
+		}
+		if first || ts.vtime < minV {
+			minV = ts.vtime
+		}
+		first = false
+	})
+	return lane, minV
+}
+
+// shedExpiredLocked fails every live query whose deadline has passed with a
+// typed ShedError: its bits leave the scan active sets immediately, it
+// retires as soon as its in-flight episodes drain, and its partial count
+// stays available. The next-deadline cursor is recomputed over survivors.
+func (s *Session) shedExpiredLocked(nowNs int64) {
+	next := int64(0)
+	for qid := 0; qid < s.b.QCap(); qid++ {
+		d := s.qDeadline[qid]
+		if d == 0 {
+			continue
+		}
+		if d > nowNs {
+			if next == 0 || d < next {
+				next = d
+			}
+			continue
+		}
+		if !s.admitted.Contains(qid) || s.failed.Contains(qid) || s.retired.Contains(qid) ||
+			(s.gc.running && s.gc.active.Contains(qid)) {
+			continue
+		}
+		ts := &s.tenants[s.qTenant[qid]]
+		s.failed.Add(qid)
+		s.failErr[qid] = &admission.ShedError{
+			Tenant:   ts.name,
+			Deadline: time.Unix(0, d),
+		}
+		for _, inst := range s.b.QueryInsts(qid) {
+			s.scans[inst].active.Remove(qid)
+		}
+		s.shedCount++
+		metrics.Default().DeadlineSheds.Add(1)
+		s.maybeRetireLocked(qid)
+	}
+	s.nextDeadline = next
+}
+
+// starvationSweepLocked boosts tenants that hold live queries but have not
+// been scheduled for cfg.StarveEpisodes episodes. A starved tenant's scans
+// jump every lane until the tenant is next served (priority inversion
+// guard: sustained high-priority load cannot freeze a low-priority tenant
+// out forever).
+func (s *Session) starvationSweepLocked() {
+	if s.tenants == nil {
+		return
+	}
+	thresh := int64(s.cfg.StarveEpisodes)
+	for i := range s.tenants {
+		ts := &s.tenants[i]
+		if ts.live > 0 && !ts.starved && s.episode-ts.lastService > thresh {
+			ts.starved = true
+			s.starveBoosts++
+			metrics.Default().StarvationBoosts.Add(1)
+		}
+	}
+}
+
+// TenantSched is one tenant's scheduler snapshot (observability).
+type TenantSched struct {
+	Tenant      string
+	Weight      float64
+	VirtualTime float64
+	Live        int
+	Starved     bool
+}
+
+// SchedSnapshot returns the per-tenant scheduler state of a streaming
+// session (nil for batch sessions).
+func (s *Session) SchedSnapshot() []TenantSched {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tenants == nil {
+		return nil
+	}
+	out := make([]TenantSched, len(s.tenants))
+	for i := range s.tenants {
+		ts := &s.tenants[i]
+		out[i] = TenantSched{
+			Tenant: ts.name, Weight: ts.weight, VirtualTime: ts.vtime,
+			Live: ts.live, Starved: ts.starved,
+		}
+	}
+	return out
+}

@@ -44,13 +44,19 @@ func (s *Session) resume() {
 	s.mu.Unlock()
 }
 
-// SubmitLive merges one query into the running session: the batch and the
-// execution context are extended under the quiesce gate, the query is
+// SubmitLiveMeta merges one query into the running session: the batch and
+// the execution context are extended under the quiesce gate, the query is
 // admitted on its instances' scans (rescanning each relation from the
 // current circular-scan position, so it reuses every STeM entry built so
 // far and re-ingests only what it has not seen), and workers are woken.
-// It returns the assigned query ID.
-func (s *Session) SubmitLive(q *query.Query) (int, error) {
+// The meta carries the query's tenant, fairness weight, priority lane and
+// deadline for the tenant-aware scheduler (see sched.go). It returns the
+// assigned query ID.
+//
+// Admission control (budget, rate limits) belongs in front of this call:
+// SubmitLiveMeta pays the quiesce-gate barrier, so overload rejections must
+// happen before it to keep rejection cheap under saturation.
+func (s *Session) SubmitLiveMeta(q *query.Query, m SubmitMeta) (int, error) {
 	s.pause()
 	qid, err := s.b.Extend(q)
 	if err != nil {
@@ -93,6 +99,7 @@ func (s *Session) SubmitLive(q *query.Query) (int, error) {
 	for _, inst := range s.b.QueryInsts(qid) {
 		s.ctx.Stems[inst].EnsureBuckets(s.ctx.Tables[inst].NumRows())
 	}
+	s.registerMetaLocked(qid, m)
 	s.admitLocked(qid)
 	s.maybeRetireLocked(qid) // zero-row relations: the query is born drained
 	cbs := s.takeCallbacksLocked()
@@ -165,6 +172,7 @@ func (s *Session) maybeRetireLocked(qid int) {
 		return
 	}
 	s.retired.Add(qid)
+	s.releaseMetaLocked(qid)
 	st := QueryStatus{Completed: !failed, Err: s.failErr[qid]}
 	if cb := s.cfg.OnRetire; cb != nil {
 		q := qid
@@ -221,10 +229,15 @@ func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
 			continue
 		}
 		s.fireAdmissionsLocked()
-		if best := s.bestScanLocked(); best >= 0 {
-			in := s.takeRoundRobinLocked(best)
+		if best := s.pickScanLocked(); best >= 0 {
+			in := s.takeVectorLocked(query.InstID(best))
 			s.mu.Unlock()
 			return in, true
+		}
+		if len(s.cbsQueued) > 0 {
+			// pickScanLocked may have shed expired-deadline queries and
+			// queued their retirement callbacks; run them before blocking.
+			continue
 		}
 		if s.inFlight == 0 && s.cbsActive == 0 && (s.gc.running || !s.retired.Empty()) {
 			s.gcQuantumLocked()
@@ -302,6 +315,7 @@ func (s *Session) gcFinishLocked() {
 		if s.qEpisodes != nil {
 			s.qEpisodes[qid], s.qElapsed[qid] = 0, 0
 		}
+		s.qTenant[qid] = 0
 		s.ctx.Sources[qid] = nil
 		s.b.ReleaseQID(qid)
 	}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/roulette-db/roulette/internal/admission"
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/stem"
@@ -39,6 +40,17 @@ type Config struct {
 
 	// InsertFailEvery fails ~1-in-N episodes' STeM insertion with an error.
 	InsertFailEvery int
+
+	// SubmitRejectEvery forces ~1-in-N stream submissions to be rejected by
+	// the admission controller with ErrOverloaded (ReasonInjected), keyed by
+	// submission sequence number.
+	SubmitRejectEvery int
+
+	// RetireDelayEvery sleeps RetireDelay before ~1-in-N retirements are
+	// released back to the admission controller (delayed-retirement
+	// injection; stresses budget accounting and retry-after estimation).
+	RetireDelayEvery int
+	RetireDelay      time.Duration
 }
 
 // InjectedPanic is the value injected crashes panic with, so chaos tests
@@ -58,6 +70,7 @@ func (p InjectedPanic) String() string {
 type Injector struct {
 	cfg                        Config
 	panics, slows, insertFails atomic.Int64
+	submitRejects, retireLags  atomic.Int64
 }
 
 // New creates an injector.
@@ -105,6 +118,30 @@ func (in *Injector) Hooks() exec.Hooks {
 	}
 }
 
+// AdmissionHooks binds the injector to the admission controller's chaos
+// points. Submit rejections are keyed by submission sequence number, so a
+// given (seed, submission order) pair rejects the same submissions.
+// Retirement delays are keyed by the controller's sequence counter at
+// retire time, which depends on interleaving — delays are statistically
+// 1-in-N but not replay-exact.
+func (in *Injector) AdmissionHooks() admission.Hooks {
+	return admission.Hooks{
+		ForceReject: func(tenant string, seq uint64) bool {
+			if in.hits(4, stem.Slot(seq), in.cfg.SubmitRejectEvery) {
+				in.submitRejects.Add(1)
+				return true
+			}
+			return false
+		},
+		RetireDelay: func(tenant string, seq uint64) {
+			if in.hits(5, stem.Slot(seq), in.cfg.RetireDelayEvery) {
+				in.retireLags.Add(1)
+				time.Sleep(in.cfg.RetireDelay)
+			}
+		},
+	}
+}
+
 // Panics returns the number of injected panics so far.
 func (in *Injector) Panics() int64 { return in.panics.Load() }
 
@@ -113,3 +150,9 @@ func (in *Injector) Slows() int64 { return in.slows.Load() }
 
 // InsertFails returns the number of injected insertion failures so far.
 func (in *Injector) InsertFails() int64 { return in.insertFails.Load() }
+
+// SubmitRejects returns the number of injected admission rejections so far.
+func (in *Injector) SubmitRejects() int64 { return in.submitRejects.Load() }
+
+// RetireDelays returns the number of injected retirement delays so far.
+func (in *Injector) RetireDelays() int64 { return in.retireLags.Load() }

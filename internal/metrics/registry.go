@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -34,13 +35,93 @@ type Registry struct {
 	QStates        atomic.Int64 // Q-table size of the most recent session (gauge)
 	WatermarkLag   atomic.Int64 // slots allocated but unpublished at session end (gauge; non-zero = leak)
 
+	// Admission / overload protection (streaming).
+	SubmitAdmitted   atomic.Int64 // submissions admitted past the controller
+	SubmitOverloads  atomic.Int64 // submissions rejected with ErrOverloaded
+	DeadlineSheds    atomic.Int64 // queries shed for unmeetable deadlines (submit-time + mid-flight)
+	StarvationBoosts atomic.Int64 // starvation-watchdog activations
+
 	FilterNs atomic.Int64
 	BuildNs  atomic.Int64
 	ProbeNs  atomic.Int64
 	RouteNs  atomic.Int64
 
-	mu     sync.Mutex
-	faults map[string]int64 // per fault class
+	mu      sync.Mutex
+	faults  map[string]int64          // per fault class
+	tenants map[string]*TenantMetrics // per tenant, streaming SLO accounting
+}
+
+// TenantMetrics is one tenant's streaming SLO accounting: retire-latency
+// distribution (submit to terminal ticket outcome) plus admission counters.
+// Histograms are power-of-two-bucketed microseconds, so the exported
+// quantiles are upper bounds at bucket resolution.
+type TenantMetrics struct {
+	Retire   Histogram // retire latency in microseconds
+	Admitted atomic.Int64
+	Rejected atomic.Int64 // ErrOverloaded rejections
+	Shed     atomic.Int64 // ErrDeadlineShed (submit-time + mid-flight)
+}
+
+// Tenant returns (creating) the named tenant's metrics.
+func (r *Registry) Tenant(name string) *TenantMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tenants == nil {
+		r.tenants = make(map[string]*TenantMetrics)
+	}
+	tm := r.tenants[name]
+	if tm == nil {
+		tm = &TenantMetrics{}
+		r.tenants[name] = tm
+	}
+	return tm
+}
+
+// ObserveRetire records one query's submit-to-retire latency for a tenant.
+func (r *Registry) ObserveRetire(tenant string, micros int64) {
+	r.Tenant(tenant).Retire.Add(micros)
+}
+
+// TenantSLO is one tenant's exported SLO snapshot.
+type TenantSLO struct {
+	Tenant        string  `json:"tenant"`
+	Retired       int64   `json:"retired"`
+	RetireP50Us   int64   `json:"retire_p50_micros"`
+	RetireP95Us   int64   `json:"retire_p95_micros"`
+	RetireMeanUs  float64 `json:"retire_mean_micros"`
+	Admitted      int64   `json:"admitted"`
+	OverloadRejcs int64   `json:"overload_rejected"`
+	DeadlineSheds int64   `json:"deadline_shed"`
+}
+
+// tenantsCopy snapshots the per-tenant SLO metrics, sorted by tenant name.
+func (r *Registry) tenantsCopy() []TenantSLO {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		names = append(names, name)
+	}
+	tms := make([]*TenantMetrics, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		tms = append(tms, r.tenants[name])
+	}
+	r.mu.Unlock()
+
+	out := make([]TenantSLO, len(names))
+	for i, tm := range tms {
+		out[i] = TenantSLO{
+			Tenant:        names[i],
+			Retired:       tm.Retire.Count(),
+			RetireP50Us:   tm.Retire.Quantile(0.50),
+			RetireP95Us:   tm.Retire.Quantile(0.95),
+			RetireMeanUs:  tm.Retire.Mean(),
+			Admitted:      tm.Admitted.Load(),
+			OverloadRejcs: tm.Rejected.Load(),
+			DeadlineSheds: tm.Shed.Load(),
+		}
+	}
+	return out
 }
 
 var defaultRegistry Registry
@@ -98,12 +179,18 @@ type RegistrySnapshot struct {
 	QStates        int64 `json:"qtable_states"`
 	WatermarkLag   int64 `json:"watermark_lag"`
 
+	SubmitAdmitted   int64 `json:"submit_admitted"`
+	SubmitOverloads  int64 `json:"submit_overload_rejected"`
+	DeadlineSheds    int64 `json:"deadline_shed"`
+	StarvationBoosts int64 `json:"starvation_boosts"`
+
 	FilterNs int64 `json:"filter_ns"`
 	BuildNs  int64 `json:"build_ns"`
 	ProbeNs  int64 `json:"probe_ns"`
 	RouteNs  int64 `json:"route_ns"`
 
-	Faults map[string]int64 `json:"episode_faults_by_kind,omitempty"`
+	Faults  map[string]int64 `json:"episode_faults_by_kind,omitempty"`
+	Tenants []TenantSLO      `json:"tenants,omitempty"`
 }
 
 // Snapshot copies the current counter values.
@@ -127,11 +214,18 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		ExploitActions:  r.ExploitActions.Load(),
 		QStates:         r.QStates.Load(),
 		WatermarkLag:    r.WatermarkLag.Load(),
-		FilterNs:        r.FilterNs.Load(),
-		BuildNs:         r.BuildNs.Load(),
-		ProbeNs:         r.ProbeNs.Load(),
-		RouteNs:         r.RouteNs.Load(),
-		Faults:          r.faultsCopy(),
+
+		SubmitAdmitted:   r.SubmitAdmitted.Load(),
+		SubmitOverloads:  r.SubmitOverloads.Load(),
+		DeadlineSheds:    r.DeadlineSheds.Load(),
+		StarvationBoosts: r.StarvationBoosts.Load(),
+
+		FilterNs: r.FilterNs.Load(),
+		BuildNs:  r.BuildNs.Load(),
+		ProbeNs:  r.ProbeNs.Load(),
+		RouteNs:  r.RouteNs.Load(),
+		Faults:   r.faultsCopy(),
+		Tenants:  r.tenantsCopy(),
 	}
 }
 
@@ -162,6 +256,24 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	p.Counter("roulette_policy_exploit_actions_total", "Policy decisions taken greedily from Q-values.", float64(s.ExploitActions))
 	p.Gauge("roulette_qtable_states", "Q-table (state, action) entries of the most recent session.", float64(s.QStates))
 	p.Gauge("roulette_watermark_lag", "Version slots allocated but never published by the most recent session (non-zero indicates a slot leak disabling the probe watermark fast path).", float64(s.WatermarkLag))
+	p.Counter("roulette_submit_admitted_total", "Stream submissions admitted past the admission controller.", float64(s.SubmitAdmitted))
+	p.Counter("roulette_submit_overload_rejected_total", "Stream submissions rejected with ErrOverloaded (budget or rate limit).", float64(s.SubmitOverloads))
+	p.Counter("roulette_deadline_shed_total", "Queries shed for unmeetable deadlines (at submit or mid-flight).", float64(s.DeadlineSheds))
+	p.Counter("roulette_starvation_boosts_total", "Starvation-watchdog activations boosting an unserved tenant.", float64(s.StarvationBoosts))
+	for _, t := range s.Tenants {
+		p.Counter("roulette_tenant_submit_admitted_total", "Admitted submissions, by tenant.",
+			float64(t.Admitted), Label{"tenant", t.Tenant})
+		p.Counter("roulette_tenant_overload_rejected_total", "ErrOverloaded rejections, by tenant.",
+			float64(t.OverloadRejcs), Label{"tenant", t.Tenant})
+		p.Counter("roulette_tenant_deadline_shed_total", "Deadline sheds, by tenant.",
+			float64(t.DeadlineSheds), Label{"tenant", t.Tenant})
+		p.Counter("roulette_tenant_retired_total", "Retired queries with an observed latency, by tenant.",
+			float64(t.Retired), Label{"tenant", t.Tenant})
+		p.Gauge("roulette_tenant_retire_latency_micros", "Retire-latency quantile upper bounds (submit to terminal outcome), by tenant.",
+			float64(t.RetireP50Us), Label{"tenant", t.Tenant}, Label{"quantile", "0.5"})
+		p.Gauge("roulette_tenant_retire_latency_micros", "Retire-latency quantile upper bounds (submit to terminal outcome), by tenant.",
+			float64(t.RetireP95Us), Label{"tenant", t.Tenant}, Label{"quantile", "0.95"})
+	}
 	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",
 		float64(s.FilterNs)/1e9, Label{"phase", "filter"})
 	p.Counter("roulette_phase_seconds_total", "Cumulative execution time per operator class.",

@@ -3,6 +3,7 @@ package roulette
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/roulette-db/roulette/internal/query"
 )
@@ -12,6 +13,11 @@ import (
 type Query struct {
 	q   query.Query
 	err error
+
+	// Streaming admission metadata (see Stream.Submit); ignored in batch
+	// mode, where the whole batch runs to completion together.
+	priority int
+	deadline time.Duration
 }
 
 // NewQuery starts a query with a user-facing tag.
@@ -122,7 +128,34 @@ func (q *Query) Tag() string { return q.q.Tag }
 // WithTag renames the query. Results carry the tag; ParseSQL assigns
 // positional sql-N tags, which collide when statements from separate
 // parses meet in one stream.
+//
+// In streams with admission control, the tag also keys the query's tenant:
+// the prefix before the first '/' ("gold/q17" belongs to tenant "gold", a
+// bare "q17" to tenant "q17"). Tenants get weighted-fair scheduling, rate
+// limits, and per-tenant SLO metrics.
 func (q *Query) WithTag(tag string) *Query {
 	q.q.Tag = tag
+	return q
+}
+
+// WithPriority sets the query's scheduling lane for streams: among runnable
+// work, higher lanes are always served first (subject to the starvation
+// watchdog, which keeps lower lanes from starving forever). The default
+// lane is 0; negative lanes yield to the default. Batch execution ignores
+// priorities.
+func (q *Query) WithPriority(p int) *Query {
+	q.priority = p
+	return q
+}
+
+// WithDeadline gives the query a completion deadline, measured from the
+// moment it is submitted to a stream. A query whose estimated cost already
+// exceeds the deadline is shed at Submit with ErrDeadlineShed; one that is
+// admitted gets an urgency boost as the deadline nears, and is shed
+// mid-flight (retiring with a partial count and ErrDeadlineShed) if the
+// deadline passes first. 0 means no deadline. Batch execution ignores
+// per-query deadlines; use Options.Deadline for whole-batch bounds.
+func (q *Query) WithDeadline(d time.Duration) *Query {
+	q.deadline = d
 	return q
 }

@@ -5,10 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/roulette-db/roulette/internal/admission"
+	"github.com/roulette-db/roulette/internal/cost"
 	"github.com/roulette-db/roulette/internal/engine"
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/host"
+	"github.com/roulette-db/roulette/internal/metrics"
 	"github.com/roulette-db/roulette/internal/policy"
 	"github.com/roulette-db/roulette/internal/qlearn"
 	"github.com/roulette-db/roulette/internal/query"
@@ -25,6 +29,53 @@ type StreamOptions struct {
 	// garbage-collected) queries; 0 means 64. Submissions beyond the cap
 	// fail with ErrStreamFull until retired queries are reclaimed.
 	MaxQueries int
+
+	// Admission enables overload protection: an in-flight cost budget,
+	// per-tenant rate limits and weighted-fair scheduling, and deadline
+	// shedding. Nil disables admission control entirely — Submit never
+	// returns ErrOverloaded and queries schedule by scan rank alone, as
+	// before. Per-query deadlines (Query.WithDeadline) and priorities work
+	// either way.
+	Admission *AdmissionOptions
+}
+
+// TenantLimit overrides one tenant's rate limit and fairness weight.
+type TenantLimit = admission.TenantLimit
+
+// AdmissionOptions configure a stream's overload protection. Tenants are
+// derived from query tags: the prefix before the first '/' (see
+// Query.WithTag). The zero value admits everything but still enables
+// weighted-fair scheduling and per-tenant SLO metrics.
+type AdmissionOptions struct {
+	// MaxInFlightCost bounds the summed estimated cost — in estimated
+	// execution nanoseconds, from the engine's cost model over each query's
+	// relation cardinalities — of admitted, not-yet-retired queries.
+	// Submissions that would exceed it fail fast with ErrOverloaded
+	// (reason "budget", with a retry-after hint from the observed drain
+	// rate) before the engine's quiesce gate is touched. 0 means no budget.
+	MaxInFlightCost float64
+
+	// DefaultRate and DefaultBurst are the token-bucket parameters (cost
+	// units per second, and bucket capacity) applied to tenants without an
+	// explicit TenantLimit. Zero rate means no rate limiting by default.
+	DefaultRate  float64
+	DefaultBurst float64
+
+	// Tenants overrides rate limits and fairness weights per tenant key.
+	Tenants map[string]TenantLimit
+
+	// DeadlineUrgency is how far ahead of a query's deadline the scheduler
+	// starts boosting its episodes into the urgent lane; 0 means 1ms.
+	DeadlineUrgency time.Duration
+
+	// StarveEpisodes is the starvation watchdog threshold: a tenant with
+	// live queries unserved for this many episodes jumps every priority
+	// lane until it is next scheduled; 0 means 512.
+	StarveEpisodes int
+
+	// hooks are the chaos-injection points (internal/faults wires them in
+	// white-box tests).
+	hooks admission.Hooks
 }
 
 // ErrStreamFull is returned by Submit when every query slot is occupied by
@@ -37,6 +88,24 @@ var ErrStreamClosed = errors.New("roulette: stream closed")
 // ErrQueryCancelled is the default cancellation cause for Ticket.Cancel.
 var ErrQueryCancelled = errors.New("roulette: query cancelled")
 
+// ErrOverloaded is the sentinel every admission rejection matches with
+// errors.Is. The concrete error is an *OverloadError carrying the tenant,
+// the reason (budget or rate), and a retry-after hint; callers should back
+// off for at least the hint before resubmitting.
+var ErrOverloaded = admission.ErrOverloaded
+
+// ErrDeadlineShed is the sentinel matched by queries shed for an unmeetable
+// deadline — at Submit when the estimated cost already exceeds it, or
+// mid-flight when it expires before the query drains. The concrete error is
+// a *ShedError.
+var ErrDeadlineShed = admission.ErrDeadlineShed
+
+// OverloadError is the typed rejection behind ErrOverloaded.
+type OverloadError = admission.OverloadError
+
+// ShedError is the typed error behind ErrDeadlineShed.
+type ShedError = admission.ShedError
+
 // Ticket tracks one submitted query through a Stream. Its result is
 // delivered the moment the query retires — when its scans drain, it is
 // cancelled, or it is caught in a faulted episode — not when the stream
@@ -45,6 +114,12 @@ type Ticket struct {
 	s   *Stream
 	qid int
 	tag string
+
+	// Admission accounting, released exactly once when the ticket resolves.
+	tenant   string
+	admCost  float64
+	admitted bool // charged to the admission controller
+	start    time.Time
 
 	done chan struct{}
 	res  QueryResult // set before done closes
@@ -111,6 +186,8 @@ type Stream struct {
 	done    bool // worker pool exited: no more results
 
 	opt     StreamOptions
+	adm     *admission.Controller // nil when opt.Admission is nil
+	model   *cost.Model           // admission cost estimates
 	results chan QueryResult
 	resOnce sync.Once
 	runDone chan struct{}
@@ -146,6 +223,10 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 		EpisodeWatchdog: opt.EpisodeWatchdog,
 		Streaming:       true,
 	}
+	if a := opt.Admission; a != nil {
+		cfg.DeadlineUrgency = a.DeadlineUrgency
+		cfg.StarveEpisodes = a.StarveEpisodes
+	}
 	switch opt.Policy {
 	case PolicyLearned:
 		qcfg := qlearn.DefaultConfig()
@@ -172,6 +253,19 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 		pending: make(map[int]QueryResult),
 		runDone: make(chan struct{}),
 	}
+	s.model = cfg.Model
+	if s.model == nil {
+		s.model = cost.Default()
+	}
+	if a := opt.Admission; a != nil {
+		s.adm = admission.NewController(admission.Config{
+			MaxInFlightCost: a.MaxInFlightCost,
+			DefaultRate:     a.DefaultRate,
+			DefaultBurst:    a.DefaultBurst,
+			Tenants:         a.Tenants,
+			Hooks:           a.hooks,
+		})
+	}
 	s.resCond = sync.NewCond(&s.mu)
 	cfg.OnRetire = s.onRetire
 	sess, err := engine.NewSession(b, e.db, cfg)
@@ -197,13 +291,11 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 		s.closed = true
 		s.mu.Unlock()
 		for _, t := range orphans {
-			qr := QueryResult{Tag: t.tag, Aborted: true, Err: cause}
+			qr := QueryResult{Aborted: true, Err: cause}
 			if src := sess.Context().Sources[t.qid]; src != nil {
 				qr.Count = src.Count()
 			}
-			t.res = qr
-			close(t.done)
-			s.publish(qr)
+			s.finish(t, qr)
 		}
 
 		s.mu.Lock()
@@ -220,6 +312,13 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 // for its result. The query starts executing immediately, reusing the
 // STeM state built by earlier queries over the same relations; it
 // rescans each of its relations once from the scan's current position.
+//
+// With admission control enabled (StreamOptions.Admission), Submit may
+// instead fail fast with ErrOverloaded — the stream's in-flight cost budget
+// or the tenant's rate limit is exhausted; back off for the OverloadError's
+// RetryAfter hint — or with ErrDeadlineShed when the query's estimated cost
+// already exceeds its deadline. Both checks run before the engine's worker
+// pool is disturbed, so a saturated stream rejects cheaply.
 func (s *Stream) Submit(q *Query) (*Ticket, error) {
 	if q.err != nil {
 		return nil, fmt.Errorf("roulette: query %q: %w", q.q.Tag, q.err)
@@ -233,30 +332,136 @@ func (s *Stream) Submit(q *Query) (*Ticket, error) {
 		return nil, ErrStreamClosed
 	}
 	s.mu.Unlock()
+
+	tenant := ""
+	var estCost float64
+	if s.adm != nil {
+		tenant = admission.TenantOf(q.q.Tag)
+	}
+	if s.adm != nil || q.deadline > 0 {
+		estCost = s.estimateCost(&q.q)
+	}
+	var deadline time.Time
+	if q.deadline > 0 {
+		deadline = time.Now().Add(q.deadline)
+		if est := time.Duration(estCost); est > q.deadline {
+			// Hopeless: shed now instead of burning episodes on a query
+			// that cannot finish in time.
+			reg := metrics.Default()
+			reg.DeadlineSheds.Add(1)
+			reg.Tenant(tenant).Shed.Add(1)
+			if s.adm != nil {
+				s.adm.RecordShed(tenant)
+			}
+			return nil, &ShedError{Tenant: tenant, AtSubmit: true, Deadline: deadline, Estimate: est}
+		}
+	}
+	if s.adm != nil {
+		if err := s.adm.Admit(tenant, estCost); err != nil {
+			reg := metrics.Default()
+			reg.SubmitOverloads.Add(1)
+			reg.Tenant(tenant).Rejected.Add(1)
+			return nil, err
+		}
+		reg := metrics.Default()
+		reg.SubmitAdmitted.Add(1)
+		reg.Tenant(tenant).Admitted.Add(1)
+	}
+
 	if s.sess.FreeQuerySlots() == 0 {
+		if s.adm != nil {
+			s.adm.Release(tenant, estCost)
+		}
 		return nil, ErrStreamFull
 	}
 
+	meta := engine.SubmitMeta{
+		Tenant:   tenant,
+		Priority: q.priority,
+		Deadline: deadline,
+		Cost:     estCost,
+	}
+	if s.adm != nil {
+		meta.Weight = s.adm.Weight(tenant)
+	}
 	cp := q.q // copy: the stream assigns its own query ID
-	qid, err := s.sess.SubmitLive(&cp)
+	start := time.Now()
+	qid, err := s.sess.SubmitLiveMeta(&cp, meta)
 	if err != nil {
+		if s.adm != nil {
+			s.adm.Release(tenant, estCost)
+		}
 		return nil, err
 	}
-	t := &Ticket{s: s, qid: qid, tag: cp.Tag, done: make(chan struct{})}
+	t := &Ticket{
+		s: s, qid: qid, tag: cp.Tag,
+		tenant: tenant, admCost: estCost, admitted: s.adm != nil, start: start,
+		done: make(chan struct{}),
+	}
 	s.mu.Lock()
 	if qr, ok := s.pending[qid]; ok {
 		// Retired before we could register (e.g. empty relations).
 		delete(s.pending, qid)
-		qr.Tag = t.tag
-		t.res = qr
 		s.mu.Unlock()
-		close(t.done)
-		s.publish(qr)
+		s.finish(t, qr)
 		return t, nil
 	}
 	s.tickets[qid] = t
 	s.mu.Unlock()
 	return t, nil
+}
+
+// estimateCost estimates a query's execution nanoseconds from the cost
+// model and relation cardinalities: one selection pass per relation plus a
+// join pass per edge sized by its larger side. Deliberately crude — it only
+// needs to be monotone in data size to make budget accounting and
+// hopeless-deadline shedding meaningful.
+func (s *Stream) estimateCost(q *query.Query) float64 {
+	rows := make(map[string]float64, len(q.Rels))
+	total := 0.0
+	for _, r := range q.Rels {
+		t := s.e.db.Table(r.Table)
+		if t == nil {
+			continue // surfaces as a compile error in SubmitLiveMeta
+		}
+		n := float64(t.NumRows())
+		rows[r.Alias] = n
+		total += s.model.Cost(cost.Selection, n, n)
+	}
+	for _, j := range q.Joins {
+		n := rows[j.LeftAlias]
+		if rn := rows[j.RightAlias]; rn > n {
+			n = rn
+		}
+		total += s.model.Cost(cost.Join, n, n)
+	}
+	return total
+}
+
+// finish resolves a ticket exactly once: it releases the admission charge,
+// records per-tenant SLO metrics, and publishes the result. Callers must
+// own the ticket (have removed it from s.tickets, or never inserted it).
+func (s *Stream) finish(t *Ticket, qr QueryResult) {
+	qr.Tag = t.tag
+	if t.admitted {
+		s.adm.RetireDelayHook(t.tenant)
+		s.adm.Release(t.tenant, t.admCost)
+	}
+	reg := metrics.Default()
+	if qr.Err != nil && errors.Is(qr.Err, ErrDeadlineShed) {
+		// Mid-flight sheds reach here via the engine's expiry watchdog;
+		// the global DeadlineSheds counter was already bumped there.
+		reg.Tenant(t.tenant).Shed.Add(1)
+		if t.admitted {
+			s.adm.RecordShed(t.tenant)
+		}
+	}
+	if !t.start.IsZero() {
+		reg.ObserveRetire(t.tenant, time.Since(t.start).Microseconds())
+	}
+	t.res = qr
+	close(t.done)
+	s.publish(qr)
 }
 
 // onRetire is the engine's retirement callback: it consumes the query's
@@ -289,10 +494,7 @@ func (s *Stream) onRetire(qid int, st engine.QueryStatus) {
 	}
 	delete(s.tickets, qid)
 	s.mu.Unlock()
-	qr.Tag = t.tag
-	t.res = qr
-	close(t.done)
-	s.publish(qr)
+	s.finish(t, qr)
 }
 
 // publish enqueues a result for the Results channel (unbounded queue so
@@ -349,6 +551,37 @@ func (s *Stream) StemStats() []StreamStemStat {
 		}
 	}
 	return out
+}
+
+// StreamTenantStat is one tenant's admission counters at a point in time.
+type StreamTenantStat struct {
+	Tenant    string
+	Admitted  int64 // submissions admitted
+	Rejected  int64 // submissions rejected with ErrOverloaded
+	Shed      int64 // queries shed with ErrDeadlineShed
+	InFlight  int64 // admitted, not yet retired
+	CostInUse float64
+	Weight    float64
+}
+
+// AdmissionStats snapshots the stream's admission controller: the summed
+// in-flight estimated cost, total admitted/rejected submissions, and the
+// per-tenant breakdown. All zeroes (nil tenants) when admission control is
+// disabled.
+func (s *Stream) AdmissionStats() (inFlightCost float64, admitted, rejected int64, tenants []StreamTenantStat) {
+	if s.adm == nil {
+		return 0, 0, 0, nil
+	}
+	inUse, adm, rej, snap := s.adm.Snapshot()
+	tenants = make([]StreamTenantStat, len(snap))
+	for i, t := range snap {
+		tenants[i] = StreamTenantStat{
+			Tenant: t.Tenant, Admitted: t.Admitted, Rejected: t.Rejected,
+			Shed: t.Shed, InFlight: t.InFlight, CostInUse: t.CostInUse,
+			Weight: t.Weight,
+		}
+	}
+	return inUse, adm, rej, tenants
 }
 
 // Close stops accepting submissions, waits for every in-flight query to

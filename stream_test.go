@@ -215,23 +215,17 @@ func TestStreamStemGC(t *testing.T) {
 		return n
 	}
 
-	// Track the peak footprint while the first wave runs.
+	// Track the peak footprint by sampling synchronously between stream
+	// operations: right after a Submit returns, that query is live and its
+	// relations are (re)ingesting, so these samples see the working-set
+	// high-water mark. (A free-running poller goroutine is not guaranteed
+	// any CPU time on a single-core host and can miss the whole run.)
 	var peak int64
-	stop := make(chan struct{})
-	polled := make(chan struct{})
-	go func() {
-		defer close(polled)
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			if n := total(); n > peak {
-				peak = n
-			}
+	sample := func() {
+		if n := total(); n > peak {
+			peak = n
 		}
-	}()
+	}
 
 	var tickets []*Ticket
 	for _, q := range streamWorkload() {
@@ -240,14 +234,14 @@ func TestStreamStemGC(t *testing.T) {
 			t.Fatal(err)
 		}
 		tickets = append(tickets, tk)
+		sample()
 	}
 	for _, tk := range tickets {
 		if _, err := tk.Wait(context.Background()); err != nil {
 			t.Fatal(err)
 		}
+		sample()
 	}
-	close(stop)
-	<-polled
 	if peak == 0 {
 		t.Fatal("never observed a non-empty STeM")
 	}

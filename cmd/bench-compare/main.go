@@ -38,6 +38,11 @@ type report struct {
 	QPS     float64                 `json:"qps"`
 	Rows    []bench.ScalingRow      `json:"rows"`
 	Tenants []bench.TenantStressRow `json:"tenants"`
+
+	// NumCPU is present in combined BENCH.json headers and in bare scaling
+	// reports; it gates the speedup tripwire (a <4-CPU host cannot measure
+	// speedup@4workers).
+	NumCPU int `json:"num_cpu"`
 }
 
 func load(path string) (*report, error) {
@@ -96,6 +101,16 @@ func (c *checker) lower(name string, baseline, current float64) {
 	c.report(name, baseline, current, ok)
 }
 
+// speedup checks the headline scaling metric against a fixed 10% floor,
+// independent of -tolerance: speedup is a ratio of same-host runs, so it is
+// far more stable than absolute throughput and deserves a tight tripwire.
+func (c *checker) speedup(name string, baseline, current float64) {
+	if baseline <= 0 {
+		return
+	}
+	c.report(name, baseline, current, current >= baseline*0.9)
+}
+
 func (c *checker) report(name string, baseline, current float64, ok bool) {
 	status := "ok"
 	if !ok {
@@ -103,6 +118,45 @@ func (c *checker) report(name string, baseline, current float64, ok bool) {
 		c.failed = true
 	}
 	fmt.Printf("%-40s baseline %12.2f  current %12.2f  [%s]\n", name, baseline, current, status)
+}
+
+// scalingRow finds the sample for a worker count, or nil.
+func scalingRow(rep *bench.ScalingReport, workers int) *bench.ScalingRow {
+	for i := range rep.Rows {
+		if rep.Rows[i].Workers == workers {
+			return &rep.Rows[i]
+		}
+	}
+	return nil
+}
+
+// checkSpeedup is the speedup@4workers tripwire: the repo's scalability
+// claim is CI-tracked as the wall-clock speedup of 4 workers over 1, and a
+// drop of 10% or more against the committed baseline fails the build. The
+// check auto-skips when either side cannot measure it honestly: a host with
+// fewer than 4 CPUs, or a baseline row recorded oversubscribed.
+func checkSpeedup(c *checker, base, cur *report) {
+	b4, g4 := scalingRow(base.Scaling, 4), scalingRow(cur.Scaling, 4)
+	if b4 == nil || g4 == nil {
+		return
+	}
+	curCPU := cur.NumCPU
+	if curCPU == 0 {
+		curCPU = cur.Scaling.NumCPU
+	}
+	switch {
+	case curCPU > 0 && curCPU < 4:
+		fmt.Printf("%-40s skipped (current host has %d CPUs; speedup@4workers needs >= 4)\n",
+			"scaling.workers4.speedup", curCPU)
+	case g4.Oversubscribed:
+		fmt.Printf("%-40s skipped (current row ran oversubscribed: %d workers on %d CPUs)\n",
+			"scaling.workers4.speedup", g4.Workers, g4.NumCPU)
+	case b4.Oversubscribed:
+		fmt.Printf("%-40s skipped (baseline row was recorded oversubscribed; regenerate BENCH_scaling.json on a >=4-CPU host)\n",
+			"scaling.workers4.speedup")
+	default:
+		c.speedup("scaling.workers4.speedup", b4.Speedup, g4.Speedup)
+	}
 }
 
 func main() {
@@ -157,6 +211,7 @@ func main() {
 				}
 			}
 		}
+		checkSpeedup(c, base, cur)
 	}
 	if base.Stress != nil && cur.Stress != nil {
 		c.higher("stress.qps", base.Stress.QPS, cur.Stress.QPS)

@@ -61,6 +61,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text + JSON) on this address while the sweep runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at sweep end to this file")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile at sweep end to this file (enables block profiling for the whole run)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile at sweep end to this file (enables mutex profiling for the whole run)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout, CollectStats: *stats}
@@ -80,6 +82,30 @@ func main() {
 			f.Close()
 			fmt.Printf("wrote %s\n", *cpuProfile)
 		}()
+	}
+	// Contention profiles answer the scaling question directly: where do
+	// workers wait? Rates are set before any session runs so the whole
+	// sweep is covered; both profiles are written at sweep end.
+	writeLookup := func(profile, path string) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s profile: %v\n", profile, err)
+			return
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookup("block", *blockProfile)
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookup("mutex", *mutexProfile)
 	}
 	defer func() {
 		if *memProfile == "" {

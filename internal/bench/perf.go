@@ -208,10 +208,11 @@ func (c *Config) Perf() (*PerfReport, error) {
 	}))
 	rep.StemProbeVec = toResult("stem_probe/vec-batch1024", testing.Benchmark(func(b *testing.B) {
 		var dst []stem.VecMatch
+		var qbuf []uint64
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			dst = ps.ProbeVec(dst[:0], "k", probeKeys, probeTS, probeWM)
+			dst, qbuf = ps.ProbeVec(dst[:0], qbuf[:0], "k", probeKeys, probeTS, probeWM)
 		}
 	}))
 	if rep.StemProbeVec.NsPerOp > 0 {

@@ -12,6 +12,9 @@ import (
 )
 
 // ScalingRow is one worker count's sample in the worker-scaling figure.
+// Each row records the host parallelism it ran under, so a consumer of the
+// baseline can tell a genuine scaling measurement from an oversubscribed
+// one without cross-referencing the report header.
 type ScalingRow struct {
 	Workers        int     `json:"workers"`
 	Seconds        float64 `json:"seconds"`
@@ -19,6 +22,12 @@ type ScalingRow struct {
 	EpisodesPerSec float64 `json:"episodes_per_sec"`
 	QPS            float64 `json:"qps"`
 	Speedup        float64 `json:"speedup"` // wall-clock vs workers=1
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	NumCPU         int     `json:"num_cpu"`
+	// Oversubscribed marks rows whose worker count exceeds the host's
+	// CPUs: their speedup measures scheduling overhead, not scaling, and
+	// regression tripwires must not compare against them.
+	Oversubscribed bool `json:"oversubscribed"`
 }
 
 // ScalingReport is the BENCH_scaling.json baseline: episode throughput of
@@ -29,6 +38,7 @@ type ScalingReport struct {
 	Queries    int          `json:"queries"`
 	Batches    int          `json:"batches"`
 	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
 	Rows       []ScalingRow `json:"rows"`
 }
 
@@ -49,11 +59,22 @@ func (c *Config) Scaling() (*ScalingReport, error) {
 		qsBatches[i] = sampleWithoutReplacement(rng, pool, size)
 	}
 
-	rep := &ScalingReport{Queries: size, Batches: batches, GoMaxProcs: runtime.GOMAXPROCS(0)}
-	c.printf("=== scaling: episode throughput vs workers (GOMAXPROCS=%d) ===\n", rep.GoMaxProcs)
+	rep := &ScalingReport{
+		Queries: size, Batches: batches,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
+	c.printf("=== scaling: episode throughput vs workers (GOMAXPROCS=%d, NumCPU=%d) ===\n",
+		rep.GoMaxProcs, rep.NumCPU)
 	var base float64
 	for _, wk := range []int{1, 2, 4, 8} {
-		row := ScalingRow{Workers: wk}
+		row := ScalingRow{
+			Workers: wk, GoMaxProcs: rep.GoMaxProcs, NumCPU: rep.NumCPU,
+			Oversubscribed: wk > rep.GoMaxProcs || wk > rep.NumCPU,
+		}
+		if row.Oversubscribed {
+			c.printf("warning: workers=%d oversubscribes the host (GOMAXPROCS=%d, NumCPU=%d); speedup measures scheduling overhead, not scaling\n",
+				wk, rep.GoMaxProcs, rep.NumCPU)
+		}
 		for _, qs := range qsBatches {
 			b, err := query.Compile(qs)
 			if err != nil {

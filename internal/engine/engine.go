@@ -15,6 +15,7 @@ import (
 
 	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/cost"
+	"github.com/roulette-db/roulette/internal/epoch"
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/metrics"
 	"github.com/roulette-db/roulette/internal/policy"
@@ -225,6 +226,16 @@ type scanState struct {
 
 func (s *scanState) done() bool { return s.active.Empty() }
 
+// newScanState builds an empty scan-state sized to the query-ID capacity.
+func newScanState(scan *storage.CircularScan, qcap int) *scanState {
+	return &scanState{
+		scan:      scan,
+		active:    bitset.New(qcap),
+		remaining: make([]int, qcap),
+		doneQ:     bitset.New(qcap),
+	}
+}
+
 // Session executes one compiled batch. Sessions are single-use: Run (or
 // RunContext) may be called at most once.
 type Session struct {
@@ -249,16 +260,35 @@ type Session struct {
 	conv     []ConvergencePoint
 
 	// Streaming lifecycle (cfg.Streaming). cond (on mu) wakes idle workers
-	// on submission, episode completion, close, pause and cancellation.
+	// on submission, episode completion, close and cancellation.
 	cond        *sync.Cond
 	closed      bool       // CloseSubmit called
-	pauseReq    int        // quiesce requests (SubmitLive): no new episodes start
 	inFlight    int        // episodes handed out, not yet finished
 	outstanding []int32    // per query: in-flight episodes carrying its bit
 	retired     bitset.Set // retired queries awaiting a GC pass
 	gc          gcState
-	cbsQueued   []func() // retirement/reclaim callbacks awaiting execution
-	cbsActive   int      // callbacks taken but not finished executing
+	gcLastEp    int64      // episode count at the last busy-path GC quantum
+	cbsQueued   []func()   // retirement/reclaim callbacks awaiting execution
+	cbsActive   int        // callbacks taken but not finished executing
+	cbPending   bitset.Set // queries whose OnRetire callback has not finished
+
+	// Epoch-based coordination (replaces the stop-the-world quiesce gate):
+	// dom tracks which batch generation each worker's in-flight episode
+	// pinned, so retired-state frees wait out a grace period instead of a
+	// barrier. instFence/instFlight/instOps serialize the few structural
+	// STeM mutations (AddIndex, EnsureBuckets growth, compaction) against
+	// in-flight inserts on one instance only: a fenced instance stops
+	// receiving new episodes, queued ops run when its last in-flight episode
+	// completes, and every other instance keeps executing throughout.
+	dom        *epoch.Domain
+	instFence  []bool      // per instance: no new episodes until queued ops run
+	instFlight []int32     // per instance: in-flight episodes inserting into it
+	instOps    [][]fenceOp // per instance: ops waiting for the fence
+
+	// Admission-latency accounting (streaming): submit time per query and
+	// the set still awaiting their first scheduled episode.
+	qSubmitNs  []int64
+	qFirstWait bitset.Set
 
 	// Tenant-aware streaming scheduler (cfg.Streaming only; see sched.go).
 	tenantIDs    map[string]int
@@ -297,6 +327,29 @@ type gcState struct {
 // quantum short relative to an episode.
 const gcChunkBudget = 8
 
+// gcEvery paces concurrent GC on the busy path: a worker that finds both a
+// runnable scan and pending GC work runs one GC quantum every gcEvery
+// episodes before taking its vector, so reclamation progresses while the
+// pool stays saturated instead of waiting for an idle moment.
+const gcEvery = 4
+
+// fenceOp is one structural STeM mutation queued behind an instance fence,
+// plus the admission it belongs to (nil for GC compactions).
+type fenceOp struct {
+	run func()
+	act *pendingActivation
+}
+
+// pendingActivation defers a submitted query's activation until every
+// structural op its admission queued has run. remaining counts queued ops;
+// the op that drops it to zero activates the query.
+type pendingActivation struct {
+	qid       int
+	meta      SubmitMeta
+	submitNs  int64
+	remaining int
+}
+
 // NewSession compiles the execution context and scan plan for batch b.
 func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, error) {
 	ctx, err := exec.NewContext(b, db, cfg.Exec, cfg.Model)
@@ -321,8 +374,14 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.gc.active = bitset.New(qcap)
+	s.cbPending = bitset.New(qcap)
+	s.instFence = make([]bool, query.MaxInstances)
+	s.instFlight = make([]int32, query.MaxInstances)
+	s.instOps = make([][]fenceOp, query.MaxInstances)
 	if cfg.Streaming {
 		s.initSchedLocked(qcap)
+		s.qSubmitNs = make([]int64, qcap)
+		s.qFirstWait = bitset.New(qcap)
 	}
 	if cfg.Exec.CollectStats {
 		s.qEpisodes = make([]int64, qcap)
@@ -337,13 +396,8 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 		if err != nil {
 			return nil, err
 		}
-		s.scans[i] = &scanState{
-			scan:      scan,
-			rank:      ranks[i],
-			active:    bitset.New(qcap),
-			remaining: make([]int, qcap),
-			doneQ:     bitset.New(qcap),
-		}
+		s.scans[i] = newScanState(scan, qcap)
+		s.scans[i].rank = ranks[i]
 	}
 
 	// Batch mode: admit everything not covered by an AdmitEvent now.
@@ -430,7 +484,7 @@ func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
 func (s *Session) bestScanLocked() int {
 	best := -1
 	for i, st := range s.scans {
-		if st.done() {
+		if st.done() || s.instFence[i] {
 			continue
 		}
 		if best == -1 || st.rank < s.scans[best].rank {
@@ -448,7 +502,7 @@ func (s *Session) takeRoundRobinLocked(best int) exec.EpisodeInput {
 	for off := 0; off < n; off++ {
 		i := (s.rrCursor + off) % n
 		st := s.scans[i]
-		if !st.done() && st.rank == rank {
+		if !st.done() && !s.instFence[i] && st.rank == rank {
 			s.rrCursor = i + 1
 			return s.takeVectorLocked(query.InstID(i))
 		}
@@ -499,6 +553,7 @@ func (s *Session) takeVectorLocked(inst query.InstID) exec.EpisodeInput {
 	active := st.active.Clone()
 	st.delivered++
 	s.inFlight++
+	s.instFlight[inst]++
 
 	// Completion: every active query sees each vector exactly once per
 	// revolution (admission is vector-aligned).
@@ -506,6 +561,12 @@ func (s *Session) takeVectorLocked(inst query.InstID) exec.EpisodeInput {
 	st.active.ForEach(func(qid int) {
 		s.outstanding[qid]++
 		s.chargeServiceLocked(qid, n)
+		if s.qFirstWait != nil && s.qFirstWait.Contains(qid) {
+			// First episode carrying a live-admitted query's bit: record the
+			// submit-to-first-episode latency (admission responsiveness).
+			s.qFirstWait.Remove(qid)
+			metrics.Default().AdmitLatency.Add((time.Now().UnixNano() - s.qSubmitNs[qid]) / 1e3)
+		}
 		if s.qEpisodes != nil {
 			s.qEpisodes[qid]++
 		}
@@ -594,15 +655,16 @@ func (s *Session) RunContext(ctx context.Context) (*Results, error) {
 	start := time.Now()
 	s.mu.Lock()
 	s.startAt = start
+	s.dom = epoch.NewDomain(workers)
 	s.mu.Unlock()
 
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			s.runWorker()
-		}()
+			s.runWorker(id)
+		}(wk)
 	}
 	wg.Wait()
 
@@ -672,8 +734,11 @@ func (s *Session) queryDrainedLocked(qid int) bool {
 	return true
 }
 
-// runWorker is one worker's episode loop.
-func (s *Session) runWorker() {
+// runWorker is one worker's episode loop. id is the worker's slot in the
+// session's epoch domain: each episode pins the current generation while it
+// runs, which is what defers retired-state reclamation past episodes that
+// could still observe it.
+func (s *Session) runWorker(id int) {
 	// Worker construction reads batch shape (query capacity, instance
 	// count); in streaming mode a SubmitLive may be extending the batch
 	// concurrently with pool startup, so size the worker under the mutex.
@@ -691,6 +756,7 @@ func (s *Session) runWorker() {
 		if !ok {
 			return
 		}
+		s.dom.Pin(id)
 		// The estimate is read before the episode runs (the policy's
 		// current belief about the best join-phase plan, per input
 		// tuple) and scaled afterwards by the actual join input size,
@@ -698,7 +764,8 @@ func (s *Session) runWorker() {
 		var estPerTuple float64
 		if s.cfg.TrackConvergence {
 			if ce, ok := s.pol.(costEstimator); ok {
-				cands := s.b.Candidates(nil, 1<<in.Inst, in.Active)
+				g := s.ctx.Graph() // published snapshot; no batch lock needed
+				cands := g.Candidates(nil, 1<<in.Inst, in.Active)
 				estPerTuple = ce.EstimatedBestCost(policy.JoinPhase, 0, 1<<in.Inst, in.Active, cands)
 			}
 		}
@@ -752,6 +819,10 @@ func (s *Session) runWorker() {
 			}
 		}
 		s.inFlight--
+		s.instFlight[in.Inst]--
+		if s.instFlight[in.Inst] == 0 && s.instFence[in.Inst] {
+			s.runFenceOpsLocked(int(in.Inst))
+		}
 		var cbs []func()
 		in.Active.ForEach(func(qid int) {
 			s.outstanding[qid]--
@@ -762,8 +833,46 @@ func (s *Session) runWorker() {
 			s.cond.Broadcast()
 		}
 		s.mu.Unlock()
+		ready := s.dom.Unpin(id)
 		s.runCallbacks(cbs)
+		for _, f := range ready {
+			f()
+		}
 	}
+}
+
+// runFenceOpsLocked drains an instance's queued structural ops once its
+// last in-flight episode completes, lifts the fence, and fires any
+// admission whose final op just ran.
+func (s *Session) runFenceOpsLocked(inst int) {
+	ops := s.instOps[inst]
+	s.instOps[inst] = nil
+	s.instFence[inst] = false
+	for _, op := range ops {
+		op.run()
+		if op.act != nil {
+			op.act.remaining--
+			if op.act.remaining == 0 {
+				s.activateLocked(op.act)
+			}
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// activateLocked makes a submitted query schedulable: scheduler metadata,
+// scan admission, admission-latency arming, and the born-drained check.
+// The context view including the query was published before any episode
+// can carry its bit (publish-then-advance).
+func (s *Session) activateLocked(act *pendingActivation) {
+	s.registerMetaLocked(act.qid, act.meta)
+	s.admitLocked(act.qid)
+	if s.qFirstWait != nil {
+		s.qSubmitNs[act.qid] = act.submitNs
+		s.qFirstWait.Add(act.qid)
+	}
+	s.maybeRetireLocked(act.qid) // zero-row relations: the query is born drained
+	s.cond.Broadcast()
 }
 
 // runEpisode executes one episode behind a panic barrier and the optional

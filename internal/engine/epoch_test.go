@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/faults"
+	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// outcome is one submission's terminal status and final count, captured
+// inside OnRetire while the query's source is still guaranteed alive.
+type outcome struct {
+	st  QueryStatus
+	cnt int64
+}
+
+// retireRecorder captures each submission's outcome through OnRetire,
+// keyed by submission order: query IDs are recycled after GC, so a qid
+// alone is not a stable identity across a churning stream. It assumes a
+// single submitting goroutine (which every test here has). The qid-reuse
+// gate makes the bookkeeping sound: a qid cannot be reassigned until its
+// previous holder's OnRetire callback has completed (cbPending), so at
+// the moment onRetire fires the qid maps to at most one untracked
+// submission — the one the single submitter just made.
+type retireRecorder struct {
+	mu     sync.Mutex
+	s      *Session
+	bySlot map[int]int       // qid -> submission slot awaiting retirement
+	early  map[int][]outcome // retirements that beat the submitter's track()
+	status []QueryStatus     // per-slot terminal status
+	counts []int64           // per-slot final count
+	done   []bool            // per-slot: OnRetire observed
+}
+
+func newRetireRecorder(s *Session) *retireRecorder {
+	return &retireRecorder{s: s, bySlot: map[int]int{}, early: map[int][]outcome{}}
+}
+
+func (r *retireRecorder) onRetire(qid int, st QueryStatus) {
+	cnt := r.s.Context().Sources[qid].Count()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slot, ok := r.bySlot[qid]; ok {
+		r.recordLocked(slot, outcome{st, cnt})
+		delete(r.bySlot, qid)
+		return
+	}
+	r.early[qid] = append(r.early[qid], outcome{st, cnt})
+}
+
+// track registers a fresh submission and returns its slot. Must be called
+// by the submitting goroutine right after SubmitLiveMeta returns.
+func (r *retireRecorder) track(qid int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot := len(r.status)
+	r.status = append(r.status, QueryStatus{})
+	r.counts = append(r.counts, -1)
+	r.done = append(r.done, false)
+	if p := r.early[qid]; len(p) > 0 {
+		r.recordLocked(slot, p[0])
+		r.early[qid] = p[1:]
+	} else {
+		r.bySlot[qid] = slot
+	}
+	return slot
+}
+
+func (r *retireRecorder) recordLocked(slot int, o outcome) {
+	if r.done[slot] {
+		panic("retireRecorder: slot retired twice")
+	}
+	r.done[slot], r.status[slot], r.counts[slot] = true, o.st, o.cnt
+}
+
+// check asserts every tracked submission retired exactly once, completed
+// ones match the oracle, and aborted ones carry an explanation.
+func (r *retireRecorder) check(t *testing.T, db *storage.Database, qs []*query.Query) (completed int) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.status) != len(qs) {
+		t.Fatalf("tracked %d submissions, want %d", len(r.status), len(qs))
+	}
+	for slot := range r.status {
+		if !r.done[slot] {
+			t.Errorf("submission %d never retired", slot)
+			continue
+		}
+		st := r.status[slot]
+		if st.Completed {
+			completed++
+			if want := oracleCount(db, qs[slot]); r.counts[slot] != want {
+				t.Errorf("completed submission %d: count = %d, oracle = %d", slot, r.counts[slot], want)
+			}
+			if st.Err != nil {
+				t.Errorf("completed submission %d carries error %v", slot, st.Err)
+			}
+		} else if st.Err == nil {
+			t.Errorf("aborted submission %d has no error", slot)
+		}
+	}
+	return completed
+}
+
+// streamRun starts the session's run loop and returns a join function.
+func streamRun(t *testing.T, s *Session) func() *Results {
+	t.Helper()
+	type runOut struct {
+		res *Results
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := s.Run()
+		done <- runOut{res, err}
+	}()
+	return func() *Results {
+		t.Helper()
+		select {
+		case out := <-done:
+			if out.err != nil {
+				t.Fatalf("streaming run failed: %v", out.err)
+			}
+			return out.res
+		case <-time.After(120 * time.Second):
+			t.Fatalf("streaming run did not terminate")
+			return nil
+		}
+	}
+}
+
+// TestSubmitLiveNonBlockingDuringEpisode is the tentpole acceptance test:
+// admission must not wait on a global worker barrier. A hook parks the
+// first episode mid-flight; under the old quiesce gate SubmitLive would
+// block until every in-flight episode finished (i.e. forever here, since
+// the episode is released only after the submission returns), so the test
+// is a deadlock detector for any reintroduced stop-the-world admission.
+func TestSubmitLiveNonBlockingDuringEpisode(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	db := starDB(rng, 2048, 64)
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var hooked atomic.Bool
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	opt.Hooks = exec.Hooks{EpisodeStart: func(query.InstID, stem.Slot) {
+		if hooked.CompareAndSwap(false, true) {
+			close(blocked)
+			<-release
+		}
+	}}
+	qJoin := &query.Query{
+		Rels:  []query.RelRef{{Table: "fact"}, {Table: "d1"}},
+		Joins: []query.Join{{LeftAlias: "fact", LeftCol: "fk1", RightAlias: "d1", RightCol: "k"}},
+	}
+	qLive := singleRel("d2")
+	var rec *retireRecorder
+	b := query.NewStreamBatch(8)
+	s, err := NewSession(b, db, Config{
+		Exec: opt, Workers: 2, Streaming: true,
+		OnRetire: func(qid int, st QueryStatus) { rec.onRetire(qid, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = newRetireRecorder(s)
+	join := streamRun(t, s)
+
+	qa, err := s.SubmitLiveMeta(qJoin, SubmitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.track(qa)
+	<-blocked // an episode of qa is now parked mid-flight
+
+	sub := make(chan error, 1)
+	var qb int
+	go func() {
+		var e error
+		qb, e = s.SubmitLiveMeta(qLive, SubmitMeta{})
+		sub <- e
+	}()
+	select {
+	case e := <-sub:
+		if e != nil {
+			t.Fatalf("live submit failed: %v", e)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SubmitLive blocked behind an in-flight episode (stop-the-world admission regressed)")
+	}
+	rec.track(qb)
+
+	close(release)
+	s.CloseSubmit()
+	join()
+	if completed := rec.check(t, db, []*query.Query{qJoin, qLive}); completed != 2 {
+		t.Errorf("completed = %d, want 2", completed)
+	}
+}
+
+// TestGCReclaimsWhileWorkersBusy asserts retired-state reclamation makes
+// progress while an episode is in flight. A hook parks the first episode
+// on instance 0 (query qa), pinning its epoch; qb then drains and retires
+// on instance 1, and the test requires qb's STeM entries to be swept and
+// compacted away — and a concurrent GC quantum to be counted — while the
+// instance-0 episode is still parked (workers never all idle).
+func TestGCReclaimsWhileWorkersBusy(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db := starDB(rng, 256, 64)
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var hooked atomic.Bool
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 16
+	opt.Hooks = exec.Hooks{EpisodeStart: func(inst query.InstID, _ stem.Slot) {
+		if inst == 0 && hooked.CompareAndSwap(false, true) {
+			close(blocked)
+			<-release
+		}
+	}}
+	qa, qb := singleRel("d2"), singleRel("d1") // instances 0 and 1, in submit order
+	var rec *retireRecorder
+	b := query.NewStreamBatch(8)
+	s, err := NewSession(b, db, Config{
+		Exec: opt, Workers: 2, Streaming: true,
+		OnRetire: func(qid int, st QueryStatus) { rec.onRetire(qid, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = newRetireRecorder(s)
+	join := streamRun(t, s)
+
+	ida, err := s.SubmitLiveMeta(qa, SubmitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.track(ida)
+	<-blocked // qa's first episode parked; its epoch stays pinned
+	quantaBefore := metrics.Default().GCConcurrentQuanta.Load()
+
+	idb, err := s.SubmitLiveMeta(qb, SubmitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.track(idb)
+
+	// qb drains on instance 1, retires, and must be garbage-collected by
+	// the free worker while the instance-0 episode is still in flight.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		swept := s.Context().Stems[1].Len() == 0
+		quanta := metrics.Default().GCConcurrentQuanta.Load()
+		if swept && quanta > quantaBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GC made no progress while an episode was in flight: inst1 len = %d, concurrent quanta %d -> %d",
+				s.Context().Stems[1].Len(), quantaBefore, quanta)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	s.CloseSubmit()
+	join()
+	if completed := rec.check(t, db, []*query.Query{qa, qb}); completed != 2 {
+		t.Errorf("completed = %d, want 2", completed)
+	}
+}
+
+// TestStreamChurnRandomizedInterleavings is the -race property test:
+// randomized submit/cancel jitter over a small query-ID pool forces
+// admissions, retirements, GC passes, epoch-deferred reclamation and qid
+// reuse to interleave with live episodes. No episode may dereference a
+// reclaimed source or swept STeM state: under -race any such access
+// trips the detector, and the oracle check catches silent corruption.
+func TestStreamChurnRandomizedInterleavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	db := starDB(rng, 1500, 48)
+	qs := starQueries(rng, 36)
+	errCancel := errors.New("injected cancel")
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 48
+	var rec *retireRecorder
+	b := query.NewStreamBatch(6) // small pool: qid reuse requires full GC churn
+	s, err := NewSession(b, db, Config{
+		Exec: opt, Workers: 4, Streaming: true,
+		OnRetire: func(qid int, st QueryStatus) { rec.onRetire(qid, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = newRetireRecorder(s)
+	admitBefore := metrics.Default().AdmitLatency.Count()
+	join := streamRun(t, s)
+
+	tenants := []string{"", "a", "b"}
+	for i, q := range qs {
+		var qid int
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			qid, err = s.SubmitLiveMeta(q, SubmitMeta{Tenant: tenants[i%len(tenants)], Weight: float64(1 + i%2)})
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("submission %d never admitted: %v", i, err)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		rec.track(qid)
+		if rng.Intn(6) == 0 {
+			s.CancelQuery(qid, errCancel) // races with completion; both outcomes legal
+		}
+		if rng.Intn(3) == 0 {
+			time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+		}
+	}
+	s.CloseSubmit()
+	join()
+
+	completed := rec.check(t, db, qs)
+	if completed == 0 {
+		t.Error("no submission completed")
+	}
+	if got := metrics.Default().AdmitLatency.Count(); got <= admitBefore {
+		t.Errorf("admission latency histogram recorded no samples (%d -> %d)", admitBefore, got)
+	}
+	t.Logf("churn: %d/%d completed", completed, len(qs))
+}
+
+// TestChaosAdmissionMidEpisodeWithFaults drives live admission through a
+// fault storm: injected episode panics and STeM insertion failures land
+// while queries are being submitted into the running pool. Quarantine
+// must stay per-episode — surviving queries' counts remain exact — and
+// every submission must still retire exactly once so the stream drains.
+func TestChaosAdmissionMidEpisodeWithFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	db := starDB(rng, 800, 40)
+	qs := starQueries(rng, 24)
+	inj := faults.New(faults.Config{Seed: 11, PanicEvery: 31, InsertFailEvery: 41})
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	opt.Hooks = inj.Hooks()
+	var rec *retireRecorder
+	b := query.NewStreamBatch(8)
+	s, err := NewSession(b, db, Config{
+		Exec: opt, Workers: 3, Streaming: true,
+		OnRetire: func(qid int, st QueryStatus) { rec.onRetire(qid, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = newRetireRecorder(s)
+	join := streamRun(t, s)
+
+	for i, q := range qs {
+		var qid int
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			qid, err = s.SubmitLiveMeta(q, SubmitMeta{})
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("submission %d never admitted: %v", i, err)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		rec.track(qid)
+		if rng.Intn(2) == 0 {
+			time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+		}
+	}
+	s.CloseSubmit()
+	res := join()
+
+	if inj.Panics()+inj.InsertFails() == 0 {
+		t.Fatal("no faults injected (rates too low for workload?)")
+	}
+	if len(res.Faults) == 0 {
+		t.Error("session recorded no faults despite injection")
+	}
+	for _, f := range res.Faults {
+		if len(f.Queries) == 0 {
+			t.Error("fault with no affected queries")
+		}
+	}
+	completed := rec.check(t, db, qs)
+	t.Logf("chaos: %d/%d completed through %d panics, %d insert faults",
+		completed, len(qs), inj.Panics(), inj.InsertFails())
+}

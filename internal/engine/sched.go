@@ -203,7 +203,9 @@ func (s *Session) pickScanLocked() int {
 		// tenant, no lanes) degenerate to the original rotation.
 		i := (s.rrCursor + off) % n
 		st := s.scans[i]
-		if st.done() {
+		if st.done() || s.instFence[i] {
+			// Fenced instances have structural STeM ops queued behind their
+			// in-flight episodes; starting another would extend the fence.
 			continue
 		}
 		lane, minV := s.scanKeyLocked(st, urgentBefore)

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"time"
+
 	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/metrics"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/storage"
 )
@@ -10,66 +13,61 @@ import (
 // This file is the streaming half of the session lifecycle (Config.
 // Streaming): live admission of queries into a running worker pool,
 // per-query retirement the moment a query's episodes drain, and the
-// between-episodes garbage collector that sweeps retired queries out of
-// STeM entries, grouped filters, the Q-table and the query-ID space.
+// concurrent garbage collector that sweeps retired queries out of STeM
+// entries, grouped filters, the Q-table and the query-ID space.
 //
-// Synchronization model: everything here runs under the session mutex in
-// the gaps between episodes. The quiesce gate (pause/resume) additionally
-// waits until no episode is in flight, which is what makes it safe to
-// mutate structures the episode hot path reads lock-free (batch operator
-// sets, grouped filters, STeM indexes and chunks). The hot path itself
-// takes no new locks and sees no new atomics.
+// Synchronization model (epoch-based; DESIGN.md §12): there is no
+// stop-the-world gate. Mutations happen under the session mutex and become
+// visible to episodes through a published context view (exec.PublishView,
+// one atomic pointer store); episodes load the view once at their start,
+// so they always run against an immutable snapshot. The few structural
+// STeM mutations that cannot overlap in-flight INSERTS on the same
+// instance (AddIndex, bucket growth, compaction) queue behind a per-
+// instance fence and run when that instance's in-flight count hits zero —
+// every other instance keeps executing. Frees of retired per-query state
+// (sources, query-ID slots) are deferred through the session's epoch
+// domain: they run only after every worker has passed the retiring
+// generation, so no episode can dereference reclaimed state. STeM entry
+// sweeping needs none of this — it is CAS-based and runs concurrently
+// with inserts and probes.
 
 // retirePruner is the optional policy interface for reclaiming learned
 // state of retired queries (qlearn.Learned implements it).
 type retirePruner interface{ PruneRetired(retired bitset.Set) int }
 
-// pause acquires the quiesce gate: it returns with the session mutex held,
-// no episode in flight and no retirement callback mid-execution (callbacks
-// read the batch without the mutex; the gate is what lets SubmitLive
-// mutate it), and workers do not start new episodes until resume. Callers
-// must pair it with resume.
-func (s *Session) pause() {
-	s.mu.Lock()
-	s.pauseReq++
-	for s.inFlight > 0 || s.cbsActive > 0 {
-		s.cond.Wait()
-	}
-}
-
-// resume releases the quiesce gate taken by pause.
-func (s *Session) resume() {
-	s.pauseReq--
-	s.cond.Broadcast()
-	s.mu.Unlock()
-}
-
-// SubmitLiveMeta merges one query into the running session: the batch and
-// the execution context are extended under the quiesce gate, the query is
+// SubmitLiveMeta merges one query into the running session without
+// blocking on a worker barrier: the batch and execution context are
+// extended under the session mutex alone, the extended view is published
+// (one atomic store) and the epoch domain advanced, and the query is
 // admitted on its instances' scans (rescanning each relation from the
 // current circular-scan position, so it reuses every STeM entry built so
-// far and re-ingests only what it has not seen), and workers are woken.
+// far and re-ingests only what it has not seen). Structural STeM ops the
+// admission needs (indexing a new key column on an existing STeM, regrowing
+// compacted buckets) run inline when their instance has no episode in
+// flight, and otherwise queue behind that instance's fence; activation then
+// waits for the last such op, never for unrelated instances or episodes.
 // The meta carries the query's tenant, fairness weight, priority lane and
 // deadline for the tenant-aware scheduler (see sched.go). It returns the
 // assigned query ID.
 //
-// Admission control (budget, rate limits) belongs in front of this call:
-// SubmitLiveMeta pays the quiesce-gate barrier, so overload rejections must
-// happen before it to keep rejection cheap under saturation.
+// Admission control (budget, rate limits) still belongs in front of this
+// call: admission does O(batch) setup work under the mutex, so overload
+// rejections should stay cheaper than it.
 func (s *Session) SubmitLiveMeta(q *query.Query, m SubmitMeta) (int, error) {
-	s.pause()
+	s.mu.Lock()
 	qid, err := s.b.Extend(q)
 	if err != nil {
-		s.resume()
+		s.mu.Unlock()
 		return 0, err
 	}
 	d := s.b.TakeDelta()
-	if err := s.ctx.ApplyExtend(d); err != nil {
+	ops, err := s.ctx.ApplyExtend(d)
+	if err != nil {
 		// The context is untouched (ApplyExtend validates before mutating);
 		// take the query's additions back out of the batch so instance and
 		// operator IDs stay aligned with the executor's arrays.
 		s.b.RollbackExtend(d)
-		s.resume()
+		s.mu.Unlock()
 		return 0, err
 	}
 	for _, ii := range d.NewInsts {
@@ -79,13 +77,7 @@ func (s *Session) SubmitLiveMeta(q *query.Query, m SubmitMeta) (int, error) {
 		if err != nil {
 			panic(err)
 		}
-		qcap := s.b.QCap()
-		s.scans = append(s.scans, &scanState{
-			scan:      scan,
-			active:    bitset.New(qcap),
-			remaining: make([]int, qcap),
-			doneQ:     bitset.New(qcap),
-		})
+		s.scans = append(s.scans, newScanState(scan, s.b.QCap()))
 	}
 	// Ranks depend on the join graph; recompute for all scans (new edges can
 	// change existing instances' pruning order).
@@ -95,16 +87,40 @@ func (s *Session) SubmitLiveMeta(q *query.Query, m SubmitMeta) (int, error) {
 	}
 	// The rescan re-ingests relations whose STeMs may have been compacted
 	// to a fraction of the relation size; regrow their buckets up front so
-	// insert chains stay short.
+	// insert chains stay short. Growth swaps the STeM's copy-on-write state,
+	// so it fences like AddIndex.
 	for _, inst := range s.b.QueryInsts(qid) {
-		s.ctx.Stems[inst].EnsureBuckets(s.ctx.Tables[inst].NumRows())
+		if s.ctx.Stems[inst].NeedsGrow(s.ctx.Tables[inst].NumRows()) {
+			inst := inst
+			ops = append(ops, exec.StemOp{Inst: inst, Apply: func() {
+				s.ctx.Stems[inst].EnsureBuckets(s.ctx.Tables[inst].NumRows())
+			}})
+		}
 	}
-	s.registerMetaLocked(qid, m)
-	s.admitLocked(qid)
-	s.maybeRetireLocked(qid) // zero-row relations: the query is born drained
+	// Publish-then-advance: ApplyExtend published the extended view; advance
+	// the epoch so workers pinning from here on are known to see it.
+	if s.dom != nil {
+		s.dom.Advance()
+	}
+	act := &pendingActivation{qid: qid, meta: m, submitNs: time.Now().UnixNano()}
+	for _, op := range ops {
+		inst := int(op.Inst)
+		if s.instFlight[inst] == 0 {
+			// No in-flight insert on this instance; the scheduler cannot
+			// start one while we hold the mutex, so run the op inline.
+			op.Apply()
+			continue
+		}
+		act.remaining++
+		s.instFence[inst] = true
+		s.instOps[inst] = append(s.instOps[inst], fenceOp{run: op.Apply, act: act})
+	}
+	if act.remaining == 0 {
+		s.activateLocked(act)
+	}
 	cbs := s.takeCallbacksLocked()
 	s.cond.Broadcast()
-	s.resume()
+	s.mu.Unlock()
 	s.runCallbacks(cbs)
 	return qid, nil
 }
@@ -175,8 +191,19 @@ func (s *Session) maybeRetireLocked(qid int) {
 	s.releaseMetaLocked(qid)
 	st := QueryStatus{Completed: !failed, Err: s.failErr[qid]}
 	if cb := s.cfg.OnRetire; cb != nil {
+		// The callback reads the query's source (routed rows); GC must not
+		// reclaim the query until it finishes, so mark it callback-pending.
+		// gcQuantumLocked leaves pending queries out of its snapshot and
+		// picks them up on a later pass.
 		q := qid
-		s.cbsQueued = append(s.cbsQueued, func() { cb(q, st) })
+		s.cbPending.Add(q)
+		s.cbsQueued = append(s.cbsQueued, func() {
+			cb(q, st)
+			s.mu.Lock()
+			s.cbPending.Remove(q)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
 	}
 }
 
@@ -205,11 +232,22 @@ func (s *Session) runCallbacks(cbs []func()) {
 	s.mu.Unlock()
 }
 
+// gcPendingLocked reports whether the garbage collector has work: a pass
+// in progress or retired queries awaiting one.
+func (s *Session) gcPendingLocked() bool {
+	// Queries whose retirement callback is still pending are not yet
+	// eligible (the callback reads their source); they stay in retired
+	// until the callback completes and broadcasts.
+	return s.gc.running || !s.retired.IsSubset(s.cbPending)
+}
+
 // nextEpisodeStreaming is the scheduling loop of a streaming worker: run
-// pending retirement callbacks, hand out a vector when a scan has work,
-// otherwise make GC progress (only with zero episodes in flight), and
-// block waiting for submissions when idle. Returns ok=false when the run
-// is cancelled or the stream is closed and fully drained.
+// pending retirement callbacks and grace-period-expired reclamation, hand
+// out a vector when a scan has work (running a paced GC quantum first when
+// reclamation is pending — GC is concurrent, not stop-the-world), make GC
+// progress ungated when idle, and block waiting for submissions otherwise.
+// Returns ok=false when the run is cancelled or the stream is closed and
+// fully drained.
 func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
 	s.mu.Lock()
 	for {
@@ -220,16 +258,36 @@ func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
 			s.mu.Lock()
 			continue
 		}
+		if ready := s.dom.Ready(); len(ready) > 0 {
+			// Deferred frees whose grace period elapsed (every worker passed
+			// the retiring generation); they take s.mu themselves.
+			s.mu.Unlock()
+			for _, f := range ready {
+				f()
+			}
+			s.mu.Lock()
+			continue
+		}
 		if s.runCtx != nil && s.runCtx.Err() != nil {
 			s.mu.Unlock()
 			return exec.EpisodeInput{}, false
 		}
-		if s.pauseReq > 0 {
-			s.cond.Wait()
-			continue
-		}
 		s.fireAdmissionsLocked()
 		if best := s.pickScanLocked(); best >= 0 {
+			if s.gcPendingLocked() && s.episode-s.gcLastEp >= gcEvery {
+				// Busy path: interleave one budgeted GC quantum every
+				// gcEvery episodes so reclamation keeps pace with execution
+				// while other workers' episodes stay in flight.
+				s.gcLastEp = s.episode
+				if s.inFlight > 0 {
+					metrics.Default().GCConcurrentQuanta.Add(1)
+				}
+				metrics.Default().EpochLag.Store(s.dom.Lag())
+				s.gcQuantumLocked()
+				if s.instFence[best] || s.scans[best].done() {
+					continue // the quantum fenced or drained our pick
+				}
+			}
 			in := s.takeVectorLocked(query.InstID(best))
 			s.mu.Unlock()
 			return in, true
@@ -239,12 +297,15 @@ func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
 			// queued their retirement callbacks; run them before blocking.
 			continue
 		}
-		if s.inFlight == 0 && s.cbsActive == 0 && (s.gc.running || !s.retired.Empty()) {
+		if s.gcPendingLocked() {
+			if s.inFlight > 0 {
+				metrics.Default().GCConcurrentQuanta.Add(1)
+			}
 			s.gcQuantumLocked()
 			continue
 		}
 		if s.closed && s.inFlight == 0 && s.cbsActive == 0 &&
-			!s.gc.running && s.retired.Empty() {
+			!s.gc.running && s.retired.Empty() && !s.dom.HasDeferred() {
 			s.cond.Broadcast() // wake peers so they observe the exit state
 			s.mu.Unlock()
 			return exec.EpisodeInput{}, false
@@ -253,19 +314,25 @@ func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
 	}
 }
 
-// gcQuantumLocked makes one budgeted unit of GC progress. It only runs
-// with no episode in flight (caller-checked), so sweeping and compacting
-// the structures probes read lock-free is safe. Each quantum sweeps up to
-// gcChunkBudget STeM chunks; finishing an instance whose entries became
-// at least half dead compacts it (also one quantum); finishing the last
-// instance runs the terminal reclamation step.
+// gcQuantumLocked makes one budgeted unit of GC progress, concurrently
+// with in-flight episodes: SweepChunk clears retired bits with CAS loops
+// that tolerate racing inserts and probes (a retired query's bit can never
+// reappear — retirement requires zero outstanding episodes, so no insert
+// still carries it). Each quantum sweeps up to gcChunkBudget STeM chunks;
+// finishing an instance whose entries became at least half dead compacts
+// it — inline when the instance has no in-flight inserts, else queued
+// behind its fence (compaction swaps the copy-on-write state, so it must
+// not race an insert on the same instance). Finishing the last instance
+// runs the terminal reclamation step.
 func (s *Session) gcQuantumLocked() {
 	g := &s.gc
 	if !g.running {
 		g.active = s.retired.CopyInto(g.active)
-		for i := range s.retired {
-			s.retired[i] = 0
+		g.active.AndNotWith(s.cbPending) // callback-pending: not yet eligible
+		if g.active.Empty() {
+			return
 		}
+		s.retired.AndNotWith(g.active)
 		g.running, g.inst, g.chunk, g.stemDead = true, 0, 0, 0
 	}
 	budget := gcChunkBudget
@@ -277,7 +344,14 @@ func (s *Session) gcQuantumLocked() {
 		st := s.ctx.Stems[g.inst]
 		if g.chunk >= st.NumChunks() {
 			if g.stemDead > 0 && 2*g.stemDead >= st.Len() {
-				st.CompactLive()
+				if inst := g.inst; s.instFlight[inst] > 0 {
+					s.instFence[inst] = true
+					s.instOps[inst] = append(s.instOps[inst], fenceOp{run: func() {
+						s.ctx.Stems[inst].CompactLive()
+					}})
+				} else {
+					st.CompactLive()
+				}
 				budget = 0 // a compaction consumes the quantum
 			}
 			g.inst++
@@ -290,15 +364,19 @@ func (s *Session) gcQuantumLocked() {
 	}
 }
 
-// gcFinishLocked completes a GC pass: the swept queries leave the batch's
-// shared operator sets (their grouped-filter predicates are dropped and
-// the affected filters rebuilt), the policy prunes Q-states referencing
-// them, their sources are released, and their query IDs return to the
-// free pool for reuse by later SubmitLive calls.
+// gcFinishLocked completes a GC pass in two stages. Stage one, under the
+// session mutex, unpublishes the swept queries: they leave the batch's
+// shared operator sets (grouped-filter predicates dropped, affected
+// filters rebuilt, the shrunk view republished), the policy prunes
+// Q-states referencing them, and the session's per-query bookkeeping is
+// cleared. Stage two — releasing the sources and returning the query IDs
+// to the free pool for reuse — is deferred through the epoch domain until
+// every worker has passed the retiring generation, so no in-flight episode
+// can dereference a reclaimed source or meet a recycled query ID.
 func (s *Session) gcFinishLocked() {
 	g := &s.gc
 	changed := s.b.RetireQueries(g.active)
-	s.ctx.RebuildFilters(changed)
+	s.ctx.RebuildFilters(changed) // republishes the view
 	if pr, ok := s.pol.(retirePruner); ok {
 		pr.PruneRetired(g.active)
 	}
@@ -316,15 +394,32 @@ func (s *Session) gcFinishLocked() {
 			s.qEpisodes[qid], s.qElapsed[qid] = 0, 0
 		}
 		s.qTenant[qid] = 0
-		s.ctx.Sources[qid] = nil
-		s.b.ReleaseQID(qid)
 	}
 	for i := range g.active {
 		g.active[i] = 0
 	}
 	g.running = false
-	if cb := s.cfg.OnReclaim; cb != nil && len(freed) > 0 {
-		s.cbsQueued = append(s.cbsQueued, func() { cb(freed) })
+	if len(freed) > 0 {
+		reclaim := func() {
+			s.mu.Lock()
+			for _, qid := range freed {
+				s.ctx.Sources[qid] = nil
+				s.b.ReleaseQID(qid)
+			}
+			if cb := s.cfg.OnReclaim; cb != nil {
+				s.cbsQueued = append(s.cbsQueued, func() { cb(freed) })
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		if s.dom != nil {
+			s.dom.Advance()
+			s.dom.Defer(reclaim)
+		} else {
+			// Pre-run GC (no worker pool yet): free immediately, but the
+			// deferred closure takes s.mu, so run it after we release it.
+			s.cbsQueued = append(s.cbsQueued, reclaim)
+		}
 	}
 	s.cond.Broadcast()
 }

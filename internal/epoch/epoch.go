@@ -1,0 +1,134 @@
+// Package epoch implements a small epoch-based reclamation domain for the
+// streaming engine: a monotonically advancing generation counter, one
+// padded per-worker guard, and a queue of deferred functions that run only
+// once every worker pinned at or before the deferring generation has
+// unpinned. It is the grace-period mechanism that lets the engine free
+// retired per-query state (source buffers, query-ID slots) without a
+// stop-the-world barrier: a worker pins the current generation for the
+// duration of one episode, so "every guard has passed generation G" proves
+// no episode that could observe pre-G state is still running.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// guard is one worker's pinned generation, padded to its own cache line so
+// per-episode pin/unpin stores by different workers do not false-share.
+// 0 means unpinned; otherwise the pinned generation + 1.
+type guard struct {
+	e atomic.Uint64
+	_ [56]byte
+}
+
+type deferred struct {
+	gen uint64
+	fn  func()
+}
+
+// Domain is an epoch domain for a fixed set of workers.
+type Domain struct {
+	current atomic.Uint64
+	guards  []guard
+
+	mu       sync.Mutex
+	deferred []deferred
+}
+
+// NewDomain creates a domain for workers guards, all unpinned, at
+// generation 0.
+func NewDomain(workers int) *Domain {
+	return &Domain{guards: make([]guard, workers)}
+}
+
+// Advance moves the domain to the next generation and returns it. Callers
+// advance after publishing a state change; any worker that pins afterwards
+// observes the new generation.
+func (d *Domain) Advance() uint64 { return d.current.Add(1) }
+
+// Current returns the current generation.
+func (d *Domain) Current() uint64 { return d.current.Load() }
+
+// Pin marks worker w as running inside the current generation. One atomic
+// store; called at the start of every episode.
+func (d *Domain) Pin(w int) {
+	d.guards[w].e.Store(d.current.Load() + 1)
+}
+
+// Unpin clears worker w's guard and returns any deferred functions whose
+// grace period has now elapsed. The caller must run them outside its own
+// locks (they may take engine locks themselves). One atomic store plus a
+// mutex acquisition only when work is queued.
+func (d *Domain) Unpin(w int) []func() {
+	d.guards[w].e.Store(0)
+	return d.Ready()
+}
+
+// Defer queues fn to run once every worker pinned at a generation at or
+// before the current one has unpinned. fn is returned by a later Ready or
+// Unpin call; it never runs inside Defer.
+func (d *Domain) Defer(fn func()) {
+	gen := d.current.Load()
+	d.mu.Lock()
+	d.deferred = append(d.deferred, deferred{gen: gen, fn: fn})
+	d.mu.Unlock()
+}
+
+// minPinned returns the smallest pinned generation and whether any worker
+// is pinned.
+func (d *Domain) minPinned() (uint64, bool) {
+	min, any := uint64(0), false
+	for i := range d.guards {
+		e := d.guards[i].e.Load()
+		if e == 0 {
+			continue
+		}
+		if g := e - 1; !any || g < min {
+			min, any = g, true
+		}
+	}
+	return min, any
+}
+
+// Ready removes and returns every deferred function whose grace period has
+// elapsed: its deferring generation is below the oldest pinned generation
+// (or no worker is pinned at all). Callers run the returned functions
+// outside their own locks.
+func (d *Domain) Ready() []func() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.deferred) == 0 {
+		return nil
+	}
+	min, any := d.minPinned()
+	var out []func()
+	kept := d.deferred[:0]
+	for _, df := range d.deferred {
+		if !any || df.gen < min {
+			out = append(out, df.fn)
+		} else {
+			kept = append(kept, df)
+		}
+	}
+	d.deferred = kept
+	return out
+}
+
+// HasDeferred reports whether any deferred function is still queued.
+func (d *Domain) HasDeferred() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.deferred) > 0
+}
+
+// Lag returns how many generations the oldest pinned worker is behind the
+// current generation (0 when nothing is pinned or everyone is current).
+// This is the engine's roulette_epoch_lag gauge.
+func (d *Domain) Lag() int64 {
+	min, any := d.minPinned()
+	if !any {
+		return 0
+	}
+	return int64(d.current.Load() - min)
+}

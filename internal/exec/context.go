@@ -128,6 +128,17 @@ type Context struct {
 
 	ReqInsts plan.RequiredInsts
 
+	// view is the published episode-hot-path snapshot of everything above.
+	// Workers load it once per episode (one atomic pointer load) and never
+	// touch the mutable master fields; the engine republishes after every
+	// admission or retirement under its session mutex (publish-then-advance:
+	// the view is stored before the change becomes schedulable, so any
+	// episode carrying a new query's bit runs against a view that includes
+	// it). gen counts publishes — it is the batch generation workers observe
+	// at episode boundaries.
+	view atomic.Pointer[view]
+	gen  uint64
+
 	Stats Stats
 
 	// InstStats holds per-instance STeM traffic counters, folded at episode
@@ -141,6 +152,75 @@ type InstStat struct {
 	Inserts atomic.Int64
 	Probes  atomic.Int64
 	Matches atomic.Int64
+}
+
+// view is one immutable snapshot of the context's episode-hot-path state.
+// Every slice is a fresh header copy of the master field at publish time;
+// the engine's copy-on-write contract (query sets replaced, filters
+// replaced, never mutated in place) keeps the reachable data frozen.
+type view struct {
+	g query.Graph
+
+	stems    []*stem.STeM
+	tables   []*storage.Table
+	filters  []*GroupedFilter
+	pruneOps []PruneOp
+	selOps   []selOpRef
+
+	edgeACol [][]int64
+	edgeBCol [][]int64
+	resACol  [][]int64
+	resBCol  [][]int64
+
+	stemKeyCols   [][]string
+	stemKeySlices [][][]int64
+
+	gen uint64
+}
+
+// PublishView snapshots the context's hot-path state into a fresh view and
+// publishes it with one atomic store. Callers hold whatever lock serializes
+// context mutation (the engine's session mutex). NewContext, ApplyExtend
+// and RebuildFilters publish automatically; the engine republishes
+// explicitly after batch-level changes that bypass those (none today).
+func (c *Context) PublishView() {
+	c.gen++
+	v := &view{
+		g:             c.B.Snapshot(),
+		stems:         append([]*stem.STeM(nil), c.Stems...),
+		tables:        append([]*storage.Table(nil), c.Tables...),
+		filters:       append([]*GroupedFilter(nil), c.Filters...),
+		pruneOps:      append([]PruneOp(nil), c.PruneOps...),
+		selOps:        append([]selOpRef(nil), c.selOps...),
+		edgeACol:      append([][]int64(nil), c.edgeACol...),
+		edgeBCol:      append([][]int64(nil), c.edgeBCol...),
+		resACol:       append([][]int64(nil), c.resACol...),
+		resBCol:       append([][]int64(nil), c.resBCol...),
+		stemKeyCols:   append([][]string(nil), c.stemKeyCols...),
+		stemKeySlices: append([][][]int64(nil), c.stemKeySlices...),
+		gen:           c.gen,
+	}
+	c.view.Store(v)
+}
+
+// loadView returns the current published view (never nil after NewContext).
+func (c *Context) loadView() *view { return c.view.Load() }
+
+// Graph returns the current view's immutable join-graph snapshot, safe to
+// read lock-free.
+func (c *Context) Graph() *query.Graph { return &c.view.Load().g }
+
+// ViewGen returns the current view's generation number (the batch
+// generation workers observe at episode boundaries).
+func (c *Context) ViewGen() uint64 { return c.view.Load().gen }
+
+// StemOp is a deferred STeM structural operation returned by ApplyExtend:
+// it must run only while no episode is inserting into Inst (the engine's
+// per-instance insert fence), because it swaps the STeM's copy-on-write
+// state. Probes need no fence.
+type StemOp struct {
+	Inst  query.InstID
+	Apply func()
 }
 
 // NewContext compiles the execution context for a batch over db.
@@ -259,6 +339,7 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 	// Capacity MaxInstances so streaming extensions append in place (the
 	// entries hold atomics; a reallocation would copy them).
 	c.InstStats = make([]InstStat, len(b.Insts), query.MaxInstances)
+	c.PublishView()
 	return c, nil
 }
 
@@ -290,18 +371,24 @@ func (c *Context) addPruneOps(e *query.Edge) {
 // IDs past the existing ID space, predicate changes rebuild the affected
 // grouped filters, and the new query gets its source.
 //
-// Callers must hold the engine's quiesce gate: ApplyExtend mutates
-// structures the episode hot path reads lock-free. Validation failures
-// (missing table/column, per-instance selection-op budget) are returned
-// before any mutation, leaving the context consistent — the caller then
-// retires the query's ID from the batch.
-func (c *Context) ApplyExtend(d query.ExtendDelta) error {
+// Callers hold the engine's session mutex; running episodes are NOT paused.
+// The hot path reads only the published view, which ApplyExtend republishes
+// after mutating the master fields, so in-flight episodes keep their old
+// view and later episodes see the extension. STeM index additions on
+// already-built STeMs are not applied inline: they are returned as deferred
+// StemOps the engine runs once the instance's in-flight inserts drain (the
+// per-instance insert fence) — AddIndex backfills every entry present when
+// it runs, so entries inserted between this call and the op are covered.
+// Validation failures (missing table/column, per-instance selection-op
+// budget) are returned before any mutation, leaving the context consistent
+// — the caller then retires the query's ID from the batch.
+func (c *Context) ApplyExtend(d query.ExtendDelta) ([]StemOp, error) {
 	b := c.B
 
 	// ---- Validate everything first, mutating nothing. --------------------
 	for _, ii := range d.NewInsts {
 		if c.DB.Table(b.Insts[ii].Table) == nil {
-			return fmt.Errorf("exec: no table %q", b.Insts[ii].Table)
+			return nil, fmt.Errorf("exec: no table %q", b.Insts[ii].Table)
 		}
 	}
 	tableOf := func(inst query.InstID) *storage.Table {
@@ -313,21 +400,21 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) error {
 	for _, ei := range d.NewEdges {
 		e := &b.Edges[ei]
 		if !tableOf(e.A).Rel.HasColumn(e.ACol) || !tableOf(e.B).Rel.HasColumn(e.BCol) {
-			return fmt.Errorf("exec: join column missing on edge %d (%s.%s = %s.%s)",
+			return nil, fmt.Errorf("exec: join column missing on edge %d (%s.%s = %s.%s)",
 				e.ID, b.Insts[e.A].Table, e.ACol, b.Insts[e.B].Table, e.BCol)
 		}
 	}
 	for ri := len(c.resACol); ri < len(b.Residuals); ri++ {
 		r := &b.Residuals[ri]
 		if !tableOf(r.A).Rel.HasColumn(r.ACol) || !tableOf(r.B).Rel.HasColumn(r.BCol) {
-			return fmt.Errorf("exec: residual join column missing (%s.%s = %s.%s)",
+			return nil, fmt.Errorf("exec: residual join column missing (%s.%s = %s.%s)",
 				b.Insts[r.A].Table, r.ACol, b.Insts[r.B].Table, r.BCol)
 		}
 	}
 	for _, si := range d.NewSelCols {
 		sc := &b.SelCols[si]
 		if !tableOf(sc.Inst).Rel.HasColumn(sc.Col) {
-			return fmt.Errorf("exec: filter column %s missing on %s", sc.Col, b.Insts[sc.Inst].Table)
+			return nil, fmt.Errorf("exec: filter column %s missing on %s", sc.Col, b.Insts[sc.Inst].Table)
 		}
 	}
 	// Per-instance selection-op budget: each new grouped filter takes one
@@ -348,11 +435,11 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) error {
 			used = c.bitsUsed[inst]
 		}
 		if used+n > 64 {
-			return fmt.Errorf("exec: instance %s has %d selection ops (max 64)", b.Insts[inst].Table, used+n)
+			return nil, fmt.Errorf("exec: instance %s has %d selection ops (max 64)", b.Insts[inst].Table, used+n)
 		}
 	}
 	if _, err := requiredInsts(b, d.QID); err != nil {
-		return err
+		return nil, err
 	}
 
 	// ---- Apply. -----------------------------------------------------------
@@ -371,6 +458,7 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) error {
 	for _, ii := range d.NewInsts {
 		newInst[ii] = true
 	}
+	var ops []StemOp
 	addKey := func(inst query.InstID, col string) {
 		if c.keySeen[inst][col] {
 			return
@@ -381,8 +469,14 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) error {
 		if !newInst[inst] {
 			// Existing STeM learns a new key column: index its entries from
 			// the base table (entries store vIDs, so the key is a lookup).
+			// Deferred behind the instance's insert fence — AddIndex swaps
+			// the STeM's copy-on-write state, and its backfill covers every
+			// entry inserted before it runs.
 			colData := c.Tables[inst].Col(col)
-			c.Stems[inst].AddIndex(col, func(vid int32) int64 { return colData[vid] })
+			st := c.Stems[inst]
+			ops = append(ops, StemOp{Inst: inst, Apply: func() {
+				st.AddIndex(col, func(vid int32) int64 { return colData[vid] })
+			}})
 		}
 	}
 	for _, ei := range d.NewEdges {
@@ -421,20 +515,24 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) error {
 
 	insts, err := requiredInsts(b, d.QID)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c.Sources[d.QID] = NewSource(insts, c.Opt.CollectRows)
-	return nil
+	c.PublishView()
+	return ops, nil
 }
 
 // RebuildFilters re-creates the grouped filters whose predicate lists
-// changed (after RetireQueries dropped retired predicates). Quiesced
-// callers only.
+// changed (after RetireQueries dropped retired predicates) and republishes
+// the view. Filters are replaced, never mutated, so episodes running on the
+// old view keep consistent (stale but correct) filters. Caller holds the
+// engine's session mutex.
 func (c *Context) RebuildFilters(selIDs []int) {
 	for _, si := range selIDs {
 		sc := &c.B.SelCols[si]
 		c.Filters[si] = NewGroupedFilter(c.B.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col))
 	}
+	c.PublishView()
 }
 
 // requiredInsts derives which instances' vIDs a query's host consumer needs.

@@ -142,7 +142,17 @@ type Worker struct {
 	probeIn    []int32            // kernel input position -> tuple index
 	probeTqs   []uint64           // masked tuple query sets, stride qw
 	vmatches   []stem.VecMatch    // ProbeVec output buffer
+	matchQs    []uint64           // ProbeVec query-set slab (VecMatch.QSet views)
 	pruneQs    []uint64           // SemiJoinVec output slab, stride qw
+
+	// cv is the context view this episode runs against: loaded once per
+	// episode (one atomic pointer load), so the hot loops below read an
+	// immutable snapshot while the engine admits and retires queries
+	// concurrently. clk is the worker's private publication-timestamp block
+	// allocator (stem.Clock), eliminating the shared version-clock CAS from
+	// the per-episode publish path.
+	cv  *view
+	clk stem.Clock
 }
 
 // NewWorker creates a worker bound to ctx using pol for planning. Buffers
@@ -312,16 +322,17 @@ func (w *Worker) ingestVector(in EpisodeInput) ([]int32, []uint64) {
 // ingested vector, compacting after every step and logging each decision.
 func (w *Worker) runSelSteps(in EpisodeInput, steps []plan.SelStep, vids []int32, qsets []uint64) ([]int32, []uint64) {
 	c := w.C
+	cv := w.cv
 	for si := range steps {
 		st := &steps[si]
 		nIn := len(vids)
 		if nIn == 0 {
 			break
 		}
-		if ref := c.selOps[st.Op.ID]; !ref.prune {
-			c.Filters[ref.idx].Apply(c.Opt.GroupedFilters, vids, qsets, w.qw)
+		if ref := cv.selOps[st.Op.ID]; !ref.prune {
+			cv.filters[ref.idx].Apply(c.Opt.GroupedFilters, vids, qsets, w.qw)
 		} else {
-			w.applyPrune(&c.PruneOps[ref.idx], st.Op.Queries, vids, qsets)
+			w.applyPrune(&cv.pruneOps[ref.idx], st.Op.Queries, vids, qsets)
 		}
 		vids, qsets = compact(vids, qsets, w.qw)
 		if w.collect {
@@ -364,16 +375,17 @@ func (w *Worker) rootVec(inst query.InstID, vids []int32, qsets []uint64, n int)
 // slot is published regardless so concurrent probes never spin on it.
 func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 	c := w.C
+	w.cv = c.loadView()
 	if h := c.Opt.Hooks.EpisodeStart; h != nil {
 		h(in.Inst, in.Slot)
 	}
 	w.log = w.log[:0]
 	w.planSig = 0
-	if w.collect && len(w.instIns) < len(c.B.Insts) {
+	if w.collect && len(w.instIns) < len(w.cv.g.Insts) {
 		// A live-admitted query added instances since this worker was built;
 		// extend the per-instance arenas (capacity reserved at creation, so
 		// steady state never reallocates).
-		n := len(c.B.Insts)
+		n := len(w.cv.g.Insts)
 		w.instIns = w.instIns[:n]
 		w.instProbes = w.instProbes[:n]
 		w.instMatches = w.instMatches[:n]
@@ -402,24 +414,24 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 		}
 	}
 	t0 = time.Now()
-	nk := len(c.stemKeyCols[in.Inst])
+	nk := len(w.cv.stemKeyCols[in.Inst])
 	for len(w.insKeys) < nk {
 		w.insKeys = append(w.insKeys, nil)
 	}
 	ik := w.insKeys[:nk]
-	for k, colData := range c.stemKeySlices[in.Inst] {
+	for k, colData := range w.cv.stemKeySlices[in.Inst] {
 		col := ik[k][:0]
 		for _, vid := range vids {
 			col = append(col, colData[vid])
 		}
 		ik[k] = col
 	}
-	c.Stems[in.Inst].InsertVec(vids, ik, qsets, w.qw, in.Slot, &w.insScratch)
-	// The watermark is read before the publish timestamp is drawn: every
-	// slot under wm then has a timestamp strictly older than ts, which lets
-	// the probe kernels skip per-entry version lookups (stem.ProbeVec).
-	wm := c.Versions.Watermark()
-	ts := c.Versions.Publish(in.Slot)
+	w.cv.stems[in.Inst].InsertVec(vids, ik, qsets, w.qw, in.Slot, &w.insScratch)
+	// PublishClocked reads the watermark before drawing the publish
+	// timestamp from the worker's block clock: every slot under wm then has
+	// a timestamp strictly older than ts, letting the probe kernels skip
+	// per-entry version lookups (stem.ProbeVec).
+	wm, ts := c.Versions.PublishClocked(in.Slot, &w.clk)
 	w.ep.buildNs += time.Since(t0).Nanoseconds()
 	w.ep.inserted += int64(len(vids))
 	if w.collect {
@@ -429,7 +441,7 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 	joinInput := len(vids)
 	if joinInput > 0 {
 		// ---- Join phase ---------------------------------------------------
-		root := plan.BuildJoin(c.B, w.Pol, in.Inst, in.Active, c.ReqInsts)
+		root := plan.BuildJoin(&w.cv.g, w.Pol, in.Inst, in.Active, c.ReqInsts)
 		w.execChildren(root, w.rootVec(in.Inst, vids, qsets, joinInput), ts, wm)
 	}
 
@@ -471,9 +483,8 @@ func (w *Worker) measuredCost() (total, join float64) {
 // matching query-set unions land in the pruneQs slab, and the mask is
 // applied tuple by tuple afterwards.
 func (w *Worker) applyPrune(p *PruneOp, elig bitset.Set, vids []int32, qsets []uint64) {
-	c := w.C
-	other := c.Stems[p.Other]
-	local := c.Tables[p.Inst].Col(p.LocalCol)
+	other := w.cv.stems[p.Other]
+	local := w.cv.tables[p.Inst].Col(p.LocalCol)
 	w.notMask = w.fullMask.CopyInto(w.notMask)
 	notMask := w.notMask
 	notMask.AndNotWith(elig)
@@ -604,30 +615,31 @@ func emitTuple(out *jvec, copyIdx []int, v *jvec, i, targetPos int, vid int32) {
 // vector comes from the worker pool; the caller releases it.
 func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, int) {
 	c := w.C
+	cv := w.cv
 	t0 := time.Now()
-	e := &c.B.Edges[nd.EdgeID]
+	e := &cv.g.Edges[nd.EdgeID]
 	var src query.InstID
 	var srcData []int64
 	var targetCol string
 	if nd.Target == e.A {
-		src, srcData, targetCol = e.B, c.edgeBCol[e.ID], e.ACol
+		src, srcData, targetCol = e.B, cv.edgeBCol[e.ID], e.ACol
 	} else {
-		src, srcData, targetCol = e.A, c.edgeACol[e.ID], e.BCol
+		src, srcData, targetCol = e.A, cv.edgeACol[e.ID], e.BCol
 	}
 	srcIdx := v.instIdx(src)
 
 	// Residual predicates completed by this probe: cycle-closing joins whose
 	// second endpoint is the probed instance.
 	residuals := w.residuals[:0]
-	for ri := range c.B.Residuals {
-		r := &c.B.Residuals[ri]
+	for ri := range cv.g.Residuals {
+		r := &cv.g.Residuals[ri]
 		var other query.InstID
 		var otherData, targetData []int64
 		switch {
 		case r.A == nd.Target && nd.Lineage&(1<<r.B) != 0:
-			other, otherData, targetData = r.B, c.resBCol[ri], c.resACol[ri]
+			other, otherData, targetData = r.B, cv.resBCol[ri], cv.resACol[ri]
 		case r.B == nd.Target && nd.Lineage&(1<<r.A) != 0:
-			other, otherData, targetData = r.A, c.resACol[ri], c.resBCol[ri]
+			other, otherData, targetData = r.A, cv.resACol[ri], cv.resBCol[ri]
 		default:
 			continue
 		}
@@ -672,7 +684,7 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, i
 	// per-tuple STeM probes (stem/vec.go). The merge loop reads matches in
 	// input order, so output tuples append in the same order as before.
 	qmask := nd.Q
-	stemT := c.Stems[nd.Target]
+	stemT := cv.stems[nd.Target]
 	pk := w.probeKeys[:0]
 	pin := w.probeIn[:0]
 	srcVids := v.vids[srcIdx]
@@ -694,8 +706,9 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, i
 			ptq = append(ptq, tqw)
 		}
 		w.probeKeys, w.probeIn, w.probeTqs = pk, pin, ptq
-		w.vmatches = stemT.ProbeVec(w.vmatches[:0], targetCol, pk, ts, wm)
-		for _, m := range w.vmatches {
+		w.vmatches, w.matchQs = stemT.ProbeVec(w.vmatches[:0], w.matchQs[:0], targetCol, pk, ts, wm)
+		for mi := range w.vmatches {
+			m := &w.vmatches[mi]
 			j := int(m.In)
 			i := int(pin[j])
 			var mw uint64
@@ -742,8 +755,9 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, i
 			ptq = append(ptq, tq...)
 		}
 		w.probeKeys, w.probeIn, w.probeTqs = pk, pin, ptq
-		w.vmatches = stemT.ProbeVec(w.vmatches[:0], targetCol, pk, ts, wm)
-		for _, m := range w.vmatches {
+		w.vmatches, w.matchQs = stemT.ProbeVec(w.vmatches[:0], w.matchQs[:0], targetCol, pk, ts, wm)
+		for mi := range w.vmatches {
+			m := &w.vmatches[mi]
 			j := int(m.In)
 			i := int(pin[j])
 			tq := ptq[j*w.qw : (j+1)*w.qw]

@@ -45,6 +45,7 @@ type StepBench struct {
 	in       EpisodeInput
 	selSteps []plan.SelStep
 	joinRoot *plan.Node
+	g        query.Graph // snapshot the prebuilt join plan was built over
 }
 
 // NewStepBench builds the harness fixture and warms nothing: callers run a
@@ -150,9 +151,9 @@ func NewStepBench(cfg StepBenchConfig) (*StepBench, error) {
 		SelOps: ctx.SelOpsFor(factInst, nil),
 	}
 
-	sb := &StepBench{Ctx: ctx, W: w, in: in}
+	sb := &StepBench{Ctx: ctx, W: w, in: in, g: b.Snapshot()}
 	sb.selSteps = plan.BuildSel(pol, factInst, active, in.SelOps)
-	sb.joinRoot = plan.BuildJoin(b, pol, factInst, active, ctx.ReqInsts)
+	sb.joinRoot = plan.BuildJoin(&sb.g, pol, factInst, active, ctx.ReqInsts)
 	return sb, nil
 }
 
@@ -161,6 +162,7 @@ func NewStepBench(cfg StepBenchConfig) (*StepBench, error) {
 // zero heap allocations.
 func (s *StepBench) Step() EpisodeReport {
 	w := s.W
+	w.cv = w.C.loadView() // one atomic load, as in RunEpisode
 	w.log = w.log[:0]
 	w.planSig = 0
 	if w.trace {

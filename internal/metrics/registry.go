@@ -41,6 +41,17 @@ type Registry struct {
 	DeadlineSheds    atomic.Int64 // queries shed for unmeetable deadlines (submit-time + mid-flight)
 	StarvationBoosts atomic.Int64 // starvation-watchdog activations
 
+	// Epoch-based concurrent admission & GC (streaming).
+	GCConcurrentQuanta atomic.Int64 // GC quanta executed while episodes were in flight
+	EpochLag           atomic.Int64 // generations the oldest pinned worker trails the domain (gauge)
+
+	// AdmitLatency is the submit-to-first-episode latency distribution in
+	// microseconds: the time from SubmitLive returning a query ID to the
+	// first episode vector carrying the query's bit being handed to a
+	// worker. With the stop-the-world gate gone this is the headline
+	// admission-responsiveness number.
+	AdmitLatency Histogram
+
 	FilterNs atomic.Int64
 	BuildNs  atomic.Int64
 	ProbeNs  atomic.Int64
@@ -184,6 +195,13 @@ type RegistrySnapshot struct {
 	DeadlineSheds    int64 `json:"deadline_shed"`
 	StarvationBoosts int64 `json:"starvation_boosts"`
 
+	GCConcurrentQuanta int64   `json:"gc_concurrent_quanta"`
+	EpochLag           int64   `json:"epoch_lag"`
+	AdmitObserved      int64   `json:"admit_observed"`
+	AdmitP50Us         int64   `json:"admit_latency_p50_micros"`
+	AdmitP95Us         int64   `json:"admit_latency_p95_micros"`
+	AdmitMeanUs        float64 `json:"admit_latency_mean_micros"`
+
 	FilterNs int64 `json:"filter_ns"`
 	BuildNs  int64 `json:"build_ns"`
 	ProbeNs  int64 `json:"probe_ns"`
@@ -219,6 +237,13 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		SubmitOverloads:  r.SubmitOverloads.Load(),
 		DeadlineSheds:    r.DeadlineSheds.Load(),
 		StarvationBoosts: r.StarvationBoosts.Load(),
+
+		GCConcurrentQuanta: r.GCConcurrentQuanta.Load(),
+		EpochLag:           r.EpochLag.Load(),
+		AdmitObserved:      r.AdmitLatency.Count(),
+		AdmitP50Us:         r.AdmitLatency.Quantile(0.50),
+		AdmitP95Us:         r.AdmitLatency.Quantile(0.95),
+		AdmitMeanUs:        r.AdmitLatency.Mean(),
 
 		FilterNs: r.FilterNs.Load(),
 		BuildNs:  r.BuildNs.Load(),
@@ -260,6 +285,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	p.Counter("roulette_submit_overload_rejected_total", "Stream submissions rejected with ErrOverloaded (budget or rate limit).", float64(s.SubmitOverloads))
 	p.Counter("roulette_deadline_shed_total", "Queries shed for unmeetable deadlines (at submit or mid-flight).", float64(s.DeadlineSheds))
 	p.Counter("roulette_starvation_boosts_total", "Starvation-watchdog activations boosting an unserved tenant.", float64(s.StarvationBoosts))
+	p.Counter("roulette_gc_concurrent_quanta", "GC quanta executed while episodes were in flight (concurrent, not stop-the-world).", float64(s.GCConcurrentQuanta))
+	p.Gauge("roulette_epoch_lag", "Generations the oldest pinned worker trails the epoch domain.", float64(s.EpochLag))
+	p.Counter("roulette_admissions_observed_total", "Live admissions with an observed submit-to-first-episode latency.", float64(s.AdmitObserved))
+	p.Gauge("roulette_admit_latency_micros", "Submit-to-first-episode latency quantile upper bounds.",
+		float64(s.AdmitP50Us), Label{"quantile", "0.5"})
+	p.Gauge("roulette_admit_latency_micros", "Submit-to-first-episode latency quantile upper bounds.",
+		float64(s.AdmitP95Us), Label{"quantile", "0.95"})
 	for _, t := range s.Tenants {
 		p.Counter("roulette_tenant_submit_admitted_total", "Admitted submissions, by tenant.",
 			float64(t.Admitted), Label{"tenant", t.Tenant})

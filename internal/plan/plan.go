@@ -69,27 +69,28 @@ type Node struct {
 type RequiredInsts func(qid int) uint64
 
 // BuildJoin runs multi-step optimization for the join phase of one episode:
-// a vector of source tuples annotated with query set q. It returns the
+// a vector of source tuples annotated with query set q. It reads only the
+// immutable Graph snapshot, so workers call it lock-free. It returns the
 // Input pseudo-root, whose children process the vector after STeM
 // insertion.
-func BuildJoin(b *query.Batch, pol policy.Policy, source query.InstID, q bitset.Set, req RequiredInsts) *Node {
+func BuildJoin(g *query.Graph, pol policy.Policy, source query.InstID, q bitset.Set, req RequiredInsts) *Node {
 	root := &Node{Kind: Input, Lineage: 1 << source, Q: q.Clone()}
-	buildRec(b, pol, root, source, 1<<source, q.Clone())
-	annotateKeep(b, root, req)
+	buildRec(g, pol, root, source, 1<<source, q.Clone())
+	annotateKeep(g, root, req)
 	return root
 }
 
 // buildRec is MULTI_STEP_REC: it expands node (whose output has virtual
 // vector (lineage, q)) until every query receives a router. It returns
 // cand(lineage, q) so the caller can record successor candidates.
-func buildRec(b *query.Batch, pol policy.Policy, node *Node, source query.InstID, lineage uint64, q bitset.Set) []int {
-	cands := b.Candidates(nil, lineage, q)
+func buildRec(g *query.Graph, pol policy.Policy, node *Node, source query.InstID, lineage uint64, q bitset.Set) []int {
+	cands := g.Candidates(nil, lineage, q)
 	if len(cands) == 0 {
 		node.Children = append(node.Children, &Node{Kind: Router, Lineage: lineage, Q: q})
 		return cands
 	}
 	choice := pol.ChooseJoin(source, lineage, q, cands)
-	e := &b.Edges[cands[choice]]
+	e := &g.Edges[cands[choice]]
 	target := e.A
 	if lineage&(1<<e.A) != 0 {
 		target = e.B
@@ -105,13 +106,13 @@ func buildRec(b *query.Batch, pol policy.Policy, node *Node, source query.InstID
 		MainLineage: lineage | 1<<target,
 	}
 	node.Children = append(node.Children, main)
-	main.MainCands = buildRec(b, pol, main, source, main.MainLineage, qMain)
+	main.MainCands = buildRec(g, pol, main, source, main.MainLineage, qMain)
 
 	if !qDiv.Empty() {
 		div := &Node{Kind: RouteSel, Lineage: lineage, Q: qDiv}
 		node.Children = append(node.Children, div)
 		main.Div = div
-		main.DivCands = buildRec(b, pol, div, source, lineage, qDiv)
+		main.DivCands = buildRec(g, pol, div, source, lineage, qDiv)
 	}
 	return cands
 }
@@ -122,7 +123,7 @@ func buildRec(b *query.Batch, pol policy.Policy, node *Node, source query.InstID
 // pending residual predicate (cycle-closing joins are evaluated at the
 // probe that completes both endpoints, so the earlier endpoint's vID must
 // survive until then).
-func annotateKeep(b *query.Batch, n *Node, req RequiredInsts) uint64 {
+func annotateKeep(g *query.Graph, n *Node, req RequiredInsts) uint64 {
 	switch n.Kind {
 	case Router:
 		var keep uint64
@@ -133,9 +134,9 @@ func annotateKeep(b *query.Batch, n *Node, req RequiredInsts) uint64 {
 	case Probe:
 		var childKeep uint64
 		for _, c := range n.Children {
-			childKeep |= annotateKeep(b, c, req)
+			childKeep |= annotateKeep(g, c, req)
 		}
-		e := &b.Edges[n.EdgeID]
+		e := &g.Edges[n.EdgeID]
 		src := e.A
 		if n.Target == e.A {
 			src = e.B
@@ -146,7 +147,7 @@ func annotateKeep(b *query.Batch, n *Node, req RequiredInsts) uint64 {
 		// partner still outside it: the partner either arrives with this
 		// probe (evaluated here, needs the in-lineage endpoint's vID) or
 		// later (the endpoint must survive until then).
-		keep |= residualKeep(b, n.StateQ, n.Lineage)
+		keep |= residualKeep(g, n.StateQ, n.Lineage)
 		keep &^= 1 << n.Target // produced by the probe, not required upstream
 		keep &= n.Lineage
 		n.Keep = keep
@@ -154,9 +155,9 @@ func annotateKeep(b *query.Batch, n *Node, req RequiredInsts) uint64 {
 	default: // Input, RouteSel: input lineage equals output lineage
 		var keep uint64
 		for _, c := range n.Children {
-			keep |= annotateKeep(b, c, req)
+			keep |= annotateKeep(g, c, req)
 		}
-		keep |= residualKeep(b, n.Q, n.Lineage)
+		keep |= residualKeep(g, n.Q, n.Lineage)
 		keep &= n.Lineage
 		n.Keep = keep
 		return keep
@@ -166,9 +167,9 @@ func annotateKeep(b *query.Batch, n *Node, req RequiredInsts) uint64 {
 // residualKeep returns the instances that must stay projected because a
 // residual predicate of some query in q has its other endpoint outside
 // lineage (not yet applicable).
-func residualKeep(b *query.Batch, q bitset.Set, lineage uint64) uint64 {
+func residualKeep(g *query.Graph, q bitset.Set, lineage uint64) uint64 {
 	var keep uint64
-	for _, r := range b.Residuals {
+	for _, r := range g.Residuals {
 		if !q.Contains(r.QID) {
 			continue
 		}

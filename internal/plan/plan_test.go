@@ -39,12 +39,19 @@ func fig1Batch(t testing.TB) *query.Batch {
 
 func allInsts(qid int) uint64 { return ^uint64(0) }
 
+// graphOf snapshots a batch for BuildJoin (tests mutate nothing while the
+// plan is built, so a fresh snapshot per call is fine).
+func graphOf(b *query.Batch) *query.Graph {
+	g := b.Snapshot()
+	return &g
+}
+
 func TestBuildJoinRoutesEveryQueryExactlyOnce(t *testing.T) {
 	b := fig1Batch(t)
 	rInst, _ := b.InstOfAlias(0, "R")
 	for seed := int64(0); seed < 50; seed++ {
 		pol := policy.NewRandom(seed)
-		root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+		root := BuildJoin(graphOf(b), pol, rInst, bitset.NewFull(b.N), allInsts)
 		counts := CountRouters(root, b.N)
 		for qid, c := range counts {
 			if c != 1 {
@@ -60,7 +67,7 @@ func TestBuildJoinSharesCommonPrefix(t *testing.T) {
 	b := fig1Batch(t)
 	rInst, _ := b.InstOfAlias(0, "R")
 	pol := preferShared{b}
-	root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+	root := BuildJoin(graphOf(b), pol, rInst, bitset.NewFull(b.N), allInsts)
 	if len(root.Children) == 0 {
 		t.Fatal("empty plan")
 	}
@@ -98,7 +105,7 @@ func TestDivergenceContext(t *testing.T) {
 	b := fig1Batch(t)
 	rInst, _ := b.InstOfAlias(0, "R")
 	pol := preferShared{b}
-	root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+	root := BuildJoin(graphOf(b), pol, rInst, bitset.NewFull(b.N), allInsts)
 
 	// Walk the tree; every diverging probe must carry consistent context.
 	var walk func(n *Node)
@@ -140,7 +147,7 @@ func TestAdaptiveProjectionKeepsOnlyNeededColumns(t *testing.T) {
 	// Queries need no columns at all (COUNT(*)): routers keep nothing, and
 	// probe inputs only keep the key-source instance.
 	pol := preferShared{b}
-	root := BuildJoin(b, pol, rInst, bitset.NewFull(b.N), func(int) uint64 { return 0 })
+	root := BuildJoin(graphOf(b), pol, rInst, bitset.NewFull(b.N), func(int) uint64 { return 0 })
 
 	var walk func(n *Node)
 	walk = func(n *Node) {
@@ -167,7 +174,7 @@ func TestAdaptiveProjectionKeepsOnlyNeededColumns(t *testing.T) {
 	walk(root)
 
 	// With full requirements every router keeps its whole lineage.
-	root = BuildJoin(b, pol, rInst, bitset.NewFull(b.N), allInsts)
+	root = BuildJoin(graphOf(b), pol, rInst, bitset.NewFull(b.N), allInsts)
 	var check func(n *Node)
 	check = func(n *Node) {
 		if n.Kind == Router && n.Keep != n.Lineage {
@@ -214,7 +221,7 @@ func TestQuickRandomWorkloadsRouteOnce(t *testing.T) {
 		// containing that instance.
 		src := b.QueryInsts(0)[0]
 		active := b.Insts[src].Queries.Clone()
-		root := BuildJoin(b, policy.NewRandom(seed), src, active, allInsts)
+		root := BuildJoin(graphOf(b), policy.NewRandom(seed), src, active, allInsts)
 		for qid, c := range CountRouters(root, b.N) {
 			want := 0
 			if active.Contains(qid) {

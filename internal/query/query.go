@@ -439,7 +439,13 @@ func (b *Batch) applyQuery(qi int, q *Query, p *queryPlan) {
 			}
 			delta.NewEdges = append(delta.NewEdges, ei)
 		}
-		b.Edges[ei].Queries.Add(qi)
+		// Copy-on-write: operator query sets reachable from a published
+		// executor view are frozen — the streaming engine snapshots them
+		// into lock-free episode state (exec view, EpisodeInput.SelOps), so
+		// in-place bit flips would race with running episodes.
+		nq := b.Edges[ei].Queries.Clone()
+		nq.Add(qi)
+		b.Edges[ei].Queries = nq
 	}
 	b.Residuals = append(b.Residuals, p.residuals...)
 
@@ -459,11 +465,15 @@ func (b *Batch) applyQuery(qi int, q *Query, p *queryPlan) {
 		}
 		sc := &b.SelCols[si]
 		sc.Preds = append(sc.Preds, Pred{QID: qi, Lo: f.lo, Hi: f.hi})
-		sc.Queries.Add(qi)
+		nq := sc.Queries.Clone() // copy-on-write, see the edge sets above
+		nq.Add(qi)
+		sc.Queries = nq
 	}
 
 	for _, inst := range p.insts {
-		b.Insts[inst].Queries.Add(qi)
+		nq := b.Insts[inst].Queries.Clone() // copy-on-write
+		nq.Add(qi)
+		b.Insts[inst].Queries = nq
 	}
 
 	if qi == b.N {
@@ -550,11 +560,14 @@ func (b *Batch) RollbackExtend(d ExtendDelta) {
 // predicate lists changed (the executor rebuilds those). Query-ID slots
 // are NOT freed — call ReleaseQID once all executor state is swept.
 func (b *Batch) RetireQueries(retired bitset.Set) (changedSels []int) {
+	// Query sets are replaced, not masked in place: published executor
+	// views and in-flight episode state alias the old backing arrays
+	// (copy-on-write contract, see applyQuery).
 	for i := range b.Insts {
-		b.Insts[i].Queries.AndNotWith(retired)
+		b.Insts[i].Queries = bitset.AndNot(b.Insts[i].Queries, retired)
 	}
 	for i := range b.Edges {
-		b.Edges[i].Queries.AndNotWith(retired)
+		b.Edges[i].Queries = bitset.AndNot(b.Edges[i].Queries, retired)
 	}
 	for i := range b.SelCols {
 		sc := &b.SelCols[i]
@@ -568,7 +581,7 @@ func (b *Batch) RetireQueries(retired bitset.Set) (changedSels []int) {
 			}
 		}
 		sc.Preds = kept
-		sc.Queries.AndNotWith(retired)
+		sc.Queries = bitset.AndNot(sc.Queries, retired)
 		changedSels = append(changedSels, sc.ID)
 	}
 	keptRes := b.Residuals[:0]

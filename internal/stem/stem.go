@@ -10,6 +10,13 @@
 // version slot that is later published to a global timestamp with a single
 // atomic, and probes accept only entries whose published timestamp is
 // strictly older than the probing episode's.
+//
+// Structural maintenance (adding an index, growing buckets, compacting dead
+// entries away) is copy-on-write: the index structure lives in an immutable
+// stemState published through one atomic pointer, so probes never block on
+// maintenance. Only inserts need the engine to fence the instance while a
+// new state is built, because inserts mutate the current state's chunk tail
+// and bucket heads.
 package stem
 
 import (
@@ -26,6 +33,11 @@ const (
 	chunkMask = chunkSize - 1
 )
 
+// clockBlock is the number of timestamps a worker clock reserves from the
+// global counter per refill. One atomic on the shared counter then covers
+// clockBlock episodes instead of one.
+const clockBlock = 64
+
 // Versions is the session-wide version-slot table shared by all STeMs.
 // Each episode allocates one slot, stamps its inserted entries with the
 // slot index, and publishes the slot to a fresh global timestamp after the
@@ -35,11 +47,12 @@ const (
 // counter), a slot's entries are all inserted before the slot is published,
 // and each slot is published at most once. The publication watermark — the
 // count of contiguously published slots from 0 — depends on that contract:
-// every slot below the watermark is published, and because timestamps are
-// drawn from the same global counter, its timestamp is strictly older than
-// any timestamp drawn after the watermark was read. Vector probes use this
-// to skip the per-entry timestamp load for the (large, stable) prefix of
-// old entries and pay it only in the small concurrent tail.
+// every slot below the watermark is published, and its timestamp is bounded
+// by maxPub at the moment the watermark passed it, so it is strictly older
+// than any timestamp drawn after the watermark was read (drawn timestamps
+// always exceed the maxPub they observed). Vector probes use this to skip
+// the per-entry timestamp load for the (large, stable) prefix of old
+// entries and pay it only in the small concurrent tail.
 //
 // A slot's cell holds one of three states:
 //
@@ -58,9 +71,25 @@ const (
 // rejecting, and Publish's CAS loop redraws after losing to a seal, so a
 // sealed slot's eventual timestamp is provably newer than every rejecting
 // probe's. Neither side ever waits.
+//
+// Timestamp allocation is sharded: workers draw from per-worker blocks of
+// clockBlock timestamps (Clock) reserved with one global.Add each, so the
+// shared counter is touched once per clockBlock episodes instead of once
+// per episode. maxPub tracks the largest timestamp ever stored into a cell;
+// a block draw that cannot beat maxPub (or a seal) discards the rest of its
+// block and reserves a fresh one — a block's leftover timestamps are never
+// individually bumped past maxPub, because the bumped value could collide
+// with another worker's in-flight block and duplicate timestamps break the
+// strict ts < probeTS visibility order. The hot-path atomics (global,
+// watermark, maxPub) are padded apart so publishes, watermark reads and
+// max tracking do not false-share one cache line.
 type Versions struct {
 	global    atomic.Int64 // global timestamp counter; 0 is reserved
+	_         [56]byte
 	watermark atomic.Int64 // slots [0, watermark) are all published
+	_         [56]byte
+	maxPub    atomic.Int64 // max timestamp ever stored in a cell
+	_         [56]byte
 
 	mu    sync.Mutex
 	slabs atomic.Pointer[[]*versionSlab]
@@ -102,6 +131,16 @@ func (v *Versions) ensure(n Slot) *versionSlab {
 	return slabs[si]
 }
 
+// casMaxPub raises maxPub to at least ts.
+func (v *Versions) casMaxPub(ts int64) {
+	for {
+		m := v.maxPub.Load()
+		if m >= ts || v.maxPub.CompareAndSwap(m, ts) {
+			return
+		}
+	}
+}
+
 // Publish maps slot n to a fresh global timestamp and returns it. Entries
 // stamped with n become visible to probes with a newer timestamp. Publish
 // also advances the publication watermark past every contiguously published
@@ -126,8 +165,70 @@ func (v *Versions) Publish(n Slot) int64 {
 		}
 		ts := v.global.Add(1)
 		if cell.CompareAndSwap(old, ts) {
+			v.casMaxPub(ts)
 			v.advanceWatermark()
 			return ts
+		}
+	}
+}
+
+// Clock is a per-worker timestamp allocator: a half-open range
+// [next, lim) of global timestamps reserved in one global.Add. The zero
+// value is an empty clock that refills on first use. A Clock must not be
+// shared between goroutines.
+type Clock struct {
+	next int64
+	lim  int64
+}
+
+// draw returns a timestamp strictly greater than min, refilling the block
+// from the global counter when the current block is exhausted or cannot
+// beat min. Leftover timestamps of an abandoned block are discarded, never
+// bumped: a locally bumped value could fall inside another worker's
+// reserved block and duplicate a timestamp, which breaks the strict
+// ts < probeTS visibility order (both sides of a matching pair would
+// reject each other). A fresh block always beats min because min was read
+// from state (maxPub or a seal) whose value was drawn from the counter
+// before our Add.
+func (c *Clock) draw(v *Versions, min int64) int64 {
+	if c.next <= min || c.next >= c.lim {
+		base := v.global.Add(clockBlock) - clockBlock + 1
+		c.next, c.lim = base, base+clockBlock
+	}
+	ts := c.next
+	c.next++
+	return ts
+}
+
+// PublishClocked publishes slot n using the worker-local clock c, returning
+// the publication watermark observed before the publish and the slot's
+// timestamp. It is the sharded-clock episode variant of
+// Watermark-then-Publish: the returned watermark is safe to pass to
+// ProbeVec with the returned timestamp, because the watermark was read
+// before the timestamp was drawn and every drawn timestamp strictly
+// exceeds the maxPub bound covering all slots under that watermark
+// (advanceWatermark folds a slot's timestamp into maxPub before moving the
+// watermark past it).
+func (v *Versions) PublishClocked(n Slot, c *Clock) (Slot, int64) {
+	slab := v.ensure(n)
+	cell := &slab.ts[int(n)&chunkMask]
+	wm := Slot(v.watermark.Load())
+	for {
+		old := cell.Load()
+		if old > 0 {
+			// Defensive double publish: the slot already has a timestamp we
+			// did not pair with wm, so disable the caller's fast path.
+			return 0, old
+		}
+		min := v.maxPub.Load()
+		if -old > min {
+			min = -old // sealed at -old: the timestamp must beat the seal
+		}
+		ts := c.draw(v, min)
+		if cell.CompareAndSwap(old, ts) {
+			v.casMaxPub(ts)
+			v.advanceWatermark()
+			return wm, ts
 		}
 	}
 }
@@ -135,22 +236,27 @@ func (v *Versions) Publish(n Slot) int64 {
 // advanceWatermark pushes the watermark forward while the slot at the
 // frontier is published. Concurrent publishers race on the CAS; a lost race
 // just re-reads the frontier, so the loop is bounded by the number of slots
-// published since the caller started.
+// published since the caller started. The frontier slot's timestamp is
+// folded into maxPub before the watermark moves past it, which is the
+// invariant the sharded clock's watermark fast path rests on: any timestamp
+// drawn after a watermark read exceeds the timestamps of all slots under it.
 func (v *Versions) advanceWatermark() {
 	for {
 		w := v.watermark.Load()
-		if v.tryGet(Slot(w)) == 0 {
+		ts := v.tryGet(Slot(w))
+		if ts == 0 {
 			return
 		}
+		v.casMaxPub(ts)
 		v.watermark.CompareAndSwap(w, w+1)
 	}
 }
 
 // Watermark returns the current publication watermark: every slot below it
-// is published, and — because publication draws timestamps from the same
-// counter probes do — holds a timestamp strictly older than any probe
-// timestamp drawn *after* this call. Callers pairing a watermark with a
-// probe timestamp must therefore read the watermark first.
+// is published, and — because drawn timestamps always exceed the maxPub
+// bound covering the slots under the watermark — holds a timestamp strictly
+// older than any probe timestamp drawn *after* this call. Callers pairing a
+// watermark with a probe timestamp must therefore read the watermark first.
 func (v *Versions) Watermark() Slot { return Slot(v.watermark.Load()) }
 
 // Now returns a probe timestamp newer than every published slot.
@@ -206,29 +312,73 @@ func (v *Versions) visibleAt(n Slot, probeTS int64) bool {
 }
 
 // chunk holds a fixed-size block of unified STeM entries in columnar form.
+// Query-set words are always accessed with sync/atomic: the GC sweeper
+// clears retired bits in them concurrently with probes and inserts.
 type chunk struct {
 	vids  [chunkSize]int32
 	slots [chunkSize]Slot
 	keys  [][]int64 // one column per index
 	next  [][]int32 // one chain per index; 0 = end, else entryIdx+1
-	qsets []uint64  // chunkSize * qw words
+	qsets []uint64  // chunkSize * qw words; atomic access only
+}
+
+// stemState is the immutable index structure of a STeM: the key columns,
+// their bucket arrays, and the entry chunk list. Structural maintenance
+// (AddIndex, EnsureBuckets, CompactLive) builds a fresh state and publishes
+// it with one atomic pointer store; the old state is frozen — its buckets
+// and per-entry chain links are never written again — so probes that loaded
+// it stay correct for as long as they hold it. Within one state the chunk
+// list grows (appends only) and buckets accept new entries, which is why
+// inserts must be fenced across a state swap while probes need not be.
+type stemState struct {
+	keyCols []string
+	colIdx  map[string]int
+	buckets [][]atomic.Int32 // per index; value 0 = empty, else entryIdx+1
+	shift   []uint
+	chunks  atomic.Pointer[[]*chunk]
 }
 
 // STeM is the state module for one relation instance.
 type STeM struct {
 	versions *Versions
 	qw       int // query-set words per entry
-	keyCols  []string
-	colIdx   map[string]int
 
-	buckets [][]atomic.Int32 // per index; value 0 = empty, else entryIdx+1
-	shift   []uint
+	state atomic.Pointer[stemState]
 
-	mu     sync.Mutex
-	chunks atomic.Pointer[[]*chunk]
-	count  atomic.Int64
+	mu    sync.Mutex
+	count atomic.Int64
+	_     [56]byte // keep the hot insert counter off neighboring lines
 
 	final atomic.Bool // set once the relation is fully ingested for all scheduled queries
+}
+
+// newState builds an empty state for the given key columns with nb buckets
+// per index and an initial chunk list.
+func newState(keyCols []string, nb int, chunks []*chunk) *stemState {
+	st := &stemState{
+		keyCols: keyCols,
+		colIdx:  make(map[string]int, len(keyCols)),
+		buckets: make([][]atomic.Int32, len(keyCols)),
+		shift:   make([]uint, len(keyCols)),
+	}
+	for i, c := range keyCols {
+		st.colIdx[c] = i
+		st.buckets[i] = make([]atomic.Int32, nb)
+		st.shift[i] = uint(64 - bits.TrailingZeros(uint(nb)))
+	}
+	st.chunks.Store(&chunks)
+	return st
+}
+
+func bucketsFor(hint int) int {
+	nb := 1
+	for nb < hint*2 {
+		nb <<= 1
+	}
+	if nb < 64 {
+		nb = 64
+	}
+	return nb
 }
 
 // New creates a STeM indexing the given join-key columns, sized for about
@@ -237,36 +387,24 @@ func New(versions *Versions, keyCols []string, nQueries, capacityHint int) *STeM
 	s := &STeM{
 		versions: versions,
 		qw:       bitset.WordsFor(nQueries),
-		keyCols:  keyCols,
-		colIdx:   make(map[string]int, len(keyCols)),
 	}
 	if s.qw == 0 {
 		s.qw = 1
 	}
-	nb := 1
-	for nb < capacityHint*2 {
-		nb <<= 1
-	}
-	if nb < 64 {
-		nb = 64
-	}
-	s.buckets = make([][]atomic.Int32, len(keyCols))
-	s.shift = make([]uint, len(keyCols))
-	for i, c := range keyCols {
-		s.colIdx[c] = i
-		s.buckets[i] = make([]atomic.Int32, nb)
-		s.shift[i] = uint(64 - bits.TrailingZeros(uint(nb)))
-	}
-	empty := []*chunk{}
-	s.chunks.Store(&empty)
+	s.state.Store(newState(keyCols, bucketsFor(capacityHint), []*chunk{}))
 	return s
 }
 
-// KeyCols returns the indexed join-key columns.
-func (s *STeM) KeyCols() []string { return s.keyCols }
+// KeyCols returns the indexed join-key columns of the current state. The
+// engine serializes structural changes, so under its session mutex this is
+// stable.
+func (s *STeM) KeyCols() []string { return s.state.Load().keyCols }
 
 // HasIndex reports whether col is indexed.
-func (s *STeM) HasIndex(col string) bool { _, ok := s.colIdx[col]; return ok }
+func (s *STeM) HasIndex(col string) bool {
+	_, ok := s.state.Load().colIdx[col]
+	return ok
+}
 
 // Len returns the number of inserted entries.
 func (s *STeM) Len() int { return int(s.count.Load()) }
@@ -287,40 +425,49 @@ func hash64(x int64) uint64 {
 	return h
 }
 
-func (s *STeM) chunkFor(idx int64) *chunk {
+// chunkFor returns state st's chunk covering entry idx, growing st's chunk
+// list if needed. Growth appends only — existing chunk pointers never move
+// — so probes holding an older snapshot of the list stay valid.
+func (s *STeM) chunkFor(st *stemState, idx int64) *chunk {
 	ci := int(idx >> chunkBits)
-	chunks := *s.chunks.Load()
+	chunks := *st.chunks.Load()
 	if ci < len(chunks) {
 		return chunks[ci]
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	chunks = *s.chunks.Load()
+	chunks = *st.chunks.Load()
 	for ci >= len(chunks) {
-		c := &chunk{
-			keys:  make([][]int64, len(s.keyCols)),
-			next:  make([][]int32, len(s.keyCols)),
-			qsets: make([]uint64, chunkSize*s.qw),
-		}
-		for i := range s.keyCols {
-			c.keys[i] = make([]int64, chunkSize)
-			c.next[i] = make([]int32, chunkSize)
-		}
+		c := newChunk(len(st.keyCols), s.qw)
 		next := make([]*chunk, len(chunks)+1)
 		copy(next, chunks)
 		next[len(chunks)] = c
-		s.chunks.Store(&next)
+		st.chunks.Store(&next)
 		chunks = next
 	}
 	return chunks[ci]
+}
+
+func newChunk(nkeys, qw int) *chunk {
+	c := &chunk{
+		keys:  make([][]int64, nkeys),
+		next:  make([][]int32, nkeys),
+		qsets: make([]uint64, chunkSize*qw),
+	}
+	for i := 0; i < nkeys; i++ {
+		c.keys[i] = make([]int64, chunkSize)
+		c.next[i] = make([]int32, chunkSize)
+	}
+	return c
 }
 
 // Insert adds one tuple with the given join-key values (one per indexed
 // column, in KeyCols order), stamping it with version slot slot. The tuple
 // becomes visible to probes once the slot is published.
 func (s *STeM) Insert(vid int32, keys []int64, qset bitset.Set, slot Slot) {
+	st := s.state.Load()
 	idx := s.count.Add(1) - 1
-	c := s.chunkFor(idx)
+	c := s.chunkFor(st, idx)
 	off := int(idx) & chunkMask
 	c.vids[off] = vid
 	c.slots[off] = slot
@@ -330,13 +477,13 @@ func (s *STeM) Insert(vid int32, keys []int64, qset bitset.Set, slot Slot) {
 		if i < len(qset) {
 			w = qset[i]
 		}
-		c.qsets[qoff+i] = w
+		atomic.StoreUint64(&c.qsets[qoff+i], w)
 	}
 	ref := int32(idx) + 1
-	for i := range s.keyCols {
+	for i := range st.keyCols {
 		k := keys[i]
 		c.keys[i][off] = k
-		b := &s.buckets[i][hash64(k)>>s.shift[i]]
+		b := &st.buckets[i][hash64(k)>>st.shift[i]]
 		for {
 			head := b.Load()
 			c.next[i][off] = head
@@ -350,11 +497,14 @@ func (s *STeM) Insert(vid int32, keys []int64, qset bitset.Set, slot Slot) {
 // Match is one probe result: the matched entry's vID and query set.
 type Match struct {
 	VID  int32
-	QSet bitset.Set // view into the STeM's slab; do not mutate
+	QSet bitset.Set // caller-owned copy of the entry's query set
 }
 
 // Probe finds entries whose key column col equals key and whose published
-// timestamp is strictly older than probeTS, appending them to dst.
+// timestamp is strictly older than probeTS, appending them to dst. The
+// returned query sets are copies (this scalar path serves tests and
+// calibration; the engine probes with ProbeVec, which stages query-set
+// words into a caller-owned slab instead of allocating).
 //
 // probeTS must have been drawn from the STeM's Versions table (Publish or
 // Now) before the probe began. Entries whose slot is still unpublished are
@@ -364,28 +514,29 @@ type Match struct {
 // against a publish that drew its timestamp before probeTS but had not
 // stored it yet (the draw-to-store window).
 func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match {
-	ki, ok := s.colIdx[col]
+	st := s.state.Load()
+	ki, ok := st.colIdx[col]
 	if !ok {
 		return dst
 	}
 	// The chunk snapshot must be taken after the bucket head is loaded:
 	// every entry reachable from the head had its chunk appended before the
-	// head was CASed, and the chunk list only grows while probes run (it is
-	// only replaced under the engine's quiesce gate), so a snapshot ordered
-	// after the head load covers the whole chain. The opposite order races
-	// with a concurrent insert extending the slab.
-	ref := s.buckets[ki][hash64(key)>>s.shift[ki]].Load()
-	chunks := *s.chunks.Load()
+	// head was CASed, and a state's chunk list only grows, so a snapshot
+	// ordered after the head load covers the whole chain. The opposite order
+	// races with a concurrent insert extending the slab.
+	ref := st.buckets[ki][hash64(key)>>st.shift[ki]].Load()
+	chunks := *st.chunks.Load()
 	for ref != 0 {
 		idx := int(ref) - 1
 		c := chunks[idx>>chunkBits]
 		off := idx & chunkMask
 		if c.keys[ki][off] == key && s.versions.visibleAt(c.slots[off], probeTS) {
 			qoff := off * s.qw
-			dst = append(dst, Match{
-				VID:  c.vids[off],
-				QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
-			})
+			qs := make(bitset.Set, s.qw)
+			for i := 0; i < s.qw; i++ {
+				qs[i] = atomic.LoadUint64(&c.qsets[qoff+i])
+			}
+			dst = append(dst, Match{VID: c.vids[off], QSet: qs})
 		}
 		ref = c.next[ki][off]
 	}
@@ -397,13 +548,14 @@ func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match 
 // a probing tuple keeps only the query bits that some matching entry also
 // carries. out must have capacity for the STeM's query-set width.
 func (s *STeM) SemiJoinQueries(out bitset.Set, col string, key int64) {
-	ki, ok := s.colIdx[col]
+	st := s.state.Load()
+	ki, ok := st.colIdx[col]
 	if !ok {
 		return
 	}
 	// Head before chunk snapshot, same ordering argument as Probe.
-	ref := s.buckets[ki][hash64(key)>>s.shift[ki]].Load()
-	chunks := *s.chunks.Load()
+	ref := st.buckets[ki][hash64(key)>>st.shift[ki]].Load()
+	chunks := *st.chunks.Load()
 	for ref != 0 {
 		idx := int(ref) - 1
 		c := chunks[idx>>chunkBits]
@@ -411,7 +563,7 @@ func (s *STeM) SemiJoinQueries(out bitset.Set, col string, key int64) {
 		if c.keys[ki][off] == key && s.versions.tryGet(c.slots[off]) != 0 {
 			qoff := off * s.qw
 			for i := 0; i < s.qw && i < len(out); i++ {
-				out[i] |= c.qsets[qoff+i]
+				out[i] |= atomic.LoadUint64(&c.qsets[qoff+i])
 			}
 		}
 		ref = c.next[ki][off]
@@ -422,19 +574,20 @@ func (s *STeM) SemiJoinQueries(out bitset.Set, col string, key int64) {
 // (vIDs, slots, key columns, hash chains, query-set slab) plus the bucket
 // arrays. Observability only; the estimate ignores Go object headers.
 func (s *STeM) EstBytes() int64 {
-	nChunks := int64(len(*s.chunks.Load()))
+	st := s.state.Load()
+	nChunks := int64(len(*st.chunks.Load()))
 	perChunk := int64(chunkSize) * (4 + 4 + // vids, slots
-		int64(len(s.keyCols))*(8+4) + // keys, next chains
+		int64(len(st.keyCols))*(8+4) + // keys, next chains
 		int64(s.qw)*8) // query-set slab
 	var buckets int64
-	for _, b := range s.buckets {
+	for _, b := range st.buckets {
 		buckets += int64(len(b)) * 4
 	}
 	return nChunks*perChunk + buckets
 }
 
 // NumChunks returns the number of allocated entry chunks.
-func (s *STeM) NumChunks() int { return len(*s.chunks.Load()) }
+func (s *STeM) NumChunks() int { return len(*s.state.Load().chunks.Load()) }
 
 // SweepChunk clears the retired queries' bits from every entry of chunk ci
 // and returns how many of the chunk's entries now have an empty query set
@@ -442,10 +595,18 @@ func (s *STeM) NumChunks() int { return len(*s.chunks.Load()) }
 // garbage collection: the engine sweeps one chunk at a time between
 // episodes, so no sweep ever runs on the execution hot path.
 //
-// Callers must hold the engine's quiesce gate: no episode may be running,
-// because entries' query sets are read lock-free by probes.
+// SweepChunk runs concurrently with probes and inserts: every query-set
+// word is cleared with a load/CAS pair, and a lost CAS is simply skipped —
+// the only concurrent writer is an insert publishing a fresh entry, and a
+// freshly inserted entry can never carry a retired query's bit (a query
+// only retires once its in-flight episodes have drained, so no episode
+// that could insert its bit is still running). Reserved-but-unwritten
+// entries (an in-flight InsertVec past count.Add but before its stores)
+// read as zero and are counted dead; that only skews the compaction
+// heuristic, never correctness.
 func (s *STeM) SweepChunk(ci int, retired bitset.Set) (dead int) {
-	chunks := *s.chunks.Load()
+	st := s.state.Load()
+	chunks := *st.chunks.Load()
 	if ci >= len(chunks) {
 		return 0
 	}
@@ -459,10 +620,15 @@ func (s *STeM) SweepChunk(ci int, retired bitset.Set) (dead int) {
 		qoff := off * s.qw
 		empty := true
 		for i := 0; i < s.qw; i++ {
-			w := c.qsets[qoff+i]
+			w := atomic.LoadUint64(&c.qsets[qoff+i])
 			if i < len(retired) {
-				w &^= retired[i]
-				c.qsets[qoff+i] = w
+				masked := w &^ retired[i]
+				if masked != w {
+					// Ignore a lost race: the only concurrent writer is an
+					// insert, whose value carries no retired bits.
+					atomic.CompareAndSwapUint64(&c.qsets[qoff+i], w, masked)
+					w = masked
+				}
 			}
 			if w != 0 {
 				empty = false
@@ -480,92 +646,84 @@ func (s *STeM) SweepChunk(ci int, retired bitset.Set) (dead int) {
 // Live entries keep their version slots (already published, so they stay
 // visible to later probes). Returns the live entry count.
 //
-// Callers must hold the engine's quiesce gate.
+// The rebuild is copy-on-write: a fresh state (new chunks, new buckets) is
+// built and published with one atomic store, so probes never block — a
+// probe holding the old state sees every live entry there (compaction only
+// drops entries whose query set is empty, which no probe output can use).
+// Inserts must be fenced by the caller (the engine's per-instance insert
+// fence): an insert landing in the old state after the live scan would be
+// lost.
 func (s *STeM) CompactLive() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	old := *s.chunks.Load()
+	st := s.state.Load()
+	old := *st.chunks.Load()
 	n := int(s.count.Load())
 
 	live := 0
 	for idx := 0; idx < n; idx++ {
-		if !s.entryEmpty(old, idx) {
+		if !entryEmpty(old, idx, s.qw) {
 			live++
 		}
 	}
 
-	nb := 1
-	for nb < live*2 {
-		nb <<= 1
-	}
-	if nb < 64 {
-		nb = 64
-	}
-	newBuckets := make([][]atomic.Int32, len(s.keyCols))
-	newShift := make([]uint, len(s.keyCols))
-	for i := range s.keyCols {
-		newBuckets[i] = make([]atomic.Int32, nb)
-		newShift[i] = uint(64 - bits.TrailingZeros(uint(nb)))
-	}
-
-	newChunks := make([]*chunk, 0, (live+chunkSize-1)>>chunkBits)
+	ns := newState(st.keyCols, bucketsFor(live), make([]*chunk, 0, (live+chunkSize-1)>>chunkBits))
 	w := 0
 	for idx := 0; idx < n; idx++ {
-		if s.entryEmpty(old, idx) {
+		if entryEmpty(old, idx, s.qw) {
 			continue
 		}
 		oc := old[idx>>chunkBits]
 		ooff := idx & chunkMask
-		if w>>chunkBits >= len(newChunks) {
-			newChunks = append(newChunks, s.newChunkLocked())
+		chunks := *ns.chunks.Load()
+		if w>>chunkBits >= len(chunks) {
+			next := append(chunks, newChunk(len(ns.keyCols), s.qw))
+			ns.chunks.Store(&next)
+			chunks = next
 		}
-		nc := newChunks[w>>chunkBits]
+		nc := chunks[w>>chunkBits]
 		noff := w & chunkMask
 		nc.vids[noff] = oc.vids[ooff]
 		nc.slots[noff] = oc.slots[ooff]
-		copy(nc.qsets[noff*s.qw:(noff+1)*s.qw], oc.qsets[ooff*s.qw:(ooff+1)*s.qw])
+		for i := 0; i < s.qw; i++ {
+			atomic.StoreUint64(&nc.qsets[noff*s.qw+i], atomic.LoadUint64(&oc.qsets[ooff*s.qw+i]))
+		}
 		ref := int32(w) + 1
-		for i := range s.keyCols {
+		for i := range ns.keyCols {
 			k := oc.keys[i][ooff]
 			nc.keys[i][noff] = k
-			b := &newBuckets[i][hash64(k)>>newShift[i]]
+			b := &ns.buckets[i][hash64(k)>>ns.shift[i]]
 			nc.next[i][noff] = b.Load()
 			b.Store(ref)
 		}
 		w++
 	}
 
-	s.chunks.Store(&newChunks)
-	s.buckets = newBuckets
-	s.shift = newShift
+	s.state.Store(ns)
 	s.count.Store(int64(w))
 	return w
 }
 
-func (s *STeM) entryEmpty(chunks []*chunk, idx int) bool {
+func entryEmpty(chunks []*chunk, idx, qw int) bool {
 	c := chunks[idx>>chunkBits]
-	qoff := (idx & chunkMask) * s.qw
-	for i := 0; i < s.qw; i++ {
-		if c.qsets[qoff+i] != 0 {
+	qoff := (idx & chunkMask) * qw
+	for i := 0; i < qw; i++ {
+		if atomic.LoadUint64(&c.qsets[qoff+i]) != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// newChunkLocked allocates an empty chunk shaped for the current key
-// columns. s.mu must be held.
-func (s *STeM) newChunkLocked() *chunk {
-	c := &chunk{
-		keys:  make([][]int64, len(s.keyCols)),
-		next:  make([][]int32, len(s.keyCols)),
-		qsets: make([]uint64, chunkSize*s.qw),
+// NeedsGrow reports whether EnsureBuckets(capacityHint) would rebuild the
+// bucket arrays. The engine uses it to decide whether an admission needs an
+// insert fence on this instance.
+func (s *STeM) NeedsGrow(capacityHint int) bool {
+	st := s.state.Load()
+	if len(st.keyCols) == 0 {
+		return false
 	}
-	for i := range s.keyCols {
-		c.keys[i] = make([]int64, chunkSize)
-		c.next[i] = make([]int32, chunkSize)
-	}
-	return c
+	return bucketsFor(capacityHint) > len(st.buckets[0])
 }
 
 // EnsureBuckets grows every index's bucket array to fit about capacityHint
@@ -573,41 +731,62 @@ func (s *STeM) newChunkLocked() *chunk {
 // it when admitting a live query whose rescan will re-ingest a relation
 // into a previously compacted STeM, so insert chains stay short.
 //
-// Callers must hold the engine's quiesce gate.
+// Copy-on-write like CompactLive: the new state clones every chunk (the
+// chain links are rebuilt for the new bucket count, and chain links are
+// per-state), shares the old chunks' key and query-set slabs, and is
+// published with one atomic store. Probes never block; inserts must be
+// fenced by the caller.
 func (s *STeM) EnsureBuckets(capacityHint int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.keyCols) == 0 {
+	st := s.state.Load()
+	if len(st.keyCols) == 0 {
 		return
 	}
-	nb := 1
-	for nb < capacityHint*2 {
-		nb <<= 1
-	}
-	if nb < 64 {
-		nb = 64
-	}
-	if nb <= len(s.buckets[0]) {
+	nb := bucketsFor(capacityHint)
+	if nb <= len(st.buckets[0]) {
 		return
 	}
-	for i := range s.keyCols {
-		s.buckets[i] = make([]atomic.Int32, nb)
-		s.shift[i] = uint(64 - bits.TrailingZeros(uint(nb)))
-	}
-	s.rebuildChainsLocked()
+	old := *st.chunks.Load()
+	ns := newState(st.keyCols, nb, cloneChunks(old, len(st.keyCols)))
+	s.rebuildChains(ns)
+	s.state.Store(ns)
 }
 
-// rebuildChainsLocked re-pushes every entry into every index's (already
-// sized and zeroed) buckets. s.mu must be held.
-func (s *STeM) rebuildChainsLocked() {
-	chunks := *s.chunks.Load()
+// cloneChunks copies a chunk list for a new state: vID/slot/key/query-set
+// storage is shared with the old chunks (those never change for existing
+// entries, and query-set words are atomic), while the per-index chain links
+// are fresh, because each state rebuilds chains for its own bucket layout
+// and the old state's probes keep walking the old links.
+func cloneChunks(old []*chunk, nkeys int) []*chunk {
+	chunks := make([]*chunk, len(old))
+	for ci, oc := range old {
+		nc := &chunk{
+			vids:  oc.vids,
+			slots: oc.slots,
+			keys:  oc.keys,
+			next:  make([][]int32, nkeys),
+			qsets: oc.qsets,
+		}
+		for i := 0; i < nkeys; i++ {
+			nc.next[i] = make([]int32, chunkSize)
+		}
+		chunks[ci] = nc
+	}
+	return chunks
+}
+
+// rebuildChains re-pushes every entry into every index's (already sized
+// and zeroed) buckets of state ns. s.mu must be held.
+func (s *STeM) rebuildChains(ns *stemState) {
+	chunks := *ns.chunks.Load()
 	n := int(s.count.Load())
 	for idx := 0; idx < n; idx++ {
 		c := chunks[idx>>chunkBits]
 		off := idx & chunkMask
 		ref := int32(idx) + 1
-		for i := range s.keyCols {
-			b := &s.buckets[i][hash64(c.keys[i][off])>>s.shift[i]]
+		for i := range ns.keyCols {
+			b := &ns.buckets[i][hash64(c.keys[i][off])>>ns.shift[i]]
 			c.next[i][off] = b.Load()
 			b.Store(ref)
 		}
@@ -619,49 +798,55 @@ func (s *STeM) rebuildChainsLocked() {
 // is how a live-admitted query can join an already-built STeM on a column
 // no earlier query joined on. No-op if col is already indexed.
 //
-// Callers must hold the engine's quiesce gate.
+// Copy-on-write: the new state clones the chunks (sharing existing key
+// columns and query-set slabs, with fresh chain links plus the new key
+// column) and fresh buckets for every index, then publishes with one
+// atomic store. Probes on the old state never see the new column and never
+// block; inserts must be fenced by the caller because entries inserted
+// during the rebuild would miss the new column's backfill.
 func (s *STeM) AddIndex(col string, keyOf func(vid int32) int64) {
 	if s.HasIndex(col) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ki := len(s.keyCols)
-	s.keyCols = append(s.keyCols, col)
-	s.colIdx[col] = ki
+	st := s.state.Load()
+	ki := len(st.keyCols)
+	keyCols := append(append([]string{}, st.keyCols...), col)
 
 	nb := 64
 	if ki > 0 {
-		nb = len(s.buckets[0])
+		nb = len(st.buckets[0])
 	} else {
-		for nb < int(s.count.Load())*2 {
-			nb <<= 1
-		}
+		nb = bucketsFor(int(s.count.Load()))
 	}
-	s.buckets = append(s.buckets, make([]atomic.Int32, nb))
-	s.shift = append(s.shift, uint(64-bits.TrailingZeros(uint(nb))))
 
-	chunks := *s.chunks.Load()
-	for _, c := range chunks {
-		c.keys = append(c.keys, make([]int64, chunkSize))
-		c.next = append(c.next, make([]int32, chunkSize))
+	old := *st.chunks.Load()
+	chunks := cloneChunks(old, ki+1)
+	for _, nc := range chunks {
+		nc.keys = append(append([][]int64{}, nc.keys...), make([]int64, chunkSize))
 	}
+	ns := newState(keyCols, nb, chunks)
+
 	n := int(s.count.Load())
 	for idx := 0; idx < n; idx++ {
 		c := chunks[idx>>chunkBits]
 		off := idx & chunkMask
-		k := keyOf(c.vids[off])
-		c.keys[ki][off] = k
-		b := &s.buckets[ki][hash64(k)>>s.shift[ki]]
-		c.next[ki][off] = b.Load()
-		b.Store(int32(idx) + 1)
+		c.keys[ki][off] = keyOf(c.vids[off])
 	}
+	s.rebuildChains(ns)
+	s.state.Store(ns)
 }
 
-// Entry returns the vID and query set of entry idx (test/diagnostic use).
+// Entry returns the vID and a copy of the query set of entry idx
+// (test/diagnostic use).
 func (s *STeM) Entry(idx int) (int32, bitset.Set) {
-	c := (*s.chunks.Load())[idx>>chunkBits]
+	c := (*s.state.Load().chunks.Load())[idx>>chunkBits]
 	off := idx & chunkMask
 	qoff := off * s.qw
-	return c.vids[off], bitset.Set(c.qsets[qoff : qoff+s.qw])
+	qs := make(bitset.Set, s.qw)
+	for i := 0; i < s.qw; i++ {
+		qs[i] = atomic.LoadUint64(&c.qsets[qoff+i])
+	}
+	return c.vids[off], qs
 }

@@ -319,6 +319,7 @@ func TestProbeDuringChunkGrowth(t *testing.T) {
 
 	var scratch []Match
 	var vecDst []VecMatch
+	var vecQbuf []uint64
 	keys := make([]int64, hotKeys)
 	for k := range keys {
 		keys[k] = int64(k)
@@ -339,14 +340,14 @@ func TestProbeDuringChunkGrowth(t *testing.T) {
 				}
 			}
 		}
-		vecDst = s.ProbeVec(vecDst[:0], "k", keys, ts, wm)
+		vecDst, vecQbuf = s.ProbeVec(vecDst[:0], vecQbuf[:0], "k", keys, ts, wm)
 		for _, m := range vecDst {
 			if int64(m.VID)%hotKeys != keys[m.In] {
 				t.Fatalf("vector probe key %d matched vid %d", keys[m.In], m.VID)
 			}
 		}
 	}
-	if got := len(s.ProbeVec(nil, "k", keys, v.Now(), v.Watermark())); got != total {
+	if got := probeVecCount(s, "k", keys, v.Now(), v.Watermark()); got != total {
 		t.Fatalf("final probe saw %d entries, want %d", got, total)
 	}
 }
@@ -354,7 +355,7 @@ func TestProbeDuringChunkGrowth(t *testing.T) {
 // keyOf recovers the key of entry vid (test helper; entries were inserted
 // with vid == index order per side, single key column).
 func (s *STeM) keyOf(vid int32) int64 {
-	chunks := *s.chunks.Load()
+	chunks := *s.state.Load().chunks.Load()
 	n := int(s.count.Load())
 	for idx := 0; idx < n; idx++ {
 		c := chunks[idx>>chunkBits]

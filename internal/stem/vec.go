@@ -1,6 +1,10 @@
 package stem
 
-import "github.com/roulette-db/roulette/internal/bitset"
+import (
+	"sync/atomic"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+)
 
 // This file holds the vector kernels: whole-episode-vector variants of
 // Insert, Probe and SemiJoinQueries. The scalar paths pay one atomic
@@ -30,13 +34,18 @@ import "github.com/roulette-db/roulette/internal/bitset"
 // after sealing it (Versions.visibleAt), which pins the slot's eventual
 // timestamp above the probe's, so the rejection cannot race with an
 // in-flight publish.
+//
+// Query-set words are stored and loaded with sync/atomic throughout: the
+// concurrent GC sweeper clears retired bits in place while these kernels
+// run, and mixed plain/atomic access on the same words would both race and
+// tear under the race detector.
 
 // VecMatch is one ProbeVec result: input position In of the probed key
 // batch matched entry (VID, QSet).
 type VecMatch struct {
 	In   int32
 	VID  int32
-	QSet bitset.Set // view into the STeM's slab; do not mutate
+	QSet bitset.Set // view into the caller's ProbeVec query-set buffer
 }
 
 // InsertScratch is the worker-local scratch for InsertVec's intra-batch
@@ -112,9 +121,11 @@ func (sc *InsertScratch) lookupOrAdd(b int32) int {
 // InsertVec adds len(vids) tuples in bulk, all stamped with version slot
 // slot. keyCols holds one key column per indexed column (KeyCols order),
 // each of length len(vids); qsets is the tuples' query-set slab with qw
-// words per tuple. The tuples become visible to probes once the slot is
-// published. sc must not be shared between concurrent callers; pass a
-// fresh or worker-owned scratch.
+// words per tuple. keyCols may carry extra trailing columns beyond the
+// STeM's current index count (a worker acting on a newer context view than
+// the STeM's pending AddIndex); the extras are ignored. The tuples become
+// visible to probes once the slot is published. sc must not be shared
+// between concurrent callers; pass a fresh or worker-owned scratch.
 //
 // Result-equivalent to calling Insert per tuple, except that entries of
 // the same batch hitting the same bucket are chained in batch order rather
@@ -124,11 +135,12 @@ func (s *STeM) InsertVec(vids []int32, keyCols [][]int64, qsets []uint64, qw int
 	if n == 0 {
 		return
 	}
+	st := s.state.Load()
 	base := s.count.Add(int64(n)) - int64(n)
 	// Materialize every chunk the batch touches, then bulk-write the entry
 	// columns one chunk segment at a time.
-	s.chunkFor(base + int64(n) - 1)
-	chunks := *s.chunks.Load()
+	s.chunkFor(st, base+int64(n)-1)
+	chunks := *st.chunks.Load()
 	for i0 := 0; i0 < n; {
 		idx := base + int64(i0)
 		c := chunks[idx>>chunkBits]
@@ -141,28 +153,24 @@ func (s *STeM) InsertVec(vids []int32, keyCols [][]int64, qsets []uint64, qw int
 		for j := 0; j < seg; j++ {
 			c.slots[off+j] = slot
 		}
-		if qw == s.qw {
-			copy(c.qsets[off*s.qw:(off+seg)*s.qw], qsets[i0*qw:(i0+seg)*qw])
-		} else {
-			for j := 0; j < seg; j++ {
-				src := qsets[(i0+j)*qw : (i0+j+1)*qw]
-				dst := c.qsets[(off+j)*s.qw : (off+j+1)*s.qw]
-				for w := range dst {
-					if w < len(src) {
-						dst[w] = src[w]
-					} else {
-						dst[w] = 0
-					}
+		for j := 0; j < seg; j++ {
+			src := qsets[(i0+j)*qw : (i0+j+1)*qw]
+			dst := c.qsets[(off+j)*s.qw : (off+j+1)*s.qw]
+			for w := range dst {
+				var v uint64
+				if w < len(src) {
+					v = src[w]
 				}
+				atomic.StoreUint64(&dst[w], v)
 			}
 		}
-		for k := range s.keyCols {
+		for k := range st.keyCols {
 			copy(c.keys[k][off:off+seg], keyCols[k][i0:i0+seg])
 		}
 		i0 += seg
 	}
-	for ki := range s.keyCols {
-		s.spliceBatch(ki, base, n, keyCols[ki], sc, chunks)
+	for ki := range st.keyCols {
+		s.spliceBatch(st, ki, base, n, keyCols[ki], sc, chunks)
 	}
 }
 
@@ -171,10 +179,10 @@ func (s *STeM) InsertVec(vids []int32, keyCols [][]int64, qsets []uint64, qw int
 // the entries' own next links, which nothing can read yet), then each
 // distinct bucket is spliced in front of its current chain with a single
 // CAS.
-func (s *STeM) spliceBatch(ki int, base int64, n int, keys []int64, sc *InsertScratch, chunks []*chunk) {
+func (s *STeM) spliceBatch(st *stemState, ki int, base int64, n int, keys []int64, sc *InsertScratch, chunks []*chunk) {
 	sc.begin(n)
-	buckets := s.buckets[ki]
-	shift := s.shift[ki]
+	buckets := st.buckets[ki]
+	shift := st.shift[ki]
 	for i := 0; i < n; i++ {
 		b := int32(hash64(keys[i]) >> shift)
 		li := sc.lookupOrAdd(b)
@@ -207,20 +215,35 @@ func (s *STeM) spliceBatch(ki int, base int64, n int, keys []int64, sc *InsertSc
 const probeBlock = 128
 
 // ProbeVec probes every key of keys on column col, appending each match to
-// dst tagged with the key's input position. Visibility follows Probe's
-// contract — published timestamp strictly older than probeTS — with one
-// amortization: wm must be a Versions.Watermark() value read *before*
-// probeTS was drawn, which guarantees every slot under wm carries a
-// timestamp older than probeTS, so those entries (the stable majority in a
-// long-lived session) skip the per-entry timestamp load entirely. Pass
-// wm 0 to disable the short-circuit.
-func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64, wm Slot) []VecMatch {
-	ki, ok := s.colIdx[col]
+// dst tagged with the key's input position. Matched query sets are staged
+// into qbuf (s.qw atomically loaded words per match, appended in match
+// order); each appended VecMatch's QSet is a view into the returned qbuf.
+// Both dst and qbuf grow with append and are returned; callers reuse them
+// across episodes so the steady state does not allocate. Only the
+// newly appended tail of dst carries valid QSet views — pass matched
+// prefixes of the same (dst, qbuf) pair or start from [:0].
+//
+// Visibility follows Probe's contract — published timestamp strictly older
+// than probeTS — with one amortization: wm must be a watermark value read
+// *before* probeTS was drawn (Versions.Watermark, or the pair returned by
+// PublishClocked), which guarantees every slot under wm carries a timestamp
+// older than probeTS, so those entries (the stable majority in a long-lived
+// session) skip the per-entry timestamp load entirely. Pass wm 0 to
+// disable the short-circuit.
+func (s *STeM) ProbeVec(dst []VecMatch, qbuf []uint64, col string, keys []int64, probeTS int64, wm Slot) ([]VecMatch, []uint64) {
+	// The state is loaded once per call: a structural swap mid-call leaves
+	// this probe on the frozen old state, which is safe — any insert the
+	// probe is required to see (timestamp older than probeTS) happened
+	// before this call's state load (the inserter drew its timestamp before
+	// our publish raised maxPub above it), so it is in the loaded state.
+	st := s.state.Load()
+	ki, ok := st.colIdx[col]
 	if !ok {
-		return dst
+		return dst, qbuf
 	}
-	buckets := s.buckets[ki]
-	shift := s.shift[ki]
+	dstBase, qBase := len(dst), len(qbuf)
+	buckets := st.buckets[ki]
+	shift := st.shift[ki]
 	var heads [probeBlock]int32
 	var eKey [probeBlock]int64
 	var eNext [probeBlock]int32
@@ -239,7 +262,7 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 		// appended before the heads were CASed, so this snapshot covers
 		// every chain the block walks even with concurrent inserts growing
 		// the slab.
-		chunks := *s.chunks.Load()
+		chunks := *st.chunks.Load()
 		// Stage the head entries' fields in a branch-light pass: the loads
 		// are independent across keys, so their cache misses overlap instead
 		// of serializing behind the chain walk's branches. Unique-key
@@ -270,11 +293,10 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 					idx := int(ref) - 1
 					c := chunks[idx>>chunkBits]
 					qoff := (idx & chunkMask) * s.qw
-					dst = append(dst, VecMatch{
-						In:   in,
-						VID:  eVID[j],
-						QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
-					})
+					for w := 0; w < s.qw; w++ {
+						qbuf = append(qbuf, atomic.LoadUint64(&c.qsets[qoff+w]))
+					}
+					dst = append(dst, VecMatch{In: in, VID: eVID[j]})
 				}
 			}
 			for ref = eNext[j]; ref != 0; {
@@ -285,18 +307,23 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 					slot := c.slots[off]
 					if slot < wm || s.versions.visibleAt(slot, probeTS) {
 						qoff := off * s.qw
-						dst = append(dst, VecMatch{
-							In:   in,
-							VID:  c.vids[off],
-							QSet: bitset.Set(c.qsets[qoff : qoff+s.qw]),
-						})
+						for w := 0; w < s.qw; w++ {
+							qbuf = append(qbuf, atomic.LoadUint64(&c.qsets[qoff+w]))
+						}
+						dst = append(dst, VecMatch{In: in, VID: c.vids[off]})
 					}
 				}
 				ref = c.next[ki][off]
 			}
 		}
 	}
-	return dst
+	// Fix up the QSet views only after all appends: qbuf's backing array is
+	// final now, so the views cannot be invalidated by growth.
+	for k := dstBase; k < len(dst); k++ {
+		qo := qBase + (k-dstBase)*s.qw
+		dst[k].QSet = bitset.Set(qbuf[qo : qo+s.qw])
+	}
+	return dst, qbuf
 }
 
 // SemiJoinVec ORs, for each input key i, the query sets of all published
@@ -304,13 +331,14 @@ func (s *STeM) ProbeVec(dst []VecMatch, col string, keys []int64, probeTS int64,
 // SemiJoinQueries). Publication needs no timestamp ordering here, so the
 // watermark is read internally: entries under it skip the version lookup.
 func (s *STeM) SemiJoinVec(outs []uint64, qw int, col string, keys []int64) {
-	ki, ok := s.colIdx[col]
+	st := s.state.Load()
+	ki, ok := st.colIdx[col]
 	if !ok {
 		return
 	}
 	wm := s.versions.Watermark()
-	buckets := s.buckets[ki]
-	shift := s.shift[ki]
+	buckets := st.buckets[ki]
+	shift := st.shift[ki]
 	uw := qw
 	if s.qw < uw {
 		uw = s.qw
@@ -325,7 +353,7 @@ func (s *STeM) SemiJoinVec(outs []uint64, qw int, col string, keys []int64) {
 			heads[j] = buckets[hash64(keys[i0+j])>>shift].Load()
 		}
 		// Chunk snapshot after the head loads; see ProbeVec.
-		chunks := *s.chunks.Load()
+		chunks := *st.chunks.Load()
 		for j := 0; j < m; j++ {
 			ref := heads[j]
 			if ref == 0 {
@@ -341,7 +369,7 @@ func (s *STeM) SemiJoinVec(outs []uint64, qw int, col string, keys []int64) {
 					(c.slots[off] < wm || s.versions.tryGet(c.slots[off]) != 0) {
 					qoff := off * s.qw
 					for w := 0; w < uw; w++ {
-						out[w] |= c.qsets[qoff+w]
+						out[w] |= atomic.LoadUint64(&c.qsets[qoff+w])
 					}
 				}
 				ref = c.next[ki][off]

@@ -30,6 +30,18 @@ func canonScalar(s *STeM, col string, keys []int64, ts int64) []string {
 	return out
 }
 
+// probeVec is the test-side one-shot ProbeVec wrapper (fresh buffers each
+// call; production callers reuse worker arenas).
+func probeVec(s *STeM, col string, keys []int64, ts int64, wm Slot) []VecMatch {
+	ms, _ := s.ProbeVec(nil, nil, col, keys, ts, wm)
+	return ms
+}
+
+// probeVecCount returns the number of ProbeVec matches.
+func probeVecCount(s *STeM, col string, keys []int64, ts int64, wm Slot) int {
+	return len(probeVec(s, col, keys, ts, wm))
+}
+
 func canonVec(ms []VecMatch) []string {
 	var out []string
 	for _, m := range ms {
@@ -99,15 +111,15 @@ func TestQuickVecScalarEquivalence(t *testing.T) {
 				t.Logf("col %s: scalar probe of vector-built STeM diverged", col)
 				return false
 			}
-			if got := canonVec(sB.ProbeVec(nil, col, probeKeys, tsB, wmB)); !reflect.DeepEqual(got, want) {
+			if got := canonVec(probeVec(sB, col, probeKeys, tsB, wmB)); !reflect.DeepEqual(got, want) {
 				t.Logf("col %s: ProbeVec diverged (wm=%d)", col, wmB)
 				return false
 			}
-			if got := canonVec(sB.ProbeVec(nil, col, probeKeys, tsB, 0)); !reflect.DeepEqual(got, want) {
+			if got := canonVec(probeVec(sB, col, probeKeys, tsB, 0)); !reflect.DeepEqual(got, want) {
 				t.Logf("col %s: ProbeVec diverged with watermark disabled", col)
 				return false
 			}
-			if got := canonVec(sA.ProbeVec(nil, col, probeKeys, tsA, wmA)); !reflect.DeepEqual(got, want) {
+			if got := canonVec(probeVec(sA, col, probeKeys, tsA, wmA)); !reflect.DeepEqual(got, want) {
 				t.Logf("col %s: ProbeVec of scalar-built STeM diverged", col)
 				return false
 			}
@@ -179,7 +191,7 @@ func TestInsertVecWidthsAndChunks(t *testing.T) {
 	if total != n+2 { // +2: the width-test entries on keys 7 and 8
 		t.Fatalf("probed %d entries after multi-chunk InsertVec, want %d", total, n+2)
 	}
-	if got := s.ProbeVec(nil, "k", keys[:97], ts, v.Watermark()); len(got) != total {
+	if got := probeVec(s, "k", keys[:97], ts, v.Watermark()); len(got) != total {
 		t.Fatalf("ProbeVec found %d entries, want %d", len(got), total)
 	}
 }
@@ -242,7 +254,7 @@ func TestProbeVecScalarAgreeUnderConcurrentPublication(t *testing.T) {
 		wm := v.Watermark()
 		ts := v.Now()
 		want := canonScalar(s, "k", probeKeys, ts)
-		got := canonVec(s.ProbeVec(nil, "k", probeKeys, ts, wm))
+		got := canonVec(probeVec(s, "k", probeKeys, ts, wm))
 		if !reflect.DeepEqual(got, want) {
 			close(stop)
 			wg.Wait()
@@ -361,7 +373,7 @@ func TestProbeVecDuringGC(t *testing.T) {
 				gate.RLock()
 				wm := v.Watermark()
 				ts := v.Now()
-				ms := s.ProbeVec(nil, "k", probeKeys, ts, wm)
+				ms := probeVec(s, "k", probeKeys, ts, wm)
 				counts := make(map[int32]int, domain)
 				bad := false
 				var badm VecMatch
@@ -401,7 +413,7 @@ func TestProbeVecDuringGC(t *testing.T) {
 	}
 	// Post-GC exact check through the under-watermark fast path: compacted
 	// survivors kept their (published) slots.
-	ms := s.ProbeVec(nil, "k", probeKeys, v.Now(), v.Watermark())
+	ms := probeVec(s, "k", probeKeys, v.Now(), v.Watermark())
 	if len(ms) != domain*liveKey {
 		t.Fatalf("post-GC ProbeVec = %d matches, want %d", len(ms), domain*liveKey)
 	}
@@ -508,9 +520,10 @@ func BenchmarkSTeMProbeParallel(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				var dst []Match
 				var vdst []VecMatch
+				var vqbuf []uint64
 				for pb.Next() {
 					if mode == "vec" {
-						vdst = s.ProbeVec(vdst[:0], "k", probeKeys, ts, wm)
+						vdst, vqbuf = s.ProbeVec(vdst[:0], vqbuf[:0], "k", probeKeys, ts, wm)
 					} else {
 						for _, k := range probeKeys {
 							dst = s.Probe(dst[:0], "k", k, ts)

@@ -310,17 +310,18 @@ type Session struct {
 }
 
 // gcState is the streaming garbage collector's cursor. GC runs in budgeted
-// quanta between episodes (only while no episode is in flight, so the hot
-// path never races a sweep): each quantum sweeps a few STeM chunks,
-// clearing the retired snapshot's bits and compacting STeMs that became
-// mostly dead; the final quantum retires the queries from the batch's
-// shared operators, prunes the policy, and recycles the query IDs.
+// quanta between episodes, concurrently with in-flight episodes (sweeps
+// are CAS-based; see gcQuantumLocked): each quantum sweeps a few STeM
+// chunks, clearing the retired snapshot's bits and compacting STeMs that
+// became mostly dead; the final quantum retires the queries from the
+// batch's shared operators, prunes the policy, and recycles the query IDs.
 type gcState struct {
 	running  bool
 	active   bitset.Set // snapshot of retired queries this pass is clearing
 	inst     int        // next instance to sweep
 	chunk    int        // next chunk within inst
 	stemDead int        // empty-qset entries seen in the current instance
+	stemGen  uint64     // inst's CompactGen when its sweep began; positions are valid only within it
 }
 
 // gcChunkBudget bounds the STeM chunks swept per GC quantum, keeping each

@@ -322,8 +322,11 @@ func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
 // finishing an instance whose entries became at least half dead compacts
 // it — inline when the instance has no in-flight inserts, else queued
 // behind its fence (compaction swaps the copy-on-write state, so it must
-// not race an insert on the same instance). Finishing the last instance
-// runs the terminal reclamation step.
+// not race an insert on the same instance). A queued compaction can fire
+// at fence drain while a later pass is mid-sweep of the same instance;
+// the cursor detects that through the STeM's compact generation and
+// restarts the instance's sweep, because compaction repositions entries.
+// Finishing the last instance runs the terminal reclamation step.
 func (s *Session) gcQuantumLocked() {
 	g := &s.gc
 	if !g.running {
@@ -342,6 +345,20 @@ func (s *Session) gcQuantumLocked() {
 			return
 		}
 		st := s.ctx.Stems[g.inst]
+		if gen := st.CompactGen(); g.chunk == 0 {
+			g.stemGen = gen
+		} else if gen != g.stemGen {
+			// A fenced CompactLive (queued by an earlier pass, run at fence
+			// drain between quanta) repacked this instance mid-sweep. The
+			// sweep cursor addresses entries by position, and compaction
+			// moves live entries to new positions — some now below the
+			// cursor, where this pass would never revisit their retired
+			// bits, leaving stale bits to misattribute matches once the qid
+			// is recycled. Positions are only meaningful within one compact
+			// generation: restart the instance's sweep against the new
+			// layout.
+			g.chunk, g.stemDead, g.stemGen = 0, 0, gen
+		}
 		if g.chunk >= st.NumChunks() {
 			if g.stemDead > 0 && 2*g.stemDead >= st.Len() {
 				if inst := g.inst; s.instFlight[inst] > 0 {
@@ -413,7 +430,12 @@ func (s *Session) gcFinishLocked() {
 			s.mu.Unlock()
 		}
 		if s.dom != nil {
-			s.dom.Advance()
+			// Defer records the current generation and advances the domain
+			// itself: the free releases once every worker pinned before this
+			// point — the set that could still hold the pre-retirement view —
+			// has drained, even under a saturated pool that is never fully
+			// unpinned. (RebuildFilters republished the shrunk view above, so
+			// the publish-before-defer contract holds.)
 			s.dom.Defer(reclaim)
 		} else {
 			// Pre-run GC (no worker pool yet): free immediately, but the

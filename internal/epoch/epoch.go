@@ -32,6 +32,11 @@ type Domain struct {
 	current atomic.Uint64
 	guards  []guard
 
+	// pending mirrors len(deferred) (updated under mu, read lock-free) so
+	// the per-episode Unpin/Ready fast path skips the mutex entirely when
+	// nothing is queued.
+	pending atomic.Int64
+
 	mu       sync.Mutex
 	deferred []deferred
 }
@@ -58,21 +63,33 @@ func (d *Domain) Pin(w int) {
 
 // Unpin clears worker w's guard and returns any deferred functions whose
 // grace period has now elapsed. The caller must run them outside its own
-// locks (they may take engine locks themselves). One atomic store plus a
-// mutex acquisition only when work is queued.
+// locks (they may take engine locks themselves). One atomic store plus an
+// atomic load; the mutex is taken only when work is actually queued.
 func (d *Domain) Unpin(w int) []func() {
 	d.guards[w].e.Store(0)
 	return d.Ready()
 }
 
 // Defer queues fn to run once every worker pinned at a generation at or
-// before the current one has unpinned. fn is returned by a later Ready or
-// Unpin call; it never runs inside Defer.
+// before the current one has unpinned, then advances the domain. The
+// internal advance is what makes the grace period expire under sustained
+// load: workers re-pinning afterwards land on a later generation, so as
+// soon as the pre-advance pinners drain, minPinned exceeds fn's
+// generation and Ready releases it — bounded by the longest in-flight
+// episode, with no external Advance (new submission, next GC pass)
+// required. fn is returned by a later Ready or Unpin call; it never runs
+// inside Defer.
+//
+// Callers must publish the successor state (view pointer swap) before
+// calling Defer, so any worker that could still observe the state fn
+// frees is pinned at or before fn's recorded generation.
 func (d *Domain) Defer(fn func()) {
-	gen := d.current.Load()
 	d.mu.Lock()
+	gen := d.current.Load()
 	d.deferred = append(d.deferred, deferred{gen: gen, fn: fn})
+	d.pending.Store(int64(len(d.deferred)))
 	d.mu.Unlock()
+	d.current.Add(1)
 }
 
 // minPinned returns the smallest pinned generation and whether any worker
@@ -94,8 +111,11 @@ func (d *Domain) minPinned() (uint64, bool) {
 // Ready removes and returns every deferred function whose grace period has
 // elapsed: its deferring generation is below the oldest pinned generation
 // (or no worker is pinned at all). Callers run the returned functions
-// outside their own locks.
+// outside their own locks. Lock-free when the queue is empty.
 func (d *Domain) Ready() []func() {
+	if d.pending.Load() == 0 {
+		return nil
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.deferred) == 0 {
@@ -112,14 +132,13 @@ func (d *Domain) Ready() []func() {
 		}
 	}
 	d.deferred = kept
+	d.pending.Store(int64(len(kept)))
 	return out
 }
 
 // HasDeferred reports whether any deferred function is still queued.
 func (d *Domain) HasDeferred() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.deferred) > 0
+	return d.pending.Load() != 0
 }
 
 // Lag returns how many generations the oldest pinned worker is behind the

@@ -350,6 +350,8 @@ type STeM struct {
 	_     [56]byte // keep the hot insert counter off neighboring lines
 
 	final atomic.Bool // set once the relation is fully ingested for all scheduled queries
+
+	compactGen atomic.Uint64 // CompactLive rebuilds so far; entry positions are stable within one generation
 }
 
 // newState builds an empty state for the given key columns with nb buckets
@@ -701,8 +703,17 @@ func (s *STeM) CompactLive() int {
 
 	s.state.Store(ns)
 	s.count.Store(int64(w))
+	s.compactGen.Add(1)
 	return w
 }
+
+// CompactGen returns the number of CompactLive rebuilds this STeM has
+// undergone. CompactLive is the only operation that moves entries to new
+// positions (AddIndex and EnsureBuckets share the entry slabs in place),
+// so a position-addressed scan — the engine's GC sweep cursor — is valid
+// only within one generation: compare across pauses and restart from
+// position zero when it moved.
+func (s *STeM) CompactGen() uint64 { return s.compactGen.Load() }
 
 func entryEmpty(chunks []*chunk, idx, qw int) bool {
 	c := chunks[idx>>chunkBits]

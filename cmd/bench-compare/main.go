@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"github.com/roulette-db/roulette/internal/bench"
@@ -168,14 +169,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	base, err := load(*basePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		logger.Error("loading baseline failed", "err", err)
 		os.Exit(1)
 	}
 	cur, err := load(*curPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		logger.Error("loading current results failed", "err", err)
 		os.Exit(1)
 	}
 

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,18 +64,21 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile at sweep end to this file")
 	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile at sweep end to this file (enables block profiling for the whole run)")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile at sweep end to this file (enables mutex profiling for the whole run)")
+	tracePath := flag.String("trace", "", "write the streaming benchmark's flight-recorder timeline to this file as Chrome trace_event JSON (fig stream; load in Perfetto)")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout, CollectStats: *stats}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Quick: *quick, Out: os.Stdout,
+		CollectStats: *stats, TracePath: *tracePath, Logger: logger}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProfile, err)
+			logger.Error("create cpu profile", "path", *cpuProfile, "err", err)
 			os.Exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			logger.Error("start cpu profile", "err", err)
 			os.Exit(1)
 		}
 		defer func() {
@@ -89,12 +93,12 @@ func main() {
 	writeLookup := func(profile, path string) {
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+			logger.Error("create profile", "path", path, "err", err)
 			return
 		}
 		defer f.Close()
 		if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
-			fmt.Fprintf(os.Stderr, "write %s profile: %v\n", profile, err)
+			logger.Error("write profile", "profile", profile, "err", err)
 			return
 		}
 		fmt.Printf("wrote %s\n", path)
@@ -113,13 +117,13 @@ func main() {
 		}
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", *memProfile, err)
+			logger.Error("create heap profile", "path", *memProfile, "err", err)
 			return
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			logger.Error("write heap profile", "err", err)
 			return
 		}
 		fmt.Printf("wrote %s\n", *memProfile)
@@ -130,7 +134,7 @@ func main() {
 		mux.Handle("/metrics", roulette.MetricsHandler())
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "roulette-bench: metrics server:", err)
+				logger.Error("metrics server", "err", err)
 			}
 		}()
 		fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
@@ -189,12 +193,12 @@ func main() {
 	run := func(name string) {
 		f, ok := figures[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q; valid: %v all\n", name, order)
+			logger.Error("unknown figure", "fig", name, "valid", fmt.Sprint(order, " all"))
 			os.Exit(2)
 		}
 		start := time.Now()
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
+			logger.Error("figure failed", "fig", name, "err", err)
 			os.Exit(1)
 		}
 		secs := time.Since(start).Seconds()
@@ -208,12 +212,12 @@ func main() {
 		}
 		data, err := json.MarshalIndent(&out, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "marshal %s: %v\n", *jsonOut, err)
+			logger.Error("marshal results", "path", *jsonOut, "err", err)
 			os.Exit(1)
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			logger.Error("write results", "path", *jsonOut, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
@@ -227,7 +231,7 @@ func main() {
 	if *fig == "all" {
 		for _, name := range order {
 			if ctx.Err() != nil {
-				fmt.Fprintln(os.Stderr, "interrupted; remaining figures skipped")
+				logger.Warn("interrupted; remaining figures skipped")
 				os.Exit(1)
 			}
 			run(name)

@@ -7,6 +7,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +29,8 @@ func main() {
 	workers := flag.Int("workers", 1, "RouLette workers")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	fmt.Printf("generating TPC-DS substrate (scale %.2f)...\n", *scale)
 	db := tpcds.Generate(*scale, *seed)
 
@@ -38,7 +41,7 @@ func main() {
 	// Query-at-a-time baseline.
 	counts, qatTime, err := qat.New(db).RunSerial(qs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qat:", err)
+		logger.Error("query-at-a-time baseline failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("DBMS-V (query-at-a-time): %8.3fs  (%.2f q/s)\n", qatTime.Seconds(), float64(len(qs))/qatTime.Seconds())
@@ -46,14 +49,14 @@ func main() {
 	// RouLette shared execution.
 	b, err := query.Compile(qs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "compile:", err)
+		logger.Error("compile failed", "err", err)
 		os.Exit(1)
 	}
 	opt := exec.DefaultOptions()
 	opt.CollectRows = false
 	s, err := engine.NewSession(b, db, engine.Config{Exec: opt, Workers: *workers})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "session:", err)
+		logger.Error("session failed", "err", err)
 		os.Exit(1)
 	}
 	// Ctrl-C stops the shared run gracefully: in-flight episodes finish and
@@ -62,7 +65,7 @@ func main() {
 	defer stop()
 	res, err := s.RunContext(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "run:", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("RouLette (shared batch):  %8.3fs  (%.2f q/s)  speedup %.2fx\n\n",

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,10 +57,15 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text + JSON) on this address, e.g. :9090")
 	serve := flag.Bool("serve", false, "streaming mode: keep one live session open; each ';'-terminated statement executes on arrival and reports its own latency")
 	listen := flag.String("listen", "", "with -serve: also accept statements from TCP clients on this address, e.g. :5433")
+	debugAddr := flag.String("debug-addr", "", "with -serve: serve the live introspection surface (/debug/roulette/snapshot, /debug/roulette/trace, /debug/pprof) on this address, e.g. :6060")
+	stallWatch := flag.Duration("stall-watchdog", 2*time.Second, "with -serve: period of the engine's stall self-diagnosis (stuck fences, epoch lag, starved tenants); 0 disables")
+	logLevel := flag.String("log-level", "warn", "minimum level of engine diagnostics on stderr: debug, info, warn, error")
 	flag.Parse()
 
+	logger := newLogger(*logLevel)
+
 	if len(tables) == 0 {
-		fmt.Fprintln(os.Stderr, "roulette-sql: at least one -t name=file.csv is required")
+		logger.Error("at least one -t name=file.csv is required")
 		os.Exit(2)
 	}
 
@@ -68,7 +74,7 @@ func main() {
 		mux.Handle("/metrics", roulette.MetricsHandler())
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "roulette-sql: metrics server:", err)
+				logger.Error("metrics server", "err", err)
 			}
 		}()
 		fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
@@ -80,11 +86,11 @@ func main() {
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			fmt.Fprintf(os.Stderr, "roulette-sql: bad -t %q (want name=file.csv)\n", spec)
+			logger.Error("bad -t flag (want name=file.csv)", "flag", spec)
 			os.Exit(2)
 		}
 		if err := loadTable(schema, db, dicts, name, path); err != nil {
-			fmt.Fprintln(os.Stderr, "roulette-sql:", err)
+			logger.Error("loading table failed", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("loaded %s (%d rows)\n", name, db.MustTable(name).NumRows())
@@ -92,8 +98,11 @@ func main() {
 	e := roulette.NewEngineOn(db)
 
 	if *serve {
-		if err := runServe(e, *workers, *stats, *listen); err != nil {
-			fmt.Fprintln(os.Stderr, "roulette-sql:", err)
+		if err := runServe(e, serveConfig{
+			workers: *workers, stats: *stats, listen: *listen,
+			debugAddr: *debugAddr, stallWatch: *stallWatch, logger: logger,
+		}); err != nil {
+			logger.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 		return
@@ -170,18 +179,48 @@ func main() {
 	runBatch(buf.String())
 }
 
+// newLogger builds the stderr diagnostics logger for the given level name.
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		lv = slog.LevelWarn
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
+// serveConfig carries runServe's knobs.
+type serveConfig struct {
+	workers    int
+	stats      bool
+	listen     string
+	debugAddr  string
+	stallWatch time.Duration
+	logger     *slog.Logger
+}
+
 // runServe keeps one streaming session open and feeds it statements from
 // stdin (and, with -listen, from TCP clients) as they arrive. Each query
 // shares scans, STeMs and learned planning state with whatever else is in
 // flight and reports its own latency the moment it retires.
-func runServe(e *roulette.Engine, workers int, stats bool, listen string) error {
+func runServe(e *roulette.Engine, sc serveConfig) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	workers, stats, listen := sc.workers, sc.stats, sc.listen
 	st, err := e.OpenStream(ctx, &roulette.StreamOptions{
-		Options: roulette.Options{Workers: workers, CollectStats: stats},
+		Options:       roulette.Options{Workers: workers, CollectStats: stats, Logger: sc.logger},
+		StallWatchdog: sc.stallWatch,
 	})
 	if err != nil {
 		return err
+	}
+
+	if sc.debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(sc.debugAddr, st.DebugHandler()); err != nil {
+				sc.logger.Error("debug server", "err", err)
+			}
+		}()
+		fmt.Printf("serving introspection on http://%s/debug/roulette/snapshot\n", sc.debugAddr)
 	}
 
 	var out sync.Mutex // serializes result lines across retirement goroutines

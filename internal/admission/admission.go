@@ -413,3 +413,13 @@ func (c *Controller) InFlightCost() float64 {
 	defer c.mu.Unlock()
 	return c.inUse
 }
+
+// DrainRate returns the EWMA of cost units released per second — the rate
+// the controller uses to compute RetryAfter hints. 0 until the first
+// release. Exposed on the live debug snapshot so an operator can judge
+// how fast the in-flight budget is turning over.
+func (c *Controller) DrainRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drainEWMA
+}

@@ -72,8 +72,8 @@ func (c *Config) Scaling() (*ScalingReport, error) {
 			Oversubscribed: wk > rep.GoMaxProcs || wk > rep.NumCPU,
 		}
 		if row.Oversubscribed {
-			c.printf("warning: workers=%d oversubscribes the host (GOMAXPROCS=%d, NumCPU=%d); speedup measures scheduling overhead, not scaling\n",
-				wk, rep.GoMaxProcs, rep.NumCPU)
+			c.logger().Warn("workers oversubscribe the host; speedup measures scheduling overhead, not scaling",
+				"workers", wk, "gomaxprocs", rep.GoMaxProcs, "numcpu", rep.NumCPU)
 		}
 		for _, qs := range qsBatches {
 			b, err := query.Compile(qs)

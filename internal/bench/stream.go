@@ -2,12 +2,14 @@ package bench
 
 import (
 	"context"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/roulette-db/roulette/internal/engine"
 	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/obs"
 	"github.com/roulette-db/roulette/internal/qlearn"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/tpcds"
@@ -71,11 +73,16 @@ func (c *Config) Stream() (*StreamReport, error) {
 		retire  []float64             // millis, appended on retirement
 		retired = make(chan struct{}, n)
 	)
+	var rec *obs.Recorder
+	if c.TracePath != "" {
+		rec = obs.NewRecorder(4+1, 1<<15) // workers + control ring, deep enough for the whole run
+	}
 	cfg := engine.Config{
 		Exec:      opt,
 		Workers:   4,
 		Policy:    qlearn.New(qcfg),
 		Streaming: true,
+		Recorder:  rec,
 		OnRetire: func(qid int, st engine.QueryStatus) {
 			mu.Lock()
 			if t0, ok := started[qid]; ok {
@@ -158,7 +165,27 @@ func (c *Config) Stream() (*StreamReport, error) {
 	c.printf("stem bytes      peak=%d final=%d (reclaimed %.0f%%)\n",
 		rep.StemPeakBytes, rep.StemFinalBytes,
 		100*(1-float64(rep.StemFinalBytes)/float64(max64(rep.StemPeakBytes, 1))))
+	if rec != nil {
+		if err := writeTraceFile(c.TracePath, rec); err != nil {
+			return nil, err
+		}
+		c.printf("wrote flight-recorder trace to %s (load in Perfetto or chrome://tracing)\n", c.TracePath)
+	}
 	return rep, nil
+}
+
+// writeTraceFile dumps the recorder's merged timeline as Chrome
+// trace_event JSON.
+func writeTraceFile(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, rec.Snapshot(), rec.Rings()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func max64(a, b int64) int64 {

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/obs"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/stem"
+)
+
+// capHandler is a slog handler collecting the "kind" attr of every record.
+type capHandler struct {
+	mu    sync.Mutex
+	kinds []string
+}
+
+func (h *capHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *capHandler) Handle(_ context.Context, r slog.Record) error {
+	var kind string
+	r.Attrs(func(a slog.Attr) bool {
+		if a.Key == "kind" {
+			kind = a.Value.String()
+		}
+		return true
+	})
+	h.mu.Lock()
+	h.kinds = append(h.kinds, kind)
+	h.mu.Unlock()
+	return nil
+}
+func (h *capHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *capHandler) WithGroup(string) slog.Handler      { return h }
+
+func (h *capHandler) has(kind string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, k := range h.kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStuckFenceDiagnosisAndTrace is the PR's acceptance scenario: a fence
+// held up by a deliberately parked episode must be named — instance, table,
+// blocking worker and its queries — by Diagnose and by the watchdog's
+// logged report, and the flight-recorder capture of the whole incident
+// must render as valid Chrome trace_event JSON.
+func TestStuckFenceDiagnosisAndTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	db := starDB(rng, 2048, 64)
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var hooked atomic.Bool
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 32
+	// Fault injection: park the first episode on instance 0 (fact) so its
+	// in-flight count stays pinned at 1.
+	opt.Hooks = exec.Hooks{EpisodeStart: func(inst query.InstID, _ stem.Slot) {
+		if inst == 0 && hooked.CompareAndSwap(false, true) {
+			close(blocked)
+			<-release
+		}
+	}}
+	q1 := &query.Query{
+		Rels:  []query.RelRef{{Table: "fact"}, {Table: "d1"}},
+		Joins: []query.Join{{LeftAlias: "fact", LeftCol: "fk1", RightAlias: "d1", RightCol: "k"}},
+	}
+	// q2 joins fact on a column q1 never used, so its admission must queue
+	// an AddIndex op behind instance 0's fence while q1's episode is parked.
+	q2 := &query.Query{
+		Rels:  []query.RelRef{{Table: "fact"}, {Table: "d2"}},
+		Joins: []query.Join{{LeftAlias: "fact", LeftCol: "fk2", RightAlias: "d2", RightCol: "k"}},
+	}
+	logs := &capHandler{}
+	rec := obs.NewRecorder(2, 4096) // 1 worker + control ring
+	var rr *retireRecorder
+	b := query.NewStreamBatch(8)
+	s, err := NewSession(b, db, Config{
+		Exec: opt, Workers: 1, Streaming: true,
+		Recorder:      rec,
+		Logger:        slog.New(logs),
+		StallWatchdog: 5 * time.Millisecond,
+		OnRetire:      func(qid int, st QueryStatus) { rr.onRetire(qid, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = newRetireRecorder(s)
+	join := streamRun(t, s)
+
+	id1, err := s.SubmitLiveMeta(q1, SubmitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.track(id1)
+	<-blocked // q1's fact episode is parked; instFlight[0] == 1
+
+	id2, err := s.SubmitLiveMeta(q2, SubmitMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.track(id2)
+
+	snap := s.DebugSnapshot()
+	if !snap.Insts[0].Fenced || snap.Insts[0].QueuedOps == 0 {
+		t.Fatalf("instance 0 not fenced with queued ops: %+v", snap.Insts[0])
+	}
+	if snap.InFlight != 1 {
+		t.Errorf("in-flight = %d, want 1 (the parked episode)", snap.InFlight)
+	}
+
+	time.Sleep(20 * time.Millisecond) // age the fence past the thresholds
+	findings := s.Diagnose(DiagnoseConfig{
+		StuckFence:   time.Millisecond,
+		EpisodeStall: time.Millisecond,
+	})
+	var fence *Finding
+	for i := range findings {
+		if findings[i].Kind == "stuck_fence" {
+			fence = &findings[i]
+		}
+	}
+	if fence == nil {
+		t.Fatalf("no stuck_fence finding in %+v", findings)
+	}
+	if fence.Inst != 0 || fence.Table != "fact" {
+		t.Errorf("finding names inst %d (%s), want 0 (fact)", fence.Inst, fence.Table)
+	}
+	if fence.Worker != 0 {
+		t.Errorf("finding names worker %d, want 0", fence.Worker)
+	}
+	named := false
+	for _, q := range fence.Queries {
+		if q == id1 {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("finding queries %v do not name the blocking query %d", fence.Queries, id1)
+	}
+
+	// The watchdog goroutine must log the same diagnosis.
+	deadline := time.Now().Add(5 * time.Second)
+	for !logs.has("stuck_fence") {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never logged the stuck_fence diagnosis")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	s.CloseSubmit()
+	join()
+	if completed := rr.check(t, db, []*query.Query{q1, q2}); completed != 2 {
+		t.Errorf("completed = %d, want 2", completed)
+	}
+
+	// The recorder must hold the incident's causal record...
+	evs := rec.Snapshot()
+	seen := map[obs.Kind]bool{}
+	for _, e := range evs {
+		seen[e.Kind] = true
+		if e.Kind == obs.KFenceQueue && e.A != 0 {
+			t.Errorf("fence_queue on instance %d, want 0", e.A)
+		}
+	}
+	for _, k := range []obs.Kind{
+		obs.KSubmit, obs.KAdmit, obs.KFenceQueue, obs.KFenceDrain,
+		obs.KEpochAdvance, obs.KEpisodeStart, obs.KEpisodeEnd, obs.KRetire,
+	} {
+		if !seen[k] {
+			t.Errorf("timeline missing %v event", k)
+		}
+	}
+	// ...and the capture must render as valid trace_event JSON.
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, evs, rec.Rings()); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace capture is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) < len(evs) {
+		t.Fatalf("trace has %d events, want >= %d", len(tf.TraceEvents), len(evs))
+	}
+	for i, te := range tf.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := te[key]; !ok {
+				t.Fatalf("trace event %d missing %q", i, key)
+			}
+		}
+		if te["ph"] == "X" {
+			if d, ok := te["dur"].(float64); !ok || d < 0 {
+				t.Fatalf("complete event %d has bad dur %v", i, te["dur"])
+			}
+		}
+	}
+}
+
+// TestTimelineInvariants checks the merged-timeline contract over a real
+// streaming run: globally ordered by wall time, per-ring sequence numbers
+// strictly increasing, per-ring version-clock stamps non-decreasing, and
+// every worker ring an alternation of episode start/end pairs over the
+// same (instance, slot) with end at or after start.
+func TestTimelineInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	db := starDB(rng, 1024, 64)
+	opt := exec.DefaultOptions()
+	opt.VectorSize = 64
+	rec := obs.NewRecorder(3, 1<<14) // big enough that nothing is evicted
+	var rr *retireRecorder
+	b := query.NewStreamBatch(16)
+	s, err := NewSession(b, db, Config{
+		Exec: opt, Workers: 2, Streaming: true, Recorder: rec,
+		OnRetire: func(qid int, st QueryStatus) { rr.onRetire(qid, st) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = newRetireRecorder(s)
+	join := streamRun(t, s)
+	qs := starQueries(rng, 8)
+	for _, q := range qs {
+		qid, err := s.SubmitLiveMeta(q, SubmitMeta{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.track(qid)
+	}
+	s.CloseSubmit()
+	join()
+	rr.check(t, db, qs)
+
+	evs := rec.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("empty timeline")
+	}
+	lastSeq := map[int32]uint64{}
+	lastVC := map[int32]int64{}
+	type open struct {
+		inst, slot int64
+		ts         int64
+		live       bool
+	}
+	openEp := map[int32]*open{}
+	episodes := 0
+	for i, e := range evs {
+		if i > 0 && e.TS < evs[i-1].TS {
+			t.Fatalf("event %d: global TS order violated", i)
+		}
+		if e.Seq <= lastSeq[e.Ring] {
+			t.Fatalf("event %d: ring %d seq not monotonic", i, e.Ring)
+		}
+		lastSeq[e.Ring] = e.Seq
+		if e.VC < lastVC[e.Ring] {
+			t.Fatalf("event %d: ring %d version clock went backwards (%d < %d)",
+				i, e.Ring, e.VC, lastVC[e.Ring])
+		}
+		lastVC[e.Ring] = e.VC
+		switch e.Kind {
+		case obs.KEpisodeStart:
+			if o := openEp[e.Ring]; o != nil && o.live {
+				t.Fatalf("event %d: ring %d started an episode inside an open one", i, e.Ring)
+			}
+			openEp[e.Ring] = &open{inst: e.A, slot: e.B, ts: e.TS, live: true}
+		case obs.KEpisodeEnd:
+			o := openEp[e.Ring]
+			if o == nil || !o.live {
+				t.Fatalf("event %d: ring %d episode end without start", i, e.Ring)
+			}
+			if o.inst != e.A || o.slot != e.B {
+				t.Fatalf("event %d: episode end (inst %d, slot %d) does not match start (inst %d, slot %d)",
+					i, e.A, e.B, o.inst, o.slot)
+			}
+			if e.TS < o.ts {
+				t.Fatalf("event %d: episode end before start", i)
+			}
+			o.live = false
+			episodes++
+		}
+	}
+	for ring, o := range openEp {
+		if o.live {
+			t.Errorf("ring %d finished the run with an open episode", ring)
+		}
+	}
+	if episodes == 0 {
+		t.Fatal("no complete episodes in the timeline")
+	}
+}
+
+// TestRingEventsOnShedAndPromotion asserts the metrics.Ring episode trace
+// interleaves control-plane events: a deadline-urgency lane promotion and
+// a mid-flight shed each add a typed record naming tenant and query.
+func TestRingEventsOnShedAndPromotion(t *testing.T) {
+	ring := metrics.NewRing(64)
+	// A wide urgency window keeps the promotion deterministic: the deadline
+	// is comfortably in the future (no shed race) yet inside the window.
+	s, _ := schedSession(t, 8, Config{Trace: ring, DeadlineUrgency: time.Minute})
+
+	urgent, err := s.SubmitLiveMeta(singleRel("d1"), SubmitMeta{
+		Tenant: "fast", Deadline: time.Now().Add(30 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	drive(s, 64) // selection inside the urgency window records the promotion
+	s.mu.Unlock()
+
+	dead, err := s.SubmitLiveMeta(singleRel("d2"), SubmitMeta{
+		Tenant: "late", Deadline: time.Now().Add(-time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.pickScanLocked() // expired deadline: shed
+	s.mu.Unlock()
+
+	events := ring.Events()
+	var promote, shed *metrics.EpisodeRecord
+	for i := range events {
+		switch events[i].Event {
+		case "lane_promote":
+			promote = &events[i]
+		case "shed":
+			shed = &events[i]
+		}
+	}
+	if promote == nil {
+		t.Fatal("no lane_promote record in the episode trace")
+	}
+	if promote.Qid != urgent || promote.Tenant != "fast" {
+		t.Errorf("lane_promote = qid %d tenant %q, want qid %d tenant fast",
+			promote.Qid, promote.Tenant, urgent)
+	}
+	if shed == nil {
+		t.Fatal("no shed record in the episode trace")
+	}
+	if shed.Qid != dead || shed.Tenant != "late" {
+		t.Errorf("shed = qid %d tenant %q, want qid %d tenant late",
+			shed.Qid, shed.Tenant, dead)
+	}
+}
+
+// TestDebugSnapshotBatchSession ensures the snapshot is safe on a batch
+// (non-streaming) session that has not run yet.
+func TestDebugSnapshotBatchSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	db := starDB(rng, 256, 64)
+	b, err := query.Compile(starQueries(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(b, db, Config{Exec: exec.DefaultOptions(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.DebugSnapshot()
+	if snap.Streaming || len(snap.Insts) == 0 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	for _, inst := range snap.Insts {
+		if inst.Table == "" {
+			t.Errorf("instance %d missing table name", inst.Inst)
+		}
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}

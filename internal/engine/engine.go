@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"github.com/roulette-db/roulette/internal/epoch"
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/obs"
 	"github.com/roulette-db/roulette/internal/policy"
 	"github.com/roulette-db/roulette/internal/qlearn"
 	"github.com/roulette-db/roulette/internal/query"
@@ -97,6 +99,25 @@ type Config struct {
 	// live queries may go unserved before the starvation watchdog boosts it
 	// above every priority lane; 0 means 512.
 	StarveEpisodes int
+
+	// Recorder, when non-nil, is the session's flight recorder: workers
+	// record episode start/end events into their own ring (index = worker
+	// id) and the control plane (submission, fences, epochs, GC,
+	// retirement) records into the recorder's last ring. Size it with
+	// Workers+1 rings. Recording is lock- and allocation-free; a nil
+	// recorder costs one branch per event site.
+	Recorder *obs.Recorder
+
+	// Logger receives structured diagnostics (stall watchdog reports,
+	// degraded-mode warnings). Nil discards.
+	Logger *slog.Logger
+
+	// StallWatchdog, in streaming mode, is the period of the self-diagnosis
+	// watchdog: every period it snapshots the session, runs the stall
+	// heuristics (stuck fences, long-running episodes, unbounded epoch lag,
+	// watermark lag, starved tenants) and logs one structured report per
+	// finding through Logger. 0 disables the watchdog.
+	StallWatchdog time.Duration
 }
 
 // ConvergencePoint is one episode's measured cost and the policy's estimate
@@ -307,6 +328,32 @@ type Session struct {
 	qElapsed     []time.Duration // per query: start → last vector scheduled
 	lastSig      []uint64        // per instance: previous episode's plan signature
 	planSwitches int64
+
+	// Flight recorder & introspection (see debug.go). rec is nil-safe;
+	// ctlRing is the control-plane ring index (rec's last ring). workerEp
+	// tracks each worker's currently open episode and instFenceSince when
+	// each instance's fence was raised — both feed DebugSnapshot and the
+	// stall watchdog. qUrgent marks queries already promoted into the
+	// urgency lane so the promotion is recorded once.
+	rec            *obs.Recorder
+	ctlRing        int
+	logger         *slog.Logger
+	workerEp       []workerEpisode
+	instFenceSince []int64
+	qUrgent        bitset.Set
+}
+
+// workerEpisode is one worker's in-flight episode, stamped under the
+// session mutex when the vector is handed out and cleared when the episode
+// completes. activeW0 is the first word of the active query set — enough
+// to name the blocking queries for the default query-ID capacity (64).
+type workerEpisode struct {
+	inst     int32
+	slot     int64
+	startNs  int64
+	activeW0 uint64
+	nactive  int32
+	open     bool
 }
 
 // gcState is the streaming garbage collector's cursor. GC runs in budgeted
@@ -379,6 +426,16 @@ func NewSession(b *query.Batch, db *storage.Database, cfg Config) (*Session, err
 	s.instFence = make([]bool, query.MaxInstances)
 	s.instFlight = make([]int32, query.MaxInstances)
 	s.instOps = make([][]fenceOp, query.MaxInstances)
+	s.instFenceSince = make([]int64, query.MaxInstances)
+	s.rec = cfg.Recorder
+	if s.rec != nil {
+		s.ctlRing = s.rec.Rings() - 1
+		s.rec.SetVClock(ctx.Versions.Frontier)
+	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(discardHandler{})
+	}
 	if cfg.Streaming {
 		s.initSchedLocked(qcap)
 		s.qSubmitNs = make([]int64, qcap)
@@ -452,7 +509,9 @@ func (s *Session) Admit(qids ...int) {
 // the lowest rank, round-robin. It returns ok=false when every admitted
 // query's scans are complete and no admissions are pending, or when the
 // run's context has been cancelled (cooperative cancellation point).
-func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
+// id is the calling worker, so the handed-out episode can be stamped as
+// the worker's open episode for introspection.
+func (s *Session) nextEpisode(id int) (exec.EpisodeInput, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -473,11 +532,37 @@ func (s *Session) nextEpisode() (exec.EpisodeInput, bool) {
 				}
 			}
 			s.pending = nil
-			return s.nextEpisodeLockedRetry()
+			in, ok := s.nextEpisodeLockedRetry()
+			if ok {
+				s.noteEpisodeLocked(id, in)
+			}
+			return in, ok
 		}
 		return exec.EpisodeInput{}, false
 	}
-	return s.takeRoundRobinLocked(best), true
+	in := s.takeRoundRobinLocked(best)
+	s.noteEpisodeLocked(id, in)
+	return in, true
+}
+
+// noteEpisodeLocked stamps worker id's open episode for the debug
+// snapshot and stall diagnosis. Array writes only; no allocation.
+func (s *Session) noteEpisodeLocked(id int, in exec.EpisodeInput) {
+	if s.workerEp == nil || id >= len(s.workerEp) {
+		return
+	}
+	var w0 uint64
+	if len(in.Active) > 0 {
+		w0 = in.Active[0]
+	}
+	s.workerEp[id] = workerEpisode{
+		inst:     int32(in.Inst),
+		slot:     int64(in.Slot),
+		startNs:  time.Now().UnixNano(),
+		activeW0: w0,
+		nactive:  int32(in.Active.Count()),
+		open:     true,
+	}
 }
 
 // bestScanLocked returns the lowest-rank instance with an incomplete scan,
@@ -657,7 +742,11 @@ func (s *Session) RunContext(ctx context.Context) (*Results, error) {
 	s.mu.Lock()
 	s.startAt = start
 	s.dom = epoch.NewDomain(workers)
+	s.workerEp = make([]workerEpisode, workers)
 	s.mu.Unlock()
+	if s.cfg.Streaming && s.cfg.StallWatchdog > 0 {
+		go s.watchdog(ctx, s.cfg.StallWatchdog)
+	}
 
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
@@ -750,9 +839,9 @@ func (s *Session) runWorker(id int) {
 		var in exec.EpisodeInput
 		var ok bool
 		if s.cfg.Streaming {
-			in, ok = s.nextEpisodeStreaming()
+			in, ok = s.nextEpisodeStreaming(id)
 		} else {
-			in, ok = s.nextEpisode()
+			in, ok = s.nextEpisode(id)
 		}
 		if !ok {
 			return
@@ -770,8 +859,18 @@ func (s *Session) runWorker(id int) {
 				estPerTuple = ce.EstimatedBestCost(policy.JoinPhase, 0, 1<<in.Inst, in.Active, cands)
 			}
 		}
+		if s.rec.Enabled() {
+			var w0 uint64
+			if len(in.Active) > 0 {
+				w0 = in.Active[0]
+			}
+			s.rec.Record(id, obs.KEpisodeStart,
+				int64(in.Inst), int64(in.Slot), int64(w0), int64(in.Active.Count()))
+		}
 		epStart := time.Now()
 		rep, err := s.runEpisode(w, in)
+		s.rec.Record(id, obs.KEpisodeEnd,
+			int64(in.Inst), int64(in.Slot), time.Since(epStart).Nanoseconds(), int64(rep.PlanSig))
 		if s.cfg.Trace != nil {
 			rec := metrics.EpisodeRecord{
 				Episode:       int64(in.Slot),
@@ -821,6 +920,9 @@ func (s *Session) runWorker(id int) {
 		}
 		s.inFlight--
 		s.instFlight[in.Inst]--
+		if s.workerEp != nil && id < len(s.workerEp) {
+			s.workerEp[id].open = false
+		}
 		if s.instFlight[in.Inst] == 0 && s.instFence[in.Inst] {
 			s.runFenceOpsLocked(int(in.Inst))
 		}
@@ -849,6 +951,14 @@ func (s *Session) runFenceOpsLocked(inst int) {
 	ops := s.instOps[inst]
 	s.instOps[inst] = nil
 	s.instFence[inst] = false
+	if s.rec.Enabled() {
+		var age int64
+		if since := s.instFenceSince[inst]; since != 0 {
+			age = time.Now().UnixNano() - since
+		}
+		s.recCtl(obs.KFenceDrain, int64(inst), int64(len(ops)), age, 0)
+	}
+	s.instFenceSince[inst] = 0
 	for _, op := range ops {
 		op.run()
 		if op.act != nil {
@@ -866,6 +976,7 @@ func (s *Session) runFenceOpsLocked(inst int) {
 // The context view including the query was published before any episode
 // can carry its bit (publish-then-advance).
 func (s *Session) activateLocked(act *pendingActivation) {
+	s.recCtl(obs.KAdmit, int64(act.qid), 0, 0, 0)
 	s.registerMetaLocked(act.qid, act.meta)
 	s.admitLocked(act.qid)
 	if s.qFirstWait != nil {

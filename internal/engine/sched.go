@@ -4,7 +4,9 @@ import (
 	"time"
 
 	"github.com/roulette-db/roulette/internal/admission"
+	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/obs"
 	"github.com/roulette-db/roulette/internal/query"
 )
 
@@ -75,6 +77,7 @@ func (s *Session) initSchedLocked(qcap int) {
 	s.qTenant = make([]int32, qcap)
 	s.qPriority = make([]int32, qcap)
 	s.qDeadline = make([]int64, qcap)
+	s.qUrgent = bitset.New(qcap)
 	if s.cfg.DeadlineUrgency <= 0 {
 		s.cfg.DeadlineUrgency = defaultDeadlineUrgency
 	}
@@ -172,6 +175,7 @@ func (s *Session) releaseMetaLocked(qid int) {
 		}
 	}
 	s.qPriority[qid] = 0
+	s.qUrgent.Remove(qid)
 }
 
 // pickScanLocked is the streaming scan selector: it sheds expired-deadline
@@ -239,6 +243,16 @@ func (s *Session) scanKeyLocked(st *scanState, urgentBefore int64) (lane int64, 
 		}
 		if d := s.qDeadline[qid]; d != 0 && urgentBefore != 0 && d <= urgentBefore {
 			l += laneUrgent
+			if !s.qUrgent.Contains(qid) {
+				// First time this query crosses into the urgency window:
+				// record the promotion once (the lane boost itself recurs
+				// every selection until the query drains or is shed).
+				s.qUrgent.Add(qid)
+				s.recCtl(obs.KLanePromote, int64(qid), d, 0, 0)
+				if s.cfg.Trace != nil {
+					s.cfg.Trace.AddEvent("lane_promote", ts.name, qid)
+				}
+			}
 		}
 		if first || l > lane {
 			lane = l
@@ -283,6 +297,10 @@ func (s *Session) shedExpiredLocked(nowNs int64) {
 		}
 		s.shedCount++
 		metrics.Default().DeadlineSheds.Add(1)
+		s.recCtl(obs.KShed, int64(qid), 1, 0, 0)
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.AddEvent("shed", ts.name, qid)
+		}
 		s.maybeRetireLocked(qid)
 	}
 	s.nextDeadline = next

@@ -6,6 +6,7 @@ import (
 	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/obs"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/storage"
 )
@@ -100,7 +101,7 @@ func (s *Session) SubmitLiveMeta(q *query.Query, m SubmitMeta) (int, error) {
 	// Publish-then-advance: ApplyExtend published the extended view; advance
 	// the epoch so workers pinning from here on are known to see it.
 	if s.dom != nil {
-		s.dom.Advance()
+		s.recCtl(obs.KEpochAdvance, int64(s.dom.Advance()), 0, 0, 0)
 	}
 	act := &pendingActivation{qid: qid, meta: m, submitNs: time.Now().UnixNano()}
 	for _, op := range ops {
@@ -112,9 +113,14 @@ func (s *Session) SubmitLiveMeta(q *query.Query, m SubmitMeta) (int, error) {
 			continue
 		}
 		act.remaining++
+		if !s.instFence[inst] {
+			s.instFenceSince[inst] = act.submitNs
+		}
 		s.instFence[inst] = true
 		s.instOps[inst] = append(s.instOps[inst], fenceOp{run: op.Apply, act: act})
+		s.recCtl(obs.KFenceQueue, int64(inst), int64(qid), 0, 0)
 	}
+	s.recCtl(obs.KSubmit, int64(qid), int64(act.remaining), tenantHash(m.Tenant), 0)
 	if act.remaining == 0 {
 		s.activateLocked(act)
 	}
@@ -189,6 +195,11 @@ func (s *Session) maybeRetireLocked(qid int) {
 	}
 	s.retired.Add(qid)
 	s.releaseMetaLocked(qid)
+	completed := int64(1)
+	if failed {
+		completed = 0
+	}
+	s.recCtl(obs.KRetire, int64(qid), completed, 0, 0)
 	st := QueryStatus{Completed: !failed, Err: s.failErr[qid]}
 	if cb := s.cfg.OnRetire; cb != nil {
 		// The callback reads the query's source (routed rows); GC must not
@@ -214,6 +225,9 @@ func (s *Session) takeCallbacksLocked() []func() {
 	cbs := s.cbsQueued
 	s.cbsQueued = nil
 	s.cbsActive += len(cbs)
+	if len(cbs) > 0 {
+		s.recCtl(obs.KCallback, int64(len(cbs)), 0, 0, 0)
+	}
 	return cbs
 }
 
@@ -248,7 +262,7 @@ func (s *Session) gcPendingLocked() bool {
 // progress ungated when idle, and block waiting for submissions otherwise.
 // Returns ok=false when the run is cancelled or the stream is closed and
 // fully drained.
-func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
+func (s *Session) nextEpisodeStreaming(id int) (exec.EpisodeInput, bool) {
 	s.mu.Lock()
 	for {
 		if len(s.cbsQueued) > 0 {
@@ -289,6 +303,7 @@ func (s *Session) nextEpisodeStreaming() (exec.EpisodeInput, bool) {
 				}
 			}
 			in := s.takeVectorLocked(query.InstID(best))
+			s.noteEpisodeLocked(id, in)
 			s.mu.Unlock()
 			return in, true
 		}
@@ -338,6 +353,10 @@ func (s *Session) gcQuantumLocked() {
 		s.retired.AndNotWith(g.active)
 		g.running, g.inst, g.chunk, g.stemDead = true, 0, 0, 0
 	}
+	startInst, swept := g.inst, 0
+	defer func() {
+		s.recCtl(obs.KGCQuantum, int64(startInst), int64(swept), 0, 0)
+	}()
 	budget := gcChunkBudget
 	for budget > 0 {
 		if g.inst >= len(s.ctx.Stems) {
@@ -358,16 +377,22 @@ func (s *Session) gcQuantumLocked() {
 			// generation: restart the instance's sweep against the new
 			// layout.
 			g.chunk, g.stemDead, g.stemGen = 0, 0, gen
+			s.recCtl(obs.KGCSweepRestart, int64(g.inst), int64(gen), 0, 0)
 		}
 		if g.chunk >= st.NumChunks() {
 			if g.stemDead > 0 && 2*g.stemDead >= st.Len() {
 				if inst := g.inst; s.instFlight[inst] > 0 {
+					if !s.instFence[inst] {
+						s.instFenceSince[inst] = time.Now().UnixNano()
+					}
 					s.instFence[inst] = true
 					s.instOps[inst] = append(s.instOps[inst], fenceOp{run: func() {
 						s.ctx.Stems[inst].CompactLive()
 					}})
+					s.recCtl(obs.KGCCompact, int64(inst), 1, 0, 0)
 				} else {
 					st.CompactLive()
+					s.recCtl(obs.KGCCompact, int64(g.inst), 0, 0, 0)
 				}
 				budget = 0 // a compaction consumes the quantum
 			}
@@ -377,6 +402,7 @@ func (s *Session) gcQuantumLocked() {
 		}
 		g.stemDead += st.SweepChunk(g.chunk, g.active)
 		g.chunk++
+		swept++
 		budget--
 	}
 }
@@ -423,6 +449,7 @@ func (s *Session) gcFinishLocked() {
 				s.ctx.Sources[qid] = nil
 				s.b.ReleaseQID(qid)
 			}
+			s.recCtl(obs.KEpochRelease, int64(len(freed)), 0, 0, 0)
 			if cb := s.cfg.OnReclaim; cb != nil {
 				s.cbsQueued = append(s.cbsQueued, func() { cb(freed) })
 			}
@@ -430,6 +457,7 @@ func (s *Session) gcFinishLocked() {
 			s.mu.Unlock()
 		}
 		if s.dom != nil {
+			s.recCtl(obs.KEpochDefer, int64(s.dom.Current()), int64(len(freed)), 0, 0)
 			// Defer records the current generation and advances the domain
 			// itself: the free releases once every worker pinned before this
 			// point — the set that could still hold the pre-retirement view —

@@ -151,3 +151,23 @@ func (d *Domain) Lag() int64 {
 	}
 	return int64(d.current.Load() - min)
 }
+
+// OldestPinned returns the worker holding the oldest pinned generation and
+// that generation. ok is false when no worker is pinned. Used by the stall
+// watchdog to name the worker blocking epoch reclamation.
+func (d *Domain) OldestPinned() (worker int, gen uint64, ok bool) {
+	for i := range d.guards {
+		e := d.guards[i].e.Load()
+		if e == 0 {
+			continue
+		}
+		if g := e - 1; !ok || g < gen {
+			worker, gen, ok = i, g, true
+		}
+	}
+	return
+}
+
+// Pending returns the number of deferred reclamations still waiting for
+// their grace period. Lock-free.
+func (d *Domain) Pending() int { return int(d.pending.Load()) }

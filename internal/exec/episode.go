@@ -286,9 +286,14 @@ type EpisodeReport struct {
 	// JoinInput is the number of tuples entering the join phase.
 	JoinInput int
 
-	// PlanSig identifies the episode's chosen operator sequence (CollectStats
-	// only); see Worker.foldSig. Zero when stats are off.
+	// PlanSig identifies the episode's chosen operator sequence; see
+	// Worker.foldSig. Always computed (two multiplies per operator) so the
+	// flight recorder can stamp episode events with it even when stats
+	// collection is off.
 	PlanSig uint64
+	// ViewGen is the generation of the immutable context view the episode
+	// executed against — which batch extension the worker observed.
+	ViewGen uint64
 	// SelActions and JoinActions are the chosen selection-op IDs and probed
 	// edge IDs in execution order (TraceActions only). They alias worker
 	// buffers valid until the worker's next episode; consumers copy.
@@ -335,6 +340,7 @@ func (w *Worker) runSelSteps(in EpisodeInput, steps []plan.SelStep, vids []int32
 			w.applyPrune(&cv.pruneOps[ref.idx], st.Op.Queries, vids, qsets)
 		}
 		vids, qsets = compact(vids, qsets, w.qw)
+		w.foldSig(0, st.Op.ID, st.Applied)
 		if w.collect {
 			w.ep.filterOps++
 			served := andCount(st.Op.Queries, in.Active)
@@ -342,7 +348,6 @@ func (w *Worker) runSelSteps(in EpisodeInput, steps []plan.SelStep, vids []int32
 			if served > 1 {
 				w.ep.sharedOps++
 			}
-			w.foldSig(0, st.Op.ID, st.Applied)
 		}
 		if w.trace {
 			w.selActs = append(w.selActs, int32(st.Op.ID))
@@ -445,7 +450,7 @@ func (w *Worker) RunEpisode(in EpisodeInput) (EpisodeReport, error) {
 		w.execChildren(root, w.rootVec(in.Inst, vids, qsets, joinInput), ts, wm)
 	}
 
-	rep := EpisodeReport{JoinInput: joinInput, PlanSig: w.planSig}
+	rep := EpisodeReport{JoinInput: joinInput, PlanSig: w.planSig, ViewGen: w.cv.gen}
 	rep.MeasuredCost, rep.MeasuredJoinCost = w.measuredCost()
 	if w.trace {
 		rep.SelActions, rep.JoinActions = w.selActs, w.joinActs
@@ -801,6 +806,7 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, i
 	lookups := int64(len(pk)) // STeM probe keys; folded per instance when collecting
 	w.ep.joinOut += int64(out.n)
 	w.ep.probeNs += time.Since(t0).Nanoseconds()
+	w.foldSig(1, nd.EdgeID, nd.Lineage)
 	if w.collect {
 		w.ep.probeOps++
 		served := nd.Q.Count()
@@ -810,7 +816,6 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, i
 		}
 		w.instProbes[nd.Target] += lookups
 		w.instMatches[nd.Target] += int64(out.n)
-		w.foldSig(1, nd.EdgeID, nd.Lineage)
 	}
 	if w.trace {
 		w.joinActs = append(w.joinActs, int32(nd.EdgeID))

@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/obs"
+	"github.com/roulette-db/roulette/internal/qlearn"
+)
+
+// TestEpisodeStepRecorderZeroAlloc extends the zero-allocation contract to
+// the flight recorder: an episode step bracketed by the start/end events a
+// streaming worker records (exactly what engine.runWorker emits per
+// episode) must still perform zero heap allocations. This is the PR's
+// "always-on" claim — attaching the recorder cannot cost the hot path an
+// allocation.
+func TestEpisodeStepRecorderZeroAlloc(t *testing.T) {
+	cfg := StepBenchConfig{NQueries: 16, Policy: qlearn.New(qlearn.DefaultConfig())}
+	sb := stepBenchWarm(t, cfg)
+	if rep := sb.Step(); rep.JoinInput == 0 {
+		t.Fatal("fixture produces empty episodes; the assertion would be vacuous")
+	}
+	rec := obs.NewRecorder(2, 1024)
+	var vc int64
+	rec.SetVClock(func() int64 { vc++; return vc })
+	allocs := testing.AllocsPerRun(50, func() {
+		rec.Record(0, obs.KEpisodeStart, 0, 1, 0xffff, 16)
+		rep := sb.Step()
+		rec.Record(0, obs.KEpisodeEnd, 0, 1, int64(rep.JoinInput), int64(rep.PlanSig))
+	})
+	if raceEnabled {
+		t.Skipf("race build: measured %.1f allocs/op, strict assertion skipped", allocs)
+	}
+	if allocs != 0 {
+		t.Errorf("episode step with recorder allocates %.1f allocs/op, want 0", allocs)
+	}
+	if len(rec.Snapshot()) == 0 {
+		t.Fatal("recorder captured nothing; the assertion would be vacuous")
+	}
+}

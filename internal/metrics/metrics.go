@@ -162,6 +162,14 @@ type EpisodeRecord struct {
 	// Fault is empty for a completed episode, else the fault class that
 	// aborted it ("panic", "insert", "stall").
 	Fault string
+
+	// Event is empty for an episode record; otherwise the record is a
+	// control-plane event interleaved into the trace ("reject", "shed",
+	// "lane_promote") with Tenant and Qid identifying the subject (Qid -1
+	// when the query never received an id).
+	Event  string
+	Tenant string
+	Qid    int
 }
 
 // Ring is a fixed-capacity trace of the most recent episodes. Safe for
@@ -200,6 +208,26 @@ func (r *Ring) Add(rec EpisodeRecord) {
 	if r.next == 0 {
 		r.full = true
 	}
+}
+
+// AddEvent appends a control-plane event record (admission rejection,
+// deadline shed, urgency-lane promotion) to the trace, interleaved with
+// episode records in arrival order.
+func (r *Ring) AddEvent(event, tenant string, qid int) {
+	r.Add(EpisodeRecord{Event: event, Tenant: tenant, Qid: qid})
+}
+
+// Events returns the control-plane event records currently in the window,
+// oldest-first.
+func (r *Ring) Events() []EpisodeRecord {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, rec := range all {
+		if rec.Event != "" {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // Faults returns the lifetime count of aborted episodes recorded, across

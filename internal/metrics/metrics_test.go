@@ -222,3 +222,39 @@ func TestRingFaultCounters(t *testing.T) {
 		t.Error("FaultsByKind exposed internal map")
 	}
 }
+
+func TestRingEventRecords(t *testing.T) {
+	r := NewRing(8)
+	r.Add(EpisodeRecord{Episode: 1})
+	r.AddEvent("lane_promote", "fast", 3)
+	r.Add(EpisodeRecord{Episode: 2})
+	r.AddEvent("shed", "late", 5)
+	r.AddEvent("reject", "bulk", -1)
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() returned %d records, want 3", len(evs))
+	}
+	want := []EpisodeRecord{
+		{Event: "lane_promote", Tenant: "fast", Qid: 3},
+		{Event: "shed", Tenant: "late", Qid: 5},
+		{Event: "reject", Tenant: "bulk", Qid: -1},
+	}
+	for i, w := range want {
+		if evs[i].Event != w.Event || evs[i].Tenant != w.Tenant || evs[i].Qid != w.Qid {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], w)
+		}
+	}
+	// Event records interleave with episodes in the shared window and are
+	// evicted together with them.
+	for i := int64(3); i <= 10; i++ {
+		r.Add(EpisodeRecord{Episode: i})
+	}
+	if got := len(r.Events()); got != 0 {
+		t.Errorf("after eviction Events() = %d records, want 0", got)
+	}
+	// Events never count as faults.
+	if r.Faults() != 0 {
+		t.Errorf("event records counted as faults: %d", r.Faults())
+	}
+}

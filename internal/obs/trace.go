@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one entry in the Chrome trace_event JSON format
+// (loadable in Perfetto / chrome://tracing). Timestamps are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// RingName names ring ri for trace export: "control" for the last ring
+// (the engine's convention: workers rings then one control ring),
+// "worker N" otherwise.
+func RingName(ri, rings int) string {
+	if ri == rings-1 {
+		return "control"
+	}
+	return fmt.Sprintf("worker %d", ri)
+}
+
+// ToTraceEvents converts a merged timeline into Chrome trace_event
+// records. Episode-end events become complete ("X") spans reconstructed
+// from their duration argument; every other kind becomes a thread-scoped
+// instant ("i"). One metadata record per ring names its track. rings is
+// the recorder's ring count (for track naming); pass 0 to derive it from
+// the events.
+func ToTraceEvents(evs []Event, rings int) []traceEvent {
+	if rings == 0 {
+		for _, e := range evs {
+			if int(e.Ring)+1 > rings {
+				rings = int(e.Ring) + 1
+			}
+		}
+	}
+	out := make([]traceEvent, 0, len(evs)+rings)
+	for ri := 0; ri < rings; ri++ {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: ri,
+			Args: map[string]any{"name": RingName(ri, rings)},
+		})
+	}
+	for _, e := range evs {
+		te := traceEvent{
+			Name: e.Kind.String(),
+			Pid:  1,
+			Tid:  int(e.Ring),
+		}
+		switch e.Kind {
+		case KEpisodeEnd:
+			// Reconstruct the span: TS is the end stamp, C the duration.
+			te.Ph = "X"
+			te.TS = float64(e.TS-e.C) / 1e3
+			te.Dur = float64(e.C) / 1e3
+			te.Args = map[string]any{
+				"inst": e.A, "slot": e.B, "plan_sig": e.D, "vclock": e.VC,
+			}
+		default:
+			te.Ph = "i"
+			te.S = "t"
+			te.TS = float64(e.TS) / 1e3
+			te.Args = map[string]any{
+				"a": e.A, "b": e.B, "c": e.C, "d": e.D, "vclock": e.VC,
+			}
+		}
+		out = append(out, te)
+	}
+	return out
+}
+
+// WriteTrace renders a merged timeline as Chrome trace_event JSON.
+// rings is the recorder ring count for track naming (0 = derive).
+func WriteTrace(w io.Writer, evs []Event, rings int) error {
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: ToTraceEvents(evs, rings)}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -262,6 +262,13 @@ func (v *Versions) Watermark() Slot { return Slot(v.watermark.Load()) }
 // Now returns a probe timestamp newer than every published slot.
 func (v *Versions) Now() int64 { return v.global.Add(1) }
 
+// Frontier returns the current value of the global version counter without
+// advancing it. It is a read-only causal stamp — suitable for tagging
+// observability events with "how far had the clock moved when this
+// happened" — and must never be used as a probe timestamp (those must be
+// drawn with Now so they exceed every published slot).
+func (v *Versions) Frontier() int64 { return v.global.Load() }
+
 // tryGet resolves slot n to its global timestamp; 0 means unpublished
 // (sealed slots are unpublished).
 func (v *Versions) tryGet(n Slot) int64 {

@@ -28,6 +28,7 @@ package roulette
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -202,8 +203,15 @@ type Options struct {
 
 	// TraceEpisodes retains the last N episodes as records carrying the
 	// chosen action sequence, active query count, cost, and duration
-	// (BatchResult.Trace, WriteTraceJSONL). 0 disables tracing.
+	// (BatchResult.Trace, WriteTraceJSONL). 0 disables tracing. On streams
+	// the same ring additionally interleaves admission rejections, deadline
+	// sheds, and urgency-lane promotions as control-plane event records.
 	TraceEpisodes int
+
+	// Logger receives the engine's structured diagnostics — most notably
+	// the stall watchdog's reports (StreamOptions.StallWatchdog). Nil
+	// discards everything; execution never logs on the hot path either way.
+	Logger *slog.Logger
 }
 
 // execOptions converts Options to the internal executor options.
@@ -264,6 +272,7 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []*Query, o *Option
 		cfg.TrackConvergence = o.TrackConvergence
 		cfg.SessionDeadline = o.Deadline
 		cfg.EpisodeWatchdog = o.EpisodeWatchdog
+		cfg.Logger = o.Logger
 		if o.TraceEpisodes > 0 {
 			ring = metrics.NewRing(o.TraceEpisodes)
 			cfg.Trace = ring

@@ -13,6 +13,7 @@ import (
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/host"
 	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/obs"
 	"github.com/roulette-db/roulette/internal/policy"
 	"github.com/roulette-db/roulette/internal/qlearn"
 	"github.com/roulette-db/roulette/internal/query"
@@ -37,6 +38,14 @@ type StreamOptions struct {
 	// before. Per-query deadlines (Query.WithDeadline) and priorities work
 	// either way.
 	Admission *AdmissionOptions
+
+	// StallWatchdog enables background self-diagnosis: every period the
+	// engine checks for stuck instance fences, stalled episodes, epoch-
+	// reclamation lag, watermark lag, and starved tenants, and logs each
+	// finding — naming the blocking instance, worker, and queries — through
+	// Options.Logger. The same checks run on demand via Stream.Diagnose.
+	// 0 disables the background check.
+	StallWatchdog time.Duration
 }
 
 // TenantLimit overrides one tenant's rate limit and fairness weight.
@@ -77,6 +86,11 @@ type AdmissionOptions struct {
 	// white-box tests).
 	hooks admission.Hooks
 }
+
+// streamRecorderRing is the per-ring capacity of a stream's flight
+// recorder: events per worker (and for the control plane) kept before the
+// oldest are overwritten. 4096 events × 64 bytes = 256 KiB per ring.
+const streamRecorderRing = 4096
 
 // ErrStreamFull is returned by Submit when every query slot is occupied by
 // a live or not-yet-reclaimed query.
@@ -188,6 +202,7 @@ type Stream struct {
 	opt     StreamOptions
 	adm     *admission.Controller // nil when opt.Admission is nil
 	model   *cost.Model           // admission cost estimates
+	trace   *metrics.Ring         // episode + control-plane event trace (TraceEpisodes)
 	results chan QueryResult
 	resOnce sync.Once
 	runDone chan struct{}
@@ -216,12 +231,22 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 	if opt.Seed != 0 {
 		seed = opt.Seed
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	cfg := engine.Config{
 		Exec:            opt.execOptions(),
 		Workers:         opt.Workers,
 		SessionDeadline: opt.Deadline,
 		EpisodeWatchdog: opt.EpisodeWatchdog,
 		Streaming:       true,
+		// The flight recorder is always on: one event ring per worker plus
+		// a control-plane ring, recording is lock-free and allocation-free,
+		// and the rings are only merged when someone asks for a trace.
+		Recorder:      obs.NewRecorder(workers+1, streamRecorderRing),
+		Logger:        opt.Logger,
+		StallWatchdog: opt.StallWatchdog,
 	}
 	if a := opt.Admission; a != nil {
 		cfg.DeadlineUrgency = a.DeadlineUrgency
@@ -244,11 +269,16 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 		cfg.Model = e.calibrated
 	}
 
+	if opt.TraceEpisodes > 0 {
+		cfg.Trace = metrics.NewRing(opt.TraceEpisodes)
+	}
+
 	b := query.NewStreamBatch(opt.MaxQueries)
 	s := &Stream{
 		e:       e,
 		b:       b,
 		opt:     opt,
+		trace:   cfg.Trace,
 		tickets: make(map[int]*Ticket),
 		pending: make(map[int]QueryResult),
 		runDone: make(chan struct{}),
@@ -353,6 +383,7 @@ func (s *Stream) Submit(q *Query) (*Ticket, error) {
 			if s.adm != nil {
 				s.adm.RecordShed(tenant)
 			}
+			s.recordSubmitEvent(obs.KShed, tenant)
 			return nil, &ShedError{Tenant: tenant, AtSubmit: true, Deadline: deadline, Estimate: est}
 		}
 	}
@@ -361,6 +392,7 @@ func (s *Stream) Submit(q *Query) (*Ticket, error) {
 			reg := metrics.Default()
 			reg.SubmitOverloads.Add(1)
 			reg.Tenant(tenant).Rejected.Add(1)
+			s.recordSubmitEvent(obs.KReject, tenant)
 			return nil, err
 		}
 		reg := metrics.Default()

@@ -31,14 +31,16 @@ type report struct {
 	Stream  *bench.StreamReport  `json:"stream"`
 	Scaling *bench.ScalingReport `json:"scaling"`
 	Stress  *bench.StressReport  `json:"stress"`
+	Strings *bench.StringsReport `json:"strings"`
 
-	// BENCH_stream.json, BENCH_scaling.json and BENCH_stress.json are bare
-	// reports, not full BENCH.json files; detect that by their own headline
-	// fields. A bare stress report also has "qps", so the tenant table is
-	// checked first.
+	// BENCH_stream.json, BENCH_scaling.json, BENCH_stress.json and
+	// BENCH_strings.json are bare reports, not full BENCH.json files;
+	// detect that by their own headline fields. A bare stress report also
+	// has "qps", so the tenant table is checked first.
 	QPS     float64                 `json:"qps"`
 	Rows    []bench.ScalingRow      `json:"rows"`
 	Tenants []bench.TenantStressRow `json:"tenants"`
+	Systems []bench.StringsRow      `json:"systems"`
 
 	// NumCPU is present in combined BENCH.json headers and in bare scaling
 	// reports; it gates the speedup tripwire (a <4-CPU host cannot measure
@@ -72,6 +74,12 @@ func load(path string) (*report, error) {
 		var s bench.ScalingReport
 		if json.Unmarshal(data, &s) == nil {
 			r.Scaling = &s
+		}
+	}
+	if r.Strings == nil && len(r.Systems) > 0 {
+		var s bench.StringsReport
+		if json.Unmarshal(data, &s) == nil {
+			r.Strings = &s
 		}
 	}
 	return &r, nil
@@ -227,6 +235,26 @@ func main() {
 				c.higher("stress."+b.Tenant+".retired", float64(b.Retired), float64(g.Retired))
 				c.lower("stress."+b.Tenant+".retire_p95_millis", b.RetireP95Millis, g.RetireP95Millis)
 			}
+		}
+	}
+
+	if base.Strings != nil && cur.Strings != nil {
+		for _, b := range base.Strings.Systems {
+			for _, g := range cur.Strings.Systems {
+				if g.System == b.System {
+					c.higher("strings."+b.System+".qps", b.QPS, g.QPS)
+				}
+			}
+		}
+		// Typed-path correctness is pass/fail, not a throughput band: a
+		// current run whose string-workload counts diverge from the
+		// tuple-at-a-time baseline fails regardless of tolerance.
+		if base.Strings.MatchesBaseline {
+			cur1 := 0.0
+			if cur.Strings.MatchesBaseline {
+				cur1 = 1
+			}
+			c.report("strings.matches_baseline", 1, cur1, cur.Strings.MatchesBaseline)
 		}
 	}
 

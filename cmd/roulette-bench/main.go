@@ -50,10 +50,11 @@ type benchFile struct {
 	Stream    *bench.StreamReport  `json:"stream,omitempty"`
 	Scaling   *bench.ScalingReport `json:"scaling,omitempty"`
 	Stress    *bench.StressReport  `json:"stress,omitempty"`
+	Strings   *bench.StringsReport `json:"strings,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo corrstress batching perf stream scaling stress all")
+	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo corrstress batching perf stream scaling stress strings all")
 	scale := flag.Float64("scale", 0.25, "TPC-DS scale factor (facts scale linearly)")
 	seed := flag.Int64("seed", 1, "workload and data seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
@@ -187,8 +188,16 @@ func main() {
 			out.Stress = rep
 			return err
 		},
+		"strings": func() error {
+			rep, err := cfg.Strings()
+			out.Strings = rep
+			if err == nil && !rep.MatchesBaseline {
+				return fmt.Errorf("string workload results diverge from the baseline engine")
+			}
+			return err
+		},
 	}
-	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "corrstress", "batching", "perf", "stream", "scaling", "stress"}
+	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "corrstress", "batching", "perf", "stream", "scaling", "stress", "strings"}
 
 	run := func(name string) {
 		f, ok := figures[name]

@@ -38,6 +38,7 @@ import (
 	roulette "github.com/roulette-db/roulette"
 	"github.com/roulette-db/roulette/internal/catalog"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // tableFlags collects repeated -t name=path flags.
@@ -82,20 +83,22 @@ func main() {
 
 	schema := catalog.NewSchema()
 	db := storage.NewDatabase(schema)
-	dicts := map[string]*storage.Dict{}
+	var order []string
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			logger.Error("bad -t flag (want name=file.csv)", "flag", spec)
 			os.Exit(2)
 		}
-		if err := loadTable(schema, db, dicts, name, path); err != nil {
+		if err := loadTable(schema, db, name, path); err != nil {
 			logger.Error("loading table failed", "err", err)
 			os.Exit(1)
 		}
+		order = append(order, name)
 		fmt.Printf("loaded %s (%d rows)\n", name, db.MustTable(name).NumRows())
 	}
 	e := roulette.NewEngineOn(db)
+	unifyDictionaries(e, schema, order)
 
 	if *serve {
 		if err := runServe(e, serveConfig{
@@ -138,7 +141,7 @@ func main() {
 			}
 			fmt.Printf("%s:%s\n", q.Tag, note)
 			for _, g := range q.Groups {
-				fmt.Printf("  %d\t%d\n", g.Key, g.Value)
+				fmt.Printf("  %s\t%d\n", groupKey(g), g.Value)
 			}
 		}
 		if res.Partial {
@@ -263,7 +266,7 @@ func runServe(e *roulette.Engine, sc serveConfig) error {
 			}
 			fmt.Fprintf(w, "%s:\t(%v)%s\n", qr.Tag, time.Since(start).Round(time.Microsecond), note)
 			for _, g := range qr.Groups {
-				fmt.Fprintf(w, "  %d\t%d\n", g.Key, g.Value)
+				fmt.Fprintf(w, "  %s\t%d\n", groupKey(g), g.Value)
 			}
 		}()
 	}
@@ -334,62 +337,90 @@ func runServe(e *roulette.Engine, sc serveConfig) error {
 	return nil
 }
 
-// loadTable reads a CSV with a header row; columns whose first data value
-// does not parse as an integer are dictionary-encoded.
-func loadTable(schema *catalog.Schema, db *storage.Database, dicts map[string]*storage.Dict, name, path string) error {
+// loadTable reads a CSV with a header row into a typed relation: columns
+// whose first data value does not look like an integer become
+// dictionary-encoded string columns, and every column is nullable (empty
+// fields and \N load as SQL NULL).
+func loadTable(schema *catalog.Schema, db *storage.Database, name, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	// Read the header to build the relation, then reload with LoadCSV.
-	br := bufio.NewReader(f)
-	header, err := br.ReadString('\n')
-	if err != nil {
-		return fmt.Errorf("reading header of %s: %w", path, err)
+	// Read the header and sniff the first data record to type the columns,
+	// then reload with LoadCSV.
+	sniff := bufio.NewScanner(f)
+	if !sniff.Scan() {
+		return fmt.Errorf("reading header of %s: empty file", path)
 	}
-	cols := strings.Split(strings.TrimSpace(header), ",")
+	cols := strings.Split(strings.TrimSpace(sniff.Text()), ",")
 	for i := range cols {
 		cols[i] = strings.TrimSpace(cols[i])
 	}
-	rel := catalog.NewRelation(name, cols...)
+	var fields []string
+	if sniff.Scan() {
+		fields = strings.Split(sniff.Text(), ",")
+	}
+	schemaCols := make([]catalog.Column, len(cols))
+	for i, c := range cols {
+		schemaCols[i] = catalog.Column{Name: c, Nullable: true}
+		if i < len(fields) && !looksInteger(strings.TrimSpace(fields[i])) {
+			schemaCols[i].Type = value.String
+		}
+	}
+	rel := catalog.NewTypedRelation(name, schemaCols...)
 	if err := schema.AddRelation(rel); err != nil {
 		return err
 	}
 
-	// Give every column a dictionary; integer values bypass it via a probe
-	// pass — simplest robust behaviour: try integer first, fall back to the
-	// dictionary per column by sniffing the first record.
 	if _, err := f.Seek(0, 0); err != nil {
 		return err
 	}
-	sniff := bufio.NewScanner(f)
-	sniff.Scan() // header
-	colDicts := map[string]*storage.Dict{}
-	if sniff.Scan() {
-		fields := strings.Split(sniff.Text(), ",")
-		for i, v := range fields {
-			if i >= len(cols) {
-				break
-			}
-			v = strings.TrimSpace(v)
-			if !looksInteger(v) {
-				d := storage.NewDict()
-				colDicts[cols[i]] = d
-				dicts[name+"."+cols[i]] = d
-			}
-		}
-	}
-	if _, err := f.Seek(0, 0); err != nil {
-		return err
-	}
-	t, err := storage.LoadCSV(rel, f, storage.CSVOptions{Header: true, Dicts: colDicts})
+	t, err := storage.LoadCSV(rel, f, storage.CSVOptions{Header: true})
 	if err != nil {
 		return fmt.Errorf("loading %s: %w", path, err)
 	}
 	db.Put(t)
 	return nil
+}
+
+// unifyDictionaries merges every string column's dictionary into one shared
+// dictionary, so any SQL join between string columns compares codes
+// directly (the engine requires joined string columns to share one
+// dictionary, and sharing it globally is always semantics-preserving:
+// equal codes iff equal strings).
+func unifyDictionaries(e *roulette.Engine, schema *catalog.Schema, tables []string) {
+	var refs []string
+	for _, tn := range tables {
+		rel := schema.Relation(tn)
+		for _, c := range rel.Columns {
+			if c.Type == value.String {
+				refs = append(refs, tn+"."+c.Name)
+			}
+		}
+	}
+	if len(refs) < 2 {
+		return
+	}
+	if err := e.ShareDictionary(refs...); err != nil {
+		fmt.Fprintln(os.Stderr, "warning: dictionary unification:", err)
+		return
+	}
+	fmt.Printf("unified string dictionary across %s\n", strings.Join(refs, ", "))
+}
+
+// groupKey renders a group key for output: decoded string labels for
+// dictionary-encoded GROUP BY columns, NULL for the NULL group, and the raw
+// integer otherwise.
+func groupKey(g roulette.Group) string {
+	if g.Key == roulette.NullValue {
+		return "NULL"
+	}
+	if g.Label != "" {
+		return g.Label
+	}
+	return fmt.Sprintf("%d", g.Key)
 }
 
 func looksInteger(s string) bool {

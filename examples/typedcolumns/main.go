@@ -1,0 +1,144 @@
+// Typed columns walkthrough: dictionary-encoded strings, nullable
+// attributes, string predicates, a cross-relation STRING join via a shared
+// dictionary, and decoded group-by labels — in both the builder and SQL
+// front ends.
+//
+// Strings never reach the engine's hot path: they are interned into
+// per-column dictionaries at load time and flow through filters, STeMs and
+// joins as dense int64 codes. NULL is an in-band sentinel no predicate or
+// join key ever matches (SQL semantics).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	roulette "github.com/roulette-db/roulette"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	nations := []string{"FRANCE", "GERMANY", "JAPAN", "BRAZIL", "CANADA"}
+	segments := []string{"AUTOMOBILE", "BUILDING", "MACHINERY"}
+
+	// customers(id, segment, nation) — nation is nullable: some customers
+	// never filled in their address.
+	const nCust = 2000
+	custID := make([]int64, nCust)
+	segment := make([]string, nCust)
+	nation := make([]string, nCust)
+	nationKnown := make([]bool, nCust)
+	for i := range custID {
+		custID[i] = int64(i)
+		segment[i] = segments[rng.Intn(len(segments))]
+		nation[i] = nations[rng.Intn(len(nations))]
+		nationKnown[i] = rng.Intn(10) > 0 // ~10% NULL
+	}
+
+	// suppliers(id, nation) — joins to customers ON NATION, a string join.
+	const nSupp = 50
+	suppID := make([]int64, nSupp)
+	suppNation := make([]string, nSupp)
+	for i := range suppID {
+		suppID[i] = int64(i)
+		suppNation[i] = nations[rng.Intn(len(nations))]
+	}
+
+	// orders(customer_id, supplier_id, amount).
+	const nOrders = 50_000
+	ordCust := make([]int64, nOrders)
+	ordSupp := make([]int64, nOrders)
+	amount := make([]int64, nOrders)
+	for i := range ordCust {
+		ordCust[i] = int64(rng.Intn(nCust))
+		ordSupp[i] = int64(rng.Intn(nSupp))
+		amount[i] = int64(rng.Intn(500))
+	}
+
+	e := roulette.NewEngine()
+	e.MustCreateTable("customers",
+		roulette.ColSlice("id", custID),
+		roulette.StrColSlice("segment", segment),
+		roulette.NullableStrCol("nation", nation, nationKnown),
+	)
+	e.MustCreateTable("suppliers",
+		roulette.ColSlice("id", suppID),
+		roulette.StrColSlice("nation", suppNation),
+	)
+	e.MustCreateTable("orders",
+		roulette.ColSlice("customer_id", ordCust),
+		roulette.ColSlice("supplier_id", ordSupp),
+		roulette.ColSlice("amount", amount),
+	)
+
+	// Each table's string columns got their own dictionary at load time.
+	// A string JOIN compares dictionary codes, so both nation columns must
+	// agree on what each code means: merge their dictionaries (remapping
+	// the affected columns in place) before querying across them.
+	if err := e.ShareDictionary("customers.nation", "suppliers.nation"); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []*roulette.Query{
+		// String equality + IN-list predicates.
+		roulette.NewQuery("building-volume").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			EqString("customers", "segment", "BUILDING").
+			CountStar(),
+		// NULL semantics: customers whose nation is unknown. NULL join
+		// keys never match, so this query joins on the int key instead.
+		roulette.NewQuery("unknown-nation").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			IsNull("customers", "nation").
+			CountStar(),
+		// The cross-relation STRING join: orders whose supplier sits in
+		// the customer's own nation, for two segments.
+		roulette.NewQuery("local-supply").
+			From("orders").From("customers").From("suppliers").
+			Join("orders", "customer_id", "customers", "id").
+			Join("orders", "supplier_id", "suppliers", "id").
+			Join("customers", "nation", "suppliers", "nation").
+			InStrings("customers", "segment", "AUTOMOBILE", "MACHINERY").
+			CountStar(),
+		// GROUP BY a string column: results come back decoded, ordered by
+		// label, with the NULL group (empty label) first.
+		roulette.NewQuery("revenue-by-nation").
+			From("orders").From("customers").
+			Join("orders", "customer_id", "customers", "id").
+			Sum("orders", "amount").GroupBy("customers", "nation").OrderByKey(),
+	}
+
+	res, err := e.ExecuteBatch(queries, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d queries in %v\n\n", len(res.Queries), res.Elapsed)
+	fmt.Printf("BUILDING orders:          %d\n", res.Queries[0].Value())
+	fmt.Printf("orders w/ unknown nation: %d\n", res.Queries[1].Value())
+	fmt.Printf("locally supplied orders:  %d\n", res.Queries[2].Value())
+	fmt.Println("revenue by nation:")
+	for _, g := range res.Queries[3].Groups {
+		label := g.Label
+		if g.Key == roulette.NullValue {
+			label = "(unknown)"
+		}
+		fmt.Printf("  %-10s %d\n", label, g.Value)
+	}
+
+	// The same through SQL: quoted strings ('' escapes a quote), IN lists,
+	// IS [NOT] NULL.
+	sqlRes, err := e.ExecuteSQL(`
+	    SELECT COUNT(*) FROM orders o, customers c
+	    WHERE o.customer_id = c.id
+	      AND c.segment IN ('BUILDING', 'MACHINERY')
+	      AND c.nation IS NOT NULL;
+	`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSQL: known-nation BUILDING/MACHINERY orders: %d\n",
+		sqlRes.Queries[0].Value())
+}

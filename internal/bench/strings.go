@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"github.com/roulette-db/roulette/internal/engine"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/monet"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/value"
+	"github.com/roulette-db/roulette/internal/workload"
+)
+
+// StringsRow is one system's sample in the string-workload figure.
+type StringsRow struct {
+	System  string  `json:"system"`
+	Queries int     `json:"queries"`
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+}
+
+// StringsReport is the BENCH_strings.json baseline: batch throughput over
+// the TPC-H-shaped string workload — dictionary-encoded skewed predicates,
+// a cross-relation string join, and nullable attributes — recorded
+// machine-readably so CI can trip on typed-path regressions. The field
+// holding the per-system rows is named "systems" (not "rows") so
+// bench-compare can tell a bare strings report from a bare scaling one.
+type StringsReport struct {
+	Queries     int     `json:"queries"`
+	Batches     int     `json:"batches"`
+	Scale       float64 `json:"scale"`
+	DictEntries int     `json:"dict_entries"`
+	// MatchesBaseline is the in-run correctness tripwire: the shared
+	// engine's per-query counts on the first batch equal the tuple-at-a-
+	// time baseline's. A throughput number over wrong answers is noise.
+	MatchesBaseline bool         `json:"matches_baseline"`
+	Systems         []StringsRow `json:"systems"`
+}
+
+// Strings runs the string-heavy workload batches on the shared engine and
+// the MonetDB-style baseline, checking result equality before timing.
+func (c *Config) Strings() (*StringsReport, error) {
+	db := workload.StringsDB(c.Scale, c.Seed)
+	pool := workload.NewStringsGen(c.Seed).Generate(256)
+	size, batches := 24, 3
+	if c.Quick {
+		size, batches = 12, 1
+	}
+	// Contiguous pool slices keep every generated shape in each batch.
+	qsBatches := make([][]*query.Query, batches)
+	for i := range qsBatches {
+		batch := make([]*query.Query, size)
+		for j := range batch {
+			cp := *pool[(i*size+j)%len(pool)]
+			batch[j] = &cp
+		}
+		qsBatches[i] = batch
+	}
+
+	rep := &StringsReport{Queries: size, Batches: batches, Scale: c.Scale}
+	seen := map[*value.Dict]bool{}
+	for _, name := range db.TableNames() {
+		rel := db.MustTable(name).Rel
+		for i := range rel.Columns {
+			if d := rel.Columns[i].Dict; d != nil && !seen[d] {
+				seen[d] = true
+				rep.DictEntries += d.Len()
+			}
+		}
+	}
+	c.printf("=== strings: TPC-H-shaped string workload (scale %.2f, %d dictionary entries) ===\n",
+		c.Scale, rep.DictEntries)
+
+	// Correctness gate: shared execution must agree with the baseline on
+	// every query of the first batch before any throughput is recorded.
+	{
+		qs := qsBatches[0]
+		want, _, err := monet.New(db).RunSerial(qs)
+		if err != nil {
+			return nil, err
+		}
+		b, err := query.Compile(qs)
+		if err != nil {
+			return nil, err
+		}
+		opt := exec.DefaultOptions()
+		opt.CollectRows = false
+		qcfg := qlearn.DefaultConfig()
+		qcfg.Seed = c.Seed
+		s, err := engine.NewSession(b, db, engine.Config{Exec: opt, Policy: qlearn.New(qcfg)})
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		rep.MatchesBaseline = len(r.Counts) == len(want)
+		for qid := range want {
+			if r.Counts[qid] != want[qid] {
+				rep.MatchesBaseline = false
+				c.logger().Error("string workload count mismatch",
+					"qid", qid, "tag", qs[qid].Tag, "engine", r.Counts[qid], "baseline", want[qid])
+			}
+		}
+		c.printf("correctness vs baseline: %d queries, match=%v\n", len(qs), rep.MatchesBaseline)
+	}
+
+	for _, sys := range []System{SysMonet, SysRouLette} {
+		row := StringsRow{System: sys.String(), Queries: size * batches}
+		for _, qs := range qsBatches {
+			r, err := c.runSystem(sys, db, qs, 0)
+			if err != nil {
+				return nil, err
+			}
+			row.Seconds += r.Elapsed.Seconds()
+		}
+		if row.Seconds > 0 {
+			row.QPS = float64(row.Queries) / row.Seconds
+		}
+		rep.Systems = append(rep.Systems, row)
+		c.printf("%-12s %8.3fs  %7.2f q/s\n", row.System, row.Seconds, row.QPS)
+	}
+	return rep, nil
+}

@@ -1,15 +1,28 @@
-// Package catalog describes schemas: relations, their columns, and the
+// Package catalog describes schemas: relations, their columns (with logical
+// types, nullability, and per-column string dictionaries), and the
 // foreign-key topology that workload generators use to draw join subgraphs.
 package catalog
 
-import "fmt"
+import (
+	"fmt"
 
-// Column is a named attribute of a relation. All attributes are 64-bit
-// integers; string-typed source data is dictionary-encoded by generators
-// before it reaches storage (late materialization keeps the engine integer-
-// only, as in the paper's columnar prototype).
+	"github.com/roulette-db/roulette/internal/value"
+)
+
+// Column is a named attribute of a relation. Physically every attribute is
+// a 64-bit integer (late materialization keeps the engine integer-only, as
+// in the paper's columnar prototype); the logical type here says how to
+// interpret those integers. String columns hold dense codes into Dict, and
+// nullable columns use value.NullCode as the in-band NULL sentinel.
 type Column struct {
-	Name string
+	Name     string
+	Type     value.ColType // Int64 (zero value) or String
+	Nullable bool
+	// Dict is the column's dictionary; non-nil exactly when Type is String.
+	// Cross-relation string joins require both columns to share the SAME
+	// *Dict (after a loader-time unification pass), so codes compare
+	// directly inside the STeM kernels.
+	Dict *value.Dict
 }
 
 // Relation is a named table schema.
@@ -20,7 +33,9 @@ type Relation struct {
 	colIdx map[string]int
 }
 
-// NewRelation builds a Relation from column names.
+// NewRelation builds a Relation from column names; every column is a plain
+// non-nullable int64 attribute. Use NewTypedRelation for string or nullable
+// columns.
 func NewRelation(name string, cols ...string) *Relation {
 	r := &Relation{Name: name, colIdx: make(map[string]int, len(cols))}
 	for i, c := range cols {
@@ -28,6 +43,33 @@ func NewRelation(name string, cols ...string) *Relation {
 		r.colIdx[c] = i
 	}
 	return r
+}
+
+// NewTypedRelation builds a Relation from full column descriptors. String
+// columns without a dictionary get a fresh one, so the zero-value Column
+// descriptor {Name, Type: value.String} is valid; pass an existing Dict to
+// share it across relations (required for cross-relation string joins).
+func NewTypedRelation(name string, cols ...Column) *Relation {
+	r := &Relation{Name: name, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Type == value.String && c.Dict == nil {
+			c.Dict = value.NewDict()
+		}
+		r.Columns = append(r.Columns, c)
+		r.colIdx[c.Name] = i
+	}
+	return r
+}
+
+// Column returns a pointer to the named column's descriptor, or nil if the
+// relation has no such column. The pointer aliases the relation's schema, so
+// loaders can install or swap dictionaries in place.
+func (r *Relation) Column(name string) *Column {
+	i := r.ColIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return &r.Columns[i]
 }
 
 // ColIndex returns the position of column name, or -1 if absent.

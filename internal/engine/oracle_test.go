@@ -3,6 +3,7 @@ package engine
 import (
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // oracleCount evaluates one SPJ query by brute force: enumerate the cross
@@ -20,7 +21,9 @@ func oracleCount(db *storage.Database, q *query.Query) int64 {
 		alias[a] = i
 	}
 
-	// Pre-filter each relation's row set.
+	// Pre-filter each relation's row set. All of a query's filters combine
+	// by conjunction; Filter.Match is the reference typed semantics (NULL
+	// never passes a range or string predicate).
 	rows := make([][]int, len(q.Rels))
 	for i, t := range tables {
 		for r := 0; r < t.NumRows(); r++ {
@@ -30,8 +33,11 @@ func oracleCount(db *storage.Database, q *query.Query) int64 {
 				if alias[a] != i {
 					continue
 				}
-				v := t.Col(f.Col)[r]
-				if v < f.Lo || v > f.Hi {
+				var dict *value.Dict
+				if c := t.Rel.Column(f.Col); c != nil {
+					dict = c.Dict
+				}
+				if !f.Match(t.Col(f.Col)[r], dict) {
 					ok = false
 					break
 				}
@@ -51,8 +57,8 @@ func oracleCount(db *storage.Database, q *query.Query) int64 {
 				li, ri := alias[j.LeftAlias], alias[j.RightAlias]
 				lv := tables[li].Col(j.LeftCol)[pick[li]]
 				rv := tables[ri].Col(j.RightCol)[pick[ri]]
-				if lv != rv {
-					return
+				if lv != rv || lv == value.NullCode {
+					return // NULL join keys never match, not even each other
 				}
 			}
 			count++

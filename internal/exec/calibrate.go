@@ -43,7 +43,7 @@ func calibrateSelection(rng *rand.Rand) []cost.Sample {
 		for qid := 0; qid < nQueries; qid++ {
 			sc.Preds = append(sc.Preds, query.Pred{QID: qid, Lo: 0, Hi: sel})
 		}
-		f := NewGroupedFilter(nQueries, sc, col)
+		f := NewGroupedFilter(nQueries, sc, col, nil)
 		for _, n := range calibrationSizes {
 			vids := make([]int32, n)
 			for i := range vids {

@@ -15,6 +15,7 @@ import (
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/stem"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // Options toggles the executor's §5.2 optimizations; the ablation
@@ -263,6 +264,9 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 			return nil, fmt.Errorf("exec: join column missing on edge %d (%s.%s = %s.%s)",
 				e.ID, b.Insts[e.A].Table, e.ACol, b.Insts[e.B].Table, e.BCol)
 		}
+		if err := checkJoinTypes(ta, e.ACol, tb, e.BCol); err != nil {
+			return nil, err
+		}
 		c.edgeACol[i] = ta.Col(e.ACol)
 		c.edgeBCol[i] = tb.Col(e.BCol)
 		addKey(e.A, e.ACol)
@@ -274,6 +278,9 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 		if !ta.Rel.HasColumn(r.ACol) || !tb.Rel.HasColumn(r.BCol) {
 			return nil, fmt.Errorf("exec: residual join column missing (%s.%s = %s.%s)",
 				b.Insts[r.A].Table, r.ACol, b.Insts[r.B].Table, r.BCol)
+		}
+		if err := checkJoinTypes(ta, r.ACol, tb, r.BCol); err != nil {
+			return nil, err
 		}
 		c.resACol = append(c.resACol, ta.Col(r.ACol))
 		c.resBCol = append(c.resBCol, tb.Col(r.BCol))
@@ -298,7 +305,10 @@ func NewContext(b *query.Batch, db *storage.Database, opt Options, model *cost.M
 		if !c.Tables[sc.Inst].Rel.HasColumn(sc.Col) {
 			return nil, fmt.Errorf("exec: filter column %s missing on %s", sc.Col, b.Insts[sc.Inst].Table)
 		}
-		c.Filters[i] = NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col))
+		if err := checkSelColTypes(c.Tables[sc.Inst], sc); err != nil {
+			return nil, err
+		}
+		c.Filters[i] = NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col), colDict(c.Tables[sc.Inst], sc.Col))
 		c.filterBits[i] = c.bitsUsed[sc.Inst]
 		c.bitsUsed[sc.Inst]++
 		c.filterOpID[i] = len(c.selOps)
@@ -403,6 +413,9 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) ([]StemOp, error) {
 			return nil, fmt.Errorf("exec: join column missing on edge %d (%s.%s = %s.%s)",
 				e.ID, b.Insts[e.A].Table, e.ACol, b.Insts[e.B].Table, e.BCol)
 		}
+		if err := checkJoinTypes(tableOf(e.A), e.ACol, tableOf(e.B), e.BCol); err != nil {
+			return nil, err
+		}
 	}
 	for ri := len(c.resACol); ri < len(b.Residuals); ri++ {
 		r := &b.Residuals[ri]
@@ -410,11 +423,25 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) ([]StemOp, error) {
 			return nil, fmt.Errorf("exec: residual join column missing (%s.%s = %s.%s)",
 				b.Insts[r.A].Table, r.ACol, b.Insts[r.B].Table, r.BCol)
 		}
+		if err := checkJoinTypes(tableOf(r.A), r.ACol, tableOf(r.B), r.BCol); err != nil {
+			return nil, err
+		}
 	}
 	for _, si := range d.NewSelCols {
 		sc := &b.SelCols[si]
 		if !tableOf(sc.Inst).Rel.HasColumn(sc.Col) {
 			return nil, fmt.Errorf("exec: filter column %s missing on %s", sc.Col, b.Insts[sc.Inst].Table)
+		}
+		if err := checkSelColTypes(tableOf(sc.Inst), sc); err != nil {
+			return nil, err
+		}
+	}
+	// A streamed-in query can add typed predicates to an existing grouped
+	// filter; those land in TouchedSels, so their columns are re-validated.
+	for _, si := range d.TouchedSels {
+		sc := &b.SelCols[si]
+		if err := checkSelColTypes(tableOf(sc.Inst), sc); err != nil {
+			return nil, err
 		}
 	}
 	// Per-instance selection-op budget: each new grouped filter takes one
@@ -497,7 +524,7 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) ([]StemOp, error) {
 
 	for _, si := range d.NewSelCols {
 		sc := &b.SelCols[si]
-		c.Filters = append(c.Filters, NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col)))
+		c.Filters = append(c.Filters, NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col), colDict(c.Tables[sc.Inst], sc.Col)))
 		c.filterBits = append(c.filterBits, c.bitsUsed[sc.Inst])
 		c.bitsUsed[sc.Inst]++
 		c.filterOpID = append(c.filterOpID, len(c.selOps))
@@ -505,7 +532,7 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) ([]StemOp, error) {
 	}
 	for _, si := range d.TouchedSels {
 		sc := &b.SelCols[si]
-		c.Filters[si] = NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col))
+		c.Filters[si] = NewGroupedFilter(b.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col), colDict(c.Tables[sc.Inst], sc.Col))
 	}
 	if c.Opt.Pruning {
 		for _, ei := range d.NewEdges {
@@ -530,9 +557,64 @@ func (c *Context) ApplyExtend(d query.ExtendDelta) ([]StemOp, error) {
 func (c *Context) RebuildFilters(selIDs []int) {
 	for _, si := range selIDs {
 		sc := &c.B.SelCols[si]
-		c.Filters[si] = NewGroupedFilter(c.B.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col))
+		c.Filters[si] = NewGroupedFilter(c.B.QCap(), sc, c.Tables[sc.Inst].Col(sc.Col), colDict(c.Tables[sc.Inst], sc.Col))
 	}
 	c.PublishView()
+}
+
+// colDict returns the catalog dictionary backing a table column, nil for
+// plain int64 columns.
+func colDict(t *storage.Table, col string) *value.Dict {
+	if cc := t.Rel.Column(col); cc != nil {
+		return cc.Dict
+	}
+	return nil
+}
+
+// checkSelColTypes verifies every predicate of a grouped filter against the
+// column's declared type: string predicates need a string column, integer
+// ranges need an int64 column, IS [NOT] NULL works on either. Violations
+// wrap value.ErrTypeMismatch.
+func checkSelColTypes(t *storage.Table, sc *query.SelCol) error {
+	cc := t.Rel.Column(sc.Col)
+	if cc == nil {
+		return nil // missing columns are reported by the caller's existence check
+	}
+	for _, p := range sc.Preds {
+		switch p.Kind {
+		case query.KindStrings:
+			if cc.Type != value.String || cc.Dict == nil {
+				return fmt.Errorf("exec: string predicate on %s column %s.%s: %w",
+					cc.Type, t.Rel.Name, sc.Col, value.ErrTypeMismatch)
+			}
+		case query.KindRange:
+			if cc.Type == value.String {
+				return fmt.Errorf("exec: integer predicate on string column %s.%s: %w",
+					t.Rel.Name, sc.Col, value.ErrTypeMismatch)
+			}
+		}
+	}
+	return nil
+}
+
+// checkJoinTypes verifies the endpoints of an equi-join agree on type, and
+// that string joins share one dictionary object so code equality is string
+// equality. Violations wrap value.ErrTypeMismatch.
+func checkJoinTypes(ta *storage.Table, aCol string, tb *storage.Table, bCol string) error {
+	ca, cb := ta.Rel.Column(aCol), tb.Rel.Column(bCol)
+	if ca == nil || cb == nil {
+		return nil
+	}
+	aStr, bStr := ca.Type == value.String, cb.Type == value.String
+	if aStr != bStr {
+		return fmt.Errorf("exec: join %s.%s = %s.%s mixes %s and %s columns: %w",
+			ta.Rel.Name, aCol, tb.Rel.Name, bCol, ca.Type, cb.Type, value.ErrTypeMismatch)
+	}
+	if aStr && ca.Dict != cb.Dict {
+		return fmt.Errorf("exec: string join %s.%s = %s.%s needs a shared dictionary (unify the columns' dictionaries at load time): %w",
+			ta.Rel.Name, aCol, tb.Rel.Name, bCol, value.ErrTypeMismatch)
+	}
+	return nil
 }
 
 // requiredInsts derives which instances' vIDs a query's host consumer needs.

@@ -10,6 +10,7 @@ import (
 	"github.com/roulette-db/roulette/internal/policy"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/stem"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // EpisodeInput is the work item for one episode: one ingested vector, the
@@ -726,8 +727,14 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, i
 			}
 			for _, rr := range residuals {
 				bit := uint64(1) << uint(rr.qid)
-				if oqw&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
-					oqw &^= bit
+				if oqw&bit != 0 {
+					// NULL endpoints (value.NullCode) never satisfy the
+					// equality — the ov == NullCode check also rejects the
+					// NULL = NULL case, which != alone would let through.
+					ov := rr.otherData[v.vids[rr.otherIdx][i]]
+					if ov != rr.targetData[m.VID] || ov == value.NullCode {
+						oqw &^= bit
+					}
 				}
 			}
 			if oqw == 0 {
@@ -784,8 +791,13 @@ func (w *Worker) probe(nd *plan.Node, v *jvec, ts int64, wm stem.Slot) (*jvec, i
 			if !outEmpty && len(residuals) > 0 {
 				for _, rr := range residuals {
 					wd, bit := rr.qid/64, uint64(1)<<(rr.qid%64)
-					if oq[wd]&bit != 0 && rr.otherData[v.vids[rr.otherIdx][i]] != rr.targetData[m.VID] {
-						oq[wd] &^= bit
+					if oq[wd]&bit != 0 {
+						// NULL never satisfies the residual equality; the
+						// ov == NullCode check rejects NULL = NULL too.
+						ov := rr.otherData[v.vids[rr.otherIdx][i]]
+						if ov != rr.targetData[m.VID] || ov == value.NullCode {
+							oq[wd] &^= bit
+						}
 					}
 				}
 				outEmpty = true

@@ -38,7 +38,7 @@ func TestGroupedFilterEquivalentToNaive(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		nQ := 1 + rng.Intn(100)
 		sc, col := filterFixture(rng, nQ, 1+rng.Intn(20))
-		gf := NewGroupedFilter(nQ, sc, col)
+		gf := NewGroupedFilter(nQ, sc, col, nil)
 		scratch := bitset.New(nQ)
 		for _, v := range []int64{-5, 0, 1, 500, 999, 1100, col[0], col[10]} {
 			a := gf.maskFor(v)
@@ -62,7 +62,7 @@ func TestGroupedFilterSemantics(t *testing.T) {
 		Queries: bitset.FromIDs(3, 0, 1),
 	}
 	col := []int64{5, 12, 17, 25, 40}
-	gf := NewGroupedFilter(3, sc, col)
+	gf := NewGroupedFilter(3, sc, col, nil)
 
 	cases := []struct {
 		v    int64
@@ -96,7 +96,7 @@ func TestGroupedFilterApplyCompact(t *testing.T) {
 		Queries: bitset.FromIDs(1, 0),
 	}
 	col := []int64{5, 50, 7}
-	gf := NewGroupedFilter(1, sc, col)
+	gf := NewGroupedFilter(1, sc, col, nil)
 	vids := []int32{0, 1, 2}
 	qsets := []uint64{1, 1, 1}
 	gf.Apply(true, vids, qsets, 1)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // GroupedFilter is a shared selection operator evaluating every query's
@@ -13,6 +14,16 @@ import (
 // so evaluation is a binary search, logarithmic in the query count. Queries
 // without a predicate on the column are unaffected: each stored mask
 // already includes their bits.
+//
+// Typed predicates are normalized at construction: string predicates
+// resolve their literals to dictionary codes (each becoming a degenerate
+// [c,c] range; literals absent from the dictionary match nothing), IS NOT
+// NULL becomes the column's full observed value range, and IS NULL is
+// tracked separately. NULL cells (value.NullCode) take the precomputed
+// nullMask, so NULL never satisfies a range or string predicate. A query's
+// several predicates on the same column combine by conjunction (matching
+// SQL's WHERE semantics and the reference oracle); the ranges inside one
+// predicate (an IN-list's literals) combine by union.
 type GroupedFilter struct {
 	Inst query.InstID
 	Col  string
@@ -21,65 +32,159 @@ type GroupedFilter struct {
 
 	// Range table: value v falls in segment i when bounds[i] <= v <
 	// bounds[i+1]; the matching mask is masks[i]. Values outside every
-	// bound take outMask (no predicate satisfied).
-	bounds  []int64
-	masks   []bitset.Set
-	outMask bitset.Set
+	// bound take outMask (no predicate satisfied); NullCode takes nullMask.
+	bounds   []int64
+	masks    []bitset.Set
+	outMask  bitset.Set
+	nullMask bitset.Set
 
-	// Naive path inputs.
-	preds   []query.Pred
+	// Naive path inputs: per-query normalized predicate groups.
+	groups  []predGroup
 	queries bitset.Set
 	n       int
 }
 
+// filterPred is one normalized predicate: either an IS NULL test or a union
+// of inclusive code ranges. An empty range set matches nothing.
+type filterPred struct {
+	isNull bool
+	ranges [][2]int64
+}
+
+// predGroup collects one query's predicates on the column; the query's bit
+// survives a tuple only when every predicate matches (conjunction).
+type predGroup struct {
+	qid   int
+	preds []filterPred
+}
+
+// matches evaluates the group against one cell value.
+func (g *predGroup) matches(v int64) bool {
+	for i := range g.preds {
+		p := &g.preds[i]
+		if v == value.NullCode {
+			if !p.isNull {
+				return false
+			}
+			continue
+		}
+		if p.isNull {
+			return false
+		}
+		ok := false
+		for _, r := range p.ranges {
+			if r[0] <= v && v <= r[1] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // NewGroupedFilter precomputes the range table for one grouped filter.
-// Predicate bounds are clamped to the column's observed value range so that
-// open-ended comparisons (MinInt64/MaxInt64 bounds) cannot overflow the
-// boundary arithmetic.
-func NewGroupedFilter(nQueries int, sc *query.SelCol, col []int64) *GroupedFilter {
+// Predicate bounds are clamped to the column's observed non-NULL value
+// range so that open-ended comparisons (MinInt64/MaxInt64 bounds) cannot
+// overflow the boundary arithmetic. dict resolves string predicates and may
+// be nil for plain int64 columns.
+func NewGroupedFilter(nQueries int, sc *query.SelCol, col []int64, dict *value.Dict) *GroupedFilter {
 	f := &GroupedFilter{
 		Inst: sc.Inst, Col: sc.Col, col: col,
 		queries: sc.Queries, n: nQueries,
 	}
-	var colMin, colMax int64
-	if len(col) > 0 {
-		colMin, colMax = col[0], col[0]
-		for _, v := range col {
-			if v < colMin {
-				colMin = v
-			}
-			if v > colMax {
-				colMax = v
-			}
+	// Observed range over non-NULL cells; an all-NULL (or empty) column
+	// keeps the empty range [0,-1], which makes every range predicate empty.
+	colMin, colMax := int64(0), int64(-1)
+	seen := false
+	for _, v := range col {
+		if v == value.NullCode {
+			continue
+		}
+		if !seen {
+			colMin, colMax, seen = v, v, true
+			continue
+		}
+		if v < colMin {
+			colMin = v
+		}
+		if v > colMax {
+			colMax = v
 		}
 	}
-	f.preds = make([]query.Pred, 0, len(sc.Preds))
+
+	// Normalize predicates into per-query groups of code-range unions.
 	for _, p := range sc.Preds {
-		if p.Lo < colMin {
-			p.Lo = colMin
+		fp := filterPred{}
+		switch p.Kind {
+		case query.KindIsNull:
+			fp.isNull = true
+		case query.KindIsNotNull:
+			if seen {
+				fp.ranges = [][2]int64{{colMin, colMax}}
+			}
+		case query.KindStrings:
+			if dict != nil {
+				for _, s := range p.Strs {
+					if c, ok := dict.Lookup(s); ok {
+						fp.ranges = append(fp.ranges, [2]int64{c, c})
+					}
+				}
+			}
+		default:
+			lo, hi := p.Lo, p.Hi
+			if lo < colMin {
+				lo = colMin
+			}
+			if hi > colMax {
+				hi = colMax
+			}
+			// Predicates empty after clamping match no row; they contribute
+			// no boundary and force the query's bit out of every mask.
+			if lo <= hi {
+				fp.ranges = [][2]int64{{lo, hi}}
+			}
 		}
-		if p.Hi > colMax {
-			p.Hi = colMax
+		gi := -1
+		for i := range f.groups {
+			if f.groups[i].qid == p.QID {
+				gi = i
+				break
+			}
 		}
-		// Predicates empty after clamping match no row; they contribute no
-		// boundary and their query bit never appears in a mask.
-		f.preds = append(f.preds, p)
+		if gi < 0 {
+			f.groups = append(f.groups, predGroup{qid: p.QID})
+			gi = len(f.groups) - 1
+		}
+		f.groups[gi].preds = append(f.groups[gi].preds, fp)
 	}
 
 	// outMask: bits of queries with no predicate here stay set.
 	f.outMask = bitset.NewFull(nQueries)
 	f.outMask.AndNotWith(sc.Queries)
 
-	// Boundary points: each predicate [lo, hi] contributes lo and hi+1.
-	// Collected into a sorted, deduplicated slice (rather than a hash set)
-	// so construction stays allocation-light and the table is immediately
-	// in binary-search order.
-	f.bounds = make([]int64, 0, 2*len(f.preds))
-	for _, p := range f.preds {
-		if p.Lo > p.Hi {
-			continue
+	// nullMask: what a NULL cell keeps. Only queries whose every predicate
+	// here is IS NULL survive (plus the untouched outMask bits).
+	f.nullMask = f.outMask.Clone()
+	for i := range f.groups {
+		g := &f.groups[i]
+		if g.matches(value.NullCode) {
+			f.nullMask.Add(g.qid)
 		}
-		f.bounds = append(f.bounds, p.Lo, p.Hi+1)
+	}
+
+	// Boundary points: each normalized range [lo, hi] contributes lo and
+	// hi+1. Collected into a sorted, deduplicated slice (rather than a hash
+	// set) so construction stays allocation-light and the table is
+	// immediately in binary-search order.
+	for i := range f.groups {
+		for _, p := range f.groups[i].preds {
+			for _, r := range p.ranges {
+				f.bounds = append(f.bounds, r[0], r[1]+1)
+			}
+		}
 	}
 	sort.Slice(f.bounds, func(i, j int) bool { return f.bounds[i] < f.bounds[j] })
 	uniq := f.bounds[:0]
@@ -94,10 +199,14 @@ func NewGroupedFilter(nQueries int, sc *query.SelCol, col []int64) *GroupedFilte
 		f.masks = make([]bitset.Set, len(f.bounds)-1)
 		for i := range f.masks {
 			m := f.outMask.Clone()
-			lo, hi := f.bounds[i], f.bounds[i+1]-1
-			for _, p := range f.preds {
-				if p.Lo <= lo && hi <= p.Hi {
-					m.Add(p.QID)
+			// Bounds include every range endpoint, so a segment is either
+			// fully inside or fully outside each range: probing the segment
+			// start stands for the whole segment.
+			lo := f.bounds[i]
+			for gi := range f.groups {
+				g := &f.groups[gi]
+				if g.matches(lo) {
+					m.Add(g.qid)
 				}
 			}
 			f.masks[i] = m
@@ -108,6 +217,9 @@ func NewGroupedFilter(nQueries int, sc *query.SelCol, col []int64) *GroupedFilte
 
 // maskFor returns the query-set mask for value v via the range table.
 func (f *GroupedFilter) maskFor(v int64) bitset.Set {
+	if v == value.NullCode {
+		return f.nullMask
+	}
 	// Rightmost segment start <= v.
 	i := sort.Search(len(f.bounds), func(i int) bool { return f.bounds[i] > v }) - 1
 	if i < 0 || i >= len(f.masks) {
@@ -120,9 +232,10 @@ func (f *GroupedFilter) maskFor(v int64) bitset.Set {
 // baseline toggled off by Options.GroupedFilters; Fig. 18's ablation).
 func (f *GroupedFilter) naiveMask(v int64, scratch bitset.Set) bitset.Set {
 	scratch = f.outMask.CopyInto(scratch)
-	for _, p := range f.preds {
-		if p.Lo <= v && v <= p.Hi {
-			scratch.Add(p.QID)
+	for i := range f.groups {
+		g := &f.groups[i]
+		if g.matches(v) {
+			scratch.Add(g.qid)
 		}
 	}
 	return scratch

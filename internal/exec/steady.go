@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/catalog"
@@ -10,6 +11,7 @@ import (
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/stem"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // StepBenchConfig sizes the steady-state episode-step harness.
@@ -65,29 +67,61 @@ func NewStepBench(cfg StepBenchConfig) (*StepBench, error) {
 		pol = policy.NewRandom(1)
 	}
 
-	fact := catalog.NewRelation("fact", "a", "b", "v")
-	d1 := catalog.NewRelation("dim1", "a")
-	d2 := catalog.NewRelation("dim2", "b")
-	db := storage.NewDatabase(catalog.NewSchema(fact, d1, d2))
-
+	// Typed fixture: the fact ⋈ dim2 join is string-keyed (both columns
+	// share one dictionary, as the executor requires), fact.b and fact.v
+	// are nullable with in-band NULL sentinels, and half the queries carry
+	// a string IN-list — so the steady-state step exercises the typed
+	// grouped-filter and NULL-skipping probe paths, and the zero-allocation
+	// contract covers them.
 	dimRows := cfg.Rows / 4
 	if dimRows < 4 {
 		dimRows = 4
 	}
-	ft := storage.NewTable(fact, cfg.Rows)
+	dict := value.NewDict()
+	bcodes := make([]int64, dimRows)
+	for i := range bcodes {
+		bcodes[i] = dict.Code("k" + strconv.Itoa(i))
+	}
+
+	fact := catalog.NewTypedRelation("fact",
+		catalog.Column{Name: "a"},
+		catalog.Column{Name: "b", Type: value.String, Nullable: true, Dict: dict},
+		catalog.Column{Name: "v", Nullable: true},
+	)
+	d1 := catalog.NewRelation("dim1", "a")
+	d2 := catalog.NewTypedRelation("dim2",
+		catalog.Column{Name: "b", Type: value.String, Dict: dict},
+	)
+	db := storage.NewDatabase(catalog.NewSchema(fact, d1, d2))
+
+	fa := make([]int64, cfg.Rows)
+	fb := make([]int64, cfg.Rows)
+	fv := make([]int64, cfg.Rows)
 	for i := 0; i < cfg.Rows; i++ {
-		ft.Col("a")[i] = int64(i % dimRows)
-		ft.Col("b")[i] = int64((i * 7) % dimRows)
-		ft.Col("v")[i] = int64(i % 100)
+		fa[i] = int64(i % dimRows)
+		fb[i] = bcodes[(i*7)%dimRows]
+		if i%32 == 7 {
+			fb[i] = value.NullCode // NULL probe keys match nothing
+		}
+		fv[i] = int64(i % 100)
+		if i%16 == 5 {
+			fv[i] = value.NullCode
+		}
+	}
+	ft, err := storage.FromColumns(fact, fa, fb, fv)
+	if err != nil {
+		return nil, err
 	}
 	db.Put(ft)
 	t1 := storage.NewTable(d1, dimRows)
-	t2 := storage.NewTable(d2, dimRows)
 	for i := 0; i < dimRows; i++ {
 		t1.Col("a")[i] = int64(i)
-		t2.Col("b")[i] = int64(i)
 	}
 	db.Put(t1)
+	t2, err := storage.FromColumns(d2, bcodes)
+	if err != nil {
+		return nil, err
+	}
 	db.Put(t2)
 
 	qs := make([]*query.Query, cfg.NQueries)
@@ -99,6 +133,15 @@ func NewStepBench(cfg StepBenchConfig) (*StepBench, error) {
 				{LeftAlias: "fact", LeftCol: "b", RightAlias: "dim2", RightCol: "b"},
 			},
 			Filters: []query.Filter{{Alias: "fact", Col: "v", Lo: 0, Hi: int64(50 + i%50)}},
+		}
+		if i%2 == 1 {
+			strs := make([]string, 8)
+			for k := range strs {
+				strs[k] = "k" + strconv.Itoa((i*3+k)%dimRows)
+			}
+			qs[i].Filters = append(qs[i].Filters, query.Filter{
+				Alias: "fact", Col: "b", Kind: query.KindStrings, Strs: strs,
+			})
 		}
 	}
 	b, err := query.Compile(qs)

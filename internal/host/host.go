@@ -12,6 +12,7 @@ import (
 	"github.com/roulette-db/roulette/internal/exec"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // Group is one aggregate output row.
@@ -84,14 +85,20 @@ func Consume(db *storage.Database, b *query.Batch, qid int, src *exec.Source) (*
 	}
 
 	if !grouped {
+		// SQL semantics: value aggregates ignore NULL inputs (COUNT(*) still
+		// counts the row — it takes the no-rows fast path above).
 		st := newAggState(q.Agg.Kind)
 		for r := 0; r < n; r++ {
-			st.add(aggCol[rows[r*width+aggPos]])
+			if v := aggCol[rows[r*width+aggPos]]; v != value.NullCode {
+				st.add(v)
+			}
 		}
 		res.Groups = []Group{{Value: st.value()}}
 		return res, nil
 	}
 
+	// NULL group keys accumulate under one NullCode group, matching SQL
+	// GROUP BY (all NULLs form a single group).
 	acc := make(map[int64]*aggState)
 	for r := 0; r < n; r++ {
 		k := keyCol[rows[r*width+keyPos]]
@@ -102,8 +109,8 @@ func Consume(db *storage.Database, b *query.Batch, qid int, src *exec.Source) (*
 		}
 		if q.Agg.Kind == query.AggCount {
 			st.add(0)
-		} else {
-			st.add(aggCol[rows[r*width+aggPos]])
+		} else if v := aggCol[rows[r*width+aggPos]]; v != value.NullCode {
+			st.add(v)
 		}
 	}
 	res.Groups = make([]Group, 0, len(acc))

@@ -13,6 +13,7 @@ import (
 	"github.com/roulette-db/roulette/internal/qat"
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // Engine is an operator-at-a-time executor. Planning is shared with the
@@ -56,6 +57,9 @@ func execute(p *qat.Plan) int64 {
 		keyCol := st.Table.Col(st.JoinCol)
 		ht := make(map[int64][]int32, len(selected[i]))
 		for _, r := range selected[i] {
+			if keyCol[r] == value.NullCode {
+				continue // NULL join keys never match
+			}
 			ht[keyCol[r]] = append(ht[keyCol[r]], r)
 		}
 		hts[i] = ht
@@ -99,8 +103,8 @@ func applyResiduals(p *qat.Plan, step int, rows [][]int32) [][]int32 {
 		for _, rc := range checks {
 			a := p.Order[rc.RelA].Table.Col(rc.ColA)[rows[rc.RelA][i]]
 			b := p.Order[rc.RelB].Table.Col(rc.ColB)[rows[rc.RelB][i]]
-			if a != b {
-				keep = false
+			if a != b || a == value.NullCode {
+				keep = false // NULL = NULL is not a match
 				break
 			}
 		}
@@ -133,10 +137,10 @@ func selectAll(st *qat.Step) []int32 {
 	}
 	for _, f := range st.Filters {
 		col := st.Table.Col(f.Col)
+		dict := st.Table.Rel.Column(f.Col).Dict
 		kept := out[:0]
 		for _, r := range out {
-			v := col[r]
-			if v >= f.Lo && v <= f.Hi {
+			if f.Match(col[r], dict) {
 				kept = append(kept, r)
 			}
 		}

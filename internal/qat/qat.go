@@ -11,7 +11,17 @@ import (
 
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
+
+// dictOf returns the column's dictionary (nil for int64 columns), for
+// typed filter evaluation via query.Filter.Match.
+func dictOf(t *storage.Table, col string) *value.Dict {
+	if c := t.Rel.Column(col); c != nil {
+		return c.Dict
+	}
+	return nil
+}
 
 // Engine is a query-at-a-time vectorized executor over a database.
 type Engine struct {
@@ -196,8 +206,7 @@ func (e *Engine) estimateSelectivity(t *storage.Table, fs []query.Filter) float6
 		seen++
 		ok := true
 		for _, f := range fs {
-			v := t.Col(f.Col)[r]
-			if v < f.Lo || v > f.Hi {
+			if !f.Match(t.Col(f.Col)[r], dictOf(t, f.Col)) {
 				ok = false
 				break
 			}
@@ -230,6 +239,9 @@ func buildHash(rp *Step) hashTable {
 			continue
 		}
 		k := keyCol[r]
+		if k == value.NullCode {
+			continue // NULL join keys never match
+		}
 		ht[k] = append(ht[k], int32(r))
 	}
 	return ht
@@ -237,8 +249,7 @@ func buildHash(rp *Step) hashTable {
 
 func passes(rp *Step, r int) bool {
 	for _, f := range rp.Filters {
-		v := rp.Table.Col(f.Col)[r]
-		if v < f.Lo || v > f.Hi {
+		if !f.Match(rp.Table.Col(f.Col)[r], dictOf(rp.Table, f.Col)) {
 			return false
 		}
 	}
@@ -318,8 +329,8 @@ func applyResiduals(p *Plan, step int, rows [][]int32) [][]int32 {
 		for _, rc := range checks {
 			a := p.Order[rc.RelA].Table.Col(rc.ColA)[rows[rc.RelA][i]]
 			b := p.Order[rc.RelB].Table.Col(rc.ColB)[rows[rc.RelB][i]]
-			if a != b {
-				keep = false
+			if a != b || a == value.NullCode {
+				keep = false // NULL = NULL is not a match
 				break
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 // InstID identifies a relation instance within a compiled batch. Lineages
@@ -42,13 +43,65 @@ type Join struct {
 	RightCol   string
 }
 
-// Filter restricts alias.Col to the inclusive range [Lo, Hi]. Equality and
-// one-sided comparisons are expressed as degenerate ranges.
+// FilterKind selects a filter's predicate form. The zero value is the
+// original inclusive-range predicate, so untyped literals keep working.
+type FilterKind uint8
+
+const (
+	// KindRange restricts the column to the inclusive range [Lo, Hi].
+	// Equality and one-sided comparisons are degenerate ranges.
+	KindRange FilterKind = iota
+	// KindStrings matches when the column's decoded string equals ANY of
+	// Strs (string equality and IN-lists). Strings are resolved to
+	// dictionary codes at executor build time; a string absent from the
+	// column's dictionary simply never matches.
+	KindStrings
+	// KindIsNull matches exactly the NULL cells of a nullable column.
+	KindIsNull
+	// KindIsNotNull matches every non-NULL cell.
+	KindIsNotNull
+)
+
+// Filter restricts alias.Col according to Kind. NULL cells
+// (value.NullCode) never satisfy a range or string predicate; only
+// KindIsNull selects them. All of a query's filters combine by conjunction
+// (SQL WHERE semantics) — including several filters on the same column.
+// Disjunction exists only inside a single filter: a KindStrings IN-list
+// matches any of its literals.
 type Filter struct {
 	Alias string
 	Col   string
+	Kind  FilterKind
 	Lo    int64
 	Hi    int64
+	// Strs carries KindStrings literals until the executor resolves them
+	// against the column's dictionary.
+	Strs []string
+}
+
+// Match evaluates the filter against one physical cell value, with dict
+// supplying code resolution for string predicates (nil for non-string
+// columns). It is the reference semantics the engines' vectorized paths
+// must agree with: NULL never matches anything but IS NULL.
+func (f *Filter) Match(v int64, dict *value.Dict) bool {
+	switch f.Kind {
+	case KindIsNull:
+		return v == value.NullCode
+	case KindIsNotNull:
+		return v != value.NullCode
+	case KindStrings:
+		if v == value.NullCode || dict == nil {
+			return false
+		}
+		for _, s := range f.Strs {
+			if c, ok := dict.Lookup(s); ok && c == v {
+				return true
+			}
+		}
+		return false
+	default:
+		return v != value.NullCode && f.Lo <= v && v <= f.Hi
+	}
 }
 
 // AggKind selects the host-side aggregate applied to a query's SPJ output.
@@ -147,11 +200,16 @@ func (e *Edge) Col(inst InstID) string {
 	return e.BCol
 }
 
-// Pred is one query's predicate inside a grouped filter.
+// Pred is one query's predicate inside a grouped filter. Kind follows
+// Filter: the zero value is a plain inclusive range, string predicates keep
+// their literals until the executor resolves them against the column's
+// dictionary. A query's several preds on one column combine by conjunction.
 type Pred struct {
-	QID int
-	Lo  int64
-	Hi  int64
+	QID  int
+	Kind FilterKind
+	Lo   int64
+	Hi   int64
+	Strs []string
 }
 
 // SelCol is a shared selection operator: a grouped filter evaluating every
@@ -298,8 +356,10 @@ type planJoin struct {
 type planFilter struct {
 	inst InstID
 	col  string
+	kind FilterKind
 	lo   int64
 	hi   int64
+	strs []string
 }
 
 // planQuery validates q as query qi and computes its batch delta without
@@ -393,10 +453,17 @@ func (b *Batch) planQuery(qi int, q *Query) (*queryPlan, error) {
 		if fi < 0 {
 			return nil, fmt.Errorf("query %d (%s): filter references unknown alias %q", qi, q.Tag, f.Alias)
 		}
-		if f.Lo > f.Hi {
-			return nil, fmt.Errorf("query %d (%s): filter on %s.%s has empty range [%d,%d]", qi, q.Tag, f.Alias, f.Col, f.Lo, f.Hi)
+		switch f.Kind {
+		case KindRange:
+			if f.Lo > f.Hi {
+				return nil, fmt.Errorf("query %d (%s): filter on %s.%s has empty range [%d,%d]", qi, q.Tag, f.Alias, f.Col, f.Lo, f.Hi)
+			}
+		case KindStrings:
+			if len(f.Strs) == 0 {
+				return nil, fmt.Errorf("query %d (%s): string filter on %s.%s has no literals", qi, q.Tag, f.Alias, f.Col)
+			}
 		}
-		p.filters = append(p.filters, planFilter{p.insts[fi], f.Col, f.Lo, f.Hi})
+		p.filters = append(p.filters, planFilter{p.insts[fi], f.Col, f.Kind, f.Lo, f.Hi, f.Strs})
 	}
 	return p, nil
 }
@@ -464,7 +531,7 @@ func (b *Batch) applyQuery(qi int, q *Query, p *queryPlan) {
 			delta.TouchedSels = append(delta.TouchedSels, si)
 		}
 		sc := &b.SelCols[si]
-		sc.Preds = append(sc.Preds, Pred{QID: qi, Lo: f.lo, Hi: f.hi})
+		sc.Preds = append(sc.Preds, Pred{QID: qi, Kind: f.kind, Lo: f.lo, Hi: f.hi, Strs: f.strs})
 		nq := sc.Queries.Clone() // copy-on-write, see the edge sets above
 		nq.Add(qi)
 		sc.Queries = nq
@@ -671,9 +738,11 @@ func (b *Batch) Candidates(dst []int, lineage uint64, q bitset.Set) []int {
 	return dst
 }
 
-// FilterRange returns the effective [lo,hi] range of query qid's predicates
-// on (inst, col), combining multiple predicates by intersection, and
-// ok=false if the query has no predicate there.
+// FilterRange returns the effective [lo,hi] range of query qid's RANGE
+// predicates on (inst, col), combining multiple predicates by intersection,
+// and ok=false if the query has no range predicate there. Typed predicates
+// (strings, IS [NOT] NULL) are ignored: callers use it for range-selectivity
+// estimates only.
 func (b *Batch) FilterRange(qid int, inst InstID, col string) (lo, hi int64, ok bool) {
 	for _, si := range b.selColsOf[inst] {
 		sc := &b.SelCols[si]
@@ -681,7 +750,7 @@ func (b *Batch) FilterRange(qid int, inst InstID, col string) (lo, hi int64, ok 
 			continue
 		}
 		for _, p := range sc.Preds {
-			if p.QID != qid {
+			if p.QID != qid || p.Kind != KindRange {
 				continue
 			}
 			if !ok {

@@ -17,6 +17,14 @@ func FuzzParseBatch(f *testing.F) {
 		"SELECT COUNT(*) FROM r x, r y WHERE x.a = y.b",
 		"SELECT COUNT(*) FROM",
 		"SELECT COUNT(*) FROM t WHERE x = 'oops'",
+		"SELECT COUNT(*) FROM t WHERE name = 'O''Brien'",
+		"SELECT COUNT(*) FROM t WHERE 'x' = name AND name IN ('a', 'b', '')",
+		"SELECT COUNT(*) FROM t WHERE a IS NULL AND b IS NOT NULL",
+		"SELECT COUNT(*) FROM t WHERE name IN (5)",
+		"SELECT COUNT(*) FROM t WHERE name BETWEEN 'a' AND 'b'",
+		"SELECT COUNT(*) FROM t WHERE name = ''''",
+		"SELECT COUNT(*) FROM t WHERE name = '",
+		"SELECT COUNT(*) FROM t WHERE name IS",
 		"; ;; SELECT",
 		"\x00\xff",
 	}

@@ -1,8 +1,9 @@
 // Package sqlfe is the SQL front end of the host system (§3 "Query Parser
 // & Optimizer"): it parses the Select-Project-Join dialect RouLette
 // executes — single-block SELECT with COUNT(*)/SUM aggregates, inner joins
-// expressed as WHERE equality predicates, integer range filters, GROUP BY
-// and ORDER BY — into the engine's query model.
+// expressed as WHERE equality predicates, integer range filters, string
+// equality and IN-lists over dictionary-encoded columns, IS [NOT] NULL,
+// GROUP BY and ORDER BY — into the engine's query model.
 package sqlfe
 
 import (
@@ -19,7 +20,7 @@ const (
 	tokIdent
 	tokNumber
 	tokSymbol // punctuation and operators: ( ) , ; . * = < > <= >=
-	tokString // quoted string (rejected by the parser with a helpful error)
+	tokString // quoted string literal; '' inside quotes escapes a quote
 )
 
 // token is one lexical unit with its position for error messages.
@@ -61,14 +62,27 @@ func lex(src string) ([]token, error) {
 			l.tokens = append(l.tokens, token{tokNumber, l.src[start:l.pos], start})
 		case c == '\'':
 			l.pos++
-			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'') // SQL escape: '' is a literal quote
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(ch)
 				l.pos++
 			}
-			if l.pos >= len(l.src) {
+			if !closed {
 				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
 			}
-			l.pos++
-			l.tokens = append(l.tokens, token{tokString, l.src[start+1 : l.pos-1], start})
+			l.tokens = append(l.tokens, token{tokString, sb.String(), start})
 		case c == '<' || c == '>':
 			l.pos++
 			if l.pos < len(l.src) && l.src[l.pos] == '=' {

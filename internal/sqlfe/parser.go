@@ -22,9 +22,18 @@ import (
 //	           | col_ref (=|<|<=|>|>=) number -- filter
 //	           | number (=|<|<=|>|>=) col_ref
 //	           | col_ref BETWEEN number AND number
+//	           | col_ref = 'string'           -- dictionary-encoded column
+//	           | 'string' = col_ref
+//	           | col_ref IN ('a', 'b', ...)   -- string literals only
+//	           | col_ref IS [NOT] NULL
 //	col_ref   := [alias.]column
 //
-// A bare column (no alias) is allowed only in single-table queries.
+// String literals use single quotes; a doubled single quote inside a
+// literal escapes it. They apply
+// only to dictionary-encoded string columns (a range operator on a string
+// column, or a string literal on an int64 column, fails at execution with
+// a type-mismatch error). A bare column (no alias) is allowed only in
+// single-table queries.
 func Parse(src string) (*query.Query, error) {
 	qs, err := ParseBatch(src)
 	if err != nil {
@@ -149,7 +158,7 @@ func (p *parser) colRef() (colRef, error) {
 func (p *parser) number() (int64, error) {
 	if !p.at(tokNumber) {
 		if p.at(tokString) {
-			return 0, p.errf("string literals are not supported: dictionary-encode strings to integers before loading")
+			return 0, p.errf("string literal in a numeric context: strings support only =, IN and IS NULL")
 		}
 		return 0, p.errf("expected integer literal")
 	}
@@ -315,7 +324,30 @@ func (p *parser) statement(idx int) (*query.Query, error) {
 
 // predicate parses one WHERE conjunct into a join or filter.
 func (p *parser) predicate(q *query.Query, resolve func(colRef) (string, error)) error {
-	// Left side may be a column or a number (number-first comparisons).
+	// Left side may be a column, a number, or a string literal
+	// (literal-first comparisons).
+	if p.at(tokString) {
+		s := p.next().text
+		op, err := p.compareOp()
+		if err != nil {
+			return err
+		}
+		if op != "=" {
+			return p.errf("string comparisons support only =")
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		alias, err := resolve(ref)
+		if err != nil {
+			return err
+		}
+		q.Filters = append(q.Filters, query.Filter{
+			Alias: alias, Col: ref.col, Kind: query.KindStrings, Strs: []string{s},
+		})
+		return nil
+	}
 	if p.at(tokNumber) {
 		v, err := p.number()
 		if err != nil {
@@ -345,6 +377,45 @@ func (p *parser) predicate(q *query.Query, resolve func(colRef) (string, error))
 	alias, err := resolve(ref)
 	if err != nil {
 		return err
+	}
+
+	if p.eatKeyword("is") {
+		not := p.eatKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return err
+		}
+		kind := query.KindIsNull
+		if not {
+			kind = query.KindIsNotNull
+		}
+		q.Filters = append(q.Filters, query.Filter{Alias: alias, Col: ref.col, Kind: kind})
+		return nil
+	}
+
+	if p.eatKeyword("in") {
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		var strs []string
+		for {
+			if p.at(tokNumber) {
+				return p.errf("IN lists support string literals only (rewrite an integer IN as separate queries or a range)")
+			}
+			if !p.at(tokString) {
+				return p.errf("expected string literal in IN list")
+			}
+			strs = append(strs, p.next().text)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+		q.Filters = append(q.Filters, query.Filter{
+			Alias: alias, Col: ref.col, Kind: query.KindStrings, Strs: strs,
+		})
+		return nil
 	}
 
 	if p.eatKeyword("between") {
@@ -385,6 +456,15 @@ func (p *parser) predicate(q *query.Query, resolve func(colRef) (string, error))
 		q.Joins = append(q.Joins, query.Join{
 			LeftAlias: alias, LeftCol: ref.col,
 			RightAlias: ralias, RightCol: rref.col,
+		})
+		return nil
+	}
+	if p.at(tokString) {
+		if op != "=" {
+			return p.errf("string comparisons support only =")
+		}
+		q.Filters = append(q.Filters, query.Filter{
+			Alias: alias, Col: ref.col, Kind: query.KindStrings, Strs: []string{p.next().text},
 		})
 		return nil
 	}
@@ -444,7 +524,8 @@ func filterFor(alias, col, op string, v int64) query.Filter {
 // isReserved lists keywords that terminate a FROM alias position.
 func isReserved(s string) bool {
 	switch strings.ToLower(s) {
-	case "select", "from", "where", "group", "order", "by", "and", "between", "as", "count", "sum", "min", "max", "avg":
+	case "select", "from", "where", "group", "order", "by", "and", "between", "as",
+		"count", "sum", "min", "max", "avg", "in", "is", "not", "null":
 		return true
 	}
 	return false

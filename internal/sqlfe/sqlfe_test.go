@@ -131,11 +131,17 @@ func TestParseErrors(t *testing.T) {
 		{`SELECT COUNT(*) FROM t WHERE z.x = 3`, "unknown alias"},
 		{`SELECT COUNT(*) FROM t, t`, "duplicate alias"},
 		{`SELECT COUNT(*) FROM t WHERE x BETWEEN 9 AND 2`, "empty"},
-		{`SELECT COUNT(*) FROM t WHERE name = 'Bob'`, "dictionary-encode"},
 		{`SELECT COUNT(*) FROM a x, b y WHERE x.k < y.k`, "join predicates must use ="},
 		{`SELECT COUNT(*) FROM t ORDER BY x`, "GROUP BY"},
 		{`SELECT COUNT(*) FROM t WHERE x = 'a`, "unterminated"},
 		{`SELECT COUNT(*) FROM t WHERE x ? 3`, "unexpected character"},
+		{`SELECT COUNT(*) FROM t WHERE name < 'Bob'`, "string comparisons support only ="},
+		{`SELECT COUNT(*) FROM t WHERE 'Bob' < name`, "string comparisons support only ="},
+		{`SELECT COUNT(*) FROM t WHERE name BETWEEN 'a' AND 'b'`, "numeric context"},
+		{`SELECT COUNT(*) FROM t WHERE name IN (5)`, "string literals only"},
+		{`SELECT COUNT(*) FROM t WHERE name IN ()`, "expected string literal"},
+		{`SELECT COUNT(*) FROM t WHERE name IS`, "expected NULL"},
+		{`SELECT COUNT(*) FROM t WHERE name IS NOT`, "expected NULL"},
 	}
 	for _, c := range cases {
 		_, err := ParseBatch(c.sql)
@@ -146,6 +152,77 @@ func TestParseErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), c.errPart) {
 			t.Errorf("%q: error %q does not mention %q", c.sql, err, c.errPart)
 		}
+	}
+}
+
+func TestParseStringPredicates(t *testing.T) {
+	q, err := Parse(`
+		SELECT COUNT(*)
+		FROM orders o, customer c
+		WHERE o.o_custkey = c.c_custkey
+		  AND c.c_mktsegment = 'BUILDING'
+		  AND o.o_priority IN ('1-URGENT', '2-HIGH')
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	f0 := q.Filters[0]
+	if f0.Kind != query.KindStrings || len(f0.Strs) != 1 || f0.Strs[0] != "BUILDING" {
+		t.Errorf("equality filter = %+v", f0)
+	}
+	f1 := q.Filters[1]
+	if f1.Kind != query.KindStrings || len(f1.Strs) != 2 || f1.Strs[1] != "2-HIGH" {
+		t.Errorf("IN filter = %+v", f1)
+	}
+	if _, err := query.Compile([]*query.Query{q}); err != nil {
+		t.Fatalf("parsed query does not compile: %v", err)
+	}
+}
+
+func TestParseStringFirstEquality(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM t WHERE 'x' = name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Filters[0]
+	if f.Kind != query.KindStrings || f.Col != "name" || f.Strs[0] != "x" {
+		t.Errorf("filter = %+v", f)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM t WHERE name = 'O''Brien'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Filters[0].Strs[0]; got != "O'Brien" {
+		t.Errorf("escaped literal = %q, want %q", got, "O'Brien")
+	}
+	q, err = Parse(`SELECT COUNT(*) FROM t WHERE name = ''''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Filters[0].Strs[0]; got != "'" {
+		t.Errorf("quote-only literal = %q, want %q", got, "'")
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM t WHERE a IS NULL AND b IS NOT NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	if q.Filters[0].Kind != query.KindIsNull || q.Filters[0].Col != "a" {
+		t.Errorf("IS NULL filter = %+v", q.Filters[0])
+	}
+	if q.Filters[1].Kind != query.KindIsNotNull || q.Filters[1].Col != "b" {
+		t.Errorf("IS NOT NULL filter = %+v", q.Filters[1])
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 const (
@@ -32,6 +33,14 @@ const (
 	chunkSize = 1 << chunkBits
 	chunkMask = chunkSize - 1
 )
+
+// NullKey is the join key of a SQL NULL cell (value.NullCode in storage).
+// NULL compares unequal to everything, itself included, so every probe path
+// treats a NullKey probe as matching nothing; build-side NULL entries may
+// be inserted normally — they are unreachable because no probe for their
+// key ever walks a chain. Keeping the skip on the probe side leaves the
+// insert hot path untouched.
+const NullKey = value.NullCode
 
 // clockBlock is the number of timestamps a worker clock reserves from the
 // global counter per refill. One atomic on the shared counter then covers
@@ -523,6 +532,12 @@ type Match struct {
 // against a publish that drew its timestamp before probeTS but had not
 // stored it yet (the draw-to-store window).
 func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match {
+	if key == NullKey {
+		// SQL NULL never equals anything, itself included: a NULL probe key
+		// matches no entry, and build-side NULL entries are unreachable
+		// because probes for their key never run.
+		return dst
+	}
 	st := s.state.Load()
 	ki, ok := st.colIdx[col]
 	if !ok {
@@ -557,6 +572,9 @@ func (s *STeM) Probe(dst []Match, col string, key int64, probeTS int64) []Match 
 // a probing tuple keeps only the query bits that some matching entry also
 // carries. out must have capacity for the STeM's query-set width.
 func (s *STeM) SemiJoinQueries(out bitset.Set, col string, key int64) {
+	if key == NullKey {
+		return // NULL join keys never match, see Probe
+	}
 	st := s.state.Load()
 	ki, ok := st.colIdx[col]
 	if !ok {

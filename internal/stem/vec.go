@@ -255,6 +255,10 @@ func (s *STeM) ProbeVec(dst []VecMatch, qbuf []uint64, col string, keys []int64,
 			m = probeBlock
 		}
 		for j := 0; j < m; j++ {
+			if keys[i0+j] == NullKey {
+				heads[j] = 0 // NULL probe keys match nothing, see NullKey
+				continue
+			}
 			heads[j] = buckets[hash64(keys[i0+j])>>shift].Load()
 		}
 		// Chunk snapshot after the block's head loads (scalar Probe has the
@@ -350,6 +354,10 @@ func (s *STeM) SemiJoinVec(outs []uint64, qw int, col string, keys []int64) {
 			m = probeBlock
 		}
 		for j := 0; j < m; j++ {
+			if keys[i0+j] == NullKey {
+				heads[j] = 0 // NULL probe keys match nothing, see NullKey
+				continue
+			}
 			heads[j] = buckets[hash64(keys[i0+j])>>shift].Load()
 		}
 		// Chunk snapshot after the head loads; see ProbeVec.

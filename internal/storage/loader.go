@@ -6,72 +6,21 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 
 	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
-// Dict dictionary-encodes strings to dense int64 codes, the loader's
-// bridge between string-typed source data and the integer-only engine.
-type Dict struct {
-	codes  map[string]int64
-	values []string
-}
+// Dict dictionary-encodes strings to dense int64 codes, the bridge between
+// string-typed source data and the integer-only engine core. It is an alias
+// for value.Dict: safe for concurrent readers, with Code/Merge taking the
+// write lock (single-writer appends while filters and result decoding read
+// concurrently).
+type Dict = value.Dict
 
 // NewDict returns an empty dictionary.
-func NewDict() *Dict { return &Dict{codes: make(map[string]int64)} }
-
-// Code interns s, returning its stable code.
-func (d *Dict) Code(s string) int64 {
-	if c, ok := d.codes[s]; ok {
-		return c
-	}
-	c := int64(len(d.values))
-	d.codes[s] = c
-	d.values = append(d.values, s)
-	return c
-}
-
-// Lookup returns the code for s without interning.
-func (d *Dict) Lookup(s string) (int64, bool) {
-	c, ok := d.codes[s]
-	return c, ok
-}
-
-// Value decodes a code; it returns "" for out-of-range codes.
-func (d *Dict) Value(c int64) string {
-	if c < 0 || c >= int64(len(d.values)) {
-		return ""
-	}
-	return d.values[c]
-}
-
-// Len returns the number of distinct interned values.
-func (d *Dict) Len() int { return len(d.values) }
-
-// Values returns the interned strings in code order (a copy).
-func (d *Dict) Values() []string { return append([]string(nil), d.values...) }
-
-// SortedRemap re-assigns codes in lexicographic value order and returns the
-// old-code → new-code mapping, so range predicates over encoded strings
-// match lexicographic string ranges.
-func (d *Dict) SortedRemap() []int64 {
-	order := make([]int, len(d.values))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return d.values[order[a]] < d.values[order[b]] })
-	remap := make([]int64, len(d.values))
-	newValues := make([]string, len(d.values))
-	for newCode, oldCode := range order {
-		remap[oldCode] = int64(newCode)
-		newValues[newCode] = d.values[oldCode]
-		d.codes[d.values[oldCode]] = int64(newCode)
-	}
-	d.values = newValues
-	return remap
-}
+func NewDict() *Dict { return value.NewDict() }
 
 // CSVOptions configures LoadCSV.
 type CSVOptions struct {
@@ -81,12 +30,22 @@ type CSVOptions struct {
 	Header bool
 	Comma  rune
 	// Dicts maps column names to dictionaries for non-integer columns;
-	// values in other columns must parse as int64.
+	// it overrides (and installs into) the catalog's per-column Dict. String
+	// columns declared in the relation schema use their catalog Dict when no
+	// override is present; values in plain int64 columns must parse.
 	Dicts map[string]*Dict
 }
 
+// NullField reports whether a CSV field denotes SQL NULL: the empty string
+// or the conventional \N marker.
+func NullField(f string) bool { return f == "" || f == `\N` }
+
 // LoadCSV reads rows into a new table with rel's schema. Each record must
-// have exactly one field per relation column, in schema order.
+// have exactly one field per relation column, in schema order. Columns
+// typed String in the catalog are dictionary-encoded; on nullable columns
+// the empty string and `\N` load as NULL (value.NullCode, recorded in the
+// table's null bitmap). Nullable int64 columns reject the literal
+// math.MinInt64, which is reserved as the NULL sentinel.
 func LoadCSV(rel *catalog.Relation, r io.Reader, opts CSVOptions) (*Table, error) {
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
@@ -96,8 +55,19 @@ func LoadCSV(rel *catalog.Relation, r io.Reader, opts CSVOptions) (*Table, error
 
 	cols := make([][]int64, len(rel.Columns))
 	dicts := make([]*Dict, len(rel.Columns))
-	for i, c := range rel.Columns {
-		dicts[i] = opts.Dicts[c.Name]
+	for i := range rel.Columns {
+		c := &rel.Columns[i]
+		if d := opts.Dicts[c.Name]; d != nil {
+			dicts[i] = d
+			if c.Type == value.String && c.Dict == nil {
+				c.Dict = d
+			}
+		} else if c.Type == value.String {
+			if c.Dict == nil {
+				c.Dict = value.NewDict()
+			}
+			dicts[i] = c.Dict
+		}
 	}
 
 	first := true
@@ -120,12 +90,18 @@ func LoadCSV(rel *catalog.Relation, r io.Reader, opts CSVOptions) (*Table, error
 		}
 		for i, f := range rec {
 			var v int64
-			if dicts[i] != nil {
+			switch {
+			case rel.Columns[i].Nullable && NullField(f):
+				v = value.NullCode
+			case dicts[i] != nil:
 				v = dicts[i].Code(f)
-			} else {
+			default:
 				v, err = strconv.ParseInt(f, 10, 64)
 				if err != nil {
 					return nil, fmt.Errorf("storage: csv row %d column %s: %q is not an integer (use a Dict for string columns)", row, rel.Columns[i].Name, f)
+				}
+				if v == value.NullCode && rel.Columns[i].Nullable {
+					return nil, fmt.Errorf("storage: csv row %d column %s: %d is reserved as the NULL sentinel on nullable columns", row, rel.Columns[i].Name, v)
 				}
 			}
 			cols[i] = append(cols[i], v)

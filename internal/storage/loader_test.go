@@ -2,10 +2,13 @@ package storage
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
 func TestDictBasics(t *testing.T) {
@@ -122,5 +125,94 @@ func TestLoadBinaryRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadBinary(rel, &buf); err == nil {
 		t.Error("column-count mismatch accepted")
+	}
+}
+
+// TestDictConcurrentReaders holds the documented concurrency contract under
+// the race detector: any number of readers (Value, Lookup, Len, Values) may
+// run against a writer interning new strings via Code.
+func TestDictConcurrentReaders(t *testing.T) {
+	d := NewDict()
+	base := d.Code("seed")
+	const writes = 2000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < writes; i++ {
+			d.Code("w" + strconv.Itoa(i))
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if got := d.Value(base); got != "seed" {
+					t.Errorf("Value(seed) = %q under concurrent interning", got)
+					return
+				}
+				if c, ok := d.Lookup("seed"); !ok || c != base {
+					t.Errorf("Lookup(seed) = %d,%v under concurrent interning", c, ok)
+					return
+				}
+				n := d.Len()
+				if vals := d.Values(); len(vals) < n-1 {
+					// Values snapshots under the read lock; it may trail Len
+					// by later writes but never observe a torn prefix.
+					t.Errorf("Values len %d < Len %d - 1", len(vals), n)
+					return
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	if d.Len() != writes+1 {
+		t.Fatalf("Len = %d, want %d", d.Len(), writes+1)
+	}
+}
+
+// TestDictDecodeRoundTrip loads a nullable string column and decodes every
+// cell back: non-NULL cells round-trip exactly, NULL cells are flagged by
+// the table's null bitmap and excluded from the dictionary.
+func TestDictDecodeRoundTrip(t *testing.T) {
+	rel := catalog.NewTypedRelation("people",
+		catalog.Column{Name: "id"},
+		catalog.Column{Name: "name", Type: value.String, Nullable: true},
+	)
+	src := "id,name\n1,alice\n2,\n3,bob\n4,alice\n5,\\N\n"
+	tab, err := LoadCSV(rel, strings.NewReader(src), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := rel.Column("name").Dict
+	want := []string{"alice", "", "bob", "alice", ""}
+	wantNull := []bool{false, true, false, false, true}
+	col := tab.Col("name")
+	for r, w := range want {
+		if got := tab.IsNull("name", r); got != wantNull[r] {
+			t.Errorf("row %d: IsNull = %v, want %v", r, got, wantNull[r])
+		}
+		if wantNull[r] {
+			if col[r] != value.NullCode {
+				t.Errorf("row %d: NULL cell holds code %d", r, col[r])
+			}
+			continue
+		}
+		if got := dict.Value(col[r]); got != w {
+			t.Errorf("row %d: decoded %q, want %q", r, got, w)
+		}
+	}
+	if dict.Len() != 2 { // alice, bob — NULLs intern nothing
+		t.Errorf("dict has %d entries: %v", dict.Len(), dict.Values())
+	}
+	if n := tab.NullCount(1); n != 2 {
+		t.Errorf("NullCount = %d", n)
 	}
 }

@@ -1,0 +1,304 @@
+// String-heavy workload: a TPC-H-shaped substrate with dictionary-encoded,
+// skewed string columns plus nullable attributes, and a query generator
+// whose predicates and one join run over strings. This is the typed-column
+// counterpart of the TPC-DS generator: JOB/IMDB-style workloads (ReJOIN,
+// JoinGym) are string-heavy, so the evaluation needs a figure where the
+// engine's dictionary path — typed grouped filters, shared-dictionary
+// joins, NULL semantics — carries the load rather than int64 keys.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/roulette-db/roulette/internal/catalog"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
+)
+
+// Fixed vocabularies, TPC-H flavored. The generator references them by
+// value, so queries can be drawn without the database at hand.
+var (
+	// Nations is shared by supplier.s_nation and customer.c_nation through
+	// ONE dictionary, which is what makes the cross-relation string join
+	// s_nation = c_nation executable (join keys compare as codes).
+	Nations = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	ShipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	Priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	Segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	// ReturnFlags is the nullable column's vocabulary: lineitem rows that
+	// have not been returned carry NULL, not a flag.
+	ReturnFlags = []string{"R", "A", "N"}
+)
+
+// Brands lists the 25 "Brand#xy" part brands.
+var Brands = func() []string {
+	out := make([]string, 0, 25)
+	for x := 1; x <= 5; x++ {
+		for y := 1; y <= 5; y++ {
+			out = append(out, fmt.Sprintf("Brand#%d%d", x, y))
+		}
+	}
+	return out
+}()
+
+// Row counts at scale 1.0; only the facts scale.
+var stringsBaseSizes = map[string]int{
+	"lineitem": 30000,
+	"orders":   7500,
+	"customer": 1500,
+	"part":     1000,
+	"supplier": 100,
+}
+
+// nullEvery: one lineitem row in this many has a NULL l_returnflag.
+const nullEvery = 12
+
+// skewPick draws an index into a vocabulary with a quadratic skew toward
+// the front (popular values dominate, as in real categorical columns).
+func skewPick(rng *rand.Rand, n int) int {
+	r := rng.Float64()
+	i := int(r * r * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// StringsDB builds the TPC-H-shaped typed database: facts scale linearly,
+// dimensions are fixed, content is deterministic in seed. Every table
+// carries the uniform 0..999 selectivity-control column "u"; string
+// columns are dictionary-encoded with skewed value frequencies, and
+// lineitem.l_returnflag is nullable.
+func StringsDB(scale float64, seed int64) *storage.Database {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	sizes := make(map[string]int, len(stringsBaseSizes))
+	for t, n := range stringsBaseSizes {
+		if t == "lineitem" || t == "orders" {
+			n = int(float64(n) * scale)
+			if n < 100 {
+				n = 100
+			}
+		}
+		sizes[t] = n
+	}
+
+	// One dictionary per string domain; nations shared across two tables.
+	nationDict := value.NewDict()
+	encode := func(d *value.Dict, vocab []string) []int64 {
+		codes := make([]int64, len(vocab))
+		for i, s := range vocab {
+			codes[i] = d.Code(s)
+		}
+		return codes
+	}
+	nationCodes := encode(nationDict, Nations)
+	modeDict := value.NewDict()
+	modeCodes := encode(modeDict, ShipModes)
+	prioDict := value.NewDict()
+	prioCodes := encode(prioDict, Priorities)
+	segDict := value.NewDict()
+	segCodes := encode(segDict, Segments)
+	flagDict := value.NewDict()
+	flagCodes := encode(flagDict, ReturnFlags)
+	brandDict := value.NewDict()
+	brandCodes := encode(brandDict, Brands)
+
+	lineitem := catalog.NewTypedRelation("lineitem",
+		catalog.Column{Name: "l_orderkey"},
+		catalog.Column{Name: "l_partkey"},
+		catalog.Column{Name: "l_suppkey"},
+		catalog.Column{Name: "l_shipmode", Type: value.String, Dict: modeDict},
+		catalog.Column{Name: "l_returnflag", Type: value.String, Nullable: true, Dict: flagDict},
+		catalog.Column{Name: "l_quantity"},
+		catalog.Column{Name: "u"},
+	)
+	orders := catalog.NewTypedRelation("orders",
+		catalog.Column{Name: "o_orderkey"},
+		catalog.Column{Name: "o_custkey"},
+		catalog.Column{Name: "o_orderpriority", Type: value.String, Dict: prioDict},
+		catalog.Column{Name: "u"},
+	)
+	customer := catalog.NewTypedRelation("customer",
+		catalog.Column{Name: "c_custkey"},
+		catalog.Column{Name: "c_mktsegment", Type: value.String, Dict: segDict},
+		catalog.Column{Name: "c_nation", Type: value.String, Dict: nationDict},
+		catalog.Column{Name: "u"},
+	)
+	part := catalog.NewTypedRelation("part",
+		catalog.Column{Name: "p_partkey"},
+		catalog.Column{Name: "p_brand", Type: value.String, Dict: brandDict},
+		catalog.Column{Name: "u"},
+	)
+	supplier := catalog.NewTypedRelation("supplier",
+		catalog.Column{Name: "s_suppkey"},
+		catalog.Column{Name: "s_nation", Type: value.String, Dict: nationDict},
+		catalog.Column{Name: "u"},
+	)
+
+	sch := catalog.NewSchema(lineitem, orders, customer, part, supplier)
+	sch.MustAddFK("lineitem", "l_orderkey", "orders", "o_orderkey")
+	sch.MustAddFK("lineitem", "l_partkey", "part", "p_partkey")
+	sch.MustAddFK("lineitem", "l_suppkey", "supplier", "s_suppkey")
+	sch.MustAddFK("orders", "o_custkey", "customer", "c_custkey")
+	db := storage.NewDatabase(sch)
+
+	uCol := func(n int) []int64 {
+		u := make([]int64, n)
+		for i := range u {
+			u[i] = int64(rng.Intn(1000))
+		}
+		return u
+	}
+	ident := func(n int) []int64 {
+		k := make([]int64, n)
+		for i := range k {
+			k[i] = int64(i)
+		}
+		return k
+	}
+	skewed := func(n int, codes []int64) []int64 {
+		c := make([]int64, n)
+		for i := range c {
+			c[i] = codes[skewPick(rng, len(codes))]
+		}
+		return c
+	}
+	fk := func(n, parent int) []int64 {
+		c := make([]int64, n)
+		for i := range c {
+			c[i] = int64(rng.Intn(parent))
+		}
+		return c
+	}
+	mustPut := func(rel *catalog.Relation, cols ...[]int64) {
+		t, err := storage.FromColumns(rel, cols...)
+		if err != nil {
+			panic("workload: strings substrate: " + err.Error())
+		}
+		db.Put(t)
+	}
+
+	// Dimension tables first (the facts draw foreign keys from their sizes).
+	nSupp, nCust, nPart := sizes["supplier"], sizes["customer"], sizes["part"]
+	mustPut(supplier, ident(nSupp), skewed(nSupp, nationCodes), uCol(nSupp))
+	mustPut(customer, ident(nCust), skewed(nCust, segCodes), skewed(nCust, nationCodes), uCol(nCust))
+	mustPut(part, ident(nPart), skewed(nPart, brandCodes), uCol(nPart))
+
+	nOrd := sizes["orders"]
+	mustPut(orders, ident(nOrd), fk(nOrd, nCust), skewed(nOrd, prioCodes), uCol(nOrd))
+
+	nLine := sizes["lineitem"]
+	flags := skewed(nLine, flagCodes)
+	for i := range flags {
+		if i%nullEvery == 0 {
+			flags[i] = value.NullCode // not returned: flag unknown
+		}
+	}
+	qty := make([]int64, nLine)
+	for i := range qty {
+		qty[i] = int64(1 + rng.Intn(50))
+	}
+	mustPut(lineitem,
+		fk(nLine, nOrd), fk(nLine, nPart), fk(nLine, nSupp),
+		skewed(nLine, modeCodes), flags, qty, uCol(nLine))
+	return db
+}
+
+// StringsGen draws string-predicate queries over the StringsDB schema.
+type StringsGen struct {
+	rng *rand.Rand
+}
+
+// NewStringsGen creates a deterministic generator.
+func NewStringsGen(seed int64) *StringsGen {
+	return &StringsGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate draws n queries cycling over four TPC-H-flavored shapes:
+// priority/ship-mode scans, brand scans with a NOT NULL guard, the
+// supplier ⋈ customer nation join (a cross-relation STRING join), and a
+// customer-segment drill-down with an IS NULL needle.
+func (g *StringsGen) Generate(n int) []*query.Query {
+	out := make([]*query.Query, n)
+	for i := range out {
+		out[i] = g.one(i)
+	}
+	return out
+}
+
+// pickStrings draws up to k distinct values from vocab, skewed.
+func (g *StringsGen) pickStrings(vocab []string, k int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for tries := 0; len(out) < k && tries < 8*k; tries++ {
+		s := vocab[skewPick(g.rng, len(vocab))]
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// uFilter returns a range filter on alias.u with the given fractional
+// selectivity (width / 1000).
+func (g *StringsGen) uFilter(alias string, width int64) query.Filter {
+	lo := int64(g.rng.Intn(int(1000 - width + 1)))
+	return query.Filter{Alias: alias, Col: "u", Lo: lo, Hi: lo + width - 1}
+}
+
+func (g *StringsGen) one(idx int) *query.Query {
+	q := &query.Query{Tag: fmt.Sprintf("str-%d", idx)}
+	switch idx % 4 {
+	case 0: // urgent orders by ship mode
+		q.Rels = []query.RelRef{{Table: "lineitem"}, {Table: "orders"}}
+		q.Joins = []query.Join{{LeftAlias: "lineitem", LeftCol: "l_orderkey", RightAlias: "orders", RightCol: "o_orderkey"}}
+		q.Filters = []query.Filter{
+			{Alias: "orders", Col: "o_orderpriority", Kind: query.KindStrings, Strs: g.pickStrings(Priorities, 2)},
+			{Alias: "lineitem", Col: "l_shipmode", Kind: query.KindStrings, Strs: g.pickStrings(ShipModes, 2)},
+			g.uFilter("lineitem", 400),
+		}
+	case 1: // returned volume by brand
+		q.Rels = []query.RelRef{{Table: "lineitem"}, {Table: "part"}}
+		q.Joins = []query.Join{{LeftAlias: "lineitem", LeftCol: "l_partkey", RightAlias: "part", RightCol: "p_partkey"}}
+		q.Filters = []query.Filter{
+			{Alias: "part", Col: "p_brand", Kind: query.KindStrings, Strs: g.pickStrings(Brands, 3)},
+			{Alias: "lineitem", Col: "l_returnflag", Kind: query.KindIsNotNull},
+			g.uFilter("lineitem", 400),
+		}
+	case 2: // local suppliers: the cross-relation STRING join on nation
+		q.Rels = []query.RelRef{{Table: "lineitem"}, {Table: "supplier"}, {Table: "customer"}}
+		q.Joins = []query.Join{
+			{LeftAlias: "lineitem", LeftCol: "l_suppkey", RightAlias: "supplier", RightCol: "s_suppkey"},
+			{LeftAlias: "supplier", LeftCol: "s_nation", RightAlias: "customer", RightCol: "c_nation"},
+		}
+		q.Filters = []query.Filter{
+			{Alias: "customer", Col: "c_mktsegment", Kind: query.KindStrings, Strs: g.pickStrings(Segments, 1)},
+			g.uFilter("lineitem", 200),
+		}
+	default: // segment drill-down with an IS NULL needle
+		q.Rels = []query.RelRef{{Table: "lineitem"}, {Table: "orders"}, {Table: "customer"}}
+		q.Joins = []query.Join{
+			{LeftAlias: "lineitem", LeftCol: "l_orderkey", RightAlias: "orders", RightCol: "o_orderkey"},
+			{LeftAlias: "orders", LeftCol: "o_custkey", RightAlias: "customer", RightCol: "c_custkey"},
+		}
+		q.Filters = []query.Filter{
+			{Alias: "customer", Col: "c_mktsegment", Kind: query.KindStrings, Strs: g.pickStrings(Segments, 2)},
+			{Alias: "lineitem", Col: "l_returnflag", Kind: query.KindIsNull},
+			g.uFilter("orders", 600),
+		}
+	}
+	return q
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/roulette-db/roulette/internal/monet"
+	"github.com/roulette-db/roulette/internal/qat"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/value"
+)
+
+func TestStringsDBShape(t *testing.T) {
+	db := StringsDB(0.1, 7)
+
+	// The cross-relation string join is only executable because both nation
+	// columns share ONE dictionary.
+	sn := db.MustTable("supplier").Rel.Column("s_nation")
+	cn := db.MustTable("customer").Rel.Column("c_nation")
+	if sn == nil || cn == nil || sn.Dict == nil {
+		t.Fatal("nation columns missing or untyped")
+	}
+	if sn.Dict != cn.Dict {
+		t.Fatal("supplier.s_nation and customer.c_nation must share a dictionary")
+	}
+	if got := sn.Dict.Len(); got != len(Nations) {
+		t.Fatalf("nation dictionary has %d entries, want %d", got, len(Nations))
+	}
+
+	// The nullable column actually contains NULLs, and nothing else does.
+	li := db.MustTable("lineitem")
+	var nulls int
+	for _, v := range li.Col("l_returnflag") {
+		if v == value.NullCode {
+			nulls++
+		}
+	}
+	if nulls == 0 || nulls == li.NumRows() {
+		t.Fatalf("l_returnflag NULL count = %d of %d rows", nulls, li.NumRows())
+	}
+	for _, v := range li.Col("l_shipmode") {
+		if v == value.NullCode {
+			t.Fatal("non-nullable l_shipmode contains a NULL sentinel")
+		}
+	}
+
+	// Skew: the most popular ship mode should clearly dominate the least.
+	counts := make(map[int64]int)
+	for _, v := range li.Col("l_shipmode") {
+		counts[v]++
+	}
+	min, max := li.NumRows(), 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*min {
+		t.Errorf("ship-mode skew too flat: min=%d max=%d", min, max)
+	}
+}
+
+func TestStringsDBDeterministic(t *testing.T) {
+	a := StringsDB(0.1, 3)
+	b := StringsDB(0.1, 3)
+	for _, name := range a.TableNames() {
+		ta, tb := a.MustTable(name), b.MustTable(name)
+		if ta.NumRows() != tb.NumRows() {
+			t.Fatalf("%s: %d vs %d rows", name, ta.NumRows(), tb.NumRows())
+		}
+		for _, c := range ta.Rel.Columns {
+			ca, cb := ta.Col(c.Name), tb.Col(c.Name)
+			for i := range ca {
+				if ca[i] != cb[i] {
+					t.Fatalf("%s.%s differs at row %d", name, c.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStringsQueriesCompileAndAgree(t *testing.T) {
+	db := StringsDB(0.05, 11)
+	qs := NewStringsGen(11).Generate(12)
+	if _, err := query.Compile(qs); err != nil {
+		t.Fatalf("string batch does not compile: %v", err)
+	}
+	// Two independent tuple-at-a-time engines must agree on every query:
+	// a cheap cross-check of string-predicate and NULL semantics over the
+	// generated shapes (the shared engine is checked against the same
+	// baseline in the bench figure and in the root package's typed tests).
+	mc, _, err := monet.New(db).RunSerial(qs)
+	if err != nil {
+		t.Fatalf("monet baseline: %v", err)
+	}
+	qc, _, err := qat.New(db).RunSerial(qs)
+	if err != nil {
+		t.Fatalf("qat baseline: %v", err)
+	}
+	for i := range qs {
+		if mc[i] != qc[i] {
+			t.Errorf("%s: monet=%d qat=%d", qs[i].Tag, mc[i], qc[i])
+		}
+	}
+	// The IS NULL needle shape must select something at this scale, or the
+	// NULL path silently stops being covered.
+	var nullShapeCount int64
+	for i, q := range qs {
+		if i%4 == 3 {
+			nullShapeCount += mc[i]
+		}
+		for _, f := range q.Filters {
+			if f.Kind == query.KindStrings && len(f.Strs) == 0 {
+				t.Errorf("%s: empty IN list", q.Tag)
+			}
+		}
+	}
+	if nullShapeCount == 0 {
+		t.Error("IS NULL query shape matched no tuples; NULL path not exercised")
+	}
+}

@@ -84,6 +84,35 @@ func (q *Query) Ge(alias, col string, v int64) *Query {
 	return q.Between(alias, col, v, math.MaxInt64)
 }
 
+// EqString restricts the string column alias.col to exactly s. The column
+// must be dictionary-encoded (created via StrCol or a typed loader);
+// execution fails with a type-mismatch error on an int64 column.
+func (q *Query) EqString(alias, col, s string) *Query { return q.InStrings(alias, col, s) }
+
+// InStrings restricts the string column alias.col to any of the listed
+// values (SQL IN). NULL never matches.
+func (q *Query) InStrings(alias, col string, vals ...string) *Query {
+	if len(vals) == 0 {
+		return q.fail("roulette: InStrings(%s.%s): empty value list", alias, col)
+	}
+	q.q.Filters = append(q.q.Filters, query.Filter{
+		Alias: alias, Col: col, Kind: query.KindStrings, Strs: vals,
+	})
+	return q
+}
+
+// IsNull keeps only rows where alias.col is NULL.
+func (q *Query) IsNull(alias, col string) *Query {
+	q.q.Filters = append(q.q.Filters, query.Filter{Alias: alias, Col: col, Kind: query.KindIsNull})
+	return q
+}
+
+// IsNotNull keeps only rows where alias.col is not NULL.
+func (q *Query) IsNotNull(alias, col string) *Query {
+	q.q.Filters = append(q.q.Filters, query.Filter{Alias: alias, Col: col, Kind: query.KindIsNotNull})
+	return q
+}
+
 // CountStar makes the query's consumer COUNT(*) (the default).
 func (q *Query) CountStar() *Query {
 	q.q.Agg = query.Agg{Kind: query.AggCount}

@@ -3,8 +3,13 @@ package roulette
 import "time"
 
 // Group is one aggregate output row; Key is 0 for ungrouped aggregates.
+// When the GROUP BY column is a string column, Label carries the decoded
+// string and Key its dictionary code; a NULL group key has Key == NullValue
+// (and an empty Label). OrderByKey sorts string-keyed groups by Label,
+// NULL group first.
 type Group struct {
 	Key   int64
+	Label string
 	Value int64
 }
 

@@ -29,6 +29,8 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,21 +45,51 @@ import (
 	"github.com/roulette-db/roulette/internal/query"
 	"github.com/roulette-db/roulette/internal/sharing"
 	"github.com/roulette-db/roulette/internal/storage"
+	"github.com/roulette-db/roulette/internal/value"
 )
 
-// Column is a named int64 column used to create tables. String data should
-// be dictionary-encoded to int64 by the caller; the engine is integer-only
-// by design (late materialization over columnar storage).
+// NullValue is the in-band physical encoding of SQL NULL in int64 column
+// data and group keys (math.MinInt64). The engine reserves it: NULL never
+// satisfies a filter and never matches a join key. Nullable int64 columns
+// therefore reject math.MinInt64 as regular data.
+const NullValue int64 = value.NullCode
+
+// Column is a named column used to create tables. Exactly one of Data
+// (int64) or Strs (string) holds the values; string columns are
+// dictionary-encoded to dense int64 codes at CreateTable, and the engine
+// executes over the codes (late materialization over columnar storage).
+// A non-nil Valid mask makes the column nullable: Valid[r] == false marks
+// row r as NULL.
 type Column struct {
-	Name string
-	Data []int64
+	Name  string
+	Data  []int64
+	Strs  []string
+	Valid []bool
 }
 
-// Col is a convenience constructor for Column.
+// Col is a convenience constructor for an int64 Column.
 func Col(name string, data ...int64) Column { return Column{Name: name, Data: data} }
 
 // ColSlice wraps an existing slice without copying.
 func ColSlice(name string, data []int64) Column { return Column{Name: name, Data: data} }
+
+// StrCol builds a dictionary-encoded string Column.
+func StrCol(name string, data ...string) Column { return Column{Name: name, Strs: data} }
+
+// StrColSlice wraps an existing string slice without copying.
+func StrColSlice(name string, data []string) Column { return Column{Name: name, Strs: data} }
+
+// NullableCol builds a nullable int64 Column; valid[r] == false marks row r
+// as NULL (data[r] is then ignored).
+func NullableCol(name string, data []int64, valid []bool) Column {
+	return Column{Name: name, Data: data, Valid: valid}
+}
+
+// NullableStrCol builds a nullable dictionary-encoded string Column;
+// valid[r] == false marks row r as NULL (data[r] is then ignored).
+func NullableStrCol(name string, data []string, valid []bool) Column {
+	return Column{Name: name, Strs: data, Valid: valid}
+}
 
 // Engine owns an in-memory columnar database and executes query batches
 // over it.
@@ -76,7 +108,9 @@ func NewEngine() *Engine {
 }
 
 // CreateTable registers a table from columns, which must all have the same
-// length.
+// length. String columns are dictionary-encoded (each gets its own fresh
+// dictionary — use ShareDictionary afterwards to make string columns
+// joinable across tables), and columns with a Valid mask become nullable.
 func (e *Engine) CreateTable(name string, cols ...Column) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("roulette: table %q needs at least one column", name)
@@ -84,17 +118,58 @@ func (e *Engine) CreateTable(name string, cols ...Column) error {
 	if e.db.Table(name) != nil {
 		return fmt.Errorf("roulette: table %q already exists", name)
 	}
-	n := len(cols[0].Data)
-	names := make([]string, len(cols))
+	rows := func(c Column) int {
+		if c.Strs != nil {
+			return len(c.Strs)
+		}
+		return len(c.Data)
+	}
+	n := rows(cols[0])
+	schemaCols := make([]catalog.Column, len(cols))
 	data := make([][]int64, len(cols))
 	for i, c := range cols {
-		if len(c.Data) != n {
-			return fmt.Errorf("roulette: table %q column %q has %d rows, want %d", name, c.Name, len(c.Data), n)
+		if c.Data != nil && c.Strs != nil {
+			return fmt.Errorf("roulette: table %q column %q sets both Data and Strs", name, c.Name)
 		}
-		names[i] = c.Name
-		data[i] = c.Data
+		if rows(c) != n {
+			return fmt.Errorf("roulette: table %q column %q has %d rows, want %d", name, c.Name, rows(c), n)
+		}
+		if c.Valid != nil && len(c.Valid) != n {
+			return fmt.Errorf("roulette: table %q column %q has %d validity bits, want %d", name, c.Name, len(c.Valid), n)
+		}
+		nullable := c.Valid != nil
+		switch {
+		case c.Strs != nil:
+			dict := storage.NewDict()
+			phys := make([]int64, n)
+			for r, s := range c.Strs {
+				if nullable && !c.Valid[r] {
+					phys[r] = value.NullCode
+				} else {
+					phys[r] = dict.Code(s)
+				}
+			}
+			schemaCols[i] = catalog.Column{Name: c.Name, Type: value.String, Nullable: nullable, Dict: dict}
+			data[i] = phys
+		case nullable:
+			phys := make([]int64, n)
+			for r, v := range c.Data {
+				if !c.Valid[r] {
+					phys[r] = value.NullCode
+				} else if v == value.NullCode {
+					return fmt.Errorf("roulette: table %q column %q row %d: math.MinInt64 is reserved as the NULL sentinel", name, c.Name, r)
+				} else {
+					phys[r] = v
+				}
+			}
+			schemaCols[i] = catalog.Column{Name: c.Name, Nullable: true}
+			data[i] = phys
+		default:
+			schemaCols[i] = catalog.Column{Name: c.Name}
+			data[i] = c.Data
+		}
 	}
-	rel := catalog.NewRelation(name, names...)
+	rel := catalog.NewTypedRelation(name, schemaCols...)
 	if err := e.schema.AddRelation(rel); err != nil {
 		return err
 	}
@@ -103,6 +178,68 @@ func (e *Engine) CreateTable(name string, cols ...Column) error {
 		return err
 	}
 	e.db.Put(t)
+	return nil
+}
+
+// ShareDictionary unifies the dictionaries behind the named string columns
+// (each ref is "table.col") so their codes are directly comparable — the
+// prerequisite for joining string columns, which the engine compares by
+// dictionary code. Codes already stored are remapped in place; every other
+// column sharing a merged dictionary is remapped along with it, so the
+// operation is safe to apply after arbitrary prior unifications.
+func (e *Engine) ShareDictionary(refs ...string) error {
+	if len(refs) < 2 {
+		return fmt.Errorf("roulette: ShareDictionary needs at least two columns, got %d", len(refs))
+	}
+	type colRef struct {
+		table, col string
+		cat        *catalog.Column
+	}
+	parsed := make([]colRef, len(refs))
+	for i, ref := range refs {
+		dot := strings.IndexByte(ref, '.')
+		if dot <= 0 || dot == len(ref)-1 {
+			return fmt.Errorf("roulette: ShareDictionary ref %q is not of the form table.col", ref)
+		}
+		table, col := ref[:dot], ref[dot+1:]
+		if e.db.Table(table) == nil {
+			return fmt.Errorf("roulette: ShareDictionary: unknown table %q", table)
+		}
+		c := e.schema.Relation(table).Column(col)
+		if c == nil {
+			return fmt.Errorf("roulette: ShareDictionary: table %q has no column %q", table, col)
+		}
+		if c.Type != value.String || c.Dict == nil {
+			return fmt.Errorf("roulette: ShareDictionary: %s is not a string column", ref)
+		}
+		parsed[i] = colRef{table: table, col: col, cat: c}
+	}
+	target := parsed[0].cat.Dict
+	for _, p := range parsed[1:] {
+		old := p.cat.Dict
+		if old == target {
+			continue
+		}
+		remap := target.Merge(old)
+		// Remap every column in the database that used the old dictionary,
+		// not just the named one — dictionaries can already be shared.
+		for _, tn := range e.db.TableNames() {
+			t := e.db.MustTable(tn)
+			for ci := range t.Rel.Columns {
+				c := &t.Rel.Columns[ci]
+				if c.Dict != old {
+					continue
+				}
+				col := t.Col(c.Name)
+				for r, v := range col {
+					if v != value.NullCode {
+						col[r] = remap[v]
+					}
+				}
+				c.Dict = target
+			}
+		}
+	}
 	return nil
 }
 
@@ -318,6 +455,42 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []*Query, o *Option
 	return e.buildResult(b, s, res, ring)
 }
 
+// decodeGroups fills Group.Label for string-typed GROUP BY keys and, when
+// the query asked for key order, re-sorts by the decoded label (the host
+// consumer sorted by dictionary code, which is not lexicographic).
+func (e *Engine) decodeGroups(b *query.Batch, qid int, qr *QueryResult) {
+	q := b.Queries[qid]
+	if q.Agg.GroupByAlias == "" || len(qr.Groups) == 0 {
+		return
+	}
+	inst, ok := b.InstOfAlias(qid, q.Agg.GroupByAlias)
+	if !ok {
+		return
+	}
+	rel := e.schema.Relation(b.Insts[inst].Table)
+	if rel == nil {
+		return
+	}
+	c := rel.Column(q.Agg.GroupByCol)
+	if c == nil || c.Type != value.String || c.Dict == nil {
+		return
+	}
+	for i := range qr.Groups {
+		if qr.Groups[i].Key != NullValue {
+			qr.Groups[i].Label = c.Dict.Value(qr.Groups[i].Key)
+		}
+	}
+	if q.Agg.Sorted {
+		sort.Slice(qr.Groups, func(i, j int) bool {
+			a, bg := qr.Groups[i], qr.Groups[j]
+			if (a.Key == NullValue) != (bg.Key == NullValue) {
+				return a.Key == NullValue
+			}
+			return a.Label < bg.Label
+		})
+	}
+}
+
 // buildPolicy instantiates the requested planning policy.
 func (e *Engine) buildPolicy(b *query.Batch, opt exec.Options, o *Options) (policy.Policy, error) {
 	kind := PolicyLearned
@@ -411,6 +584,7 @@ func (e *Engine) buildResult(b *query.Batch, s *engine.Session, res *engine.Resu
 		for _, g := range hostRes[qid].Groups {
 			qr.Groups = append(qr.Groups, Group{Key: g.Key, Value: g.Value})
 		}
+		e.decodeGroups(b, qid, &qr)
 		out.Queries[qid] = qr
 	}
 

@@ -14,8 +14,12 @@ import (
 //	[WHERE predicate {AND predicate}]
 //	[GROUP BY [alias.]col] [ORDER BY [alias.]col]
 //
-// Predicates are equi-joins (a.x = b.y) and integer comparisons/BETWEEN
-// ranges. Attributes are int64; dictionary-encode strings before loading.
+// Predicates are equi-joins (a.x = b.y), integer comparisons/BETWEEN
+// ranges, string equality and IN lists (col = 'lit', col IN ('a', 'b');
+// a doubled single quote inside a literal escapes it), and IS [NOT] NULL.
+// String columns are dictionary-encoded at load time; joining two string
+// columns additionally requires a shared dictionary
+// (Engine.ShareDictionary).
 func ParseSQL(stmt string) (*Query, error) {
 	q, err := sqlfe.Parse(stmt)
 	if err != nil {

@@ -511,6 +511,7 @@ func (s *Stream) onRetire(qid int, st engine.QueryStatus) {
 			for _, g := range hostRes.Groups {
 				qr.Groups = append(qr.Groups, Group{Key: g.Key, Value: g.Value})
 			}
+			s.e.decodeGroups(s.b, qid, &qr)
 		}
 	} else {
 		// Partial machinery: the count so far is a lower bound, not exact.

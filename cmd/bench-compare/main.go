@@ -27,11 +27,12 @@ import (
 
 // report mirrors the roulette-bench JSON schema (only the compared parts).
 type report struct {
-	Perf    *bench.PerfReport    `json:"perf"`
-	Stream  *bench.StreamReport  `json:"stream"`
-	Scaling *bench.ScalingReport `json:"scaling"`
-	Stress  *bench.StressReport  `json:"stress"`
-	Strings *bench.StringsReport `json:"strings"`
+	Perf      *bench.PerfReport      `json:"perf"`
+	Stream    *bench.StreamReport    `json:"stream"`
+	Scaling   *bench.ScalingReport   `json:"scaling"`
+	Stress    *bench.StressReport    `json:"stress"`
+	Strings   *bench.StringsReport   `json:"strings"`
+	Warmstart *bench.WarmstartReport `json:"warmstart"`
 
 	// BENCH_stream.json, BENCH_scaling.json, BENCH_stress.json and
 	// BENCH_strings.json are bare reports, not full BENCH.json files;
@@ -168,6 +169,21 @@ func checkSpeedup(c *checker, base, cur *report) {
 	}
 }
 
+// checkWarmstart is the policy-persistence tripwire. The headline metric —
+// how many fewer tuples the warm arm routes in steady state — is a ratio of
+// two same-host, same-seed runs, so like speedup it gets a fixed floor
+// instead of the generous -tolerance: the current reduction must stay above
+// half the committed baseline's. Cache hits go through the generic check so
+// a warm arm that silently stops hitting the cache also fails.
+func checkWarmstart(c *checker, base, cur *bench.WarmstartReport) {
+	if base.JoinTupleReduction > 0 {
+		c.report("warmstart.join_tuple_reduction", base.JoinTupleReduction,
+			cur.JoinTupleReduction, cur.JoinTupleReduction >= base.JoinTupleReduction*0.5)
+	}
+	c.higher("warmstart.qps_ratio", base.QPSRatio, cur.QPSRatio)
+	c.higher("warmstart.cache_hits", float64(base.CacheHits), float64(cur.CacheHits))
+}
+
 func main() {
 	basePath := flag.String("baseline", "", "committed baseline JSON (required)")
 	curPath := flag.String("current", "", "freshly generated JSON (required)")
@@ -256,6 +272,10 @@ func main() {
 			}
 			c.report("strings.matches_baseline", 1, cur1, cur.Strings.MatchesBaseline)
 		}
+	}
+
+	if base.Warmstart != nil && cur.Warmstart != nil {
+		checkWarmstart(c, base.Warmstart, cur.Warmstart)
 	}
 
 	if c.failed {

@@ -37,24 +37,25 @@ type figTiming struct {
 
 // benchFile is the BENCH.json schema (documented in EXPERIMENTS.md).
 type benchFile struct {
-	Timestamp string               `json:"timestamp"`
-	GoVersion string               `json:"go_version"`
-	GOOS      string               `json:"goos"`
-	GOARCH    string               `json:"goarch"`
-	NumCPU    int                  `json:"num_cpu"`
-	Scale     float64              `json:"scale"`
-	Seed      int64                `json:"seed"`
-	Quick     bool                 `json:"quick"`
-	Figures   []figTiming          `json:"figures"`
-	Perf      *bench.PerfReport    `json:"perf,omitempty"`
-	Stream    *bench.StreamReport  `json:"stream,omitempty"`
-	Scaling   *bench.ScalingReport `json:"scaling,omitempty"`
-	Stress    *bench.StressReport  `json:"stress,omitempty"`
-	Strings   *bench.StringsReport `json:"strings,omitempty"`
+	Timestamp string                 `json:"timestamp"`
+	GoVersion string                 `json:"go_version"`
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	NumCPU    int                    `json:"num_cpu"`
+	Scale     float64                `json:"scale"`
+	Seed      int64                  `json:"seed"`
+	Quick     bool                   `json:"quick"`
+	Figures   []figTiming            `json:"figures"`
+	Perf      *bench.PerfReport      `json:"perf,omitempty"`
+	Stream    *bench.StreamReport    `json:"stream,omitempty"`
+	Scaling   *bench.ScalingReport   `json:"scaling,omitempty"`
+	Stress    *bench.StressReport    `json:"stress,omitempty"`
+	Strings   *bench.StringsReport   `json:"strings,omitempty"`
+	Warmstart *bench.WarmstartReport `json:"warmstart,omitempty"`
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo corrstress batching perf stream scaling stress strings all")
+	fig := flag.String("fig", "all", "figure to reproduce: 11a 11b 11c 11d 12 13 14 16 17 18 19 20 swo corrstress batching perf stream scaling stress strings warmstart all")
 	scale := flag.Float64("scale", 0.25, "TPC-DS scale factor (facts scale linearly)")
 	seed := flag.Int64("seed", 1, "workload and data seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
@@ -196,8 +197,13 @@ func main() {
 			}
 			return err
 		},
+		"warmstart": func() error {
+			rep, err := cfg.Warmstart()
+			out.Warmstart = rep
+			return err
+		},
 	}
-	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "corrstress", "batching", "perf", "stream", "scaling", "stress", "strings"}
+	order := []string{"11a", "11b", "11c", "11d", "12", "13", "14", "16", "17", "18", "19", "20", "swo", "corrstress", "batching", "perf", "stream", "scaling", "stress", "strings", "warmstart"}
 
 	run := func(name string) {
 		f, ok := figures[name]

@@ -60,6 +60,7 @@ func main() {
 	listen := flag.String("listen", "", "with -serve: also accept statements from TCP clients on this address, e.g. :5433")
 	debugAddr := flag.String("debug-addr", "", "with -serve: serve the live introspection surface (/debug/roulette/snapshot, /debug/roulette/trace, /debug/pprof) on this address, e.g. :6060")
 	stallWatch := flag.Duration("stall-watchdog", 2*time.Second, "with -serve: period of the engine's stall self-diagnosis (stuck fences, epoch lag, starved tenants); 0 disables")
+	policyPath := flag.String("policy", "", "policy store file: learned Q-table snapshots load from it at startup and save back on clean shutdown, so recurring workloads warm-start across invocations")
 	logLevel := flag.String("log-level", "warn", "minimum level of engine diagnostics on stderr: debug, info, warn, error")
 	flag.Parse()
 
@@ -100,10 +101,22 @@ func main() {
 	e := roulette.NewEngineOn(db)
 	unifyDictionaries(e, schema, order)
 
+	// The policy store is always present in serve mode so \policy save/load
+	// work without the flag; batch mode only carries one when asked. An
+	// empty store is free: a cold lookup leaves runs bit-for-bit unchanged.
+	store, err := roulette.NewPolicyStore(roulette.PolicyStoreOptions{Path: *policyPath})
+	if err != nil {
+		logger.Warn("policy store unusable, starting cold", "path", *policyPath, "err", err)
+	}
+	if *policyPath != "" && store.Len() > 0 {
+		fmt.Printf("policy store: warm-starting from %s (%d cached templates)\n", *policyPath, store.Len())
+	}
+
 	if *serve {
 		if err := runServe(e, serveConfig{
 			workers: *workers, stats: *stats, listen: *listen,
 			debugAddr: *debugAddr, stallWatch: *stallWatch, logger: logger,
+			store: store,
 		}); err != nil {
 			logger.Error("serve failed", "err", err)
 			os.Exit(1)
@@ -122,10 +135,14 @@ func main() {
 		// prompt Ctrl-C keeps its default behaviour and kills the shell.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		res, err := e.ExecuteSQLContext(ctx, src, &roulette.Options{
+		opts := &roulette.Options{
 			Workers:      *workers,
 			CollectStats: *stats,
-		})
+		}
+		if *policyPath != "" {
+			opts.PolicyStore = store
+		}
+		res, err := e.ExecuteSQLContext(ctx, src, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return
@@ -155,6 +172,17 @@ func main() {
 		}
 	}
 
+	saveStore := func() {
+		if *policyPath == "" {
+			return
+		}
+		if err := store.Save(); err != nil {
+			logger.Warn("policy store save failed", "path", *policyPath, "err", err)
+			return
+		}
+		fmt.Printf("policy store saved to %s (%d cached templates)\n", *policyPath, store.Len())
+	}
+
 	if flag.NArg() > 0 {
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
@@ -162,6 +190,7 @@ func main() {
 			os.Exit(1)
 		}
 		runBatch(string(data))
+		saveStore()
 		return
 	}
 
@@ -180,6 +209,7 @@ func main() {
 		buf.WriteByte('\n')
 	}
 	runBatch(buf.String())
+	saveStore()
 }
 
 // newLogger builds the stderr diagnostics logger for the given level name.
@@ -199,6 +229,7 @@ type serveConfig struct {
 	debugAddr  string
 	stallWatch time.Duration
 	logger     *slog.Logger
+	store      *roulette.PolicyStore
 }
 
 // runServe keeps one streaming session open and feeds it statements from
@@ -210,7 +241,8 @@ func runServe(e *roulette.Engine, sc serveConfig) error {
 	defer stop()
 	workers, stats, listen := sc.workers, sc.stats, sc.listen
 	st, err := e.OpenStream(ctx, &roulette.StreamOptions{
-		Options:       roulette.Options{Workers: workers, CollectStats: stats, Logger: sc.logger},
+		Options: roulette.Options{Workers: workers, CollectStats: stats, Logger: sc.logger,
+			PolicyStore: sc.store},
 		StallWatchdog: sc.stallWatch,
 	})
 	if err != nil {
@@ -271,13 +303,56 @@ func runServe(e *roulette.Engine, sc serveConfig) error {
 		}()
 	}
 
+	// meta handles newline-terminated backslash commands.
+	meta := func(w io.Writer, line string) {
+		f := strings.Fields(line)
+		out.Lock()
+		defer out.Unlock()
+		if f[0] != `\policy` {
+			fmt.Fprintf(w, "error: unknown command %s (try \\policy)\n", f[0])
+			return
+		}
+		switch {
+		case len(f) == 1:
+			s := sc.store.Stats()
+			fmt.Fprintf(w, "policy store: %d templates cached, %d hits, %d misses, %d stores\n",
+				s.Entries, s.Hits, s.Misses, s.Stores)
+		case f[1] == "save" && len(f) == 3:
+			// Snapshot the live session's learned state first so the file
+			// reflects everything learned up to this moment, not just what
+			// retirement sweeps have exported so far.
+			st.SnapshotPolicy()
+			if err := sc.store.SaveTo(f[2]); err != nil {
+				fmt.Fprintln(w, "error:", err)
+				return
+			}
+			fmt.Fprintf(w, "policy saved to %s (%d templates)\n", f[2], sc.store.Len())
+		case f[1] == "load" && len(f) == 3:
+			if err := sc.store.LoadFrom(f[2]); err != nil {
+				fmt.Fprintln(w, "error:", err)
+				return
+			}
+			fmt.Fprintf(w, "policy loaded from %s (%d templates; applies to statements submitted from now on)\n",
+				f[2], sc.store.Len())
+		default:
+			fmt.Fprintln(w, `usage: \policy [save <file> | load <file>]`)
+		}
+	}
+
 	// feed splits a reader into ';'-terminated statements, submitting each
-	// as soon as its terminator arrives.
+	// as soon as its terminator arrives. Lines whose first character is a
+	// backslash are meta-commands: they terminate at the newline and only
+	// apply between statements (never mid-statement).
 	feed := func(w io.Writer, r io.Reader) {
 		var buf strings.Builder
 		br := bufio.NewReader(r)
 		for {
 			line, err := br.ReadString('\n')
+			if t := strings.TrimSpace(line); strings.HasPrefix(t, `\`) &&
+				strings.TrimSpace(buf.String()) == "" {
+				meta(w, t)
+				line = ""
+			}
 			buf.WriteString(line)
 			for {
 				src := buf.String()

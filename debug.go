@@ -75,10 +75,20 @@ type AdmissionDebug struct {
 	Tenants      []StreamTenantStat `json:"tenants,omitempty"`
 }
 
+// PolicyDebug is the policy-persistence section of the debug snapshot:
+// whether the stream's learned policy has been warm-started (and its
+// effective exploration rate), plus the attached store's cache counters.
+type PolicyDebug struct {
+	Warm    bool             `json:"warm"`
+	Epsilon float64          `json:"epsilon"`
+	Store   PolicyStoreStats `json:"store"`
+}
+
 // streamDebug is the JSON document served by /debug/roulette/snapshot.
 type streamDebug struct {
 	Engine    EngineSnapshot  `json:"engine"`
 	Admission *AdmissionDebug `json:"admission,omitempty"`
+	Policy    *PolicyDebug    `json:"policy,omitempty"`
 	Findings  []DebugFinding  `json:"findings"`
 }
 
@@ -109,6 +119,13 @@ func (s *Stream) DebugHandler() http.Handler {
 				Admitted:     adm,
 				Rejected:     rej,
 				Tenants:      tenants,
+			}
+		}
+		if s.store != nil {
+			doc.Policy = &PolicyDebug{
+				Warm:    s.learned.Warm(),
+				Epsilon: s.learned.Epsilon(),
+				Store:   s.store.Stats(),
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -32,6 +32,11 @@ type CorrStressResult struct {
 // (lineage, query-set) state and learns each group's contracting-first
 // order after the C/D divergence.
 func buildStressDB(seed int64) (*storage.Database, []*query.Query) {
+	return buildStressData(seed), stressQueries(nil)
+}
+
+// buildStressData constructs the correlation-stress substrate alone.
+func buildStressData(seed int64) *storage.Database {
 	rng := rand.New(rand.NewSource(seed))
 	const (
 		factRows = 32000
@@ -111,7 +116,16 @@ func buildStressDB(seed int64) (*storage.Database, []*query.Query) {
 		fd[i] = int64(rng.Intn(domain))
 	}
 	db.Put(ft)
+	return db
+}
 
+// stressQueries builds the 16-query correlation-stress workload: two
+// recurring templates (group A joins dim_c, group B dim_d) whose filter
+// constants slide along the g ranges of their groups. With a nil rng the
+// offsets are the fixed grid CorrStress reports on; with an rng they are
+// drawn uniformly inside each group's band — same templates, fresh
+// constants, the recurring-workload model of the warm-start figure.
+func stressQueries(rng *rand.Rand) []*query.Query {
 	var qs []*query.Query
 	for i := 0; i < 16; i++ {
 		groupA := i%2 == 0
@@ -121,20 +135,22 @@ func buildStressDB(seed int64) (*storage.Database, []*query.Query) {
 			{LeftAlias: "fact", LeftCol: "fk_a", RightAlias: "dim_a", RightCol: "k"},
 			{LeftAlias: "fact", LeftCol: "fk_b", RightAlias: "dim_b", RightCol: "k"},
 		}
+		off := int64(30 * (i / 2))
+		if rng != nil {
+			off = int64(rng.Intn(220)) // stay inside the group's 500-wide band
+		}
 		if groupA {
 			q.Rels = append(q.Rels, query.RelRef{Table: "dim_c"})
 			q.Joins = append(q.Joins, query.Join{LeftAlias: "fact", LeftCol: "fk_c", RightAlias: "dim_c", RightCol: "k"})
-			lo := int64(30 * (i / 2))
-			q.Filters = append(q.Filters, query.Filter{Alias: "fact", Col: "g", Lo: lo, Hi: lo + 280})
+			q.Filters = append(q.Filters, query.Filter{Alias: "fact", Col: "g", Lo: off, Hi: off + 280})
 		} else {
 			q.Rels = append(q.Rels, query.RelRef{Table: "dim_d"})
 			q.Joins = append(q.Joins, query.Join{LeftAlias: "fact", LeftCol: "fk_d", RightAlias: "dim_d", RightCol: "k"})
-			lo := int64(500 + 30*(i/2))
-			q.Filters = append(q.Filters, query.Filter{Alias: "fact", Col: "g", Lo: lo, Hi: lo + 280})
+			q.Filters = append(q.Filters, query.Filter{Alias: "fact", Col: "g", Lo: 500 + off, Hi: 500 + off + 280})
 		}
 		qs = append(qs, q)
 	}
-	return db, qs
+	return qs
 }
 
 // CorrStress runs the correlation-stress comparison (the paper's §4.2

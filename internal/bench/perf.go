@@ -253,14 +253,14 @@ func (c *Config) Perf() (*PerfReport, error) {
 		tbl := qlearn.NewTable()
 		for i := range states {
 			s := &states[i]
-			*tbl.Slot(s.phase, s.inst, s.lineage, s.q, s.op) = float64(i)
+			tbl.Slot(s.phase, s.inst, s.lineage, s.q, s.op).SetValue(float64(i))
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s := &states[i%len(states)]
 			v := tbl.Get(s.phase, s.inst, s.lineage, s.q, s.op)
-			*tbl.Slot(s.phase, s.inst, s.lineage, s.q, s.op) = v + 1
+			tbl.Slot(s.phase, s.inst, s.lineage, s.q, s.op).SetValue(v + 1)
 		}
 	}))
 

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/engine"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/policystore"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+	"github.com/roulette-db/roulette/internal/storage"
+)
+
+// WarmstartRound is one batch execution inside a warm-start sweep.
+type WarmstartRound struct {
+	Episodes   int64   `json:"episodes"`
+	JoinTuples int64   `json:"join_tuples"`
+	Seconds    float64 `json:"seconds"`
+	QPS        float64 `json:"qps"`
+}
+
+// WarmstartMode aggregates one arm (cold or warm) of the sweep.
+type WarmstartMode struct {
+	Rounds []WarmstartRound `json:"rounds"`
+	// Steady-state totals: rounds 2..R, i.e. everything after the first.
+	// Round 1 is identical by construction (the warm arm's store is still
+	// empty), so including it would only dilute the comparison.
+	SteadyEpisodes   int64   `json:"steady_episodes"`
+	SteadyJoinTuples int64   `json:"steady_join_tuples"`
+	SteadySeconds    float64 `json:"steady_seconds"`
+	SteadyQPS        float64 `json:"steady_qps"`
+}
+
+// WarmstartReport is the cold-vs-warm recurring-workload comparison: the
+// same sequence of correlation-stress batches — fixed templates, fresh
+// filter constants and submission order each round — executed with a
+// fresh policy per round (cold) versus a fresh policy per round
+// warm-started from a shared PolicyStore (warm). The learned state
+// travels only through the template-keyed snapshot cache, so the warm
+// arm's reductions measure exactly what cross-batch persistence buys:
+// the routed tuples the cold learner burns re-discovering each group's
+// contracting-first join order every round.
+type WarmstartReport struct {
+	Rounds          int `json:"rounds"`
+	QueriesPerRound int `json:"queries_per_round"`
+
+	Cold WarmstartMode `json:"cold"`
+	Warm WarmstartMode `json:"warm"`
+
+	// Steady-state reductions, 0..1 (e.g. 0.4 = warm needed 40% fewer).
+	JoinTupleReduction float64 `json:"join_tuple_reduction"`
+	EpisodeReduction   float64 `json:"episode_reduction"`
+	// QPSRatio is warm steady-state throughput over cold (>1 = faster).
+	QPSRatio float64 `json:"qps_ratio"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheStores uint64 `json:"cache_stores"`
+}
+
+// stressRound draws one recurring instance of the stress workload: the
+// same two templates, fresh constants, shuffled submission order (so warm
+// hits cannot come from positional accidents), round-stamped tags.
+func stressRound(rng *rand.Rand, round int) []*query.Query {
+	qs := stressQueries(rng)
+	for _, q := range qs {
+		q.Tag = fmt.Sprintf("%s-r%d", q.Tag, round)
+	}
+	rng.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+	return qs
+}
+
+// warmstartRound executes one batch with a fresh learned policy. With a
+// store attached the policy is warm-started before the run and exported
+// after it — the exact wiring Options.PolicyStore uses. The large vector
+// size keeps rounds short (~70 episodes), so a cold learner spends a big
+// share of each round still exploring — the regime where recurring
+// workloads actually hurt and persistence pays.
+func (c *Config) warmstartRound(db *storage.Database, qs []*query.Query, store *policystore.Cache) (WarmstartRound, []int64, error) {
+	var out WarmstartRound
+	b, err := query.Compile(qs)
+	if err != nil {
+		return out, nil, err
+	}
+	opt := exec.DefaultOptions()
+	opt.CollectRows = false
+	opt.VectorSize = 512
+	cfg := qlearn.DefaultConfig()
+	cfg.Seed = c.Seed
+	pol := qlearn.New(cfg)
+	s, err := engine.NewSession(b, db, engine.Config{Exec: opt, Policy: pol})
+	if err != nil {
+		return out, nil, err
+	}
+	all := bitset.NewFull(b.N)
+	if store != nil {
+		store.Import(pol, b, s.Context(), all)
+	}
+	r, err := s.Run()
+	if err != nil {
+		return out, nil, err
+	}
+	if store != nil {
+		store.Export(pol, b, s.Context(), all)
+	}
+	out = WarmstartRound{
+		Episodes:   r.Episodes,
+		JoinTuples: r.JoinTuples,
+		Seconds:    r.Elapsed.Seconds(),
+		QPS:        r.Throughput(),
+	}
+	return out, r.Counts, nil
+}
+
+// Warmstart runs the recurring-workload warm-start experiment.
+func (c *Config) Warmstart() (*WarmstartReport, error) {
+	rounds := 5
+	if c.Quick {
+		rounds = 3
+	}
+	db := buildStressData(c.Seed)
+
+	// Materialize every round's batch up front so both arms execute the
+	// byte-identical query sequence.
+	rng := rand.New(rand.NewSource(c.Seed + 7177))
+	batches := make([][]*query.Query, rounds)
+	for r := range batches {
+		batches[r] = stressRound(rng, r)
+	}
+	nQ := len(batches[0])
+
+	rep := &WarmstartReport{Rounds: rounds, QueriesPerRound: nQ}
+	store, err := policystore.Open(policystore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c.printf("Warm start: %d rounds x %d recurring-template stress queries (seed %d)\n",
+		rounds, nQ, c.Seed)
+	c.printf("  %-6s %14s %14s %10s   %14s %14s %10s\n",
+		"round", "cold episodes", "cold tuples", "cold q/s", "warm episodes", "warm tuples", "warm q/s")
+	for r := 0; r < rounds; r++ {
+		cold, coldCounts, err := c.warmstartRound(db, batches[r], nil)
+		if err != nil {
+			return nil, fmt.Errorf("cold round %d: %w", r+1, err)
+		}
+		warm, warmCounts, err := c.warmstartRound(db, batches[r], store)
+		if err != nil {
+			return nil, fmt.Errorf("warm round %d: %w", r+1, err)
+		}
+		for i := range coldCounts {
+			if coldCounts[i] != warmCounts[i] {
+				return nil, fmt.Errorf("round %d query %d: warm count %d != cold count %d",
+					r+1, i, warmCounts[i], coldCounts[i])
+			}
+		}
+		rep.Cold.Rounds = append(rep.Cold.Rounds, cold)
+		rep.Warm.Rounds = append(rep.Warm.Rounds, warm)
+		c.printf("  %-6d %14d %14d %10.1f   %14d %14d %10.1f\n",
+			r+1, cold.Episodes, cold.JoinTuples, cold.QPS,
+			warm.Episodes, warm.JoinTuples, warm.QPS)
+	}
+	for _, m := range []*WarmstartMode{&rep.Cold, &rep.Warm} {
+		for _, rd := range m.Rounds[1:] {
+			m.SteadyEpisodes += rd.Episodes
+			m.SteadyJoinTuples += rd.JoinTuples
+			m.SteadySeconds += rd.Seconds
+		}
+		if m.SteadySeconds > 0 {
+			m.SteadyQPS = float64(nQ*(rounds-1)) / m.SteadySeconds
+		}
+	}
+	if rep.Cold.SteadyJoinTuples > 0 {
+		rep.JoinTupleReduction = 1 - float64(rep.Warm.SteadyJoinTuples)/float64(rep.Cold.SteadyJoinTuples)
+	}
+	if rep.Cold.SteadyEpisodes > 0 {
+		rep.EpisodeReduction = 1 - float64(rep.Warm.SteadyEpisodes)/float64(rep.Cold.SteadyEpisodes)
+	}
+	if rep.Cold.SteadyQPS > 0 {
+		rep.QPSRatio = rep.Warm.SteadyQPS / rep.Cold.SteadyQPS
+	}
+	st := store.Stats()
+	rep.CacheHits, rep.CacheStores = st.Hits, st.Stores
+	c.printf("  steady state (rounds 2..%d): tuples -%.1f%%, episodes -%.1f%%, q/s x%.2f (cache: %d hits, %d stores)\n",
+		rounds, 100*rep.JoinTupleReduction, 100*rep.EpisodeReduction, rep.QPSRatio,
+		rep.CacheHits, rep.CacheStores)
+	return rep, nil
+}

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestWarmstartQuick smoke-runs the warm-start figure at CI scale and
+// checks its two core claims: round 1 is identical across arms (an empty
+// store must not perturb the run), and the warm arm's steady-state rounds
+// hit the cache and route no more tuples than the cold arm's.
+func TestWarmstartQuick(t *testing.T) {
+	c := DefaultConfig(nil)
+	c.Quick = true
+	rep, err := c.Warmstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cold.Rounds[0].JoinTuples != rep.Warm.Rounds[0].JoinTuples {
+		t.Fatalf("round 1 diverged with an empty store: cold %d vs warm %d",
+			rep.Cold.Rounds[0].JoinTuples, rep.Warm.Rounds[0].JoinTuples)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("warm arm never hit the policy cache: %+v", rep)
+	}
+	if rep.JoinTupleReduction <= 0 {
+		t.Fatalf("warm start did not reduce routed tuples: reduction=%.3f", rep.JoinTupleReduction)
+	}
+}

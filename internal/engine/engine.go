@@ -118,6 +118,16 @@ type Config struct {
 	// watermark lag, starved tenants) and logs one structured report per
 	// finding through Logger. 0 disables the watchdog.
 	StallWatchdog time.Duration
+
+	// PolicySweep, in streaming mode, runs at the start of a GC finish
+	// pass, before retired queries are unwired from the batch and pruned
+	// from the policy — the last moment the learned state about the swept
+	// queries is still addressable by live positional IDs. The policy-
+	// persistence layer snapshots the Q-table here. Called under the
+	// session mutex (between episodes, never on the hot path): keep it
+	// proportional to the policy's table size and do not call back into
+	// the session.
+	PolicySweep func(b *query.Batch, ctx *exec.Context, live bitset.Set)
 }
 
 // ConvergencePoint is one episode's measured cost and the policy's estimate
@@ -478,6 +488,18 @@ func (s *Session) Context() *exec.Context { return s.ctx }
 
 // Policy returns the planning policy in use.
 func (s *Session) Policy() policy.Policy { return s.pol }
+
+// WithCompiled runs fn under the session mutex with the compiled batch,
+// the execution context, and the currently admitted query set. It is the
+// streaming-safe way to inspect (or warm-start) the policy against the
+// live positional ID spaces: between episodes the batch and context are
+// stable, and fn observes them without racing admissions or GC. fn must
+// not block or call back into the session.
+func (s *Session) WithCompiled(fn func(b *query.Batch, ctx *exec.Context, admitted bitset.Set)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.b, s.ctx, s.admitted)
+}
 
 // admitLocked activates query qid on all its instances' scans.
 func (s *Session) admitLocked(qid int) {

@@ -418,6 +418,13 @@ func (s *Session) gcQuantumLocked() {
 // can dereference a reclaimed source or meet a recycled query ID.
 func (s *Session) gcFinishLocked() {
 	g := &s.gc
+	if cb := s.cfg.PolicySweep; cb != nil {
+		// Last moment the learned state about the swept queries is still
+		// addressable: the batch is intact and s.admitted still carries the
+		// retiring IDs, so the callback can export policy priors before
+		// RetireQueries/PruneRetired erase them.
+		cb(s.b, s.ctx, s.admitted)
+	}
 	changed := s.b.RetireQueries(g.active)
 	s.ctx.RebuildFilters(changed) // republishes the view
 	if pr, ok := s.pol.(retirePruner); ok {

@@ -678,3 +678,35 @@ func (c *Context) SelOpsFor(inst query.InstID, prunable func(edgeID int, other q
 // NumSelOps returns the size of the selection-operator ID space (grouped
 // filters plus prune ops), for policies that track per-op statistics.
 func (c *Context) NumSelOps() int { return len(c.selOps) }
+
+// SelOpDesc describes one stable selection-operator ID for callers that
+// must canonicalize the ID space (the policy-persistence remap builder):
+// which instance the op runs on, its stable bit within that instance's
+// applied-operator mask, and its identity — a grouped filter's SelCol ID
+// or a prune op's edge.
+type SelOpDesc struct {
+	ID     int
+	Inst   query.InstID
+	Bit    int
+	Prune  bool
+	SelCol int    // grouped-filter SelCol ID; -1 for prune ops
+	EdgeID int    // prune op's edge; -1 for grouped filters
+	Col    string // filter column, or the prune op's local join column
+}
+
+// SelOpDescs lists every selection operator in stable-ID order.
+func (c *Context) SelOpDescs() []SelOpDesc {
+	out := make([]SelOpDesc, len(c.selOps))
+	for id, ref := range c.selOps {
+		d := SelOpDesc{ID: id, Prune: ref.prune, SelCol: -1, EdgeID: -1}
+		if ref.prune {
+			p := &c.PruneOps[ref.idx]
+			d.Inst, d.Bit, d.EdgeID, d.Col = p.Inst, p.Bit, p.EdgeID, p.LocalCol
+		} else {
+			sc := &c.B.SelCols[ref.idx]
+			d.Inst, d.Bit, d.SelCol, d.Col = sc.Inst, c.filterBits[ref.idx], sc.ID, sc.Col
+		}
+		out[id] = d
+	}
+	return out
+}

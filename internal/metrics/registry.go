@@ -45,6 +45,12 @@ type Registry struct {
 	GCConcurrentQuanta atomic.Int64 // GC quanta executed while episodes were in flight
 	EpochLag           atomic.Int64 // generations the oldest pinned worker trails the domain (gauge)
 
+	// Cross-batch policy persistence (template-keyed warm starts).
+	PolicyCacheHits    atomic.Int64 // snapshot lookups that found a cached template
+	PolicyCacheMisses  atomic.Int64 // snapshot lookups that came up cold
+	PolicyCacheStores  atomic.Int64 // snapshots exported into the cache
+	WarmStartedQueries atomic.Int64 // queries that began executing under an imported prior
+
 	// AdmitLatency is the submit-to-first-episode latency distribution in
 	// microseconds: the time from SubmitLive returning a query ID to the
 	// first episode vector carrying the query's bit being handed to a
@@ -197,6 +203,10 @@ type RegistrySnapshot struct {
 
 	GCConcurrentQuanta int64   `json:"gc_concurrent_quanta"`
 	EpochLag           int64   `json:"epoch_lag"`
+	PolicyCacheHits    int64   `json:"policy_cache_hits"`
+	PolicyCacheMisses  int64   `json:"policy_cache_misses"`
+	PolicyCacheStores  int64   `json:"policy_cache_stores"`
+	WarmStartedQueries int64   `json:"warm_started_queries"`
 	AdmitObserved      int64   `json:"admit_observed"`
 	AdmitP50Us         int64   `json:"admit_latency_p50_micros"`
 	AdmitP95Us         int64   `json:"admit_latency_p95_micros"`
@@ -240,6 +250,10 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 
 		GCConcurrentQuanta: r.GCConcurrentQuanta.Load(),
 		EpochLag:           r.EpochLag.Load(),
+		PolicyCacheHits:    r.PolicyCacheHits.Load(),
+		PolicyCacheMisses:  r.PolicyCacheMisses.Load(),
+		PolicyCacheStores:  r.PolicyCacheStores.Load(),
+		WarmStartedQueries: r.WarmStartedQueries.Load(),
 		AdmitObserved:      r.AdmitLatency.Count(),
 		AdmitP50Us:         r.AdmitLatency.Quantile(0.50),
 		AdmitP95Us:         r.AdmitLatency.Quantile(0.95),
@@ -287,6 +301,10 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	p.Counter("roulette_starvation_boosts_total", "Starvation-watchdog activations boosting an unserved tenant.", float64(s.StarvationBoosts))
 	p.Counter("roulette_gc_concurrent_quanta", "GC quanta executed while episodes were in flight (concurrent, not stop-the-world).", float64(s.GCConcurrentQuanta))
 	p.Gauge("roulette_epoch_lag", "Generations the oldest pinned worker trails the epoch domain.", float64(s.EpochLag))
+	p.Counter("roulette_policy_cache_hits_total", "Policy-snapshot lookups that found a cached template.", float64(s.PolicyCacheHits))
+	p.Counter("roulette_policy_cache_misses_total", "Policy-snapshot lookups that came up cold.", float64(s.PolicyCacheMisses))
+	p.Counter("roulette_policy_cache_stores_total", "Q-table snapshots exported into the policy cache.", float64(s.PolicyCacheStores))
+	p.Counter("roulette_warm_started_queries_total", "Queries that began executing under an imported learned prior.", float64(s.WarmStartedQueries))
 	p.Counter("roulette_admissions_observed_total", "Live admissions with an observed submit-to-first-episode latency.", float64(s.AdmitObserved))
 	p.Gauge("roulette_admit_latency_micros", "Submit-to-first-episode latency quantile upper bounds.",
 		float64(s.AdmitP50Us), Label{"quantile", "0.5"})

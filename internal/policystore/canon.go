@@ -1,0 +1,310 @@
+package policystore
+
+import (
+	"sort"
+
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/metrics"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// Space is the template-relative naming of a batch's live state: a
+// canonical ordering of its queries, instances, join edges and selection
+// operators that depends only on the workload's shape — not on query
+// submission order, recycled query IDs, or interning order. Snapshots
+// are exported through ToCanon and imported back through ToLive, so two
+// runs of the same workload exchange learned state even though their
+// positional IDs differ.
+type Space struct {
+	Sig     uint64 // template-set signature: the policy-cache key
+	ToCanon *qlearn.Remap
+	ToLive  *qlearn.Remap
+}
+
+// BuildSpace derives the canonical naming from the compiled batch, the
+// execution context's selection-operator table, and the live query set.
+// It returns nil when no live query exists. Runs off the episode hot
+// path only (submit, GC finish, batch setup/teardown).
+func BuildSpace(b *query.Batch, ctx *exec.Context, live bitset.Set) *Space {
+	// Canonical queries: live IDs sorted by (template, full signature,
+	// qid). Queries of the same template are interchangeable across runs;
+	// the signature tiebreak just makes the order deterministic in-run.
+	type liveQ struct {
+		qid       int
+		tpl, qsig uint64
+	}
+	var qs []liveQ
+	for _, qid := range live.IDs() {
+		if qid >= len(b.Queries) || b.Queries[qid] == nil {
+			continue
+		}
+		q := b.Queries[qid]
+		qs = append(qs, liveQ{qid, query.TemplateSig(q), query.QuerySig(q)})
+	}
+	if len(qs) == 0 {
+		return nil
+	}
+	sort.Slice(qs, func(i, j int) bool {
+		a, c := qs[i], qs[j]
+		if a.tpl != c.tpl {
+			return a.tpl < c.tpl
+		}
+		if a.qsig != c.qsig {
+			return a.qsig < c.qsig
+		}
+		return a.qid < c.qid
+	})
+	tpls := make([]uint64, len(qs))
+	for i, lq := range qs {
+		tpls[i] = lq.tpl
+	}
+	cs := &Space{
+		Sig:     query.SetSig(tpls),
+		ToCanon: &qlearn.Remap{NQ: len(qs)},
+		ToLive:  &qlearn.Remap{NQ: b.QCap()},
+	}
+	cs.ToCanon.Query = negOnes(b.QCap())
+	cs.ToLive.Query = make([]int, len(qs))
+	liveOnly := bitset.New(b.QCap())
+	for ci, lq := range qs {
+		cs.ToCanon.Query[lq.qid] = ci
+		cs.ToLive.Query[ci] = lq.qid
+		liveOnly.Add(lq.qid)
+	}
+
+	// Canonical instances: those serving a live query, sorted by
+	// (table, occurrence) — the same identity planQuery interns by, made
+	// independent of interning order.
+	instOrder := make([]int, 0, len(b.Insts))
+	for i := range b.Insts {
+		if bitset.Intersects(b.Insts[i].Queries, liveOnly) {
+			instOrder = append(instOrder, i)
+		}
+	}
+	sort.Slice(instOrder, func(i, j int) bool {
+		a, c := &b.Insts[instOrder[i]], &b.Insts[instOrder[j]]
+		if a.Table != c.Table {
+			return a.Table < c.Table
+		}
+		return a.Occ < c.Occ
+	})
+	cs.ToCanon.Inst = negOnes(len(b.Insts))
+	cs.ToLive.Inst = make([]int, len(instOrder))
+	for ci, li := range instOrder {
+		cs.ToCanon.Inst[li] = ci
+		cs.ToLive.Inst[ci] = li
+	}
+
+	// Canonical edges: live edges re-normalized over canonical endpoint
+	// IDs (so the A/B orientation is shape-derived, not interning-order-
+	// derived) and sorted.
+	type edgeRef struct {
+		ia, ib int
+		ca, cb string
+		liveID int
+	}
+	var edges []edgeRef
+	for i := range b.Edges {
+		e := &b.Edges[i]
+		if !bitset.Intersects(e.Queries, liveOnly) {
+			continue
+		}
+		ia, ib := cs.ToCanon.Inst[e.A], cs.ToCanon.Inst[e.B]
+		if ia < 0 || ib < 0 {
+			continue
+		}
+		ca, cb := e.ACol, e.BCol
+		if ia > ib || (ia == ib && ca > cb) {
+			ia, ca, ib, cb = ib, cb, ia, ca
+		}
+		edges = append(edges, edgeRef{ia, ib, ca, cb, e.ID})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, c := &edges[i], &edges[j]
+		if a.ia != c.ia {
+			return a.ia < c.ia
+		}
+		if a.ca != c.ca {
+			return a.ca < c.ca
+		}
+		if a.ib != c.ib {
+			return a.ib < c.ib
+		}
+		return a.cb < c.cb
+	})
+	cs.ToCanon.JoinOp = negOnes(len(b.Edges))
+	cs.ToLive.JoinOp = make([]int, len(edges))
+	for ci, er := range edges {
+		cs.ToCanon.JoinOp[er.liveID] = ci
+		cs.ToLive.JoinOp[ci] = er.liveID
+	}
+
+	// Canonical selection operators, restricted to live-relevant ones —
+	// grouped filters still serving a live query, prune operators of live
+	// edges — so stale operators left by retired queries cannot shift the
+	// canonical ranks. Sorted by (instance, kind, column, edge); the
+	// per-instance lineage bit is the operator's rank within its instance.
+	descs := ctx.SelOpDescs()
+	type selRef struct {
+		inst     int // canonical instance
+		prune    bool
+		col      string
+		edge     int // canonical edge, -1 for grouped filters
+		liveID   int
+		liveInst int
+		liveBit  int
+	}
+	var sels []selRef
+	maxBit := make([]int, len(b.Insts))
+	for _, d := range descs {
+		ci := -1
+		if int(d.Inst) < len(cs.ToCanon.Inst) {
+			ci = cs.ToCanon.Inst[d.Inst]
+		}
+		if ci < 0 {
+			continue
+		}
+		sr := selRef{inst: ci, prune: d.Prune, col: d.Col, edge: -1,
+			liveID: d.ID, liveInst: int(d.Inst), liveBit: d.Bit}
+		if d.Prune {
+			if d.EdgeID < 0 || d.EdgeID >= len(cs.ToCanon.JoinOp) {
+				continue
+			}
+			sr.edge = cs.ToCanon.JoinOp[d.EdgeID]
+			if sr.edge < 0 {
+				continue
+			}
+		} else {
+			if d.SelCol < 0 || d.SelCol >= len(b.SelCols) ||
+				!bitset.Intersects(b.SelCols[d.SelCol].Queries, liveOnly) {
+				continue
+			}
+		}
+		sels = append(sels, sr)
+		if d.Bit >= maxBit[d.Inst] {
+			maxBit[d.Inst] = d.Bit + 1
+		}
+	}
+	sort.Slice(sels, func(i, j int) bool {
+		a, c := &sels[i], &sels[j]
+		if a.inst != c.inst {
+			return a.inst < c.inst
+		}
+		if a.prune != c.prune {
+			return !a.prune
+		}
+		if a.col != c.col {
+			return a.col < c.col
+		}
+		return a.edge < c.edge
+	})
+	cs.ToCanon.SelOp = negOnes(len(descs))
+	cs.ToLive.SelOp = make([]int, len(sels))
+	cs.ToCanon.SelBit = make([][]int, len(b.Insts))
+	for li, n := range maxBit {
+		if n > 0 {
+			cs.ToCanon.SelBit[li] = negOnes(n)
+		}
+	}
+	cs.ToLive.SelBit = make([][]int, len(instOrder))
+	rank := make([]int, len(instOrder)) // next bit per canonical instance
+	for ci, sr := range sels {
+		cs.ToCanon.SelOp[sr.liveID] = ci
+		cs.ToLive.SelOp[ci] = sr.liveID
+		bit := rank[sr.inst]
+		rank[sr.inst]++
+		cs.ToCanon.SelBit[sr.liveInst][sr.liveBit] = bit
+		cs.ToLive.SelBit[sr.inst] = append(cs.ToLive.SelBit[sr.inst], sr.liveBit)
+	}
+	return cs
+}
+
+func negOnes(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = -1
+	}
+	return m
+}
+
+// importOne looks one canonical space up in the cache and folds a hit
+// into the policy, returning the number of imported Q-states.
+func (c *Cache) importOne(pol *qlearn.Learned, cs *Space) int {
+	reg := metrics.Default()
+	snap := c.Get(cs.Sig)
+	if snap == nil {
+		reg.PolicyCacheMisses.Add(1)
+		return 0
+	}
+	reg.PolicyCacheHits.Add(1)
+	return pol.Import(snap, cs.ToLive)
+}
+
+// Import warm-starts a learned policy from the cache: first against the
+// whole live set's template signature, then — when that misses — query
+// by query against each member's own template, so a stream whose sweeps
+// never saw this exact combination still reuses per-query priors.
+// Returns the number of Q-states imported (0 on a fully cold lookup).
+func (c *Cache) Import(pol *qlearn.Learned, b *query.Batch, ctx *exec.Context, live bitset.Set) int {
+	cs := BuildSpace(b, ctx, live)
+	if cs == nil {
+		return 0
+	}
+	if n := c.importOne(pol, cs); n > 0 {
+		return n
+	}
+	qids := live.IDs()
+	if len(qids) <= 1 {
+		return 0 // the singleton signature is the one that just missed
+	}
+	n := 0
+	single := bitset.New(b.QCap())
+	for _, qid := range qids {
+		single.Add(qid)
+		if scs := BuildSpace(b, ctx, single); scs != nil {
+			n += c.importOne(pol, scs)
+		}
+		single.Remove(qid)
+	}
+	return n
+}
+
+// exportOne snapshots one canonical space into the cache. Returns the
+// number of exported Q-states.
+func (c *Cache) exportOne(pol *qlearn.Learned, cs *Space) int {
+	snap := pol.Export(cs.ToCanon)
+	if len(snap.Entries) == 0 {
+		return 0
+	}
+	c.Put(cs.Sig, snap)
+	metrics.Default().PolicyCacheStores.Add(1)
+	return len(snap.Entries)
+}
+
+// Export snapshots a learned policy's state about the live queries into
+// the cache: once under the whole set's template signature, and — for
+// multi-query sets — once per query under its own template (shared
+// states drop out of the per-query snapshots; exclusive states survive,
+// which is what lets a differently-batched future run still warm-start).
+// Returns the number of Q-states in the full-set export.
+func (c *Cache) Export(pol *qlearn.Learned, b *query.Batch, ctx *exec.Context, live bitset.Set) int {
+	cs := BuildSpace(b, ctx, live)
+	if cs == nil {
+		return 0
+	}
+	n := c.exportOne(pol, cs)
+	qids := live.IDs()
+	if len(qids) > 1 {
+		single := bitset.New(b.QCap())
+		for _, qid := range qids {
+			single.Add(qid)
+			if scs := BuildSpace(b, ctx, single); scs != nil {
+				c.exportOne(pol, scs)
+			}
+			single.Remove(qid)
+		}
+	}
+	return n
+}

@@ -21,7 +21,7 @@ func TestPruneRetiredMatchesReference(t *testing.T) {
 		ref := NewRefTable()
 		ops := genOps(rng, 400)
 		for _, o := range ops {
-			*tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op) = o.value
+			tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op).value = o.value
 			ref.Set(o.phase, o.inst, o.lineage, o.q, o.op, o.value)
 		}
 
@@ -61,7 +61,7 @@ func TestPruneRetiredIntersection(t *testing.T) {
 	liveOnly := bitset.FromIDs(4, 0)
 	retiredOnly := bitset.FromIDs(4, 1)
 	for i, q := range []bitset.Set{shared, liveOnly, retiredOnly} {
-		*tbl.Slot(policy.SelPhase, query.InstID(0), 1, q, i) = float64(i + 1)
+		tbl.Slot(policy.SelPhase, query.InstID(0), 1, q, i).value = float64(i + 1)
 	}
 
 	retired := bitset.FromIDs(4, 1)
@@ -89,7 +89,7 @@ func TestPruneRetiredIntersection(t *testing.T) {
 func TestLearnedPruneRetired(t *testing.T) {
 	l := New(DefaultConfig())
 	q := bitset.FromIDs(4, 2)
-	*l.table.Slot(policy.SelPhase, 0, 1, q, 0) = 5
+	l.table.Slot(policy.SelPhase, 0, 1, q, 0).value = 5
 	if removed := l.PruneRetired(bitset.FromIDs(4, 2)); removed != 1 {
 		t.Fatalf("Learned.PruneRetired = %d, want 1", removed)
 	}

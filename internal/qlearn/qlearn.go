@@ -54,6 +54,10 @@ type Learned struct {
 	// the choose hot path allocation-free.
 	explores int64
 	exploits int64
+
+	// warm marks a policy seeded from a snapshot import: ε was dropped
+	// toward exploit-mode because prior runs already paid for exploration.
+	warm bool
 }
 
 // New creates a learned policy for a compiled batch.
@@ -180,8 +184,9 @@ func (l *Learned) Observe(entries []policy.LogEntry) {
 			r += (-l.model.Kappa[cost.RoutingSelection]*nIn - l.model.Lambda[cost.RoutingSelection]*nDiv + l.cfg.Gamma*nDiv*q2) / nIn
 		}
 
-		p := l.table.Slot(e.Phase, e.Inst, e.Lineage, e.Q, e.Op)
-		*p = (1-l.cfg.Mu)**p + l.cfg.Mu*r
+		s := l.table.Slot(e.Phase, e.Inst, e.Lineage, e.Q, e.Op)
+		s.value = (1-l.cfg.Mu)*s.value + l.cfg.Mu*r
+		s.visits++
 	}
 }
 

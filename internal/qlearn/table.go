@@ -22,19 +22,29 @@ import (
 // qInlineWords is the number of query-set words stored inline per entry.
 const qInlineWords = 3
 
-// tableEntry is one open-addressing slot.
+// tableEntry is one open-addressing slot. visits counts updates through
+// Slot callers (Observe, snapshot imports); it weights cross-run merges
+// (snapshot.go) and costs nothing on the read path.
 type tableEntry struct {
 	hash    uint64
 	lineage uint64
 	qw      [qInlineWords]uint64
 	qext    []uint64 // trimmed words beyond qInlineWords; nil for short sets
 	value   float64
+	visits  uint32
 	op      int32
 	inst    uint8
 	phase   uint8
 	qlen    uint8 // total significant (trimmed) query-set words
 	used    bool
 }
+
+// Value returns the entry's Q-value.
+func (e *tableEntry) Value() float64 { return e.value }
+
+// SetValue stores v without counting a visit (external harness use;
+// Observe and snapshot imports write the fields directly).
+func (e *tableEntry) SetValue(v float64) { e.value = v }
 
 // Table is an open-addressing Q-table over (phase, inst, lineage, Q, op)
 // states. It is not safe for concurrent use; Learned serializes access
@@ -122,11 +132,12 @@ func (t *Table) Get(phase policy.Phase, inst query.InstID, lineage uint64, q bit
 	}
 }
 
-// Slot returns a pointer to the state's value, inserting a zero entry if
-// absent. The pointer is invalidated by the next Slot call (growth may move
-// entries); callers must use it immediately. For states already present the
-// call never allocates.
-func (t *Table) Slot(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int) *float64 {
+// Slot returns the state's entry, inserting a zero entry if absent, so
+// callers can update value and visits in one probe. The pointer is
+// invalidated by the next Slot call (growth may move entries); callers
+// must use it immediately and only touch value/visits. For states already
+// present the call never allocates.
+func (t *Table) Slot(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int) *tableEntry {
 	if t.n >= len(t.entries)-len(t.entries)/4 { // load factor 3/4
 		t.grow()
 	}
@@ -139,7 +150,7 @@ func (t *Table) Slot(phase policy.Phase, inst query.InstID, lineage uint64, q bi
 		e := &t.entries[i]
 		if e.used {
 			if e.matches(h, phase, inst, lineage, op, q, qlen) {
-				return &e.value
+				return e
 			}
 			continue
 		}
@@ -161,7 +172,7 @@ func (t *Table) Slot(phase policy.Phase, inst query.InstID, lineage uint64, q bi
 			e.qext = append([]uint64(nil), q[qInlineWords:qlen]...)
 		}
 		t.n++
-		return &e.value
+		return e
 	}
 }
 
@@ -246,13 +257,17 @@ func (t *Table) PruneRetired(retired bitset.Set) int {
 
 // RefTable is the original string-keyed map Q-table, retained as the
 // reference oracle: equivalence tests drive Table and RefTable with the
-// same operation sequences and compare every result.
+// same operation sequences and compare every result. visits mirrors
+// Table's per-entry update counts (Set counts as one update).
 type RefTable struct {
-	m map[string]float64
+	m      map[string]float64
+	visits map[string]uint32
 }
 
 // NewRefTable returns an empty reference table.
-func NewRefTable() *RefTable { return &RefTable{m: make(map[string]float64)} }
+func NewRefTable() *RefTable {
+	return &RefTable{m: make(map[string]float64), visits: make(map[string]uint32)}
+}
 
 // Len returns the number of stored entries.
 func (r *RefTable) Len() int { return len(r.m) }
@@ -262,9 +277,11 @@ func (r *RefTable) Get(phase policy.Phase, inst query.InstID, lineage uint64, q 
 	return r.m[key(phase, inst, lineage, q, op)]
 }
 
-// Set stores Q((L,Q),op) through the map.
+// Set stores Q((L,Q),op) through the map and counts the update.
 func (r *RefTable) Set(phase policy.Phase, inst query.InstID, lineage uint64, q bitset.Set, op int, v float64) {
-	r.m[key(phase, inst, lineage, q, op)] = v
+	k := key(phase, inst, lineage, q, op)
+	r.m[k] = v
+	r.visits[k]++
 }
 
 // PruneRetired mirrors Table.PruneRetired on the reference oracle, decoding
@@ -288,6 +305,7 @@ func (r *RefTable) PruneRetired(retired bitset.Set) int {
 		}
 		if hit {
 			delete(r.m, k)
+			delete(r.visits, k)
 			removed++
 		}
 	}

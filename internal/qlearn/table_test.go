@@ -74,7 +74,9 @@ func TestTableMatchesMapReference(t *testing.T) {
 		ref := NewRefTable()
 		for _, o := range genOps(rng, 400) {
 			if o.set {
-				*tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op) = o.value
+				s := tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op)
+				s.value = o.value
+				s.visits++
 				ref.Set(o.phase, o.inst, o.lineage, o.q, o.op, o.value)
 			} else if tbl.Get(o.phase, o.inst, o.lineage, o.q, o.op) !=
 				ref.Get(o.phase, o.inst, o.lineage, o.q, o.op) {
@@ -116,7 +118,9 @@ func TestTableCollisionHeavyQsets(t *testing.T) {
 	}
 	for i, s := range sets {
 		v := float64(i + 1)
-		*tbl.Slot(policy.JoinPhase, 0, 1, s, 0) = v
+		e := tbl.Slot(policy.JoinPhase, 0, 1, s, 0)
+		e.value = v
+		e.visits++
 		ref.Set(policy.JoinPhase, 0, 1, s, 0, v)
 	}
 	for _, s := range sets {
@@ -137,8 +141,8 @@ func TestTableSteadyStateDoesNotAllocate(t *testing.T) {
 	tbl := NewTable()
 	short := bitset.NewFull(64)
 	long := bitset.NewFull(400)
-	*tbl.Slot(policy.JoinPhase, 0, 3, short, 1) = 1
-	*tbl.Slot(policy.JoinPhase, 0, 3, long, 1) = 2
+	tbl.Slot(policy.JoinPhase, 0, 3, short, 1).value = 1
+	tbl.Slot(policy.JoinPhase, 0, 3, long, 1).value = 2
 
 	allocs := testing.AllocsPerRun(200, func() {
 		if tbl.Get(policy.JoinPhase, 0, 3, short, 1) == 0 {
@@ -147,8 +151,8 @@ func TestTableSteadyStateDoesNotAllocate(t *testing.T) {
 		if tbl.Get(policy.JoinPhase, 0, 3, long, 1) == 0 {
 			t.Fatal("lost long entry")
 		}
-		*tbl.Slot(policy.JoinPhase, 0, 3, short, 1) += 0.5
-		*tbl.Slot(policy.JoinPhase, 0, 3, long, 1) += 0.5
+		tbl.Slot(policy.JoinPhase, 0, 3, short, 1).value += 0.5
+		tbl.Slot(policy.JoinPhase, 0, 3, long, 1).value += 0.5
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state table ops allocate %.1f allocs/op, want 0", allocs)
@@ -191,14 +195,14 @@ func BenchmarkQTableOpenAddressing(b *testing.B) {
 	tbl := NewTable()
 	for i := range ops {
 		o := &ops[i]
-		*tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op) = o.value
+		tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op).value = o.value
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := &ops[i%len(ops)]
 		v := tbl.Get(o.phase, o.inst, o.lineage, o.q, o.op)
-		*tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op) = v + 1
+		tbl.Slot(o.phase, o.inst, o.lineage, o.q, o.op).value = v + 1
 	}
 }
 

@@ -1,0 +1,134 @@
+package query
+
+import "testing"
+
+// tq builds the canonical three-way test query: store_sales ⋈ date_dim,
+// store_sales ⋈ item, with a range filter on date_dim.
+func tq() *Query {
+	return &Query{
+		Tag:  "a",
+		Rels: []RelRef{{Table: "store_sales"}, {Table: "date_dim"}, {Table: "item"}},
+		Joins: []Join{
+			{LeftAlias: "store_sales", LeftCol: "sold_date_sk", RightAlias: "date_dim", RightCol: "d_date_sk"},
+			{LeftAlias: "store_sales", LeftCol: "item_sk", RightAlias: "item", RightCol: "i_item_sk"},
+		},
+		Filters: []Filter{{Alias: "date_dim", Col: "u", Lo: 10, Hi: 200}},
+	}
+}
+
+func TestTemplateSigStableAcrossClauseOrderAndAliases(t *testing.T) {
+	base := TemplateSig(tq())
+
+	// Reordered joins and filters: same template.
+	q := tq()
+	q.Joins[0], q.Joins[1] = q.Joins[1], q.Joins[0]
+	if got := TemplateSig(q); got != base {
+		t.Fatalf("join order changed the signature: %x vs %x", got, base)
+	}
+
+	// Swapped join endpoints: planQuery normalizes the edge, so must we.
+	q = tq()
+	j := q.Joins[0]
+	q.Joins[0] = Join{LeftAlias: j.RightAlias, LeftCol: j.RightCol, RightAlias: j.LeftAlias, RightCol: j.LeftCol}
+	if got := TemplateSig(q); got != base {
+		t.Fatalf("endpoint swap changed the signature: %x vs %x", got, base)
+	}
+
+	// Renamed aliases: identity is (table, occurrence), not the alias.
+	q = tq()
+	q.Rels[1].Alias = "d"
+	q.Joins[0].RightAlias = "d"
+	q.Filters[0].Alias = "d"
+	if got := TemplateSig(q); got != base {
+		t.Fatalf("alias rename changed the signature: %x vs %x", got, base)
+	}
+
+	// Different tag, different constants, different aggregate: same template.
+	q = tq()
+	q.Tag = "b"
+	q.Filters[0].Lo, q.Filters[0].Hi = 500, 700
+	q.Agg = Agg{Kind: AggSum, Alias: "item", Col: "u"}
+	if got := TemplateSig(q); got != base {
+		t.Fatalf("constants/agg changed the template signature: %x vs %x", got, base)
+	}
+}
+
+func TestTemplateSigDistinguishesShape(t *testing.T) {
+	base := TemplateSig(tq())
+
+	// Extra relation + join.
+	q := tq()
+	q.Rels = append(q.Rels, RelRef{Table: "store"})
+	q.Joins = append(q.Joins, Join{LeftAlias: "store_sales", LeftCol: "store_sk", RightAlias: "store", RightCol: "s_store_sk"})
+	if TemplateSig(q) == base {
+		t.Fatal("extra join did not change the signature")
+	}
+
+	// Different join column.
+	q = tq()
+	q.Joins[1].LeftCol = "other_sk"
+	if TemplateSig(q) == base {
+		t.Fatal("different join column did not change the signature")
+	}
+
+	// Different filter kind.
+	q = tq()
+	q.Filters[0].Kind = KindIsNull
+	if TemplateSig(q) == base {
+		t.Fatal("different filter kind did not change the signature")
+	}
+
+	// Filter on a different relation.
+	q = tq()
+	q.Filters[0].Alias = "item"
+	if TemplateSig(q) == base {
+		t.Fatal("moved filter did not change the signature")
+	}
+}
+
+func TestTemplateSigSelfJoinOccurrences(t *testing.T) {
+	// A self-join: two occurrences of the same table must not collapse.
+	q := &Query{
+		Rels: []RelRef{{Table: "item", Alias: "a"}, {Table: "item", Alias: "b"}},
+		Joins: []Join{
+			{LeftAlias: "a", LeftCol: "i_category", RightAlias: "b", RightCol: "i_category"},
+		},
+	}
+	single := &Query{
+		Rels:  []RelRef{{Table: "item", Alias: "a"}, {Table: "store", Alias: "b"}},
+		Joins: []Join{{LeftAlias: "a", LeftCol: "i_category", RightAlias: "b", RightCol: "i_category"}},
+	}
+	if TemplateSig(q) == TemplateSig(single) {
+		t.Fatal("self-join hashed like a two-table join")
+	}
+}
+
+func TestQuerySigIncludesConstants(t *testing.T) {
+	a, b := tq(), tq()
+	if QuerySig(a) != QuerySig(b) {
+		t.Fatal("identical queries disagree on QuerySig")
+	}
+	b.Filters[0].Lo = 11
+	if QuerySig(a) == QuerySig(b) {
+		t.Fatal("QuerySig ignored a constant change")
+	}
+	if TemplateSig(a) != TemplateSig(b) {
+		t.Fatal("TemplateSig depended on a constant")
+	}
+}
+
+func TestSetSigOrderIndependent(t *testing.T) {
+	s1, s2, s3 := uint64(7), uint64(11), uint64(13)
+	a := SetSig([]uint64{s1, s2, s3})
+	b := SetSig([]uint64{s3, s1, s2})
+	if a != b {
+		t.Fatalf("SetSig depends on order: %x vs %x", a, b)
+	}
+	if SetSig([]uint64{s1, s2}) == a {
+		t.Fatal("SetSig ignored a member")
+	}
+	// Multiset, not set: duplicates count.
+	if SetSig([]uint64{s1, s1, s2, s3}) == a {
+		t.Fatal("SetSig collapsed duplicates")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/catalog"
 	"github.com/roulette-db/roulette/internal/cost"
 	"github.com/roulette-db/roulette/internal/engine"
@@ -349,6 +350,15 @@ type Options struct {
 	// the stall watchdog's reports (StreamOptions.StallWatchdog). Nil
 	// discards everything; execution never logs on the hot path either way.
 	Logger *slog.Logger
+
+	// PolicyStore warm-starts the learned policy from (and exports it back
+	// into) a template-keyed snapshot cache, so recurring workloads skip
+	// the exploration earlier runs already paid for. Only PolicyLearned
+	// uses it; a cold (or nil) store leaves execution bit-for-bit
+	// identical to a run without one. On batches the import happens before
+	// the run and the export after it; on streams, at every Submit and
+	// every retirement sweep (plus Close). See NewPolicyStore.
+	PolicyStore *PolicyStore
 }
 
 // execOptions converts Options to the internal executor options.
@@ -448,9 +458,30 @@ func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []*Query, o *Option
 	if err != nil {
 		return nil, err
 	}
+
+	// Warm start / snapshot-back: only for the learned policy, and only
+	// off the run itself. A cold lookup leaves the policy untouched, so a
+	// run over an empty store matches a store-less run exactly.
+	var store *PolicyStore
+	var learned *qlearn.Learned
+	if o != nil && o.PolicyStore != nil {
+		if lp, ok := pol.(*qlearn.Learned); ok {
+			store, learned = o.PolicyStore, lp
+		}
+	}
+	allLive := bitset.NewFull(b.N)
+	if store != nil {
+		if n := importPolicy(store, learned, b, s.Context(), allLive); n > 0 {
+			metrics.Default().WarmStartedQueries.Add(int64(b.N))
+		}
+	}
+
 	res, err := s.RunContext(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if store != nil {
+		exportPolicy(store, learned, b, s.Context(), allLive)
 	}
 	return e.buildResult(b, s, res, ring)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/roulette-db/roulette/internal/admission"
+	"github.com/roulette-db/roulette/internal/bitset"
 	"github.com/roulette-db/roulette/internal/cost"
 	"github.com/roulette-db/roulette/internal/engine"
 	"github.com/roulette-db/roulette/internal/exec"
@@ -202,6 +203,8 @@ type Stream struct {
 	opt     StreamOptions
 	adm     *admission.Controller // nil when opt.Admission is nil
 	model   *cost.Model           // admission cost estimates
+	store   *PolicyStore          // nil without Options.PolicyStore
+	learned *qlearn.Learned       // the stream's policy when PolicyLearned
 	trace   *metrics.Ring         // episode + control-plane event trace (TraceEpisodes)
 	results chan QueryResult
 	resOnce sync.Once
@@ -252,11 +255,13 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 		cfg.DeadlineUrgency = a.DeadlineUrgency
 		cfg.StarveEpisodes = a.StarveEpisodes
 	}
+	var learned *qlearn.Learned
 	switch opt.Policy {
 	case PolicyLearned:
 		qcfg := qlearn.DefaultConfig()
 		qcfg.Seed = seed
-		cfg.Policy = qlearn.New(qcfg)
+		learned = qlearn.New(qcfg)
+		cfg.Policy = learned
 	case PolicyRandom:
 		cfg.Policy = policy.NewRandom(seed)
 	default:
@@ -298,6 +303,16 @@ func (e *Engine) OpenStream(ctx context.Context, o *StreamOptions) (*Stream, err
 	}
 	s.resCond = sync.NewCond(&s.mu)
 	cfg.OnRetire = s.onRetire
+	if opt.PolicyStore != nil && learned != nil {
+		s.store, s.learned = opt.PolicyStore, learned
+		// Snapshot-on-retirement: the GC finish pass invokes this at the
+		// last moment the swept queries' learned state is still addressable
+		// by live IDs. Runs under the session mutex, between episodes —
+		// never on the zero-alloc episode step.
+		cfg.PolicySweep = func(b *query.Batch, ctx *exec.Context, live bitset.Set) {
+			exportPolicy(s.store, s.learned, b, ctx, live)
+		}
+	}
 	sess, err := engine.NewSession(b, e.db, cfg)
 	if err != nil {
 		return nil, err
@@ -424,6 +439,16 @@ func (s *Stream) Submit(q *Query) (*Ticket, error) {
 			s.adm.Release(tenant, estCost)
 		}
 		return nil, err
+	}
+	if s.store != nil {
+		// Warm start: if the store has a snapshot for the now-live template
+		// set, fold it into the policy before the new query burns episodes
+		// exploring. A miss changes nothing.
+		s.sess.WithCompiled(func(b *query.Batch, ctx *exec.Context, admitted bitset.Set) {
+			if n := importPolicy(s.store, s.learned, b, ctx, admitted); n > 0 {
+				metrics.Default().WarmStartedQueries.Add(1)
+			}
+		})
 	}
 	t := &Ticket{
 		s: s, qid: qid, tag: cp.Tag,
@@ -617,10 +642,38 @@ func (s *Stream) AdmissionStats() (inFlightCost float64, admitted, rejected int6
 	return inUse, adm, rej, tenants
 }
 
+// SnapshotPolicy exports the stream's current learned state about its
+// live queries into the policy store immediately, returning the number
+// of Q-states captured. Retirement sweeps and Close do this
+// automatically; the explicit hook exists for operator tooling (e.g.
+// saving a policy file mid-stream). Zero when the stream has no store,
+// no learned policy, or no live queries.
+func (s *Stream) SnapshotPolicy() int {
+	if s.store == nil {
+		return 0
+	}
+	n := 0
+	s.sess.WithCompiled(func(b *query.Batch, ctx *exec.Context, admitted bitset.Set) {
+		n = exportPolicy(s.store, s.learned, b, ctx, admitted)
+	})
+	return n
+}
+
+// PolicyStoreStats snapshots the attached store's counters (zero value
+// when the stream has none).
+func (s *Stream) PolicyStoreStats() PolicyStoreStats {
+	if s.store == nil {
+		return PolicyStoreStats{}
+	}
+	return s.store.Stats()
+}
+
 // Close stops accepting submissions, waits for every in-flight query to
 // retire and for the garbage collector to drain, and shuts the worker
-// pool down. It returns the session's terminal error, if any. Close is
-// idempotent.
+// pool down. With a PolicyStore attached, the store is persisted (a
+// no-op for purely in-memory stores) after the final retirement sweeps
+// have exported their snapshots. It returns the session's terminal
+// error, if any. Close is idempotent.
 func (s *Stream) Close() error {
 	s.mu.Lock()
 	if !s.closed {
@@ -630,6 +683,11 @@ func (s *Stream) Close() error {
 	s.mu.Unlock()
 	s.sess.CloseSubmit()
 	<-s.runDone
+	if s.store != nil {
+		if err := s.store.Save(); err != nil && s.opt.Logger != nil {
+			s.opt.Logger.Warn("policy store save failed", "err", err)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.runErr

@@ -1,0 +1,46 @@
+package roulette
+
+import (
+	"github.com/roulette-db/roulette/internal/bitset"
+	"github.com/roulette-db/roulette/internal/exec"
+	"github.com/roulette-db/roulette/internal/policystore"
+	"github.com/roulette-db/roulette/internal/qlearn"
+	"github.com/roulette-db/roulette/internal/query"
+)
+
+// PolicyStore caches learned Q-table snapshots keyed by workload template
+// signature, so recurring workloads warm-start from earlier runs instead
+// of re-exploring from scratch. A store can back any number of batches
+// and streams (it is safe for concurrent use), lives in memory by
+// default, and optionally persists to a single file.
+//
+// Attach one via Options.PolicyStore. It only affects the learned policy
+// (PolicyLearned); other policies ignore it. A cold lookup changes
+// nothing — a run with an empty store behaves exactly like a run without
+// one.
+type PolicyStore = policystore.Cache
+
+// PolicyStoreOptions configure NewPolicyStore.
+type PolicyStoreOptions = policystore.Options
+
+// PolicyStoreStats is a PolicyStore counter snapshot.
+type PolicyStoreStats = policystore.Stats
+
+// NewPolicyStore opens a policy store. With a Path set, an existing
+// policy file is loaded (a missing file is a cold start; a corrupted one
+// is reported and ignored, leaving a usable empty store).
+func NewPolicyStore(opts PolicyStoreOptions) (*PolicyStore, error) {
+	return policystore.Open(opts)
+}
+
+// importPolicy and exportPolicy bridge the engine-facing call sites in
+// roulette.go and stream.go to the canonical-space remapping implemented
+// in internal/policystore (see policystore.BuildSpace for the protocol).
+
+func importPolicy(store *PolicyStore, pol *qlearn.Learned, b *query.Batch, ctx *exec.Context, live bitset.Set) int {
+	return store.Import(pol, b, ctx, live)
+}
+
+func exportPolicy(store *PolicyStore, pol *qlearn.Learned, b *query.Batch, ctx *exec.Context, live bitset.Set) int {
+	return store.Export(pol, b, ctx, live)
+}
